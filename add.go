@@ -1,0 +1,24 @@
+package vaq
+
+import (
+	"fmt"
+
+	"vaq/internal/vec"
+)
+
+// Add appends new vectors to the index without retraining: they are
+// encoded with the existing dictionaries and inserted into the skip
+// structure. Ids are assigned sequentially from Len(); the first new id is
+// returned. Accuracy for the added vectors matches the rest of the index
+// as long as they follow the training distribution.
+func (ix *Index) Add(vectors [][]float32) (int, error) {
+	m, err := vec.FromRows(vectors)
+	if err != nil {
+		return 0, fmt.Errorf("vaq: %w", err)
+	}
+	id, err := ix.inner.Add(m)
+	if err != nil {
+		return 0, fmt.Errorf("vaq: %w", err)
+	}
+	return id, nil
+}

@@ -1,0 +1,41 @@
+package vaq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPublicAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	data := genData(rng, 500, 16)
+	ix, err := Build(data[:400], Config{NumSubspaces: 4, Budget: 24, Seed: 61, TIClusters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ix.Add(data[400:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 400 || ix.Len() != 500 {
+		t.Fatalf("id %d len %d", id, ix.Len())
+	}
+	res, err := ix.SearchWith(data[450], 5, SearchOptions{VisitFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res {
+		if r.ID == 450 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("added vector not found: %v", res)
+	}
+	if _, err := ix.Add([][]float32{{1, 2}}); err == nil {
+		t.Fatal("bad dimension must fail")
+	}
+	if _, err := ix.Add([][]float32{{1}, {1, 2}}); err == nil {
+		t.Fatal("ragged rows must fail")
+	}
+}

@@ -1,0 +1,66 @@
+package vaq
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SearchBatch answers many queries, distributing them across worker
+// goroutines (one reusable Searcher each). Results are returned in query
+// order. workers <= 0 uses GOMAXPROCS.
+func (ix *Index) SearchBatch(queries [][]float32, k int, opt SearchOptions, workers int) ([][]Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("vaq: k must be >= 1, got %d", k)
+	}
+	n := len(queries)
+	out := make([][]Result, n)
+	if n == 0 {
+		return out, nil
+	}
+	for i, q := range queries {
+		if len(q) != ix.Dim() {
+			return nil, fmt.Errorf("vaq: query %d has dimension %d, index has %d", i, len(q), ix.Dim())
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := ix.NewSearcher()
+			for qi := range next {
+				res, err := s.Search(queries[qi], k, opt)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("vaq: query %d: %w", qi, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				out[qi] = res
+			}
+		}()
+	}
+	for qi := 0; qi < n; qi++ {
+		next <- qi
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+// Command datagen writes the repository's synthetic datasets to disk in
+// the binary format understood by dataset.Load / cmd/vaqsearch.
+//
+// Usage:
+//
+//	datagen -name SIFT -n 100000 -nq 100 -out sift.vaqd
+//	datagen -family slc -n 2000 -d 128 -nq 50 -out slc.vaqd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"vaq/internal/dataset"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "", "large dataset stand-in: SIFT, SEISMIC, SALD, DEEP, ASTRO")
+		family = flag.String("family", "", "gallery family: cbf, slc, sine-mix, random-walk, arma, gmm, box, burst")
+		n      = flag.Int("n", 10000, "number of base vectors")
+		d      = flag.Int("d", 128, "dimensionality (family mode only)")
+		nq     = flag.Int("nq", 100, "number of queries")
+		seed   = flag.Int64("seed", 42, "generator seed")
+		out    = flag.String("out", "", "output file path (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		os.Exit(2)
+	}
+	var ds *dataset.Dataset
+	switch {
+	case *name != "":
+		var err error
+		ds, err = dataset.Large(*name, *n, *nq, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+	case *family != "":
+		rng := rand.New(rand.NewSource(*seed))
+		base := dataset.GenerateFamily(*family, rng, *n, *d)
+		queries := dataset.NoisyQueries(rng, base, *nq, 0.05, 0.3)
+		ds = &dataset.Dataset{
+			Name:    fmt.Sprintf("%s-n%d-d%d", *family, *n, *d),
+			Base:    base,
+			Train:   base,
+			Queries: queries,
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "datagen: one of -name or -family is required")
+		os.Exit(2)
+	}
+	if err := ds.Save(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: saving: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d base vectors, %d queries, dim %d\n",
+		*out, ds.Base.Rows, ds.Queries.Rows, ds.Dim())
+}

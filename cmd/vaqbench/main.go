@@ -1,0 +1,91 @@
+// Command vaqbench regenerates the tables and figures of the VAQ paper.
+//
+// Usage:
+//
+//	vaqbench -list
+//	vaqbench -exp fig1            # one experiment at the default scale
+//	vaqbench -exp all -scale quick
+//	vaqbench -exp tab2 -n 50000 -gallery 128
+//
+// Output is plain text: the same rows/series each figure plots, so shapes
+// can be compared against the paper directly (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vaq/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		scale   = flag.String("scale", "default", "preset scale: quick or default")
+		n       = flag.Int("n", 0, "override base-vector count for large datasets")
+		nq      = flag.Int("nq", 0, "override query count")
+		gallery = flag.Int("gallery", 0, "override gallery dataset count")
+		seed    = flag.Int64("seed", 0, "override data seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "vaqbench: -exp is required (try -list)")
+		os.Exit(2)
+	}
+	var s experiments.Scale
+	switch *scale {
+	case "quick":
+		s = experiments.QuickScale
+	case "default":
+		s = experiments.DefaultScale
+	default:
+		fmt.Fprintf(os.Stderr, "vaqbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *n > 0 {
+		s.N = *n
+	}
+	if *nq > 0 {
+		s.NQ = *nq
+	}
+	if *gallery > 0 {
+		s.GalleryCount = *gallery
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+
+	run := func(e experiments.Experiment) {
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		fmt.Printf("scale: n=%d nq=%d gallery=%d seed=%d\n\n", s.N, s.NQ, s.GalleryCount, s.Seed)
+		start := time.Now()
+		if err := e.Run(os.Stdout, s); err != nil {
+			fmt.Fprintf(os.Stderr, "vaqbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.Registry() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vaqbench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

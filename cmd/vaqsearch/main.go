@@ -1,0 +1,86 @@
+// Command vaqsearch builds a VAQ index over a dataset file written by
+// cmd/datagen and runs its query workload, reporting accuracy against the
+// exact ground truth and the per-query latency.
+//
+// Usage:
+//
+//	datagen -name SALD -n 20000 -nq 50 -out sald.vaqd
+//	vaqsearch -data sald.vaqd -budget 256 -subspaces 32 -k 100 -visit 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vaq/internal/core"
+	"vaq/internal/dataset"
+	"vaq/internal/eval"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset file from cmd/datagen (required)")
+		budget    = flag.Int("budget", 256, "bit budget per vector")
+		subspaces = flag.Int("subspaces", 32, "number of subspaces")
+		minBits   = flag.Int("minbits", 1, "minimum bits per subspace")
+		maxBits   = flag.Int("maxbits", 13, "maximum bits per subspace")
+		k         = flag.Int("k", 100, "neighbors per query")
+		visit     = flag.Float64("visit", 0.25, "fraction of TI clusters visited")
+		nonUnif   = flag.Bool("nonuniform", false, "cluster dimensions into non-uniform subspaces")
+		seed      = flag.Int64("seed", 42, "build seed")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "vaqsearch: -data is required")
+		os.Exit(2)
+	}
+	ds, err := dataset.Load(*dataPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vaqsearch: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset %s: %d vectors, dim %d, %d queries\n",
+		ds.Name, ds.Base.Rows, ds.Dim(), ds.Queries.Rows)
+
+	start := time.Now()
+	ix, err := core.Build(ds.Train, ds.Base, core.Config{
+		NumSubspaces: *subspaces,
+		Budget:       *budget,
+		MinBits:      *minBits,
+		MaxBits:      *maxBits,
+		NonUniform:   *nonUnif,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vaqsearch: build: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("built in %.2fs: bits=%v, %d TI clusters, %d code bytes\n",
+		time.Since(start).Seconds(), ix.Bits(), ix.TIClusterCount(), ix.CodeBytes())
+
+	gt, err := eval.GroundTruth(ds.Base, ds.Queries, *k)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vaqsearch: ground truth: %v\n", err)
+		os.Exit(1)
+	}
+	searcher := ix.NewSearcher()
+	results := make([][]int, ds.Queries.Rows)
+	start = time.Now()
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		res, err := searcher.Search(ds.Queries.Row(qi), *k, core.SearchOptions{
+			Mode: core.ModeTIEA, VisitFrac: *visit,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqsearch: query %d: %v\n", qi, err)
+			os.Exit(1)
+		}
+		results[qi] = eval.IDs(res)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("recall@%d = %.4f, MAP@%d = %.4f, avg query %.3fms\n",
+		*k, eval.Recall(results, gt, *k),
+		*k, eval.MAP(results, gt, *k),
+		elapsed.Seconds()/float64(ds.Queries.Rows)*1000)
+}

@@ -1,0 +1,82 @@
+package vaq_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"vaq"
+)
+
+func makeData(n, d int) [][]float32 {
+	rng := rand.New(rand.NewSource(7))
+	data := make([][]float32, n)
+	for i := range data {
+		row := make([]float32, d)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64()) / float32(j+1)
+		}
+		data[i] = row
+	}
+	return data
+}
+
+// Searching many queries at once with a worker pool.
+func ExampleIndex_SearchBatch() {
+	data := makeData(2000, 16)
+	ix, err := vaq.Build(data, vaq.Config{NumSubspaces: 4, Budget: 32, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	queries := data[:3]
+	results, err := ix.SearchBatch(queries, 2, vaq.SearchOptions{}, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(results), len(results[0]))
+	// Output: 3 2
+}
+
+// Persisting a trained index and reloading it without retraining.
+func ExampleIndex_Save() {
+	data := makeData(1000, 16)
+	ix, err := vaq.Build(data, vaq.Config{NumSubspaces: 4, Budget: 24, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	dir, err := os.MkdirTemp("", "vaq-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/index.vaqi"
+	if err := ix.Save(path); err != nil {
+		panic(err)
+	}
+	loaded, err := vaq.Load(path)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(loaded.Len() == ix.Len())
+	// Output: true
+}
+
+// Constraining the bit allocation: cap the most important subspace.
+func ExampleConfig_allocConstraints() {
+	data := makeData(1500, 16)
+	coeffs := make([]float64, 4)
+	coeffs[0] = 1 // the most important subspace's bit variable
+	ix, err := vaq.Build(data, vaq.Config{
+		NumSubspaces: 4,
+		Budget:       24,
+		Seed:         7,
+		AllocConstraints: []vaq.BitConstraint{
+			{Coeffs: coeffs, Sense: vaq.LE, RHS: 7},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ix.Stats().BitsPerSubspace[0] <= 7)
+	// Output: true
+}

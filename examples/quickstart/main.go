@@ -1,0 +1,54 @@
+// Quickstart: build a VAQ index over random vectors and run a query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vaq"
+)
+
+func main() {
+	// 10,000 vectors of dimension 64 with a decaying variance profile —
+	// the kind of spectrum skew VAQ exploits.
+	rng := rand.New(rand.NewSource(1))
+	n, d := 10000, 64
+	data := make([][]float32, n)
+	for i := range data {
+		row := make([]float32, d)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64()) / float32(j+1)
+		}
+		data[i] = row
+	}
+
+	// 128 bits per vector across 16 subspaces; everything else defaulted.
+	ix, err := vaq.Build(data, vaq.Config{
+		NumSubspaces: 16,
+		Budget:       128,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := ix.Stats()
+	fmt.Printf("indexed %d vectors at %d bytes of codes\n", stats.N, stats.CodeBytes)
+	fmt.Printf("adaptive bit allocation: %v\n", stats.BitsPerSubspace)
+
+	// Query with a perturbed database vector.
+	q := append([]float32(nil), data[4242]...)
+	for j := range q {
+		q[j] += float32(rng.NormFloat64()) * 0.01
+	}
+	results, err := ix.Search(q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-5 neighbors (id, squared distance):")
+	for _, r := range results {
+		fmt.Printf("  %6d  %.5f\n", r.ID, r.Dist)
+	}
+}

@@ -1,0 +1,104 @@
+// Tuning walkthrough: how VAQ's knobs trade accuracy for speed and space.
+// Sweeps the bit budget and allocation strategy on a skewed-spectrum
+// dataset and prints the resulting allocations, recall and query time —
+// a miniature of the paper's Figures 7 and 9 in example form.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"vaq"
+	"vaq/internal/dataset"
+	"vaq/internal/eval"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	base := dataset.RandomWalk(rng, 15000, 128, 0.7) // SALD-like skew
+	queries := dataset.NoisyQueries(rng, base, 30, 0.05, 0.3)
+	rows := make([][]float32, base.Rows)
+	for i := range rows {
+		rows[i] = base.Row(i)
+	}
+	const k = 10
+	gt, err := eval.GroundTruth(base, queries, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- budget sweep (16 subspaces, MILP allocation, visit 25%) ---")
+	fmt.Printf("%8s %10s %10s %12s\n", "budget", "recall@10", "ms/query", "code bytes")
+	for _, budget := range []int{32, 64, 128, 192} {
+		ix, err := vaq.Build(rows, vaq.Config{NumSubspaces: 16, Budget: budget, Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, ms := measure(ix, queries.Rows, func(qi int) ([]vaq.Result, error) {
+			return ix.Search(queries.Row(qi), k)
+		}, gt, k, queries)
+		fmt.Printf("%8d %10.3f %10.3f %12d\n", budget, rec, ms, ix.Stats().CodeBytes)
+	}
+
+	fmt.Println("\n--- allocation strategies (128 bits, 16 subspaces) ---")
+	for _, alloc := range []struct {
+		name string
+		a    vaq.AllocStrategy
+	}{
+		{"MILP (paper)", vaq.AllocMILP},
+		{"transform-coding", vaq.AllocTransformCoding},
+		{"uniform (PQ-style)", vaq.AllocUniform},
+	} {
+		ix, err := vaq.Build(rows, vaq.Config{
+			NumSubspaces: 16, Budget: 128, Alloc: alloc.a, Seed: 11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, ms := measure(ix, queries.Rows, func(qi int) ([]vaq.Result, error) {
+			return ix.Search(queries.Row(qi), k)
+		}, gt, k, queries)
+		fmt.Printf("%-20s bits=%v recall=%.3f %.3fms\n",
+			alloc.name, ix.Stats().BitsPerSubspace, rec, ms)
+	}
+
+	fmt.Println("\n--- visit-fraction sweep (128 bits) ---")
+	ix, err := vaq.Build(rows, vaq.Config{NumSubspaces: 16, Budget: 128, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	searcher := ix.NewSearcher()
+	for _, visit := range []float64{0.05, 0.10, 0.25, 0.50, 1.00} {
+		v := visit
+		rec, ms := measure(ix, queries.Rows, func(qi int) ([]vaq.Result, error) {
+			return searcher.Search(queries.Row(qi), k, vaq.SearchOptions{VisitFrac: v})
+		}, gt, k, queries)
+		st := searcher.LastStats() // instrumentation of the last query
+		fmt.Printf("visit %4.0f%%: recall=%.3f %.3fms  (considered %d, TI-skipped %d, EA-abandoned %d, lookups %d)\n",
+			v*100, rec, ms, st.CodesConsidered, st.CodesSkippedTI, st.CodesAbandonedEA, st.Lookups)
+	}
+}
+
+type queryFn func(qi int) ([]vaq.Result, error)
+
+func measure(ix *vaq.Index, nq int, run queryFn, gt [][]int, k int, queries interface{ Row(int) []float32 }) (float64, float64) {
+	results := make([][]int, nq)
+	start := time.Now()
+	for qi := 0; qi < nq; qi++ {
+		res, err := run(qi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids := make([]int, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+		results[qi] = ids
+	}
+	ms := time.Since(start).Seconds() / float64(nq) * 1000
+	return eval.Recall(results, gt, k), ms
+}

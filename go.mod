@@ -1,0 +1,3 @@
+module vaq
+
+go 1.22

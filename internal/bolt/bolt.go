@@ -1,0 +1,169 @@
+// Package bolt reimplements the Bolt baseline (Blalock & Guttag, KDD'17;
+// paper §II-C "Accelerations for PQ methods") in a hardware-oblivious way:
+// aggressively small 4-bit dictionaries (16 centroids per subspace), codes
+// packed two-per-byte, and query lookup tables quantized to uint8 so the
+// scan touches tiny tables and accumulates integers.
+//
+// Without SIMD the absolute speed differs from the original, but the two
+// properties the paper's comparison measures are preserved: the scan is
+// substantially faster per code than a float PQ scan (small LUTs, integer
+// adds), and accuracy drops because both the dictionaries and the lookup
+// tables are low precision (Figures 1 and 8).
+package bolt
+
+import (
+	"fmt"
+
+	"vaq/internal/quantizer"
+	"vaq/internal/vec"
+)
+
+// Index is a built Bolt index.
+type Index struct {
+	cb     *quantizer.Codebooks
+	packed []byte // n * m/2 bytes, two 4-bit codes per byte
+	n      int
+	m      int
+	dim    int
+}
+
+// Config configures Build.
+type Config struct {
+	// Budget is the total bits per vector; Bolt always uses 4 bits per
+	// subspace, so the subspace count is Budget/4.
+	Budget int
+	Train  quantizer.TrainConfig
+}
+
+// Build trains 4-bit dictionaries on train and packs codes for data.
+func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
+	if cfg.Budget < 4 || cfg.Budget%4 != 0 {
+		return nil, fmt.Errorf("bolt: budget %d must be a positive multiple of 4", cfg.Budget)
+	}
+	m := cfg.Budget / 4
+	if m%2 != 0 {
+		return nil, fmt.Errorf("bolt: subspace count %d must be even for byte packing", m)
+	}
+	if m > train.Cols {
+		return nil, fmt.Errorf("bolt: %d subspaces exceed %d dimensions", m, train.Cols)
+	}
+	if train.Cols != data.Cols {
+		return nil, fmt.Errorf("bolt: train dim %d != data dim %d", train.Cols, data.Cols)
+	}
+	sub, err := quantizer.UniformSubspaces(train.Cols, m)
+	if err != nil {
+		return nil, err
+	}
+	bits := make([]int, m)
+	for i := range bits {
+		bits[i] = 4
+	}
+	cb, err := quantizer.TrainCodebooks(train, sub, bits, cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+	codes, err := cb.Encode(data, true)
+	if err != nil {
+		return nil, err
+	}
+	packed := make([]byte, data.Rows*m/2)
+	for i := 0; i < data.Rows; i++ {
+		row := codes.Row(i)
+		base := i * m / 2
+		for s := 0; s < m; s += 2 {
+			packed[base+s/2] = byte(row[s])<<4 | byte(row[s+1])
+		}
+	}
+	return &Index{cb: cb, packed: packed, n: data.Rows, m: m, dim: train.Cols}, nil
+}
+
+// Len reports the number of encoded vectors.
+func (ix *Index) Len() int { return ix.n }
+
+// Dim reports the expected query dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// quantizedLUT is the uint8 lookup table for one query: 16 entries per
+// subspace plus the affine parameters that map integer sums back to
+// (approximate) squared distances.
+type quantizedLUT struct {
+	table  []uint8 // m * 16
+	offset float32 // sum of per-subspace minima
+	scale  float32 // quantization step (distance units per integer unit)
+}
+
+// buildQuantizedLUT computes the float ADC tables and quantizes them with a
+// shared scale so per-subspace integer entries are summable.
+func (ix *Index) buildQuantizedLUT(q []float32) *quantizedLUT {
+	m := ix.m
+	lut := ix.cb.BuildLUT(q)
+	out := &quantizedLUT{table: make([]uint8, m*16)}
+	// Shared scale: the largest per-subspace range defines the step.
+	var maxRange float32
+	mins := make([]float32, m)
+	for s := 0; s < m; s++ {
+		t := lut.Table(s)
+		mn, mx := t[0], t[0]
+		for _, v := range t[1:] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		mins[s] = mn
+		if mx-mn > maxRange {
+			maxRange = mx - mn
+		}
+		out.offset += mn
+	}
+	if maxRange == 0 {
+		maxRange = 1
+	}
+	step := maxRange / 255
+	out.scale = step
+	inv := 1 / step
+	for s := 0; s < m; s++ {
+		t := lut.Table(s)
+		for c, v := range t {
+			qv := (v - mins[s]) * inv
+			if qv > 255 {
+				qv = 255
+			}
+			out.table[s*16+c] = uint8(qv)
+		}
+	}
+	return out
+}
+
+// Search returns the approximate k nearest neighbors. Distances are
+// de-quantized back to (approximate) squared Euclidean values.
+func (ix *Index) Search(q []float32, k int) ([]vec.Neighbor, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("bolt: query dim %d, index dim %d", len(q), ix.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("bolt: k must be >= 1, got %d", k)
+	}
+	qlut := ix.buildQuantizedLUT(q)
+	tk := vec.NewTopK(k)
+	half := ix.m / 2
+	table := qlut.table
+	for i := 0; i < ix.n; i++ {
+		base := i * half
+		var acc uint32
+		for b := 0; b < half; b++ {
+			pb := ix.packed[base+b]
+			s := b * 2
+			acc += uint32(table[s*16+int(pb>>4)])
+			acc += uint32(table[(s+1)*16+int(pb&0x0f)])
+		}
+		tk.Push(i, float32(acc))
+	}
+	res := tk.Results()
+	for i := range res {
+		res[i].Dist = res[i].Dist*qlut.scale + qlut.offset
+	}
+	return res, nil
+}

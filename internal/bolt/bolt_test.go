@@ -1,0 +1,123 @@
+package bolt
+
+import (
+	"math/rand"
+	"testing"
+
+	"vaq/internal/quantizer"
+	"vaq/internal/vec"
+)
+
+func clustered(rng *rand.Rand, n, d int) *vec.Matrix {
+	x := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		r := x.Row(i)
+		for j := 0; j < d; j++ {
+			r[j] = float32(rng.Intn(4))*2 + float32(rng.NormFloat64()*0.2)
+		}
+	}
+	return x
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := clustered(rng, 100, 16)
+	if _, err := Build(x, x, Config{Budget: 0}); err == nil {
+		t.Fatal("budget 0 must fail")
+	}
+	if _, err := Build(x, x, Config{Budget: 6}); err == nil {
+		t.Fatal("non-multiple-of-4 budget must fail")
+	}
+	if _, err := Build(x, x, Config{Budget: 4}); err == nil {
+		t.Fatal("odd subspace count must fail")
+	}
+	if _, err := Build(x, x, Config{Budget: 128}); err == nil {
+		t.Fatal("m > d must fail")
+	}
+	if _, err := Build(x, vec.NewMatrix(10, 8), Config{Budget: 16}); err == nil {
+		t.Fatal("dim mismatch must fail")
+	}
+}
+
+func TestSearchBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := clustered(rng, 800, 16)
+	ix, err := Build(x, x, Config{Budget: 32, Train: quantizer.TrainConfig{Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 800 || ix.Dim() != 16 {
+		t.Fatalf("shape %d %d", ix.Len(), ix.Dim())
+	}
+	res, err := ix.Search(x.Row(5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+	if _, err := ix.Search(make([]float32, 3), 5); err == nil {
+		t.Fatal("bad dim must fail")
+	}
+	if _, err := ix.Search(x.Row(0), 0); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+}
+
+func TestSelfRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := clustered(rng, 1000, 16)
+	ix, err := Build(x, x, Config{Budget: 64, Train: quantizer.TrainConfig{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for trial := 0; trial < 20; trial++ {
+		qi := rng.Intn(1000)
+		res, err := ix.Search(x.Row(qi), 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.ID == qi {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 12 {
+		t.Fatalf("self-recall %d/20 too low for a 4-bit quantizer", hits)
+	}
+}
+
+func TestQuantizedDistanceCorrelation(t *testing.T) {
+	// De-quantized Bolt distances should approximate the float ADC
+	// distances of the same codebooks: the nearest Bolt answer should have
+	// a small true distance relative to the dataset scale.
+	rng := rand.New(rand.NewSource(4))
+	x := clustered(rng, 500, 8)
+	ix, err := Build(x, x, Config{Budget: 16, Train: quantizer.TrainConfig{Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := x.Row(7)
+	res, err := ix.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueNearest := vec.NewTopK(5)
+	for i := 0; i < x.Rows; i++ {
+		trueNearest.Push(i, vec.SquaredL2(q, x.Row(i)))
+	}
+	worstTrue := trueNearest.Results()[4].Dist
+	// Bolt's best answer must not be absurdly far in true distance.
+	best := res[0].ID
+	if d := vec.SquaredL2(q, x.Row(best)); d > worstTrue*20+10 {
+		t.Fatalf("bolt nearest is far in true space: %v vs %v", d, worstTrue)
+	}
+}

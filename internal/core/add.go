@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vaq/internal/vec"
+)
+
+// Add encodes new raw vectors with the already-trained model and
+// dictionaries and threads them into the triangle-inequality skip
+// structure, keeping each cluster's distance ordering intact. The new
+// vectors receive ids Len(), Len()+1, ... in input order; the first
+// assigned id is returned.
+//
+// Dictionaries and the PCA rotation are NOT retrained — the paper's
+// encoding model is train-once — so heavy distribution drift degrades
+// accuracy the same way it would for any PQ system.
+func (ix *Index) Add(vectors *vec.Matrix) (firstID int, err error) {
+	if vectors == nil || vectors.Rows == 0 {
+		return ix.n, nil
+	}
+	if vectors.Cols != ix.queryDim {
+		return 0, fmt.Errorf("core: Add dimension %d, index dimension %d", vectors.Cols, ix.queryDim)
+	}
+	z, err := ix.model.Project(vectors)
+	if err != nil {
+		return 0, err
+	}
+	firstID = ix.n
+	m := ix.cb.Sub.M()
+	code := make([]uint16, m)
+	prefixBuf := make([]float32, ix.ti.prefixDim)
+	// Grow code storage.
+	grown := make([]uint16, (ix.n+vectors.Rows)*m)
+	copy(grown, ix.codes.Data)
+	ix.codes.Data = grown
+	for i := 0; i < vectors.Rows; i++ {
+		id := ix.n + i
+		ix.cb.EncodeVec(z.Row(i), code)
+		copy(ix.codes.Data[id*m:(id+1)*m], code)
+		// Assign to the nearest TI centroid in prefix space.
+		decodePrefix(ix.cb, code, ix.ti.prefixSubspaces, prefixBuf)
+		best, bestD := 0, vec.SquaredL2(prefixBuf, ix.ti.centroids.Row(0))
+		for c := 1; c < ix.ti.centroids.Rows; c++ {
+			if d := vec.SquaredL2(prefixBuf, ix.ti.centroids.Row(c)); d < bestD {
+				bestD = d
+				best = c
+			}
+		}
+		entry := tiEntry{id: id, dist: float32(math.Sqrt(float64(bestD)))}
+		members := ix.ti.clusters[best]
+		pos := sort.Search(len(members), func(j int) bool {
+			return members[j].dist >= entry.dist
+		})
+		members = append(members, tiEntry{})
+		copy(members[pos+1:], members[pos:])
+		members[pos] = entry
+		ix.ti.clusters[best] = members
+	}
+	ix.codes.N += vectors.Rows
+	ix.n += vectors.Rows
+	return firstID, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"vaq/internal/milp"
+)
+
+func TestAllocateMILPExtraConstraints(t *testing.T) {
+	base := allocParams{
+		Weights:        []float64{0.5, 0.25, 0.15, 0.1},
+		Budget:         20,
+		MinBits:        1,
+		MaxBits:        8,
+		TargetVariance: 0.99,
+	}
+	// Without constraints the head subspace gets the most bits.
+	free, err := allocateBits(AllocMILP, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap the first subspace at 5 bits (e.g. a lookup-latency SLA).
+	capped := base
+	capped.Extra = []BitConstraint{{
+		Coeffs: []float64{1, 0, 0, 0},
+		Sense:  milp.LE,
+		RHS:    5,
+	}}
+	bits, err := allocateBits(AllocMILP, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllocation(t, bits, capped)
+	if bits[0] > 5 {
+		t.Fatalf("constraint violated: %v", bits)
+	}
+	if free[0] <= 5 {
+		t.Fatalf("test vacuous: unconstrained already %v", free)
+	}
+}
+
+func TestAllocateMILPExtraConstraintJointCap(t *testing.T) {
+	p := allocParams{
+		Weights:        []float64{0.4, 0.3, 0.2, 0.1},
+		Budget:         16,
+		MinBits:        1,
+		MaxBits:        8,
+		TargetVariance: 0.99,
+		// First two subspaces together at most 9 bits.
+		Extra: []BitConstraint{{
+			Coeffs: []float64{1, 1, 0, 0},
+			Sense:  milp.LE,
+			RHS:    9,
+		}},
+	}
+	bits, err := allocateBits(AllocMILP, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllocation(t, bits, p)
+	if bits[0]+bits[1] > 9 {
+		t.Fatalf("joint cap violated: %v", bits)
+	}
+}
+
+func TestAllocateMILPExtraConstraintErrors(t *testing.T) {
+	p := allocParams{
+		Weights:        []float64{0.6, 0.4},
+		Budget:         8,
+		MinBits:        1,
+		MaxBits:        8,
+		TargetVariance: 0.99,
+		Extra:          []BitConstraint{{Coeffs: []float64{1}, Sense: milp.LE, RHS: 4}},
+	}
+	if _, err := allocateBits(AllocMILP, p); err == nil {
+		t.Fatal("wrong coefficient count must fail")
+	}
+	// Infeasible user constraint must surface as an error.
+	p.Extra = []BitConstraint{{Coeffs: []float64{1, 1}, Sense: milp.LE, RHS: 3}}
+	if _, err := allocateBits(AllocMILP, p); err == nil {
+		t.Fatal("infeasible constraint must fail")
+	}
+}
+
+func TestBuildWithAllocConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	x := skewedData(rng, 600, 16, 1.5)
+	coeffs := make([]float64, 8)
+	coeffs[0] = 1
+	ix, err := Build(x, x, Config{
+		NumSubspaces: 8,
+		Budget:       40,
+		Seed:         41,
+		TIClusters:   10,
+		AllocConstraints: []BitConstraint{
+			{Coeffs: coeffs, Sense: milp.LE, RHS: 6},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits := ix.Bits(); bits[0] > 6 {
+		t.Fatalf("user constraint not honored: %v", bits)
+	}
+	if _, err := ix.Search(x.Row(0), 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+// partialBalance computes the paper's partial importance balancing
+// permutation (§III-C "Partial Subspace Importance Balancing";
+// Algorithm 2 lines 2-9, generalized to multiple rounds as the text
+// describes).
+//
+// Starting from each source subspace r, its first PC stays in place and its
+// j-th best PC (j = 1, 2, ...) is swapped with the currently-worst
+// unclaimed PC of subspace r+j — but only while the swap preserves the
+// global descending ordering of subspace variances. Swaps that would break
+// the ordering are reverted and the round for that source subspace stops.
+//
+// ratios must be sorted descending; lengths defines the subspace layout.
+// The returned perm maps new dimension position -> original position; it
+// applies to the eigenvalue vector and the PCA component columns alike.
+func partialBalance(ratios []float64, lengths []int) []int {
+	d := len(ratios)
+	m := len(lengths)
+	perm := make([]int, d)
+	for i := range perm {
+		perm[i] = i
+	}
+	if m < 2 {
+		return perm
+	}
+	work := append([]float64(nil), ratios...)
+	offsets := make([]int, m)
+	off := 0
+	for i, l := range lengths {
+		offsets[i] = off
+		off += l
+	}
+	sums := subspaceVariancesOf(work, offsets, lengths)
+	// claimed[t] counts how many tail positions of subspace t have already
+	// been used as swap targets ("worst", then "second worst", ...).
+	claimed := make([]int, m)
+
+	subspaceOf := func(pos int) int {
+		for s := m - 1; s >= 0; s-- {
+			if pos >= offsets[s] {
+				return s
+			}
+		}
+		return 0
+	}
+	trySwap := func(a, b int) bool {
+		sa, sb := subspaceOf(a), subspaceOf(b)
+		if sa == sb {
+			return false
+		}
+		delta := work[b] - work[a]
+		newSa := sums[sa] + delta
+		newSb := sums[sb] - delta
+		// Check the global ordering with the two updated sums.
+		prevOK := func(s int, v float64) bool {
+			if s > 0 {
+				prev := sums[s-1]
+				if s-1 == sa {
+					prev = newSa
+				} else if s-1 == sb {
+					prev = newSb
+				}
+				if v > prev+1e-15 {
+					return false
+				}
+			}
+			if s < m-1 {
+				next := sums[s+1]
+				if s+1 == sa {
+					next = newSa
+				} else if s+1 == sb {
+					next = newSb
+				}
+				if v < next-1e-15 {
+					return false
+				}
+			}
+			return true
+		}
+		if !prevOK(sa, newSa) || !prevOK(sb, newSb) {
+			return false
+		}
+		work[a], work[b] = work[b], work[a]
+		perm[a], perm[b] = perm[b], perm[a]
+		sums[sa] = newSa
+		sums[sb] = newSb
+		return true
+	}
+
+	for r := 0; r < m-1; r++ {
+		// j = 1: the second-best PC of subspace r (its first stays put).
+		for j := 1; j < lengths[r]; j++ {
+			t := r + j
+			if t >= m {
+				break
+			}
+			src := offsets[r] + j
+			dst := offsets[t] + lengths[t] - 1 - claimed[t]
+			if dst <= offsets[t] {
+				// Never displace the target subspace's best PC.
+				continue
+			}
+			if !trySwap(src, dst) {
+				// Paper pseudocode: revert and stop this round.
+				break
+			}
+			claimed[t]++
+		}
+	}
+	return perm
+}
+
+func subspaceVariancesOf(vals []float64, offsets, lengths []int) []float64 {
+	out := make([]float64, len(lengths))
+	for i := range lengths {
+		for j := offsets[i]; j < offsets[i]+lengths[i]; j++ {
+			out[i] += vals[j]
+		}
+	}
+	return out
+}
+
+// applyPermutationFloat64 returns vals reordered so that out[i] =
+// vals[perm[i]].
+func applyPermutationFloat64(vals []float64, perm []int) []float64 {
+	out := make([]float64, len(vals))
+	for i, p := range perm {
+		out[i] = vals[p]
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzRead ensures the index deserializer fails cleanly on corrupt input:
+// no panics, no runaway allocations, and anything it accepts must answer
+// queries without crashing.
+func FuzzRead(f *testing.F) {
+	rng := rand.New(rand.NewSource(91))
+	x := skewedData(rng, 120, 8, 1.0)
+	ix, err := Build(x, x, Config{NumSubspaces: 2, Budget: 8, Seed: 91, TIClusters: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0xFF
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got.Len() < 0 || got.Dim() <= 0 {
+			t.Fatalf("accepted index with shape %d/%d", got.Len(), got.Dim())
+		}
+		q := make([]float32, got.Dim())
+		// Any accepted index must survive a query (codes may be garbage;
+		// answers just need to come back without a crash).
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("query on accepted index panicked: %v", r)
+			}
+		}()
+		_, _ = got.Search(q, 3)
+	})
+}

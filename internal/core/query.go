@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vaq/internal/quantizer"
+	"vaq/internal/vec"
+)
+
+// SearchMode selects the query-execution pruning strategy (the Figure 7
+// ablation axes).
+type SearchMode int
+
+const (
+	// ModeTIEA is full VAQ: triangle-inequality data skipping cascaded
+	// with early-abandon subspace skipping (Algorithm 4).
+	ModeTIEA SearchMode = iota
+	// ModeEA scans every code but abandons lookup accumulation early.
+	ModeEA
+	// ModeHeap is the plain exhaustive ADC scan with a top-k heap.
+	ModeHeap
+)
+
+func (m SearchMode) String() string {
+	switch m {
+	case ModeTIEA:
+		return "ti+ea"
+	case ModeEA:
+		return "ea"
+	case ModeHeap:
+		return "heap"
+	}
+	return "unknown"
+}
+
+// SearchOptions tune one query.
+type SearchOptions struct {
+	// Mode selects the pruning strategy (default ModeTIEA).
+	Mode SearchMode
+	// VisitFrac overrides the fraction of TI clusters visited
+	// (0 = the index's DefaultVisitFrac). Only meaningful for ModeTIEA.
+	VisitFrac float64
+	// Subspaces limits distance accumulation to the first t subspaces
+	// (0 = all). Used by the Figure 4 subspace-omission experiment; it
+	// forces a full scan (TI bounds are invalid on truncated distances).
+	Subspaces int
+}
+
+// Search returns the approximate k nearest neighbors of q with default
+// options. Distances are squared Euclidean in the quantized space.
+func (ix *Index) Search(q []float32, k int) ([]vec.Neighbor, error) {
+	return ix.SearchWith(q, k, SearchOptions{})
+}
+
+// SearchWith returns the approximate k nearest neighbors of q under the
+// given options.
+func (ix *Index) SearchWith(q []float32, k int, opt SearchOptions) ([]vec.Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	qz, err := ix.ProjectQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	s := ix.newSearcher()
+	return s.run(qz, k, opt), nil
+}
+
+// SearchStats instruments one query: how much work each pruning layer
+// saved. Lookups counts per-subspace table accumulations; a plain scan
+// performs exactly Codes x Subspaces of them.
+type SearchStats struct {
+	// ClustersVisited is the number of TI clusters scanned (0 for the
+	// non-TI modes).
+	ClustersVisited int
+	// CodesConsidered counts encoded vectors reached by the scan loop
+	// (TI-unvisited clusters are excluded).
+	CodesConsidered int
+	// CodesSkippedTI counts vectors pruned by the triangle bound before
+	// any lookup.
+	CodesSkippedTI int
+	// CodesAbandonedEA counts vectors whose accumulation was cut short.
+	CodesAbandonedEA int
+	// Lookups counts subspace table accumulations actually performed.
+	Lookups int
+}
+
+// Searcher holds per-query scratch buffers so batch workloads don't
+// allocate per query. Not safe for concurrent use; create one per
+// goroutine via NewSearcher.
+type Searcher struct {
+	ix       *Index
+	lut      *quantizer.LUT
+	clustD   []float32
+	clustIdx []int
+	topk     *vec.TopK
+	stats    SearchStats
+}
+
+// LastStats reports the instrumentation of the most recent query.
+func (s *Searcher) LastStats() SearchStats { return s.stats }
+
+// NewSearcher returns a reusable query context for this index.
+func (ix *Index) NewSearcher() *Searcher { return ix.newSearcher() }
+
+func (ix *Index) newSearcher() *Searcher {
+	return &Searcher{ix: ix}
+}
+
+// Search runs one query through the reusable context. q is the RAW
+// (unprojected) query.
+func (s *Searcher) Search(q []float32, k int, opt SearchOptions) ([]vec.Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	qz, err := s.ix.ProjectQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(qz, k, opt), nil
+}
+
+// SearchProjected runs one query that is already in the index's PCA space.
+func (s *Searcher) SearchProjected(qz []float32, k int, opt SearchOptions) ([]vec.Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if len(qz) != s.ix.cb.Sub.Dim() {
+		return nil, fmt.Errorf("core: projected query dim %d, want %d", len(qz), s.ix.cb.Sub.Dim())
+	}
+	return s.run(qz, k, opt), nil
+}
+
+func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
+	ix := s.ix
+	// Build or refill the lookup table (Algorithm 4 lines 5-13).
+	if s.lut == nil {
+		s.lut = ix.cb.BuildLUT(qz)
+	} else {
+		ix.cb.FillLUT(qz, s.lut)
+	}
+	s.topk = vec.NewTopK(k)
+	s.stats = SearchStats{}
+
+	mSub := ix.cb.Sub.M()
+	useSub := mSub
+	if opt.Subspaces > 0 && opt.Subspaces < mSub {
+		useSub = opt.Subspaces
+	}
+	mode := opt.Mode
+	if useSub < mSub && mode == ModeTIEA {
+		// Truncated distances invalidate the TI bound; degrade gracefully.
+		mode = ModeEA
+	}
+	switch mode {
+	case ModeHeap:
+		s.scanHeap(useSub)
+	case ModeEA:
+		s.scanEA(useSub)
+	default:
+		s.scanTIEA(qz, k, opt.VisitFrac, useSub)
+	}
+	return s.topk.Results()
+}
+
+// scanHeap is the no-pruning baseline: accumulate every subspace of every
+// code (Figure 7 "Heap").
+func (s *Searcher) scanHeap(useSub int) {
+	ix := s.ix
+	codes := ix.codes
+	lut := s.lut
+	m := codes.M
+	for i := 0; i < codes.N; i++ {
+		row := codes.Data[i*m : i*m+useSub]
+		var d float32
+		for sI, c := range row {
+			d += lut.Dist[lut.Offsets[sI]+int(c)]
+		}
+		s.topk.Push(i, d)
+	}
+	s.stats.CodesConsidered = codes.N
+	s.stats.Lookups = codes.N * useSub
+}
+
+// scanEA scans every code but early-abandons the subspace accumulation
+// when the partial distance already exceeds the best-so-far k-th distance
+// (§III-E "Subspace Skipping"; Figure 7 "EA"). Because the subspaces are
+// importance-ordered, the first few terms dominate and most lookups are
+// skipped.
+func (s *Searcher) scanEA(useSub int) {
+	ix := s.ix
+	codes := ix.codes
+	lut := s.lut
+	m := codes.M
+	check := ix.cfg.EACheckEvery
+	for i := 0; i < codes.N; i++ {
+		row := codes.Data[i*m : i*m+useSub]
+		bsf := s.topk.Threshold()
+		full := !s.topk.Full()
+		var d float32
+		abandoned := false
+		sI := 0
+		for ; sI < useSub; sI++ {
+			d += lut.Dist[lut.Offsets[sI]+int(row[sI])]
+			if !full && (sI+1)%check == 0 && d > bsf {
+				abandoned = true
+				sI++
+				break
+			}
+		}
+		s.stats.Lookups += sI
+		if abandoned {
+			s.stats.CodesAbandonedEA++
+		} else {
+			s.topk.Push(i, d)
+		}
+	}
+	s.stats.CodesConsidered = codes.N
+}
+
+// scanTIEA is the full cascade (Algorithm 4): order TI clusters by query
+// distance, visit only the nearest fraction, skip members via the triangle
+// inequality, and early-abandon lookups for survivors.
+func (s *Searcher) scanTIEA(qz []float32, k int, visitFrac float64, useSub int) {
+	ix := s.ix
+	ti := ix.ti
+	lut := s.lut
+	codes := ix.codes
+	m := codes.M
+	check := ix.cfg.EACheckEvery
+	if visitFrac <= 0 {
+		visitFrac = ix.cfg.DefaultVisitFrac
+	}
+	if visitFrac > 1 {
+		visitFrac = 1
+	}
+	nClusters := len(ti.clusters)
+	visit := int(math.Ceil(visitFrac * float64(nClusters)))
+	if visit < 1 {
+		visit = 1
+	}
+	if visit > nClusters {
+		visit = nClusters
+	}
+	s.clustD = ti.queryClusterDistances(qz, s.clustD)
+	if cap(s.clustIdx) < nClusters {
+		s.clustIdx = make([]int, nClusters)
+	}
+	s.clustIdx = s.clustIdx[:nClusters]
+	for i := range s.clustIdx {
+		s.clustIdx[i] = i
+	}
+	sort.Slice(s.clustIdx, func(a, b int) bool {
+		return s.clustD[s.clustIdx[a]] < s.clustD[s.clustIdx[b]]
+	})
+
+	s.stats.ClustersVisited = visit
+	for v := 0; v < visit; v++ {
+		c := s.clustIdx[v]
+		dq := s.clustD[c]
+		members := ti.clusters[c]
+		s.stats.CodesConsidered += len(members)
+		for mi, e := range members {
+			if s.topk.Full() {
+				bsfSq := s.topk.Threshold()
+				// Triangle inequality in the prefix space: the
+				// query-to-member distance is at least |dq - ds|, and the
+				// full ADC distance is at least the squared prefix bound.
+				diff := dq - e.dist
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff*diff >= bsfSq {
+					if e.dist >= dq {
+						// Members are sorted ascending by ds: every later
+						// member has an even larger bound. Stop the cluster.
+						s.stats.CodesSkippedTI += len(members) - mi
+						break
+					}
+					s.stats.CodesSkippedTI++
+					continue
+				}
+			}
+			// Early-abandon accumulation for the survivor.
+			row := codes.Data[e.id*m : e.id*m+useSub]
+			bsf := s.topk.Threshold()
+			full := !s.topk.Full()
+			var d float32
+			abandoned := false
+			sI := 0
+			for ; sI < useSub; sI++ {
+				d += lut.Dist[lut.Offsets[sI]+int(row[sI])]
+				if !full && (sI+1)%check == 0 && d > bsf {
+					abandoned = true
+					sI++
+					break
+				}
+			}
+			s.stats.Lookups += sI
+			if abandoned {
+				s.stats.CodesAbandonedEA++
+			} else {
+				s.topk.Push(e.id, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"vaq/internal/linalg"
+	"vaq/internal/pca"
+	"vaq/internal/quantizer"
+	"vaq/internal/vec"
+)
+
+// Serialization format (little-endian):
+//
+//	magic "VAQI", version u16
+//	config block (fixed-width fields)
+//	pca: eigenvalues []f64, components Dense, hasMean u8 [+ mean []f64]
+//	layout: m u32, lengths []u32, bits []u32, ratios []f64, subVar []f64
+//	codebooks: m matrices
+//	codes: n u64, m u32, data []u16
+//	ti: prefixSubspaces u32, centroids Matrix, clusters: count u32,
+//	    then per cluster: len u32, entries (id u32, dist f32)
+var magicIndex = [4]byte{'V', 'A', 'Q', 'I'}
+
+const indexVersion = 1
+
+// WriteTo serializes the index so it can be reloaded without retraining.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	err := ix.writeBody(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	return cw.n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func writeF64(w io.Writer, v float64) error { return writeU64(w, math.Float64bits(v)) }
+
+func readF64(r io.Reader) (float64, error) {
+	u, err := readU64(r)
+	return math.Float64frombits(u), err
+}
+
+func (ix *Index) writeBody(w io.Writer) error {
+	if _, err := w.Write(magicIndex[:]); err != nil {
+		return err
+	}
+	if err := writeU64(w, indexVersion); err != nil {
+		return err
+	}
+	// Config (only the fields needed to answer queries identically).
+	cfg := ix.cfg
+	for _, v := range []uint64{
+		uint64(cfg.NumSubspaces), uint64(cfg.Budget), uint64(cfg.MinBits),
+		uint64(cfg.MaxBits), uint64(cfg.TIClusters), uint64(cfg.TIPrefixSubspaces),
+		uint64(cfg.EACheckEvery), uint64(cfg.Seed), boolU64(cfg.NonUniform),
+		boolU64(cfg.DisablePartialBalance), boolU64(cfg.CenterPCA), uint64(cfg.Alloc),
+	} {
+		if err := writeU64(w, v); err != nil {
+			return err
+		}
+	}
+	if err := writeF64(w, cfg.TargetVariance); err != nil {
+		return err
+	}
+	if err := writeF64(w, cfg.DefaultVisitFrac); err != nil {
+		return err
+	}
+	// PCA model.
+	if err := linalg.WriteFloat64s(w, ix.model.Eigenvalues); err != nil {
+		return err
+	}
+	if _, err := ix.model.Components.WriteTo(w); err != nil {
+		return err
+	}
+	hasMean := uint64(0)
+	if ix.model.Mean != nil {
+		hasMean = 1
+	}
+	if err := writeU64(w, hasMean); err != nil {
+		return err
+	}
+	if hasMean == 1 {
+		if err := linalg.WriteFloat64s(w, ix.model.Mean); err != nil {
+			return err
+		}
+	}
+	// Layout.
+	m := ix.cb.Sub.M()
+	if err := writeU64(w, uint64(m)); err != nil {
+		return err
+	}
+	for _, l := range ix.cb.Sub.Lengths {
+		if err := writeU64(w, uint64(l)); err != nil {
+			return err
+		}
+	}
+	for _, b := range ix.bits {
+		if err := writeU64(w, uint64(b)); err != nil {
+			return err
+		}
+	}
+	if err := linalg.WriteFloat64s(w, ix.ratios); err != nil {
+		return err
+	}
+	if err := linalg.WriteFloat64s(w, ix.subVar); err != nil {
+		return err
+	}
+	// Codebooks.
+	for _, book := range ix.cb.Books {
+		if _, err := book.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	// Codes.
+	if err := writeU64(w, uint64(ix.codes.N)); err != nil {
+		return err
+	}
+	if err := writeU64(w, uint64(ix.codes.M)); err != nil {
+		return err
+	}
+	buf := make([]byte, 2*len(ix.codes.Data))
+	for i, c := range ix.codes.Data {
+		binary.LittleEndian.PutUint16(buf[2*i:], c)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	// TI structure.
+	if err := writeU64(w, uint64(ix.ti.prefixSubspaces)); err != nil {
+		return err
+	}
+	if _, err := ix.ti.centroids.WriteTo(w); err != nil {
+		return err
+	}
+	if err := writeU64(w, uint64(len(ix.ti.clusters))); err != nil {
+		return err
+	}
+	for _, members := range ix.ti.clusters {
+		if err := writeU64(w, uint64(len(members))); err != nil {
+			return err
+		}
+		eb := make([]byte, 8*len(members))
+		for i, e := range members {
+			binary.LittleEndian.PutUint32(eb[8*i:], uint32(e.id))
+			binary.LittleEndian.PutUint32(eb[8*i+4:], math.Float32bits(e.dist))
+		}
+		if _, err := w.Write(eb); err != nil {
+			return err
+		}
+	}
+	// Trailer.
+	return writeU64(w, uint64(ix.queryDim))
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Read deserializes an index written by WriteTo.
+func Read(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading index magic: %w", err)
+	}
+	if magic != magicIndex {
+		return nil, errors.New("core: bad index magic")
+	}
+	version, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d", version)
+	}
+	var cfgVals [12]uint64
+	for i := range cfgVals {
+		if cfgVals[i], err = readU64(br); err != nil {
+			return nil, err
+		}
+	}
+	cfg := Config{
+		NumSubspaces:          int(cfgVals[0]),
+		Budget:                int(cfgVals[1]),
+		MinBits:               int(cfgVals[2]),
+		MaxBits:               int(cfgVals[3]),
+		TIClusters:            int(cfgVals[4]),
+		TIPrefixSubspaces:     int(cfgVals[5]),
+		EACheckEvery:          int(cfgVals[6]),
+		Seed:                  int64(cfgVals[7]),
+		NonUniform:            cfgVals[8] == 1,
+		DisablePartialBalance: cfgVals[9] == 1,
+		CenterPCA:             cfgVals[10] == 1,
+		Alloc:                 AllocStrategy(cfgVals[11]),
+	}
+	if cfg.TargetVariance, err = readF64(br); err != nil {
+		return nil, err
+	}
+	if cfg.DefaultVisitFrac, err = readF64(br); err != nil {
+		return nil, err
+	}
+	// PCA model.
+	eigenvalues, err := linalg.ReadFloat64s(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: eigenvalues: %w", err)
+	}
+	components, err := linalg.ReadDense(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: components: %w", err)
+	}
+	model := &pca.Model{Dim: components.Rows, Eigenvalues: eigenvalues, Components: components}
+	hasMean, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	if hasMean == 1 {
+		if model.Mean, err = linalg.ReadFloat64s(br); err != nil {
+			return nil, err
+		}
+	}
+	// Layout.
+	mU, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	m := int(mU)
+	if m <= 0 || m > 1<<16 {
+		return nil, fmt.Errorf("core: implausible subspace count %d", m)
+	}
+	lengths := make([]int, m)
+	for i := range lengths {
+		v, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		lengths[i] = int(v)
+	}
+	bits := make([]int, m)
+	for i := range bits {
+		v, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		bits[i] = int(v)
+	}
+	ratios, err := linalg.ReadFloat64s(br)
+	if err != nil {
+		return nil, err
+	}
+	subVar, err := linalg.ReadFloat64s(br)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := quantizer.FromLengths(lengths)
+	if err != nil {
+		return nil, err
+	}
+	books := make([]*vec.Matrix, m)
+	for i := range books {
+		if books[i], err = vec.ReadMatrix(br); err != nil {
+			return nil, fmt.Errorf("core: codebook %d: %w", i, err)
+		}
+	}
+	cb := &quantizer.Codebooks{Sub: sub, Bits: bits, Books: books}
+	// Codes.
+	nU, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	mCodes, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	if int(mCodes) != m {
+		return nil, fmt.Errorf("core: code width %d != %d subspaces", mCodes, m)
+	}
+	n := int(nU)
+	if n < 0 || n > 1<<34 {
+		return nil, fmt.Errorf("core: implausible vector count %d", n)
+	}
+	codes := quantizer.NewCodes(n, m)
+	buf := make([]byte, 2*len(codes.Data))
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("core: codes: %w", err)
+	}
+	for i := range codes.Data {
+		codes.Data[i] = binary.LittleEndian.Uint16(buf[2*i:])
+	}
+	// TI structure.
+	prefixU, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	centroids, err := vec.ReadMatrix(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: TI centroids: %w", err)
+	}
+	clusterCount, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	if clusterCount > uint64(n)+1 {
+		return nil, fmt.Errorf("core: implausible TI cluster count %d", clusterCount)
+	}
+	ti := &tiIndex{
+		prefixSubspaces: int(prefixU),
+		prefixDim:       centroids.Cols,
+		centroids:       centroids,
+		clusters:        make([][]tiEntry, clusterCount),
+	}
+	for c := range ti.clusters {
+		lenU, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		if lenU > uint64(n) {
+			return nil, fmt.Errorf("core: implausible TI cluster size %d", lenU)
+		}
+		members := make([]tiEntry, lenU)
+		eb := make([]byte, 8*lenU)
+		if _, err := io.ReadFull(br, eb); err != nil {
+			return nil, err
+		}
+		for i := range members {
+			members[i].id = int(binary.LittleEndian.Uint32(eb[8*i:]))
+			members[i].dist = math.Float32frombits(binary.LittleEndian.Uint32(eb[8*i+4:]))
+		}
+		ti.clusters[c] = members
+	}
+	queryDim, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		cfg:      cfg,
+		model:    model,
+		ratios:   ratios,
+		subVar:   subVar,
+		bits:     bits,
+		cb:       cb,
+		codes:    codes,
+		ti:       ti,
+		n:        n,
+		queryDim: int(queryDim),
+	}, nil
+}
+
+// Save writes the index to a file.
+func (ix *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an index from a file.
+func Load(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The Figure 7 cascade, asserted deterministically through work counters
+// instead of wall time: EA performs strictly fewer lookups than the plain
+// scan, and TI+EA considers fewer codes and performs fewer lookups than
+// EA.
+func TestSearchStatsCascade(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	x := skewedData(rng, 3000, 24, 1.3)
+	ix, err := Build(x, x, Config{NumSubspaces: 8, Budget: 48, Seed: 85, TIClusters: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ix.NewSearcher()
+	var heapLookups, eaLookups, tieaLookups int
+	var tieaConsidered int
+	queries := 10
+	for trial := 0; trial < queries; trial++ {
+		q := append([]float32(nil), x.Row(rng.Intn(x.Rows))...)
+		for j := range q {
+			q[j] += float32(rng.NormFloat64() * 0.05)
+		}
+		if _, err := s.Search(q, 10, SearchOptions{Mode: ModeHeap}); err != nil {
+			t.Fatal(err)
+		}
+		st := s.LastStats()
+		if st.CodesConsidered != 3000 || st.Lookups != 3000*8 {
+			t.Fatalf("heap stats wrong: %+v", st)
+		}
+		if st.ClustersVisited != 0 || st.CodesSkippedTI != 0 || st.CodesAbandonedEA != 0 {
+			t.Fatalf("heap should not prune: %+v", st)
+		}
+		heapLookups += st.Lookups
+
+		if _, err := s.Search(q, 10, SearchOptions{Mode: ModeEA}); err != nil {
+			t.Fatal(err)
+		}
+		st = s.LastStats()
+		if st.CodesConsidered != 3000 {
+			t.Fatalf("EA must consider all codes: %+v", st)
+		}
+		if st.CodesAbandonedEA == 0 {
+			t.Fatalf("EA abandoned nothing on skewed data: %+v", st)
+		}
+		eaLookups += st.Lookups
+
+		if _, err := s.Search(q, 10, SearchOptions{Mode: ModeTIEA, VisitFrac: 0.25}); err != nil {
+			t.Fatal(err)
+		}
+		st = s.LastStats()
+		if st.ClustersVisited != 10 {
+			t.Fatalf("expected 10 visited clusters: %+v", st)
+		}
+		tieaLookups += st.Lookups
+		tieaConsidered += st.CodesConsidered
+	}
+	if eaLookups >= heapLookups {
+		t.Fatalf("EA (%d lookups) must beat Heap (%d)", eaLookups, heapLookups)
+	}
+	if tieaLookups >= eaLookups {
+		t.Fatalf("TI+EA (%d lookups) must beat EA (%d)", tieaLookups, eaLookups)
+	}
+	if tieaConsidered >= queries*3000 {
+		t.Fatalf("TI must skip whole clusters: considered %d", tieaConsidered)
+	}
+}
+
+// Accounting identity inside visited clusters: every considered code is
+// either TI-skipped, EA-abandoned, or fully accumulated.
+func TestSearchStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	x := skewedData(rng, 1200, 16, 1.0)
+	ix, err := Build(x, x, Config{NumSubspaces: 4, Budget: 24, Seed: 86, TIClusters: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ix.NewSearcher()
+	for trial := 0; trial < 8; trial++ {
+		q := x.Row(rng.Intn(x.Rows))
+		if _, err := s.Search(q, 5, SearchOptions{Mode: ModeTIEA, VisitFrac: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		st := s.LastStats()
+		touched := st.CodesConsidered - st.CodesSkippedTI
+		// Every touched code performed between 1 and NumSubspaces lookups.
+		if st.Lookups < touched || st.Lookups > touched*4 {
+			t.Fatalf("lookup accounting off: touched %d lookups %d (%+v)", touched, st.Lookups, st)
+		}
+		if st.CodesSkippedTI+st.CodesAbandonedEA > st.CodesConsidered {
+			t.Fatalf("pruned more than considered: %+v", st)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package core implements Variance-Aware Quantization (VAQ), the primary
+// contribution of the paper: PCA-derived subspaces with importance-ordered
+// dimensions (§III-B), partial importance balancing plus constrained
+// adaptive bit allocation (§III-C, Algorithm 2), variable-sized dictionary
+// encoding with triangle-inequality cluster structure (§III-D,
+// Algorithm 3), and query execution with data skipping and early
+// abandoning (§III-E, Algorithm 4). The end-to-end pipeline (Algorithm 5)
+// lives in vaq.go.
+package core
+
+import (
+	"fmt"
+
+	"vaq/internal/kmeans"
+)
+
+// buildSubspaceLengths decides how many (PCA-ordered) dimensions each of
+// the m subspaces receives.
+//
+// Uniform mode mirrors PQ/OPQ (q = d/m with the remainder spread over the
+// leading subspaces). Non-uniform mode clusters the sorted variance ratios
+// with exact 1-D k-means so that dimensions explaining similar portions of
+// the variance share a subspace (paper §III-B, "Clustering of Dimensions"),
+// then repairs the subspace importance ordering.
+func buildSubspaceLengths(ratios []float64, m int, nonUniform bool) ([]int, error) {
+	d := len(ratios)
+	if m < 1 || m > d {
+		return nil, fmt.Errorf("core: cannot build %d subspaces over %d dimensions", m, d)
+	}
+	if !nonUniform {
+		base, rem := d/m, d%m
+		lengths := make([]int, m)
+		for i := range lengths {
+			lengths[i] = base
+			if i < rem {
+				lengths[i]++
+			}
+		}
+		return lengths, nil
+	}
+	lengths, err := kmeans.Segment1D(ratios, m)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering dimension variances: %w", err)
+	}
+	repairImportanceOrdering(ratios, lengths)
+	return lengths, nil
+}
+
+// repairImportanceOrdering enforces that subspace variance sums are
+// non-increasing by moving dimensions from the right-adjacent subspace into
+// the violating one (paper §III-B, "Preserving Subspace Importance
+// Ordering"). ratios must be sorted descending; lengths is adjusted in
+// place. Because dimensions are sorted, a repair always exists.
+func repairImportanceOrdering(ratios []float64, lengths []int) {
+	m := len(lengths)
+	sums := make([]float64, m)
+	start := 0
+	for i, l := range lengths {
+		for j := start; j < start+l; j++ {
+			sums[i] += ratios[j]
+		}
+		start += l
+	}
+	for pass := 0; pass < len(ratios); pass++ {
+		changed := false
+		start = 0
+		for i := 0; i < m-1; i++ {
+			for sums[i] < sums[i+1] && lengths[i+1] > 1 {
+				// Move the first (largest) dimension of subspace i+1 to
+				// the end of subspace i.
+				moved := ratios[start+lengths[i]]
+				lengths[i]++
+				lengths[i+1]--
+				sums[i] += moved
+				sums[i+1] -= moved
+				changed = true
+			}
+			start += lengths[i]
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// subspaceVariances sums the per-dimension variance ratios inside each
+// subspace (paper Equation 5 with the normalized eigenvalue energies of
+// Equation 6).
+func subspaceVariances(ratios []float64, lengths []int) []float64 {
+	out := make([]float64, len(lengths))
+	start := 0
+	for i, l := range lengths {
+		for j := start; j < start+l; j++ {
+			out[i] += ratios[j]
+		}
+		start += l
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"vaq/internal/linalg"
+	"vaq/internal/pca"
+	"vaq/internal/quantizer"
+	"vaq/internal/vec"
+)
+
+// Config holds all VAQ build parameters (Algorithm 5 inputs).
+type Config struct {
+	// NumSubspaces (m) is the number of subspaces. Required.
+	NumSubspaces int
+	// Budget is the total number of bits per encoded vector. Required.
+	Budget int
+	// MinBits / MaxBits bound the per-subspace dictionary size exponent
+	// (paper evaluation: 1 and 13). Defaults: 1 and min(13, Budget).
+	MinBits int
+	MaxBits int
+	// NonUniform clusters dimensions of similar variance into
+	// unequal-length subspaces (§III-B). Off = uniform lengths.
+	NonUniform bool
+	// DisablePartialBalance turns off the importance-spreading swaps of
+	// §III-C (enabled by default; disabling is an ablation).
+	DisablePartialBalance bool
+	// Alloc selects the bit-allocation strategy (default AllocMILP).
+	Alloc AllocStrategy
+	// AllocConstraints are extra linear constraints over the per-subspace
+	// bit variables, composed with C1-C4 by the MILP allocator (ignored by
+	// the other strategies). One coefficient per subspace.
+	AllocConstraints []BitConstraint
+	// TargetVariance is C1's coverage threshold (default 0.99).
+	TargetVariance float64
+	// TIClusters is the number of triangle-inequality clusters (paper
+	// default 1000; 0 = auto: min(1000, max(1, n/64))).
+	TIClusters int
+	// TIPrefixSubspaces is how many leading subspaces TI centroids span
+	// (TIClusterNumSubs; 0 = all).
+	TIPrefixSubspaces int
+	// DefaultVisitFrac is the fraction of TI clusters visited when a
+	// Search call does not override it (paper evaluates 0.25 and 0.10;
+	// default 0.25). 1.0 scans every cluster and is then exactly
+	// equivalent to the EA scan.
+	DefaultVisitFrac float64
+	// EACheckEvery controls how often the early-abandon test runs while
+	// accumulating subspace distances (paper: every 4 subspaces).
+	EACheckEvery int
+	// CenterPCA subtracts column means before the eigendecomposition.
+	// The paper's Algorithm 1 works on the raw second-moment matrix of
+	// z-normalized data, so the default is false.
+	CenterPCA bool
+	// Seed drives all randomized steps.
+	Seed int64
+	// KMeansIters bounds dictionary training iterations (default 25).
+	KMeansIters int
+	// HierarchicalThreshold switches dictionary training to hierarchical
+	// k-means above this size (paper: 2^10; 0 = default 1024).
+	HierarchicalThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinBits == 0 {
+		c.MinBits = 1
+	}
+	if c.MaxBits == 0 {
+		c.MaxBits = 13
+		if c.Budget < 13 {
+			c.MaxBits = c.Budget
+		}
+	}
+	if c.TargetVariance == 0 {
+		c.TargetVariance = 0.99
+	}
+	if c.DefaultVisitFrac == 0 {
+		c.DefaultVisitFrac = 0.25
+	}
+	if c.EACheckEvery <= 0 {
+		c.EACheckEvery = 4
+	}
+	if c.HierarchicalThreshold == 0 {
+		c.HierarchicalThreshold = 1024
+	}
+	return c
+}
+
+// Index is a built VAQ index over an encoded dataset.
+type Index struct {
+	cfg      Config
+	model    *pca.Model
+	ratios   []float64 // post-balance per-dimension variance shares
+	subVar   []float64 // per-subspace variance shares
+	bits     []int
+	cb       *quantizer.Codebooks
+	codes    *quantizer.Codes
+	ti       *tiIndex
+	n        int
+	queryDim int
+}
+
+// Build trains a VAQ index: PCA (Algorithm 1), subspace construction and
+// partial balancing, bit allocation (Algorithm 2), variable-size dictionary
+// encoding and TI clustering (Algorithm 3). train supplies the learning
+// sample; data is the set that gets encoded and searched (they may be the
+// same matrix).
+func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
+	cfg = cfg.withDefaults()
+	if train == nil || data == nil || train.Rows == 0 || data.Rows == 0 {
+		return nil, errors.New("core: empty train or data matrix")
+	}
+	if train.Cols != data.Cols {
+		return nil, fmt.Errorf("core: train dim %d != data dim %d", train.Cols, data.Cols)
+	}
+	d := train.Cols
+	m := cfg.NumSubspaces
+	if m < 1 || m > d {
+		return nil, fmt.Errorf("core: NumSubspaces=%d invalid for %d dimensions", m, d)
+	}
+
+	// Step 1 (Algorithm 1): eigendecomposition, descending eigenvalues.
+	model, err := pca.Fit(train, pca.Options{Center: cfg.CenterPCA, Method: linalg.EigAuto})
+	if err != nil {
+		return nil, err
+	}
+	ratios := model.ExplainedVarianceRatio()
+
+	// Step 2 (§III-B): subspace lengths (uniform or variance-clustered).
+	lengths, err := buildSubspaceLengths(ratios, m, cfg.NonUniform)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3 (§III-C): partial balancing permutation of the PCs.
+	if !cfg.DisablePartialBalance {
+		perm := partialBalance(ratios, lengths)
+		if err := model.PermuteComponents(perm); err != nil {
+			return nil, err
+		}
+		ratios = applyPermutationFloat64(ratios, perm)
+	}
+	subVar := subspaceVariances(ratios, lengths)
+
+	// Step 4 (Algorithm 2): adaptive bit allocation.
+	bits, err := allocateBits(cfg.Alloc, allocParams{
+		Weights:        subVar,
+		Budget:         cfg.Budget,
+		MinBits:        cfg.MinBits,
+		MaxBits:        cfg.MaxBits,
+		TargetVariance: cfg.TargetVariance,
+		Extra:          cfg.AllocConstraints,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 5 (Algorithm 3): project, train variable-size dictionaries,
+	// encode.
+	trainZ, err := model.Project(train)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := quantizer.FromLengths(lengths)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := quantizer.TrainCodebooks(trainZ, sub, bits, quantizer.TrainConfig{
+		Seed:                  cfg.Seed,
+		MaxIter:               cfg.KMeansIters,
+		Parallel:              true,
+		HierarchicalThreshold: cfg.HierarchicalThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dataZ := trainZ
+	if data != train {
+		dataZ, err = model.Project(data)
+		if err != nil {
+			return nil, err
+		}
+	}
+	codes, err := cb.Encode(dataZ, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 6 (Algorithm 3 lines 24-48): TI cluster structure.
+	clusterCount := cfg.TIClusters
+	if clusterCount == 0 {
+		clusterCount = data.Rows / 64
+		if clusterCount > 1000 {
+			clusterCount = 1000
+		}
+		if clusterCount < 1 {
+			clusterCount = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 104729))
+	ti := buildTIIndex(cb, codes, clusterCount, cfg.TIPrefixSubspaces, rng)
+
+	return &Index{
+		cfg:      cfg,
+		model:    model,
+		ratios:   ratios,
+		subVar:   subVar,
+		bits:     bits,
+		cb:       cb,
+		codes:    codes,
+		ti:       ti,
+		n:        data.Rows,
+		queryDim: d,
+	}, nil
+}
+
+// Len reports the number of encoded vectors.
+func (ix *Index) Len() int { return ix.n }
+
+// Dim reports the expected query dimensionality.
+func (ix *Index) Dim() int { return ix.queryDim }
+
+// Bits returns the per-subspace bit allocation (a copy).
+func (ix *Index) Bits() []int { return append([]int(nil), ix.bits...) }
+
+// SubspaceLengths returns the per-subspace dimension counts (a copy).
+func (ix *Index) SubspaceLengths() []int {
+	return append([]int(nil), ix.cb.Sub.Lengths...)
+}
+
+// SubspaceVariances returns each subspace's share of the explained
+// variance after partial balancing (a copy).
+func (ix *Index) SubspaceVariances() []float64 {
+	return append([]float64(nil), ix.subVar...)
+}
+
+// Codebooks exposes the trained dictionaries (read-only use).
+func (ix *Index) Codebooks() *quantizer.Codebooks { return ix.cb }
+
+// Codes exposes the encoded dataset (read-only use).
+func (ix *Index) Codes() *quantizer.Codes { return ix.codes }
+
+// CodeBytes reports the packed size of the encoded dataset in bytes.
+func (ix *Index) CodeBytes() int { return ix.codes.Bytes(ix.bits) }
+
+// TIClusterCount reports how many triangle-inequality clusters were built.
+func (ix *Index) TIClusterCount() int { return len(ix.ti.clusters) }
+
+// ProjectQuery rotates a raw query into the index's PCA space. Exposed for
+// benchmarks that amortize projection across search modes.
+func (ix *Index) ProjectQuery(q []float32) ([]float32, error) {
+	if len(q) != ix.queryDim {
+		return nil, fmt.Errorf("core: query dim %d, index dim %d", len(q), ix.queryDim)
+	}
+	return ix.model.ProjectVec(q)
+}

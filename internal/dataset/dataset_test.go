@@ -1,0 +1,246 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vaq/internal/pca"
+	"vaq/internal/vec"
+)
+
+func TestLargeSpecs(t *testing.T) {
+	for _, spec := range LargeSpecs {
+		ds, err := Large(spec.Name, 300, 10, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if ds.Dim() != spec.Dim {
+			t.Fatalf("%s: dim %d want %d", spec.Name, ds.Dim(), spec.Dim)
+		}
+		if ds.Base.Rows != 300 || ds.Queries.Rows != 10 {
+			t.Fatalf("%s: shapes %d %d", spec.Name, ds.Base.Rows, ds.Queries.Rows)
+		}
+		if ds.Train != ds.Base {
+			t.Fatalf("%s: train should alias base", spec.Name)
+		}
+	}
+	if _, err := Large("NOPE", 10, 1, 1); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+}
+
+func TestLargeDeterministic(t *testing.T) {
+	a, _ := Large("SIFT", 100, 5, 7)
+	b, _ := Large("SIFT", 100, 5, 7)
+	if !a.Base.Equal(b.Base) || !a.Queries.Equal(b.Queries) {
+		t.Fatal("same seed must reproduce data")
+	}
+	c, _ := Large("SIFT", 100, 5, 8)
+	if a.Base.Equal(c.Base) {
+		t.Fatal("different seed should differ")
+	}
+}
+
+func TestSyntheticSIFTRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := SyntheticSIFT(rng, 200, 128)
+	for _, v := range x.Data {
+		if v < 0 || v > 255 || v != float32(math.Floor(float64(v))) {
+			t.Fatalf("SIFT value %v out of quantized [0,255]", v)
+		}
+	}
+}
+
+func TestSyntheticDEEPUnitNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := SyntheticDEEP(rng, 100, 96)
+	for i := 0; i < x.Rows; i++ {
+		n := vec.Norm(x.Row(i))
+		if math.Abs(float64(n)-1) > 1e-5 {
+			t.Fatalf("row %d norm %v", i, n)
+		}
+	}
+}
+
+func TestRandomWalkZNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := RandomWalk(rng, 50, 128, 0.5)
+	for i := 0; i < x.Rows; i++ {
+		r := x.Row(i)
+		var sum, ss float64
+		for _, v := range r {
+			sum += float64(v)
+			ss += float64(v) * float64(v)
+		}
+		if math.Abs(sum/128) > 1e-4 || math.Abs(ss/128-1) > 1e-3 {
+			t.Fatalf("row %d not z-normalized: mean %v var %v", i, sum/128, ss/128)
+		}
+	}
+}
+
+// The property the paper builds on (Figure 3): smooth data (SLC-like) must
+// concentrate more variance in the first PCs than noisy data (CBF).
+func TestSpectrumSkewOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cbf := CBF(rng, 400, 128)
+	slc := SLCLike(rng, 400, 128)
+	top3 := func(x *vec.Matrix) float64 {
+		m, err := pca.Fit(x, pca.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := m.ExplainedVarianceRatio()
+		return r[0] + r[1] + r[2]
+	}
+	cbfTop, slcTop := top3(cbf), top3(slc)
+	if slcTop <= cbfTop {
+		t.Fatalf("SLC top-3 PCs explain %v, CBF %v; expected SLC >> CBF", slcTop, cbfTop)
+	}
+	// Paper's Figure 3: SLC ~85% in first 3, CBF ~60%. Loose bounds:
+	if slcTop < 0.6 {
+		t.Fatalf("SLC spectrum not skewed enough: %v", slcTop)
+	}
+}
+
+func TestRandomWalkSmoothnessControlsSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rough := RandomWalk(rng, 300, 64, 0.1)
+	smooth := RandomWalk(rng, 300, 64, 0.9)
+	top := func(x *vec.Matrix) float64 {
+		m, err := pca.Fit(x, pca.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := m.ExplainedVarianceRatio()
+		return r[0] + r[1] + r[2] + r[3]
+	}
+	if top(smooth) <= top(rough) {
+		t.Fatalf("smoothness should increase spectrum skew: %v vs %v", top(smooth), top(rough))
+	}
+}
+
+func TestNoisyQueriesShapeAndScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := RandomWalk(rng, 200, 64, 0.5)
+	q := NoisyQueries(rng, base, 10, 0.01, 0.2)
+	if q.Rows != 10 || q.Cols != 64 {
+		t.Fatalf("shape %dx%d", q.Rows, q.Cols)
+	}
+	// Queries must stay in the data's general range (not garbage).
+	for _, v := range q.Data {
+		if math.Abs(float64(v)) > 50 {
+			t.Fatalf("query value %v out of range", v)
+		}
+	}
+}
+
+func TestUCRGallery(t *testing.T) {
+	gallery := UCRGallery(GalleryOptions{Count: 16, Seed: 9, MaxTrain: 400, MaxDim: 128, Queries: 5})
+	if len(gallery) != 16 {
+		t.Fatalf("gallery size %d", len(gallery))
+	}
+	seenFamilies := map[string]bool{}
+	for _, ds := range gallery {
+		if ds.Base.Rows == 0 || ds.Base.Cols == 0 {
+			t.Fatalf("%s: empty", ds.Name)
+		}
+		if ds.Base.Rows > 400 || ds.Base.Cols > 128 {
+			t.Fatalf("%s: caps exceeded %dx%d", ds.Name, ds.Base.Rows, ds.Base.Cols)
+		}
+		if ds.Queries.Rows != 5 {
+			t.Fatalf("%s: queries %d", ds.Name, ds.Queries.Rows)
+		}
+		// z-normalized rows.
+		r := ds.Base.Row(0)
+		var sum float64
+		for _, v := range r {
+			sum += float64(v)
+		}
+		if math.Abs(sum/float64(len(r))) > 1e-3 {
+			t.Fatalf("%s: row not z-normalized (mean %v)", ds.Name, sum/float64(len(r)))
+		}
+		for _, f := range FamilyNames {
+			if len(ds.Name) > 8 && containsSub(ds.Name, f) {
+				seenFamilies[f] = true
+			}
+		}
+	}
+	if len(seenFamilies) < 8 {
+		t.Fatalf("only %d families seen", len(seenFamilies))
+	}
+	// Deterministic.
+	again := UCRGallery(GalleryOptions{Count: 16, Seed: 9, MaxTrain: 400, MaxDim: 128, Queries: 5})
+	for i := range gallery {
+		if !gallery[i].Base.Equal(again[i].Base) {
+			t.Fatalf("gallery not deterministic at %d", i)
+		}
+	}
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGenerateFamilyFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := GenerateFamily("unknown-family", rng, 20, 32)
+	if x.Rows != 20 || x.Cols != 32 {
+		t.Fatalf("fallback shape %dx%d", x.Rows, x.Cols)
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds := &Dataset{
+		Name:    "roundtrip-test",
+		Base:    RandomWalk(rng, 20, 16, 0.5),
+		Train:   RandomWalk(rng, 10, 16, 0.5),
+		Queries: RandomWalk(rng, 5, 16, 0.5),
+	}
+	var buf bytes.Buffer
+	if _, err := ds.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != ds.Name || !got.Base.Equal(ds.Base) ||
+		!got.Train.Equal(ds.Train) || !got.Queries.Equal(ds.Queries) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := Read(bytes.NewReader([]byte("BAD!....."))); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ds := &Dataset{
+		Name:    "file-test",
+		Base:    CBF(rng, 10, 32),
+		Train:   CBF(rng, 10, 32),
+		Queries: CBF(rng, 3, 32),
+	}
+	path := t.TempDir() + "/ds.bin"
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "file-test" || !got.Base.Equal(ds.Base) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := Load(path + ".missing"); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

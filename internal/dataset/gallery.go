@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vaq/internal/vec"
+)
+
+// FamilyName identifies one of the gallery's generator families. The eight
+// families span the diversity axes (noise level, spectrum skew,
+// dimensionality, shape structure) that determine how quantization methods
+// rank on the UCR archive.
+var FamilyNames = []string{
+	"cbf", "slc", "sine-mix", "random-walk", "arma", "gmm", "box", "burst",
+}
+
+// GalleryOptions controls UCRGallery.
+type GalleryOptions struct {
+	// Count is the number of datasets (paper: 128).
+	Count int
+	// Seed drives all generators.
+	Seed int64
+	// MaxTrain / MaxDim cap dataset size so the full gallery stays fast;
+	// defaults 2000 and 256.
+	MaxTrain int
+	MaxDim   int
+	// Queries per dataset (default 30).
+	Queries int
+}
+
+// UCRGallery generates Count diverse, z-normalized datasets standing in
+// for the UCR archive (paper §IV: up to 24,000 sequences, length up to
+// 2,844, z-normalized, many domains). Sizes cycle deterministically
+// through the option ranges.
+func UCRGallery(opt GalleryOptions) []*Dataset {
+	if opt.Count <= 0 {
+		opt.Count = 128
+	}
+	if opt.MaxTrain <= 0 {
+		opt.MaxTrain = 2000
+	}
+	if opt.MaxDim <= 0 {
+		opt.MaxDim = 256
+	}
+	if opt.Queries <= 0 {
+		opt.Queries = 30
+	}
+	dims := []int{64, 96, 128, 192, 256, 320, 384, 512}
+	sizes := []int{500, 800, 1200, 1600, 2000, 2400, 3000}
+	out := make([]*Dataset, 0, opt.Count)
+	for i := 0; i < opt.Count; i++ {
+		rng := rand.New(rand.NewSource(opt.Seed + int64(i)*7907))
+		family := FamilyNames[i%len(FamilyNames)]
+		d := dims[(i/len(FamilyNames))%len(dims)]
+		if d > opt.MaxDim {
+			d = opt.MaxDim
+		}
+		n := sizes[(i/3)%len(sizes)]
+		if n > opt.MaxTrain {
+			n = opt.MaxTrain
+		}
+		base := GenerateFamily(family, rng, n, d)
+		queries := NoisyQueries(rng, base, opt.Queries, 0.05, 0.4)
+		out = append(out, &Dataset{
+			Name:    fmt.Sprintf("ucr-%03d-%s-n%d-d%d", i, family, n, d),
+			Base:    base,
+			Train:   base,
+			Queries: queries,
+		})
+	}
+	return out
+}
+
+// GenerateFamily produces one z-normalized dataset from the named family.
+func GenerateFamily(family string, rng *rand.Rand, n, d int) *vec.Matrix {
+	var x *vec.Matrix
+	switch family {
+	case "cbf":
+		x = CBF(rng, n, d)
+	case "slc":
+		x = SLCLike(rng, n, d)
+	case "sine-mix":
+		x = sineMix(rng, n, d)
+	case "random-walk":
+		x = RandomWalk(rng, n, d, 0.2+rng.Float64()*0.6)
+	case "arma":
+		x = arma(rng, n, d)
+	case "gmm":
+		x = gmm(rng, n, d)
+	case "box":
+		x = boxShapes(rng, n, d)
+	case "burst":
+		x = noiseBurst(rng, n, d)
+	default:
+		x = RandomWalk(rng, n, d, 0.5)
+	}
+	vec.ZNormalizeRows(x)
+	return x
+}
+
+// sineMix: sums of 2-4 sinusoids with class-dependent frequencies.
+func sineMix(rng *rand.Rand, n, d int) *vec.Matrix {
+	x := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		r := x.Row(i)
+		class := rng.Intn(4)
+		k := 2 + class
+		for h := 0; h < k; h++ {
+			freq := float64(h+1) + float64(class)*0.5
+			amp := 1 / float64(h+1)
+			phase := rng.Float64() * 2 * math.Pi
+			for j := 0; j < d; j++ {
+				tt := float64(j) / float64(d)
+				r[j] += float32(amp * math.Sin(2*math.Pi*freq*tt+phase))
+			}
+		}
+		for j := 0; j < d; j++ {
+			r[j] += float32(rng.NormFloat64() * 0.1)
+		}
+	}
+	return x
+}
+
+// arma: AR(2) processes with class-dependent coefficients.
+func arma(rng *rand.Rand, n, d int) *vec.Matrix {
+	x := vec.NewMatrix(n, d)
+	coeffs := [][2]float64{{0.6, 0.2}, {0.9, -0.3}, {0.3, 0.5}, {1.2, -0.5}}
+	for i := 0; i < n; i++ {
+		r := x.Row(i)
+		c := coeffs[rng.Intn(len(coeffs))]
+		var p1, p2 float64
+		for j := 0; j < d; j++ {
+			v := c[0]*p1 + c[1]*p2 + rng.NormFloat64()
+			r[j] = float32(v)
+			p2, p1 = p1, v
+		}
+	}
+	return x
+}
+
+// gmm: plain Gaussian-mixture vectors (non-series "multivariate" data).
+func gmm(rng *rand.Rand, n, d int) *vec.Matrix {
+	const clusters = 16
+	centers := vec.NewMatrix(clusters, d)
+	for i := range centers.Data {
+		centers.Data[i] = float32(rng.NormFloat64() * 3)
+	}
+	x := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		c := centers.Row(rng.Intn(clusters))
+		r := x.Row(i)
+		for j := 0; j < d; j++ {
+			r[j] = c[j] + float32(rng.NormFloat64()*0.5)
+		}
+	}
+	return x
+}
+
+// boxShapes: square pulses of varying position/width/height.
+func boxShapes(rng *rand.Rand, n, d int) *vec.Matrix {
+	x := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		r := x.Row(i)
+		nBoxes := 1 + rng.Intn(3)
+		for b := 0; b < nBoxes; b++ {
+			start := rng.Intn(d)
+			width := d/16 + rng.Intn(d/4+1)
+			h := float32(rng.NormFloat64() * 3)
+			for j := start; j < start+width && j < d; j++ {
+				r[j] += h
+			}
+		}
+		for j := 0; j < d; j++ {
+			r[j] += float32(rng.NormFloat64() * 0.2)
+		}
+	}
+	return x
+}
+
+// noiseBurst: mostly flat with localized high-variance bursts — the
+// "flat, noisy, non-informative" regions of paper Figure 3 taken to the
+// extreme.
+func noiseBurst(rng *rand.Rand, n, d int) *vec.Matrix {
+	x := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		r := x.Row(i)
+		start := rng.Intn(d * 3 / 4)
+		width := d / 8
+		for j := 0; j < d; j++ {
+			r[j] = float32(rng.NormFloat64() * 0.05)
+		}
+		for j := start; j < start+width && j < d; j++ {
+			r[j] = float32(rng.NormFloat64() * 2)
+		}
+	}
+	return x
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"vaq/internal/vec"
+)
+
+var magicDataset = [4]byte{'V', 'A', 'Q', 'D'}
+
+// WriteTo serializes the dataset (name + three matrices).
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := w.Write(magicDataset[:])
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	name := []byte(d.Name)
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(name)))
+	n, err = w.Write(lenBuf[:])
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	n, err = w.Write(name)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, m := range []*vec.Matrix{d.Base, d.Train, d.Queries} {
+		nn, err := m.WriteTo(w)
+		total += nn
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Read deserializes a dataset written by WriteTo.
+func Read(r io.Reader) (*Dataset, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if magic != magicDataset {
+		return nil, errors.New("dataset: bad magic")
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading name length: %w", err)
+	}
+	nameLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("dataset: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, fmt.Errorf("dataset: reading name: %w", err)
+	}
+	d := &Dataset{Name: string(name)}
+	var err error
+	if d.Base, err = vec.ReadMatrix(r); err != nil {
+		return nil, fmt.Errorf("dataset: base: %w", err)
+	}
+	if d.Train, err = vec.ReadMatrix(r); err != nil {
+		return nil, fmt.Errorf("dataset: train: %w", err)
+	}
+	if d.Queries, err = vec.ReadMatrix(r); err != nil {
+		return nil, fmt.Errorf("dataset: queries: %w", err)
+	}
+	return d, nil
+}
+
+// Save writes the dataset to a file.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := d.WriteTo(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset from a file.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}

@@ -1,0 +1,342 @@
+// Package dstree implements a DSTree-style index (Wang et al.; paper §II-C
+// and Figure 11): a binary tree over series summarized by per-segment
+// means and standard deviations (the EAPCA representation). Nodes split on
+// the segment statistic that best separates their members, and search
+// prunes subtrees with the EAPCA lower bound
+//
+//	||q - x||² >= Σ_seg len·((mean gap)² + (std gap)²),
+//
+// which holds because projecting a segment onto the constant vector bounds
+// the mean term and the reverse triangle inequality on the residual bounds
+// the std term.
+package dstree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"vaq/internal/vec"
+)
+
+// Config controls Build.
+type Config struct {
+	// Segments is the number of equal-width segments (default 8).
+	Segments int
+	// LeafCapacity is the split threshold (default 100).
+	LeafCapacity int
+	// MaxDepth bounds the tree height (default 24).
+	MaxDepth int
+}
+
+// segStats is the per-segment (mean, std) summary of one series.
+type segStats struct {
+	mean, std float32
+}
+
+type node struct {
+	members []int32 // leaf only
+	// Per-segment [min,max] envelopes of member means and stds.
+	minMean, maxMean []float32
+	minStd, maxStd   []float32
+	// Split rule (internal nodes).
+	splitSeg  int
+	onStd     bool
+	threshold float32
+	children  [2]*node
+}
+
+// Index is a built DSTree.
+type Index struct {
+	data     *vec.Matrix
+	segments int
+	segLen   []int
+	stats    []segStats // n x segments
+	root     *node
+	leafCap  int
+	maxDepth int
+	n        int
+}
+
+// Build constructs the tree.
+func Build(data *vec.Matrix, cfg Config) (*Index, error) {
+	if data.Rows == 0 {
+		return nil, fmt.Errorf("dstree: empty data")
+	}
+	if cfg.Segments <= 0 {
+		cfg.Segments = 8
+	}
+	if cfg.Segments > data.Cols {
+		return nil, fmt.Errorf("dstree: Segments=%d exceeds length %d", cfg.Segments, data.Cols)
+	}
+	if cfg.LeafCapacity <= 0 {
+		cfg.LeafCapacity = 100
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 24
+	}
+	ix := &Index{
+		data:     data,
+		segments: cfg.Segments,
+		leafCap:  cfg.LeafCapacity,
+		maxDepth: cfg.MaxDepth,
+		n:        data.Rows,
+	}
+	ix.segLen = make([]int, cfg.Segments)
+	for s := 0; s < cfg.Segments; s++ {
+		lo := s * data.Cols / cfg.Segments
+		hi := (s + 1) * data.Cols / cfg.Segments
+		ix.segLen[s] = hi - lo
+	}
+	ix.stats = make([]segStats, data.Rows*cfg.Segments)
+	for i := 0; i < data.Rows; i++ {
+		ix.computeStats(data.Row(i), ix.stats[i*cfg.Segments:(i+1)*cfg.Segments])
+	}
+	all := make([]int32, data.Rows)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	ix.root = ix.buildNode(all, 0)
+	return ix, nil
+}
+
+func (ix *Index) computeStats(x []float32, out []segStats) {
+	d := len(x)
+	w := ix.segments
+	for s := 0; s < w; s++ {
+		lo := s * d / w
+		hi := (s + 1) * d / w
+		var sum float64
+		for j := lo; j < hi; j++ {
+			sum += float64(x[j])
+		}
+		l := float64(hi - lo)
+		mean := sum / l
+		var ss float64
+		for j := lo; j < hi; j++ {
+			t := float64(x[j]) - mean
+			ss += t * t
+		}
+		out[s] = segStats{mean: float32(mean), std: float32(math.Sqrt(ss / l))}
+	}
+}
+
+func (ix *Index) statOf(id int32, s int) segStats {
+	return ix.stats[int(id)*ix.segments+s]
+}
+
+// buildNode recursively splits members until the leaf capacity or depth
+// limit is reached.
+func (ix *Index) buildNode(members []int32, depth int) *node {
+	nd := &node{
+		minMean: make([]float32, ix.segments),
+		maxMean: make([]float32, ix.segments),
+		minStd:  make([]float32, ix.segments),
+		maxStd:  make([]float32, ix.segments),
+	}
+	for s := 0; s < ix.segments; s++ {
+		nd.minMean[s], nd.maxMean[s] = float32(math.Inf(1)), float32(math.Inf(-1))
+		nd.minStd[s], nd.maxStd[s] = float32(math.Inf(1)), float32(math.Inf(-1))
+	}
+	for _, id := range members {
+		for s := 0; s < ix.segments; s++ {
+			st := ix.statOf(id, s)
+			if st.mean < nd.minMean[s] {
+				nd.minMean[s] = st.mean
+			}
+			if st.mean > nd.maxMean[s] {
+				nd.maxMean[s] = st.mean
+			}
+			if st.std < nd.minStd[s] {
+				nd.minStd[s] = st.std
+			}
+			if st.std > nd.maxStd[s] {
+				nd.maxStd[s] = st.std
+			}
+		}
+	}
+	if len(members) <= ix.leafCap || depth >= ix.maxDepth {
+		nd.members = members
+		return nd
+	}
+	// Choose the split with the widest length-weighted envelope: wide
+	// envelopes hurt the lower bound the most, so splitting them helps.
+	bestSeg, bestStd, bestScore := -1, false, float32(-1)
+	for s := 0; s < ix.segments; s++ {
+		l := float32(ix.segLen[s])
+		if sc := (nd.maxMean[s] - nd.minMean[s]) * l; sc > bestScore {
+			bestScore, bestSeg, bestStd = sc, s, false
+		}
+		if sc := (nd.maxStd[s] - nd.minStd[s]) * l; sc > bestScore {
+			bestScore, bestSeg, bestStd = sc, s, true
+		}
+	}
+	if bestSeg < 0 || bestScore <= 0 {
+		nd.members = members
+		return nd
+	}
+	// Split at the midpoint of the envelope.
+	var threshold float32
+	if bestStd {
+		threshold = (nd.minStd[bestSeg] + nd.maxStd[bestSeg]) / 2
+	} else {
+		threshold = (nd.minMean[bestSeg] + nd.maxMean[bestSeg]) / 2
+	}
+	var left, right []int32
+	for _, id := range members {
+		st := ix.statOf(id, bestSeg)
+		v := st.mean
+		if bestStd {
+			v = st.std
+		}
+		if v < threshold {
+			left = append(left, id)
+		} else {
+			right = append(right, id)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		nd.members = members // degenerate split; keep as leaf
+		return nd
+	}
+	nd.splitSeg = bestSeg
+	nd.onStd = bestStd
+	nd.threshold = threshold
+	nd.children[0] = ix.buildNode(left, depth+1)
+	nd.children[1] = ix.buildNode(right, depth+1)
+	return nd
+}
+
+// Len reports the number of indexed series.
+func (ix *Index) Len() int { return ix.n }
+
+// lowerBoundSq computes the squared EAPCA bound between the query's
+// per-segment stats and a node's envelopes.
+func (ix *Index) lowerBoundSq(qStats []segStats, nd *node) float32 {
+	var sum float64
+	for s := 0; s < ix.segments; s++ {
+		var meanGap, stdGap float64
+		q := qStats[s]
+		if q.mean < nd.minMean[s] {
+			meanGap = float64(nd.minMean[s] - q.mean)
+		} else if q.mean > nd.maxMean[s] {
+			meanGap = float64(q.mean - nd.maxMean[s])
+		}
+		if q.std < nd.minStd[s] {
+			stdGap = float64(nd.minStd[s] - q.std)
+		} else if q.std > nd.maxStd[s] {
+			stdGap = float64(q.std - nd.maxStd[s])
+		}
+		sum += float64(ix.segLen[s]) * (meanGap*meanGap + stdGap*stdGap)
+	}
+	return float32(sum)
+}
+
+type leafRef struct {
+	nd *node
+	lb float32
+}
+
+type lbHeap []leafRef
+
+func (h lbHeap) Len() int            { return len(h) }
+func (h lbHeap) Less(i, j int) bool  { return h[i].lb < h[j].lb }
+func (h lbHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lbHeap) Push(x interface{}) { *h = append(*h, x.(leafRef)) }
+func (h *lbHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (ix *Index) checkQuery(q []float32, k int) error {
+	if len(q) != ix.data.Cols {
+		return fmt.Errorf("dstree: query length %d, index length %d", len(q), ix.data.Cols)
+	}
+	if k < 1 {
+		return fmt.Errorf("dstree: k must be >= 1, got %d", k)
+	}
+	return nil
+}
+
+// SearchApprox visits the visitLeaves most promising leaves by lower bound
+// and ranks members by true distance (squared Euclidean).
+func (ix *Index) SearchApprox(q []float32, k, visitLeaves int) ([]vec.Neighbor, error) {
+	if err := ix.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	if visitLeaves < 1 {
+		visitLeaves = 1
+	}
+	qStats := make([]segStats, ix.segments)
+	ix.computeStats(q, qStats)
+	h := &lbHeap{}
+	heap.Push(h, leafRef{ix.root, ix.lowerBoundSq(qStats, ix.root)})
+	tk := vec.NewTopK(k)
+	visited := 0
+	for h.Len() > 0 && visited < visitLeaves {
+		lf := heap.Pop(h).(leafRef)
+		if lf.nd.children[0] != nil {
+			for _, ch := range lf.nd.children {
+				heap.Push(h, leafRef{ch, ix.lowerBoundSq(qStats, ch)})
+			}
+			continue
+		}
+		visited++
+		for _, id := range lf.nd.members {
+			tk.Push(int(id), vec.SquaredL2(q, ix.data.Row(int(id))))
+		}
+	}
+	return tk.Results(), nil
+}
+
+// SearchEpsilon runs best-first search with (1+epsilon)-relaxed pruning;
+// epsilon = 0 is exact.
+func (ix *Index) SearchEpsilon(q []float32, k int, epsilon float64) ([]vec.Neighbor, error) {
+	if err := ix.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	if epsilon < 0 {
+		return nil, fmt.Errorf("dstree: epsilon must be >= 0, got %v", epsilon)
+	}
+	qStats := make([]segStats, ix.segments)
+	ix.computeStats(q, qStats)
+	h := &lbHeap{}
+	heap.Push(h, leafRef{ix.root, ix.lowerBoundSq(qStats, ix.root)})
+	tk := vec.NewTopK(k)
+	relax := float32((1 + epsilon) * (1 + epsilon))
+	for h.Len() > 0 {
+		lf := heap.Pop(h).(leafRef)
+		if tk.Full() && lf.lb*relax >= tk.Threshold() {
+			break
+		}
+		if lf.nd.children[0] != nil {
+			for _, ch := range lf.nd.children {
+				heap.Push(h, leafRef{ch, ix.lowerBoundSq(qStats, ch)})
+			}
+			continue
+		}
+		for _, id := range lf.nd.members {
+			tk.Push(int(id), vec.SquaredL2(q, ix.data.Row(int(id))))
+		}
+	}
+	return tk.Results(), nil
+}
+
+// LeafCount reports the number of leaves.
+func (ix *Index) LeafCount() int {
+	count := 0
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.children[0] == nil {
+			count++
+			return
+		}
+		walk(nd.children[0])
+		walk(nd.children[1])
+	}
+	walk(ix.root)
+	return count
+}

@@ -1,0 +1,149 @@
+package dstree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"vaq/internal/dataset"
+	"vaq/internal/eval"
+	"vaq/internal/vec"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(vec.NewMatrix(0, 32), Config{}); err == nil {
+		t.Fatal("empty must fail")
+	}
+	if _, err := Build(vec.NewMatrix(5, 4), Config{Segments: 8}); err == nil {
+		t.Fatal("segments > length must fail")
+	}
+}
+
+func TestTreeSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := dataset.RandomWalk(rng, 1000, 64, 0.5)
+	ix, err := Build(x, Config{Segments: 8, LeafCapacity: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 1000 {
+		t.Fatalf("len %d", ix.Len())
+	}
+	if ix.LeafCount() < 8 {
+		t.Fatalf("tree barely split: %d leaves", ix.LeafCount())
+	}
+}
+
+func TestLowerBoundValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := dataset.RandomWalk(rng, 600, 64, 0.5)
+	ix, _ := Build(x, Config{Segments: 8, LeafCapacity: 40})
+	q := dataset.NoisyQueries(rng, x, 1, 0.1, 0.1).Row(0)
+	qStats := make([]segStats, ix.segments)
+	ix.computeStats(q, qStats)
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		lb := ix.lowerBoundSq(qStats, nd)
+		if nd.children[0] != nil {
+			walk(nd.children[0])
+			walk(nd.children[1])
+			return
+		}
+		for _, id := range nd.members {
+			true_ := vec.SquaredL2(q, x.Row(int(id)))
+			if lb > true_+1e-2 {
+				t.Fatalf("EAPCA bound %v exceeds true %v", lb, true_)
+			}
+		}
+	}
+	walk(ix.root)
+}
+
+func TestExactSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := dataset.RandomWalk(rng, 1200, 64, 0.5)
+	ix, _ := Build(x, Config{Segments: 8, LeafCapacity: 40})
+	queries := dataset.NoisyQueries(rng, x, 10, 0.05, 0.2)
+	gt, _ := eval.GroundTruth(x, queries, 5)
+	for qi := 0; qi < queries.Rows; qi++ {
+		res, err := ix.SearchEpsilon(queries.Row(qi), 5, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := eval.IDs(res)
+		sort.Ints(got)
+		want := append([]int(nil), gt[qi]...)
+		sort.Ints(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: %v != %v", qi, got, want)
+			}
+		}
+	}
+}
+
+func TestApproxMonotoneInLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := dataset.RandomWalk(rng, 2000, 64, 0.4)
+	ix, _ := Build(x, Config{Segments: 8, LeafCapacity: 50})
+	queries := dataset.NoisyQueries(rng, x, 12, 0.05, 0.3)
+	gt, _ := eval.GroundTruth(x, queries, 10)
+	recallAt := func(leaves int) float64 {
+		results := make([][]int, queries.Rows)
+		for qi := 0; qi < queries.Rows; qi++ {
+			res, _ := ix.SearchApprox(queries.Row(qi), 10, leaves)
+			results[qi] = eval.IDs(res)
+		}
+		return eval.Recall(results, gt, 10)
+	}
+	rAll := recallAt(ix.LeafCount())
+	if rAll < 0.999 {
+		t.Fatalf("all leaves must be exact: %v", rAll)
+	}
+	r1 := recallAt(1)
+	if r1 > rAll+1e-9 {
+		t.Fatalf("1 leaf cannot beat all leaves: %v vs %v", r1, rAll)
+	}
+	// Approximate search should still find a decent share in one leaf
+	// (the most promising leaf by lower bound).
+	if r1 < 0.05 {
+		t.Fatalf("1-leaf recall implausibly low: %v", r1)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := dataset.RandomWalk(rng, 100, 32, 0.5)
+	ix, _ := Build(x, Config{Segments: 8, LeafCapacity: 20})
+	if _, err := ix.SearchApprox(make([]float32, 3), 5, 1); err == nil {
+		t.Fatal("bad query length must fail")
+	}
+	if _, err := ix.SearchApprox(x.Row(0), 0, 1); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	if _, err := ix.SearchEpsilon(x.Row(0), 5, -0.5); err == nil {
+		t.Fatal("negative epsilon must fail")
+	}
+}
+
+func TestIdenticalSeriesLeaf(t *testing.T) {
+	// All-identical data cannot split; must stay a single (oversized) leaf
+	// and still answer queries.
+	x := vec.NewMatrix(300, 32)
+	for i := 0; i < 300; i++ {
+		for j := 0; j < 32; j++ {
+			x.Set(i, j, float32(j))
+		}
+	}
+	ix, err := Build(x, Config{Segments: 4, LeafCapacity: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.SearchEpsilon(x.Row(0), 3, 0)
+	if err != nil || len(res) != 3 {
+		t.Fatalf("degenerate search: %v %v", res, err)
+	}
+	if res[0].Dist != 0 {
+		t.Fatalf("identical series distance %v", res[0].Dist)
+	}
+}

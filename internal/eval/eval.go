@@ -1,0 +1,149 @@
+// Package eval provides the evaluation harness: exact ground truth
+// (parallel brute force), the paper's two accuracy measures (Recall and
+// Mean Average Precision, §IV "Evaluation Measures"), and the statistical
+// machinery of §IV "Statistical Analysis" (Wilcoxon signed-rank, Friedman,
+// and Nemenyi critical differences).
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vaq/internal/vec"
+)
+
+// GroundTruth computes, for every query, the ids of its k exact nearest
+// neighbors under squared Euclidean distance, in ascending order.
+func GroundTruth(base, queries *vec.Matrix, k int) ([][]int, error) {
+	if base.Cols != queries.Cols {
+		return nil, fmt.Errorf("eval: base dim %d != query dim %d", base.Cols, queries.Cols)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("eval: k must be >= 1, got %d", k)
+	}
+	if k > base.Rows {
+		k = base.Rows
+	}
+	out := make([][]int, queries.Rows)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > queries.Rows {
+		workers = queries.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := vec.NewTopK(k)
+			for qi := range next {
+				tk.Reset()
+				q := queries.Row(qi)
+				for i := 0; i < base.Rows; i++ {
+					tk.Push(i, vec.SquaredL2(q, base.Row(i)))
+				}
+				res := tk.Results()
+				ids := make([]int, len(res))
+				for j, r := range res {
+					ids[j] = r.ID
+				}
+				out[qi] = ids
+				tk = vec.NewTopK(k) // Reset keeps capacity; re-new for clarity
+			}
+		}()
+	}
+	for qi := 0; qi < queries.Rows; qi++ {
+		next <- qi
+	}
+	close(next)
+	wg.Wait()
+	return out, nil
+}
+
+// Recall computes the paper's workload recall: the average over queries of
+// (|returned ∩ true top-k| / k). results[i] holds the ids returned for
+// query i (only the first k entries are considered).
+func Recall(results [][]int, truth [][]int, k int) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var total float64
+	for i, res := range results {
+		t := truth[i]
+		kk := k
+		if kk > len(t) {
+			kk = len(t)
+		}
+		if kk == 0 {
+			continue
+		}
+		trueSet := make(map[int]struct{}, kk)
+		for _, id := range t[:kk] {
+			trueSet[id] = struct{}{}
+		}
+		hits := 0
+		upto := k
+		if upto > len(res) {
+			upto = len(res)
+		}
+		for _, id := range res[:upto] {
+			if _, ok := trueSet[id]; ok {
+				hits++
+			}
+		}
+		total += float64(hits) / float64(kk)
+	}
+	return total / float64(len(results))
+}
+
+// MAP computes the paper's mean average precision at k: for each query,
+// AP = (Σ_r P(r)·rel(r)) / k where P(r) is the precision among the first r
+// returned items and rel(r) is 1 when the r-th returned item is a true
+// neighbor.
+func MAP(results [][]int, truth [][]int, k int) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var total float64
+	for i, res := range results {
+		t := truth[i]
+		kk := k
+		if kk > len(t) {
+			kk = len(t)
+		}
+		if kk == 0 {
+			continue
+		}
+		trueSet := make(map[int]struct{}, kk)
+		for _, id := range t[:kk] {
+			trueSet[id] = struct{}{}
+		}
+		hits := 0
+		var ap float64
+		upto := k
+		if upto > len(res) {
+			upto = len(res)
+		}
+		for r, id := range res[:upto] {
+			if _, ok := trueSet[id]; ok {
+				hits++
+				ap += float64(hits) / float64(r+1)
+			}
+		}
+		total += ap / float64(kk)
+	}
+	return total / float64(len(results))
+}
+
+// IDs extracts the neighbor ids from a search result.
+func IDs(res []vec.Neighbor) []int {
+	out := make([]int, len(res))
+	for i, r := range res {
+		out[i] = r.ID
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vaq/internal/vec"
+)
+
+func TestGroundTruthExact(t *testing.T) {
+	base, _ := vec.FromRows([][]float32{
+		{0, 0}, {1, 0}, {2, 0}, {3, 0}, {10, 10},
+	})
+	queries, _ := vec.FromRows([][]float32{{0.1, 0}, {9, 9}})
+	gt, err := GroundTruth(base, queries, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gt) != 2 {
+		t.Fatalf("got %d", len(gt))
+	}
+	if gt[0][0] != 0 || gt[0][1] != 1 || gt[0][2] != 2 {
+		t.Fatalf("query 0 truth %v", gt[0])
+	}
+	if gt[1][0] != 4 {
+		t.Fatalf("query 1 truth %v", gt[1])
+	}
+}
+
+func TestGroundTruthErrors(t *testing.T) {
+	base := vec.NewMatrix(3, 2)
+	if _, err := GroundTruth(base, vec.NewMatrix(1, 3), 1); err == nil {
+		t.Fatal("dim mismatch must fail")
+	}
+	if _, err := GroundTruth(base, vec.NewMatrix(1, 2), 0); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	// k clamps to n.
+	gt, err := GroundTruth(base, vec.NewMatrix(1, 2), 10)
+	if err != nil || len(gt[0]) != 3 {
+		t.Fatalf("clamp: %v %v", gt, err)
+	}
+}
+
+func TestGroundTruthMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := vec.NewMatrix(500, 8)
+	for i := range base.Data {
+		base.Data[i] = rng.Float32()
+	}
+	queries := vec.NewMatrix(20, 8)
+	for i := range queries.Data {
+		queries.Data[i] = rng.Float32()
+	}
+	gt, err := GroundTruth(base, queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < queries.Rows; qi++ {
+		tk := vec.NewTopK(5)
+		for i := 0; i < base.Rows; i++ {
+			tk.Push(i, vec.SquaredL2(queries.Row(qi), base.Row(i)))
+		}
+		want := tk.Results()
+		for j, r := range want {
+			if gt[qi][j] != r.ID {
+				t.Fatalf("query %d rank %d: %d vs %d", qi, j, gt[qi][j], r.ID)
+			}
+		}
+	}
+}
+
+func TestRecall(t *testing.T) {
+	truth := [][]int{{1, 2, 3}, {4, 5, 6}}
+	results := [][]int{{1, 2, 9}, {4, 5, 6}}
+	if got := Recall(results, truth, 3); math.Abs(got-(2.0/3+1)/2) > 1e-12 {
+		t.Fatalf("recall %v", got)
+	}
+	if got := Recall(nil, nil, 3); got != 0 {
+		t.Fatalf("empty recall %v", got)
+	}
+	// Perfect and zero.
+	if got := Recall([][]int{{1, 2, 3}}, [][]int{{3, 2, 1}}, 3); got != 1 {
+		t.Fatalf("order-free recall %v", got)
+	}
+	if got := Recall([][]int{{7, 8, 9}}, [][]int{{1, 2, 3}}, 3); got != 0 {
+		t.Fatalf("zero recall %v", got)
+	}
+	// Short result lists count misses.
+	if got := Recall([][]int{{1}}, [][]int{{1, 2}}, 2); got != 0.5 {
+		t.Fatalf("short recall %v", got)
+	}
+}
+
+func TestMAP(t *testing.T) {
+	truth := [][]int{{1, 2}}
+	// Returned: true, false, true(2nd) -> but k=2 limits to first 2.
+	results := [][]int{{1, 9}}
+	// AP = (1/1) / 2 = 0.5
+	if got := MAP(results, truth, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("map %v", got)
+	}
+	// Perfect ranking = 1.
+	if got := MAP([][]int{{1, 2}}, truth, 2); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("map %v", got)
+	}
+	// Correct items late rank lower than early.
+	early := MAP([][]int{{1, 9, 8, 7}}, [][]int{{1}}, 1)
+	late := MAP([][]int{{9, 8, 7, 1}}, [][]int{{1}}, 1)
+	if early <= late {
+		t.Fatalf("MAP must reward early hits: %v vs %v", early, late)
+	}
+	if got := MAP(nil, nil, 2); got != 0 {
+		t.Fatalf("empty map %v", got)
+	}
+}
+
+func TestMAPLessEqualRecall(t *testing.T) {
+	// MAP is always <= Recall for the same lists.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		truth := [][]int{rng.Perm(20)[:5]}
+		results := [][]int{rng.Perm(25)[:5]}
+		r := Recall(results, truth, 5)
+		m := MAP(results, truth, 5)
+		if m > r+1e-12 {
+			t.Fatalf("MAP %v > recall %v", m, r)
+		}
+	}
+}
+
+func TestIDs(t *testing.T) {
+	res := []vec.Neighbor{{ID: 3, Dist: 1}, {ID: 7, Dist: 2}}
+	ids := IDs(res)
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 7 {
+		t.Fatalf("ids %v", ids)
+	}
+}
+
+func TestWilcoxonDetectsDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 40
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := rng.Float64()
+		a[i] = base + 0.2 + rng.NormFloat64()*0.02 // consistently higher
+		b[i] = base
+	}
+	_, p, err := WilcoxonSignedRank(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.01 {
+		t.Fatalf("clear difference not detected: p=%v", p)
+	}
+	// No difference: p should be large.
+	c := make([]float64, n)
+	d := make([]float64, n)
+	for i := range c {
+		c[i] = rng.NormFloat64()
+		d[i] = c[i] + rng.NormFloat64()*0.5
+	}
+	_, p2, err := WilcoxonSignedRank(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 < 0.001 {
+		t.Fatalf("noise flagged significant: p=%v", p2)
+	}
+}
+
+func TestWilcoxonErrors(t *testing.T) {
+	if _, _, err := WilcoxonSignedRank([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, _, err := WilcoxonSignedRank([]float64{1, 1}, []float64{1, 1}); err == nil {
+		t.Fatal("too few non-zero diffs must fail")
+	}
+}
+
+func TestFriedmanRanksAndSignificance(t *testing.T) {
+	// Algorithm 0 always best, 2 always worst, across 30 datasets.
+	n := 30
+	scores := make([][]float64, n)
+	rng := rand.New(rand.NewSource(4))
+	for i := range scores {
+		base := rng.Float64()
+		scores[i] = []float64{base + 0.3, base + 0.15, base}
+	}
+	ranks, chi2, p, err := FriedmanTest(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks[0] != 1 || ranks[1] != 2 || ranks[2] != 3 {
+		t.Fatalf("ranks %v", ranks)
+	}
+	if chi2 <= 0 || p > 1e-6 {
+		t.Fatalf("chi2=%v p=%v should be highly significant", chi2, p)
+	}
+	cd, err := NemenyiCD(3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd <= 0 || cd > 2 {
+		t.Fatalf("implausible CD %v", cd)
+	}
+	// With perfect separation, adjacent ranks differ by 1 > CD? CD for
+	// k=3, n=30 is 2.343*sqrt(12/180) = 0.605, so 1 > CD: significant.
+	if ranks[1]-ranks[0] < cd {
+		t.Fatalf("expected significant separation: gap 1 vs CD %v", cd)
+	}
+}
+
+func TestFriedmanTiesAndErrors(t *testing.T) {
+	// All equal scores: average ranks identical, chi2 ~ 0, p ~ 1.
+	scores := [][]float64{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}}
+	ranks, chi2, p, err := FriedmanTest(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ranks {
+		if math.Abs(r-2) > 1e-12 {
+			t.Fatalf("tied ranks %v", ranks)
+		}
+	}
+	if chi2 > 1e-9 || p < 0.99 {
+		t.Fatalf("ties: chi2=%v p=%v", chi2, p)
+	}
+	if _, _, _, err := FriedmanTest([][]float64{{1, 2}}); err == nil {
+		t.Fatal("one dataset must fail")
+	}
+	if _, _, _, err := FriedmanTest([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("one algorithm must fail")
+	}
+	if _, _, _, err := FriedmanTest([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged scores must fail")
+	}
+}
+
+func TestNemenyiErrors(t *testing.T) {
+	if _, err := NemenyiCD(11, 30); err == nil {
+		t.Fatal("k out of table must fail")
+	}
+	if _, err := NemenyiCD(3, 1); err == nil {
+		t.Fatal("n < 2 must fail")
+	}
+	cd4, _ := NemenyiCD(4, 128)
+	cd8, _ := NemenyiCD(8, 128)
+	if cd8 <= cd4 {
+		t.Fatalf("CD must grow with k: %v vs %v", cd4, cd8)
+	}
+}
+
+func TestChiSquareSurvival(t *testing.T) {
+	// Known values: P(X >= 3.841 | df=1) ~= 0.05.
+	if got := chiSquareSurvival(3.841, 1); math.Abs(got-0.05) > 0.002 {
+		t.Fatalf("chi2(3.841, 1) = %v", got)
+	}
+	// P(X >= 5.991 | df=2) ~= 0.05.
+	if got := chiSquareSurvival(5.991, 2); math.Abs(got-0.05) > 0.002 {
+		t.Fatalf("chi2(5.991, 2) = %v", got)
+	}
+	// P(X >= 0) = 1.
+	if got := chiSquareSurvival(0, 3); got != 1 {
+		t.Fatalf("chi2(0) = %v", got)
+	}
+	// Large x: tiny survival.
+	if got := chiSquareSurvival(100, 2); got > 1e-10 {
+		t.Fatalf("chi2(100, 2) = %v", got)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if math.Abs(normalCDF(0)-0.5) > 1e-12 {
+		t.Fatal("Phi(0)")
+	}
+	if math.Abs(normalCDF(1.959964)-0.975) > 1e-5 {
+		t.Fatalf("Phi(1.96) = %v", normalCDF(1.959964))
+	}
+}

@@ -1,0 +1,218 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WilcoxonSignedRank runs the two-sided Wilcoxon signed-rank test on paired
+// samples a and b (the paper uses it with 99% confidence to compare two
+// algorithms over many datasets). It returns the W statistic and the
+// normal-approximation two-sided p-value. Zero differences are dropped;
+// ties share average ranks. Requires at least 5 non-zero differences for
+// the approximation to be meaningful.
+func WilcoxonSignedRank(a, b []float64) (w float64, p float64, err error) {
+	if len(a) != len(b) {
+		return 0, 0, fmt.Errorf("eval: paired samples differ in length: %d vs %d", len(a), len(b))
+	}
+	type diff struct {
+		abs  float64
+		sign float64
+	}
+	diffs := make([]diff, 0, len(a))
+	for i := range a {
+		d := a[i] - b[i]
+		if d == 0 {
+			continue
+		}
+		s := 1.0
+		if d < 0 {
+			s = -1
+		}
+		diffs = append(diffs, diff{abs: math.Abs(d), sign: s})
+	}
+	n := len(diffs)
+	if n < 5 {
+		return 0, 0, errors.New("eval: Wilcoxon needs at least 5 non-zero differences")
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].abs < diffs[j].abs })
+	// Average ranks over ties.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && diffs[j].abs == diffs[i].abs {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of ranks i+1..j
+		for t := i; t < j; t++ {
+			ranks[t] = avg
+		}
+		i = j
+	}
+	var wPlus, wMinus float64
+	for i, d := range diffs {
+		if d.sign > 0 {
+			wPlus += ranks[i]
+		} else {
+			wMinus += ranks[i]
+		}
+	}
+	w = math.Min(wPlus, wMinus)
+	mean := float64(n*(n+1)) / 4
+	sd := math.Sqrt(float64(n*(n+1)*(2*n+1)) / 24)
+	if sd == 0 {
+		return w, 1, nil
+	}
+	z := (w - mean) / sd
+	p = 2 * normalCDF(-math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return w, p, nil
+}
+
+// normalCDF is the standard normal cumulative distribution function.
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// FriedmanTest compares k algorithms over n datasets. scores[i][j] is the
+// score of algorithm j on dataset i (HIGHER is better, e.g. recall). It
+// returns the per-algorithm average ranks (1 = best), the chi-square
+// statistic, and its p-value.
+func FriedmanTest(scores [][]float64) (avgRanks []float64, chi2 float64, p float64, err error) {
+	n := len(scores)
+	if n < 2 {
+		return nil, 0, 0, errors.New("eval: Friedman needs at least 2 datasets")
+	}
+	k := len(scores[0])
+	if k < 2 {
+		return nil, 0, 0, errors.New("eval: Friedman needs at least 2 algorithms")
+	}
+	rankSums := make([]float64, k)
+	idx := make([]int, k)
+	for i, row := range scores {
+		if len(row) != k {
+			return nil, 0, 0, fmt.Errorf("eval: dataset %d has %d scores, want %d", i, len(row), k)
+		}
+		for j := range idx {
+			idx[j] = j
+		}
+		// Rank descending (rank 1 = highest score), average ties.
+		sort.SliceStable(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+		for a := 0; a < k; {
+			b := a
+			for b < k && row[idx[b]] == row[idx[a]] {
+				b++
+			}
+			avg := float64(a+b+1) / 2
+			for t := a; t < b; t++ {
+				rankSums[idx[t]] += avg
+			}
+			a = b
+		}
+	}
+	avgRanks = make([]float64, k)
+	var sumSq float64
+	for j := range rankSums {
+		avgRanks[j] = rankSums[j] / float64(n)
+		sumSq += avgRanks[j] * avgRanks[j]
+	}
+	kf, nf := float64(k), float64(n)
+	chi2 = 12 * nf / (kf * (kf + 1)) * (sumSq - kf*(kf+1)*(kf+1)/4)
+	p = chiSquareSurvival(chi2, float64(k-1))
+	return avgRanks, chi2, p, nil
+}
+
+// NemenyiCD returns the critical difference of average ranks for the
+// post-hoc Nemenyi test at alpha = 0.05, for k algorithms over n datasets
+// (Demšar 2006). Two algorithms differ significantly when their average
+// ranks differ by more than the CD.
+func NemenyiCD(k, n int) (float64, error) {
+	// Studentized range statistic q_0.05 / sqrt(2) per Demšar (2006),
+	// Table 5, for k = 2..10.
+	q := map[int]float64{
+		2: 1.960, 3: 2.343, 4: 2.569, 5: 2.728, 6: 2.850,
+		7: 2.949, 8: 3.031, 9: 3.102, 10: 3.164,
+	}
+	qa, ok := q[k]
+	if !ok {
+		return 0, fmt.Errorf("eval: Nemenyi table covers 2..10 algorithms, got %d", k)
+	}
+	if n < 2 {
+		return 0, errors.New("eval: Nemenyi needs at least 2 datasets")
+	}
+	return qa * math.Sqrt(float64(k*(k+1))/(6*float64(n))), nil
+}
+
+// chiSquareSurvival returns P(X >= x) for a chi-square distribution with
+// df degrees of freedom, via the regularized upper incomplete gamma
+// function Q(df/2, x/2).
+func chiSquareSurvival(x, df float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperIncompleteGammaRegularized(df/2, x/2)
+}
+
+// upperIncompleteGammaRegularized computes Q(a, x) = Γ(a, x)/Γ(a) using the
+// series for x < a+1 and the continued fraction otherwise (Numerical
+// Recipes gammp/gammq structure, rewritten).
+func upperIncompleteGammaRegularized(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - lowerGammaSeries(a, x)
+	}
+	return upperGammaContinuedFraction(a, x)
+}
+
+func lowerGammaSeries(a, x float64) float64 {
+	lgA, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lgA)
+}
+
+func upperGammaContinuedFraction(a, x float64) float64 {
+	lgA, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lgA) * h
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the full experiment sweep fast enough for CI.
+var tinyScale = Scale{N: 1500, NQ: 8, GalleryCount: 8, GalleryTrain: 250, Seed: 7}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	want := []string{"fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+		"tab1", "tab2", "fig10", "fig11", "fig12", "ablation-alloc", "ablation-ti", "scale", "extra-baselines"}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+		if reg[i].Title == "" || reg[i].Run == nil {
+			t.Fatalf("registry[%d] incomplete", i)
+		}
+	}
+	if _, ok := Find("fig7"); !ok {
+		t.Fatal("Find should locate fig7")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find should miss unknown ids")
+	}
+}
+
+// Each experiment must run end-to-end at tiny scale and produce the
+// markers its table carries.
+func TestAllExperimentsSmoke(t *testing.T) {
+	markers := map[string][]string{
+		"fig1":            {"SIFT", "DEEP", "SALD", "VAQ", "PQFS", "speedup"},
+		"fig3":            {"CBF", "SLC", "variance in first 20 PCs"},
+		"fig4":            {"CBF", "SLC", "subspaces", "VAQ", "OPQ", "PQ"},
+		"fig6":            {"ASTRO", "SEISMIC", "ITQ-LSH", "MAP"},
+		"fig7":            {"Heap", "EA", "TI+EA-0.25", "TI+EA-0.1"},
+		"fig8":            {"Bolt", "PQFS", "speedup@recall"},
+		"fig9":            {"uniform-subs", "clustered-subs", "adaptive-bits"},
+		"tab1":            {"VAQ (this work)", "KSSQ"},
+		"tab2":            {"VAQ-128", "OPQ-64", "Rec@5", "MAP@10"},
+		"fig10":           {"Friedman", "Nemenyi", "Wilcoxon", "average rank"},
+		"fig11":           {"VAQ-0.1", "IMI+OPQ", "iSAX2+", "DSTree", "eps-0.0"},
+		"fig12":           {"VAQ visit-0.05", "HNSW(PQ) M=8", "preprocess"},
+		"ablation-alloc":  {"milp", "transform-coding", "uniform", "allocation["},
+		"ablation-ti":     {"visit-0.05", "visit-1.00"},
+		"scale":           {"VAQ-0.1", "PQ", "build(s)"},
+		"extra-baselines": {"TC", "VQ", "E2LSH", "VAQ"},
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, tinyScale); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 50 {
+				t.Fatalf("%s output suspiciously short:\n%s", e.ID, out)
+			}
+			for _, m := range markers[e.ID] {
+				if !strings.Contains(out, m) {
+					t.Fatalf("%s output missing %q:\n%s", e.ID, m, out)
+				}
+			}
+		})
+	}
+}
+
+// The headline claims of the paper must hold in shape at tiny scale on the
+// gallery: VAQ >= OPQ >= PQ >= Bolt on average Recall@5 at equal budget.
+func TestGalleryShapeOrdering(t *testing.T) {
+	scores, err := computeGalleryScores(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := make(map[string]float64)
+	for ci, name := range scores.methodNames {
+		var sum float64
+		for _, row := range scores.recall5 {
+			sum += row[ci]
+		}
+		avg[name] = sum / float64(len(scores.recall5))
+	}
+	// Allow small noise at tiny scale, but the ordering must hold broadly.
+	const slack = 0.03
+	if avg["VAQ-128"]+slack < avg["OPQ-128"] {
+		t.Fatalf("VAQ-128 (%v) should beat OPQ-128 (%v)", avg["VAQ-128"], avg["OPQ-128"])
+	}
+	if avg["OPQ-128"]+2*slack < avg["PQ-128"] {
+		t.Fatalf("OPQ-128 (%v) should be at least near PQ-128 (%v)", avg["OPQ-128"], avg["PQ-128"])
+	}
+	if avg["PQ-128"]+slack < avg["Bolt-128"] {
+		t.Fatalf("PQ-128 (%v) should beat Bolt-128 (%v)", avg["PQ-128"], avg["Bolt-128"])
+	}
+	if avg["VAQ-64"]+slack < avg["PQ-64"] {
+		t.Fatalf("VAQ-64 (%v) should beat PQ-64 (%v)", avg["VAQ-64"], avg["PQ-64"])
+	}
+}

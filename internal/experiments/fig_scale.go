@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"vaq/internal/core"
+)
+
+// RunScale measures how build and query costs grow with the dataset size
+// (the paper's §V-E motivation for data skipping: exhaustive scans grow
+// linearly with n, VAQ's TI+EA scan grows sublinearly in visited work).
+// VAQ (visit 10%) and PQ are built at n/4, n/2 and n on the SALD stand-in.
+func RunScale(w io.Writer, s Scale) error {
+	const k = 100
+	sizes := []int{s.N / 4, s.N / 2, s.N}
+	fmt.Fprintf(w, "== SALD scaling (256 bits, 32 subspaces, recall@%d) ==\n", k)
+	fmt.Fprintf(w, "%8s %-10s %9s %12s %12s\n", "n", "method", "recall", "query(ms)", "build(s)")
+	for _, n := range sizes {
+		sub := s
+		sub.N = n
+		ds, gt, err := largeDataset("SALD", sub, k)
+		if err != nil {
+			return err
+		}
+		vaqM, err := buildVAQ("VAQ-0.1", ds, vaqConfig(256, 32, s.Seed),
+			core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: 0.10})
+		if err != nil {
+			return err
+		}
+		pqM, err := buildPQ("PQ", ds, 32, 8, s.Seed)
+		if err != nil {
+			return err
+		}
+		for _, m := range []*method{vaqM, pqM} {
+			row, err := evaluate(m, ds.Queries, gt, k)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%8d %-10s %9.4f %12.4f %12.2f\n",
+				n, row.name, row.recall, row.avgQuerySec*1000, row.buildSeconds)
+		}
+	}
+	return nil
+}

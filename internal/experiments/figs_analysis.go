@@ -1,0 +1,434 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"vaq/internal/core"
+	"vaq/internal/dataset"
+	"vaq/internal/eval"
+	"vaq/internal/pca"
+	"vaq/internal/quantizer"
+	"vaq/internal/vec"
+)
+
+// RunFig3 reproduces Figure 3: one example series per class for CBF and
+// SLC (as ASCII sparklines) and the percentage of variance explained by
+// the first 20 principal components. Expected shape: CBF's variance is
+// spread out (first 3 PCs ~ 40-60%), SLC's is concentrated (>= 85%).
+func RunFig3(w io.Writer, s Scale) error {
+	rng := rand.New(rand.NewSource(s.Seed))
+	sets := []struct {
+		name string
+		data *vec.Matrix
+	}{
+		{"CBF", dataset.CBF(rng, 1000, 128)},
+		{"SLC", dataset.SLCLike(rng, 1000, 128)},
+	}
+	for _, st := range sets {
+		fmt.Fprintf(w, "== %s ==\n", st.name)
+		for class := 0; class < 3; class++ {
+			fmt.Fprintf(w, "example %d: %s\n", class, sparkline(st.data.Row(class*7)))
+		}
+		model, err := pca.Fit(st.data, pca.Options{})
+		if err != nil {
+			return err
+		}
+		ratios := model.ExplainedVarianceRatio()
+		fmt.Fprintf(w, "%% variance in first 20 PCs:")
+		var cum float64
+		for i := 0; i < 20 && i < len(ratios); i++ {
+			fmt.Fprintf(w, " %.1f", ratios[i]*100)
+			cum += ratios[i]
+		}
+		fmt.Fprintf(w, "\ncumulative over 20 PCs: %.1f%% (first 3: %.1f%%)\n\n",
+			cum*100, (ratios[0]+ratios[1]+ratios[2])*100)
+	}
+	return nil
+}
+
+// sparkline renders a series as a coarse ASCII strip.
+func sparkline(x []float32) string {
+	const glyphs = " .:-=+*#%@"
+	mn, mx := x[0], x[0]
+	for _, v := range x {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	span := mx - mn
+	if span == 0 {
+		span = 1
+	}
+	step := len(x) / 64
+	if step < 1 {
+		step = 1
+	}
+	out := make([]byte, 0, 64)
+	for i := 0; i < len(x); i += step {
+		level := int(float32(len(glyphs)-1) * (x[i] - mn) / span)
+		out = append(out, glyphs[level])
+	}
+	return string(out)
+}
+
+// RunFig4 reproduces Figure 4: recall on CBF and SLC as a function of how
+// many subspaces are used, comparing the three importance strategies —
+// VAQ (variance-ordered, adaptive bits), OPQ (eigenvalue-allocation
+// permutation, uniform bits) and PQ (random permutation of PCs, uniform
+// bits). All methods work over PCA-projected data with 32 subspaces.
+// Expected shape: VAQ degrades far more gracefully as subspaces are
+// omitted, and dominates at every truncation level.
+func RunFig4(w io.Writer, s Scale) error {
+	const segs, budget, k = 32, 128, 10
+	rng := rand.New(rand.NewSource(s.Seed))
+	n := 2000
+	if s.GalleryTrain < n {
+		n = s.GalleryTrain
+	}
+	sets := []struct {
+		name string
+		data *vec.Matrix
+	}{
+		{"CBF", dataset.CBF(rng, n, 128)},
+		{"SLC", dataset.SLCLike(rng, n, 128)},
+	}
+	for _, st := range sets {
+		queries := dataset.NoisyQueries(rng, st.data, s.NQ, 0.05, 0.3)
+		gt, err := eval.GroundTruth(st.data, queries, k)
+		if err != nil {
+			return err
+		}
+		ds := &dataset.Dataset{Name: st.name, Base: st.data, Train: st.data, Queries: queries}
+		// VAQ (subspace truncation through SearchOptions.Subspaces).
+		vaqIx, err := core.Build(ds.Train, ds.Base, vaqConfig(budget, segs, s.Seed))
+		if err != nil {
+			return err
+		}
+		// PQ over randomly permuted PCs and OPQ: built on projected data.
+		model, err := pca.Fit(st.data, pca.Options{})
+		if err != nil {
+			return err
+		}
+		z, err := model.Project(st.data)
+		if err != nil {
+			return err
+		}
+		zq, err := model.Project(queries)
+		if err != nil {
+			return err
+		}
+		perm := rand.New(rand.NewSource(s.Seed + 1)).Perm(z.Cols)
+		zPerm, err := z.PermuteColumns(perm)
+		if err != nil {
+			return err
+		}
+		zqPerm, err := zq.PermuteColumns(perm)
+		if err != nil {
+			return err
+		}
+		sub, err := quantizer.UniformSubspaces(z.Cols, segs)
+		if err != nil {
+			return err
+		}
+		bits := make([]int, segs)
+		for i := range bits {
+			bits[i] = budget / segs
+		}
+		pqCB, err := quantizer.TrainCodebooks(zPerm, sub, bits, trainCfg(s.Seed))
+		if err != nil {
+			return err
+		}
+		pqCodes, err := pqCB.Encode(zPerm, true)
+		if err != nil {
+			return err
+		}
+		// OPQ: eigenvalue-allocation permutation of PCs.
+		opqPerm, err := quantizer.EigenvalueAllocation(model.Eigenvalues, segs)
+		if err != nil {
+			return err
+		}
+		zOPQ, err := z.PermuteColumns(opqPerm)
+		if err != nil {
+			return err
+		}
+		zqOPQ, err := zq.PermuteColumns(opqPerm)
+		if err != nil {
+			return err
+		}
+		opqCB, err := quantizer.TrainCodebooks(zOPQ, sub, bits, trainCfg(s.Seed))
+		if err != nil {
+			return err
+		}
+		opqCodes, err := opqCB.Encode(zOPQ, true)
+		if err != nil {
+			return err
+		}
+		pqOrder := subspacesByVariance(zPerm, sub)
+		opqOrder := subspacesByVariance(zOPQ, sub)
+
+		fmt.Fprintf(w, "== %s (n=%d, %d subspaces, %d bits, recall@%d vs subspaces used) ==\n",
+			st.name, n, segs, budget, k)
+		fmt.Fprintf(w, "%10s %8s %8s %8s\n", "subspaces", "VAQ", "OPQ", "PQ")
+		for _, used := range []int{4, 8, 16, 24, 32} {
+			vaqRes := make([][]int, queries.Rows)
+			pqRes := make([][]int, queries.Rows)
+			opqRes := make([][]int, queries.Rows)
+			searcher := vaqIx.NewSearcher()
+			for qi := 0; qi < queries.Rows; qi++ {
+				r, err := searcher.Search(queries.Row(qi), k, core.SearchOptions{
+					Mode: core.ModeHeap, Subspaces: used,
+				})
+				if err != nil {
+					return err
+				}
+				vaqRes[qi] = eval.IDs(r)
+				pqRes[qi] = eval.IDs(scanSubset(pqCodes, pqCB.BuildLUT(zqPerm.Row(qi)), pqOrder[:used], k))
+				opqRes[qi] = eval.IDs(scanSubset(opqCodes, opqCB.BuildLUT(zqOPQ.Row(qi)), opqOrder[:used], k))
+			}
+			fmt.Fprintf(w, "%10d %8.4f %8.4f %8.4f\n", used,
+				eval.Recall(vaqRes, gt, k), eval.Recall(opqRes, gt, k), eval.Recall(pqRes, gt, k))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// subspacesByVariance orders subspace indices by descending share of the
+// data variance — the "score" used to decide which subspaces to keep when
+// omitting (paper Figure 4).
+func subspacesByVariance(z *vec.Matrix, sub quantizer.Subspaces) []int {
+	vars := vec.ColumnVariances(z)
+	scores := make([]float64, sub.M())
+	for sI := 0; sI < sub.M(); sI++ {
+		for j := sub.Offsets[sI]; j < sub.Offsets[sI]+sub.Lengths[sI]; j++ {
+			scores[sI] += vars[j]
+		}
+	}
+	order := make([]int, sub.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	return order
+}
+
+// scanSubset is the ADC scan restricted to a subset of subspaces.
+func scanSubset(codes *quantizer.Codes, lut *quantizer.LUT, subset []int, k int) []vec.Neighbor {
+	tk := vec.NewTopK(k)
+	m := codes.M
+	for i := 0; i < codes.N; i++ {
+		row := codes.Data[i*m : (i+1)*m]
+		var d float32
+		for _, sI := range subset {
+			d += lut.Dist[lut.Offsets[sI]+int(row[sI])]
+		}
+		tk.Push(i, d)
+	}
+	return tk.Results()
+}
+
+// RunTab1 prints Table I, the qualitative specification matrix.
+func RunTab1(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "Table I: quantization methods vs four critical specifications (w.r.t. OPQ)")
+	fmt.Fprintf(w, "%-18s %10s %11s %9s %9s\n", "method", "no-storage", "no-encoding", "speedup", "recall+")
+	rows := []struct {
+		name                             string
+		storage, encoding, speed, recall string
+	}{
+		{"PQ", "yes", "yes", "-", "-"},
+		{"TC", "yes", "yes", "yes", "-"},
+		{"ITQ-LSH", "yes", "yes", "yes", "-"},
+		{"Bolt", "yes", "yes", "yes", "-"},
+		{"PQFS", "yes", "yes", "yes", "-"},
+		{"PQ/OPQ+IMI", "-", "-", "yes", "-"},
+		{"LOPQ", "-", "-", "yes", "-"},
+		{"AQ/CQ", "-", "-", "-", "yes"},
+		{"KSSQ", "-", "-", "-", "yes"},
+		{"VAQ (this work)", "yes", "yes", "yes", "yes"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %10s %11s %9s %9s\n", r.name, r.storage, r.encoding, r.speed, r.recall)
+	}
+	return nil
+}
+
+// galleryScores holds per-dataset scores for the 8 method/budget combos of
+// Table II and Figure 10.
+type galleryScores struct {
+	methodNames []string
+	recall5     [][]float64 // [dataset][method]
+	recall10    [][]float64
+	map5        [][]float64
+	map10       [][]float64
+}
+
+var galleryCache = map[Scale]*galleryScores{}
+
+// computeGalleryScores evaluates Bolt/PQ/OPQ/VAQ at 64-bit/16-subspace and
+// 128-bit/32-subspace budgets over the medium-scale gallery.
+func computeGalleryScores(s Scale) (*galleryScores, error) {
+	if cached, ok := galleryCache[s]; ok {
+		return cached, nil
+	}
+	gallery := dataset.UCRGallery(dataset.GalleryOptions{
+		Count: s.GalleryCount, Seed: s.Seed, MaxTrain: s.GalleryTrain, MaxDim: 256, Queries: 30,
+	})
+	type combo struct {
+		name         string
+		budget, segs int
+		kind         string
+	}
+	combos := []combo{
+		{"Bolt-64", 64, 16, "bolt"}, {"PQ-64", 64, 16, "pq"},
+		{"OPQ-64", 64, 16, "opq"}, {"VAQ-64", 64, 16, "vaq"},
+		{"Bolt-128", 128, 32, "bolt"}, {"PQ-128", 128, 32, "pq"},
+		{"OPQ-128", 128, 32, "opq"}, {"VAQ-128", 128, 32, "vaq"},
+	}
+	out := &galleryScores{}
+	for _, c := range combos {
+		out.methodNames = append(out.methodNames, c.name)
+	}
+	for _, ds := range gallery {
+		gt, err := eval.GroundTruth(ds.Base, ds.Queries, 10)
+		if err != nil {
+			return nil, err
+		}
+		r5 := make([]float64, len(combos))
+		r10 := make([]float64, len(combos))
+		m5 := make([]float64, len(combos))
+		m10 := make([]float64, len(combos))
+		for ci, c := range combos {
+			var m *method
+			var err error
+			switch c.kind {
+			case "bolt":
+				m, err = buildBolt(c.name, ds, c.budget, s.Seed)
+			case "pq":
+				m, err = buildPQ(c.name, ds, c.segs, c.budget/c.segs, s.Seed)
+			case "opq":
+				m, err = buildOPQ(c.name, ds, c.segs, c.budget/c.segs, s.Seed)
+			default:
+				m, err = buildVAQ(c.name, ds, vaqConfig(c.budget, c.segs, s.Seed),
+					core.SearchOptions{VisitFrac: 1.0})
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", c.name, ds.Name, err)
+			}
+			results, _, err := runQueries(m, ds.Queries, 10)
+			if err != nil {
+				return nil, err
+			}
+			r5[ci] = eval.Recall(results, gt, 5)
+			r10[ci] = eval.Recall(results, gt, 10)
+			m5[ci] = eval.MAP(results, gt, 5)
+			m10[ci] = eval.MAP(results, gt, 10)
+		}
+		out.recall5 = append(out.recall5, r5)
+		out.recall10 = append(out.recall10, r10)
+		out.map5 = append(out.map5, m5)
+		out.map10 = append(out.map10, m10)
+	}
+	galleryCache[s] = out
+	return out, nil
+}
+
+// RunTab2 reproduces Table II: average Recall@5/10 and MAP@5/10 across
+// the medium-scale gallery at both budgets. Expected shape: within a
+// budget VAQ > OPQ > PQ > Bolt, and VAQ-64 is competitive with OPQ-128.
+func RunTab2(w io.Writer, s Scale) error {
+	scores, err := computeGalleryScores(s)
+	if err != nil {
+		return err
+	}
+	n := len(scores.recall5)
+	fmt.Fprintf(w, "Table II over %d gallery datasets\n", n)
+	fmt.Fprintf(w, "%-12s %8s %8s %8s %8s\n", "method", "Rec@5", "Rec@10", "MAP@5", "MAP@10")
+	avg := func(col int, table [][]float64) float64 {
+		var sum float64
+		for _, row := range table {
+			sum += row[col]
+		}
+		return sum / float64(len(table))
+	}
+	for ci, name := range scores.methodNames {
+		fmt.Fprintf(w, "%-12s %8.5f %8.5f %8.5f %8.5f\n", name,
+			avg(ci, scores.recall5), avg(ci, scores.recall10),
+			avg(ci, scores.map5), avg(ci, scores.map10))
+	}
+	return nil
+}
+
+// RunFig10 reproduces Figure 10: Friedman average ranks over the gallery
+// (Recall@5) with the Nemenyi critical difference, plus the paper's
+// pairwise Wilcoxon checks. Expected shape: VAQ-128 ranked first and
+// significantly ahead; VAQ-64 statistically tied with OPQ-128.
+func RunFig10(w io.Writer, s Scale) error {
+	scores, err := computeGalleryScores(s)
+	if err != nil {
+		return err
+	}
+	ranks, chi2, p, err := eval.FriedmanTest(scores.recall5)
+	if err != nil {
+		return err
+	}
+	cd, err := eval.NemenyiCD(len(scores.methodNames), len(scores.recall5))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Friedman over %d datasets x %d methods (Recall@5): chi2=%.2f p=%.3g\n",
+		len(scores.recall5), len(scores.methodNames), chi2, p)
+	fmt.Fprintf(w, "Nemenyi critical difference (alpha=0.05): %.3f\n\n", cd)
+	type ranked struct {
+		name string
+		rank float64
+	}
+	list := make([]ranked, len(ranks))
+	for i := range ranks {
+		list[i] = ranked{scores.methodNames[i], ranks[i]}
+	}
+	sort.Slice(list, func(a, b int) bool { return list[a].rank < list[b].rank })
+	for pos, r := range list {
+		fmt.Fprintf(w, "%2d. %-10s average rank %.3f\n", pos+1, r.name, r.rank)
+	}
+	fmt.Fprintln(w)
+	// Pairwise Wilcoxon tests the paper highlights.
+	col := func(name string) []float64 {
+		idx := -1
+		for i, n := range scores.methodNames {
+			if n == name {
+				idx = i
+			}
+		}
+		out := make([]float64, len(scores.recall5))
+		for i, row := range scores.recall5 {
+			out[i] = row[idx]
+		}
+		return out
+	}
+	pairs := [][2]string{
+		{"VAQ-128", "OPQ-128"}, {"VAQ-64", "OPQ-128"}, {"VAQ-64", "PQ-128"},
+	}
+	for _, pr := range pairs {
+		a, b := col(pr[0]), col(pr[1])
+		wins := 0
+		for i := range a {
+			if a[i] > b[i] {
+				wins++
+			}
+		}
+		_, pv, err := eval.WilcoxonSignedRank(a, b)
+		if err != nil {
+			fmt.Fprintf(w, "Wilcoxon %s vs %s: %v (wins %d/%d)\n", pr[0], pr[1], err, wins, len(a))
+			continue
+		}
+		fmt.Fprintf(w, "Wilcoxon %s vs %s: p=%.4g, %s wins %d/%d datasets\n",
+			pr[0], pr[1], pv, pr[0], wins, len(a))
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vaq/internal/core"
+	"vaq/internal/dstree"
+	"vaq/internal/eval"
+	"vaq/internal/hnsw"
+	"vaq/internal/imi"
+	"vaq/internal/isax"
+	"vaq/internal/quantizer"
+	"vaq/internal/vec"
+)
+
+// RunFig11 reproduces Figure 11: VAQ's data-skipping scan against the
+// tree indexes iSAX2+ and DSTree (ng-approximate and epsilon variants)
+// and IMI+OPQ, on the SALD stand-in. Quantization methods retrieve R in
+// {k..10k} candidates and re-rank them with the original data; trees vary
+// visited leaves / epsilon. Reported: recall@100 and average query time.
+// Expected shape: VAQ dominates the speedup-vs-recall frontier; IMI
+// improves OPQ's runtime but caps its recall.
+func RunFig11(w io.Writer, s Scale) error {
+	const k = 100
+	ds, gt, err := largeDataset("SALD", s, k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== SALD (n=%d d=%d, recall@%d, re-ranked with raw data) ==\n",
+		ds.Base.Rows, ds.Dim(), k)
+	fmt.Fprintf(w, "%-28s %9s %12s %12s\n", "method", "recall", "query(ms)", "build(s)")
+
+	emit := func(name string, buildSec float64, search searchFunc) error {
+		m := &method{name: name, buildSeconds: buildSec, search: search}
+		row, err := evaluate(m, ds.Queries, gt, k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-28s %9.4f %12.4f %12.2f\n", row.name, row.recall,
+			row.avgQuerySec*1000, row.buildSeconds)
+		return nil
+	}
+
+	// VAQ with candidate re-ranking.
+	start := time.Now()
+	vaqIx, err := core.Build(ds.Train, ds.Base, vaqConfig(256, 32, s.Seed))
+	if err != nil {
+		return err
+	}
+	vaqBuild := time.Since(start).Seconds()
+	for _, r := range []int{k, 2 * k, 5 * k, 10 * k} {
+		searcher := vaqIx.NewSearcher()
+		rr := r
+		err := emit(fmt.Sprintf("VAQ-0.1 rerank-%d", rr), vaqBuild, func(q []float32, kk int) ([]int, error) {
+			res, err := searcher.Search(q, rr, core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: 0.1})
+			if err != nil {
+				return nil, err
+			}
+			return rerank(ds.Base, q, eval.IDs(res), kk), nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// IMI over OPQ with candidate re-ranking.
+	start = time.Now()
+	imiIx, err := imi.Build(ds.Train, ds.Base, imi.Config{
+		CoarseBits: 6,
+		OPQ:        quantizer.OPQConfig{M: 32, BitsPerSubspace: 8, Train: trainCfg(s.Seed)},
+		Seed:       s.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	imiBuild := time.Since(start).Seconds()
+	for _, cand := range []int{5 * k, 20 * k, 50 * k} {
+		cc := cand
+		err := emit(fmt.Sprintf("IMI+OPQ cand-%d", cc), imiBuild, func(q []float32, kk int) ([]int, error) {
+			res, err := imiIx.Search(q, 10*kk, cc)
+			if err != nil {
+				return nil, err
+			}
+			return rerank(ds.Base, q, eval.IDs(res), kk), nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// iSAX2+-style tree.
+	start = time.Now()
+	isaxIx, err := isax.Build(ds.Base, isax.Config{Segments: 16, LeafCapacity: 100})
+	if err != nil {
+		return err
+	}
+	isaxBuild := time.Since(start).Seconds()
+	for _, leaves := range []int{1, 8, 64} {
+		ll := leaves
+		err := emit(fmt.Sprintf("iSAX2+ ng-%d", ll), isaxBuild, func(q []float32, kk int) ([]int, error) {
+			res, err := isaxIx.SearchApprox(q, kk, ll)
+			if err != nil {
+				return nil, err
+			}
+			return eval.IDs(res), nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for _, eps := range []float64{2, 1, 0} {
+		ee := eps
+		err := emit(fmt.Sprintf("iSAX2+ eps-%.1f", ee), isaxBuild, func(q []float32, kk int) ([]int, error) {
+			res, err := isaxIx.SearchEpsilon(q, kk, ee)
+			if err != nil {
+				return nil, err
+			}
+			return eval.IDs(res), nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// DSTree-style index.
+	start = time.Now()
+	dsIx, err := dstree.Build(ds.Base, dstree.Config{Segments: 16, LeafCapacity: 100})
+	if err != nil {
+		return err
+	}
+	dsBuild := time.Since(start).Seconds()
+	for _, leaves := range []int{1, 8, 64} {
+		ll := leaves
+		err := emit(fmt.Sprintf("DSTree ng-%d", ll), dsBuild, func(q []float32, kk int) ([]int, error) {
+			res, err := dsIx.SearchApprox(q, kk, ll)
+			if err != nil {
+				return nil, err
+			}
+			return eval.IDs(res), nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for _, eps := range []float64{2, 1, 0} {
+		ee := eps
+		err := emit(fmt.Sprintf("DSTree eps-%.1f", ee), dsBuild, func(q []float32, kk int) ([]int, error) {
+			res, err := dsIx.SearchEpsilon(q, kk, ee)
+			if err != nil {
+				return nil, err
+			}
+			return eval.IDs(res), nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunFig12 reproduces Figure 12 on the SIFT stand-in: VAQ versus HNSW
+// built over PQ-encoded data (the graph indexes the PQ reconstructions),
+// both at a 256-bit budget. Reported: preprocessing time, MAP@100 and
+// query time, across each method's knob (visit fraction for VAQ, M and
+// efSearch for HNSW). Expected shape: HNSW wins raw query latency at high
+// accuracy but needs an order of magnitude more preprocessing; VAQ's MAP
+// at its best settings is comparable.
+func RunFig12(w io.Writer, s Scale) error {
+	const k = 100
+	ds, gt, err := largeDataset("SIFT", s, k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== SIFT (n=%d, 256-bit budget, MAP@%d) ==\n", ds.Base.Rows, k)
+	fmt.Fprintf(w, "%-24s %9s %9s %12s %14s\n", "method", "MAP", "recall", "query(ms)", "preprocess(s)")
+
+	// VAQ across visit fractions.
+	start := time.Now()
+	vaqIx, err := core.Build(ds.Train, ds.Base, vaqConfig(256, 32, s.Seed))
+	if err != nil {
+		return err
+	}
+	vaqBuild := time.Since(start).Seconds()
+	for _, frac := range []float64{0.05, 0.10, 0.25} {
+		ff := frac
+		searcher := vaqIx.NewSearcher()
+		m := &method{
+			name:         fmt.Sprintf("VAQ visit-%.2f", ff),
+			buildSeconds: vaqBuild,
+			search: func(q []float32, kk int) ([]int, error) {
+				res, err := searcher.Search(q, kk, core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: ff})
+				if err != nil {
+					return nil, err
+				}
+				return eval.IDs(res), nil
+			},
+		}
+		row, err := evaluate(m, ds.Queries, gt, k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-24s %9.4f %9.4f %12.4f %14.2f\n",
+			row.name, row.mapScore, row.recall, row.avgQuerySec*1000, row.buildSeconds)
+	}
+
+	// HNSW over PQ-reconstructed vectors.
+	start = time.Now()
+	pq, err := quantizer.TrainPQ(ds.Train, ds.Base, quantizer.PQConfig{
+		M: 32, BitsPerSubspace: 8, Train: trainCfg(s.Seed),
+	})
+	if err != nil {
+		return err
+	}
+	recon := vec.NewMatrix(ds.Base.Rows, ds.Dim())
+	for i := 0; i < ds.Base.Rows; i++ {
+		pq.Codebooks().Decode(pq.Codes().Row(i), recon.Row(i))
+	}
+	pqSeconds := time.Since(start).Seconds()
+	for _, mm := range []int{8, 16} {
+		start = time.Now()
+		graph, err := hnsw.Build(recon, hnsw.Config{
+			M: mm, EFConstruction: 128, Seed: s.Seed, Heuristic: true,
+		})
+		if err != nil {
+			return err
+		}
+		build := pqSeconds + time.Since(start).Seconds()
+		for _, efs := range []int{100, 200} {
+			ee := efs
+			m := &method{
+				name:         fmt.Sprintf("HNSW(PQ) M=%d efs=%d", mm, ee),
+				buildSeconds: build,
+				search: func(q []float32, kk int) ([]int, error) {
+					res, err := graph.Search(q, kk, ee)
+					if err != nil {
+						return nil, err
+					}
+					return eval.IDs(res), nil
+				},
+			}
+			row, err := evaluate(m, ds.Queries, gt, k)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-24s %9.4f %9.4f %12.4f %14.2f\n",
+				row.name, row.mapScore, row.recall, row.avgQuerySec*1000, row.buildSeconds)
+		}
+	}
+	return nil
+}

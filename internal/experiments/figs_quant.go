@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"vaq/internal/core"
+	"vaq/internal/eval"
+)
+
+// RunFig1 reproduces Figure 1: PQ, OPQ, Bolt, PQFS and VAQ at a 256-bit
+// budget with 64 subspaces (4 bits/subspace for the uniform methods) on
+// SIFT, DEEP and SALD. Reported: recall@100 and average query time.
+// Expected shape: VAQ beats everyone on recall and beats PQ/OPQ/PQFS on
+// time; Bolt is fastest-or-close but least accurate; OPQ only marginally
+// improves on PQ (and can regress on SALD).
+func RunFig1(w io.Writer, s Scale) error {
+	const budget, segs, k = 256, 64, 100
+	for _, name := range []string{"SIFT", "DEEP", "SALD"} {
+		ds, gt, err := largeDataset(name, s, k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== %s (n=%d d=%d, budget=%d bits, %d subspaces, recall@%d) ==\n",
+			name, ds.Base.Rows, ds.Dim(), budget, segs, k)
+		cfg := vaqConfig(budget, segs, s.Seed)
+		cfg.MaxBits = 8
+		vaqM, err := buildVAQ("VAQ", ds, cfg, core.SearchOptions{VisitFrac: 0.25})
+		if err != nil {
+			return err
+		}
+		pqM, err := buildPQ("PQ", ds, segs, budget/segs, s.Seed)
+		if err != nil {
+			return err
+		}
+		opqM, err := buildOPQ("OPQ", ds, segs, budget/segs, s.Seed)
+		if err != nil {
+			return err
+		}
+		boltM, err := buildBolt("Bolt", ds, budget, s.Seed)
+		if err != nil {
+			return err
+		}
+		pqfsM, err := buildPQFS("PQFS", ds, segs, budget/segs, s.Seed)
+		if err != nil {
+			return err
+		}
+		var rows []measured
+		for _, m := range []*method{vaqM, pqM, opqM, boltM, pqfsM} {
+			row, err := evaluate(m, ds.Queries, gt, k)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		printTable(w, rows, "PQ")
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunFig6 reproduces Figure 6: VAQ vs PQ, OPQ and ITQ-LSH under the
+// paper's standard settings (256 bits / 32 subspaces for SIFT, SALD and
+// DEEP; 128 bits / 16 subspaces for ASTRO and SEISMIC; VAQ min 1 / max 13
+// bits). Reported: MAP@100 and average query time. Expected shape: VAQ
+// best MAP and fastest; ITQ-LSH fast-ish but far behind in accuracy.
+func RunFig6(w io.Writer, s Scale) error {
+	const k = 100
+	type setting struct {
+		name         string
+		budget, segs int
+	}
+	settings := []setting{
+		{"SIFT", 256, 32}, {"SALD", 256, 32}, {"DEEP", 256, 32},
+		{"ASTRO", 128, 16}, {"SEISMIC", 128, 16},
+	}
+	for _, st := range settings {
+		ds, gt, err := largeDataset(st.name, s, k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== %s (n=%d d=%d, budget=%d bits, %d subspaces, MAP@%d) ==\n",
+			st.name, ds.Base.Rows, ds.Dim(), st.budget, st.segs, k)
+		vaqM, err := buildVAQ("VAQ", ds, vaqConfig(st.budget, st.segs, s.Seed),
+			core.SearchOptions{VisitFrac: 0.25})
+		if err != nil {
+			return err
+		}
+		pqM, err := buildPQ("PQ", ds, st.segs, st.budget/st.segs, s.Seed)
+		if err != nil {
+			return err
+		}
+		opqM, err := buildOPQ("OPQ", ds, st.segs, st.budget/st.segs, s.Seed)
+		if err != nil {
+			return err
+		}
+		itqM, err := buildITQ("ITQ-LSH", ds, st.budget, s.Seed)
+		if err != nil {
+			return err
+		}
+		var rows []measured
+		for _, m := range []*method{vaqM, pqM, opqM, itqM} {
+			row, err := evaluate(m, ds.Queries, gt, k)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		printTable(w, rows, "PQ")
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunFig7 reproduces Figure 7: one VAQ index per dataset, queried under
+// the four pruning settings — Heap (no pruning), EA, TI+EA visiting 25%
+// of the 1000 clusters, and TI+EA visiting 10%. Expected shape: each step
+// of the cascade is faster, accuracy essentially unchanged.
+func RunFig7(w io.Writer, s Scale) error {
+	const k = 100
+	type setting struct {
+		name         string
+		budget, segs int
+	}
+	settings := []setting{
+		{"SIFT", 256, 32}, {"SALD", 256, 32}, {"DEEP", 256, 32},
+		{"ASTRO", 128, 16}, {"SEISMIC", 128, 16},
+	}
+	for _, st := range settings {
+		ds, gt, err := largeDataset(st.name, s, k)
+		if err != nil {
+			return err
+		}
+		cfg := vaqConfig(st.budget, st.segs, s.Seed)
+		ix, err := core.Build(ds.Train, ds.Base, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== %s (n=%d, %d TI clusters) ==\n", st.name, ds.Base.Rows, ix.TIClusterCount())
+		variants := []struct {
+			name string
+			opt  core.SearchOptions
+		}{
+			{"Heap", core.SearchOptions{Mode: core.ModeHeap}},
+			{"EA", core.SearchOptions{Mode: core.ModeEA}},
+			{"TI+EA-0.25", core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: 0.25}},
+			{"TI+EA-0.1", core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: 0.10}},
+		}
+		var rows []measured
+		for _, v := range variants {
+			searcher := ix.NewSearcher()
+			opt := v.opt
+			m := &method{name: v.name, search: func(q []float32, k int) ([]int, error) {
+				res, err := searcher.Search(q, k, opt)
+				if err != nil {
+					return nil, err
+				}
+				return eval.IDs(res), nil
+			}}
+			row, err := evaluate(m, ds.Queries, gt, k)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		printTable(w, rows, "Heap")
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunFig8 reproduces Figure 8: VAQ against the hardware-accelerated
+// scanners Bolt and PQFS at a 256-bit budget, reporting recall@100, query
+// time, and the speedup@recall of VAQ over each rival (valid whenever VAQ
+// reaches at least the rival's recall). Expected shape: VAQ dominates both
+// on speedup@recall; Bolt is fast but inaccurate; PQFS accurate but slow.
+func RunFig8(w io.Writer, s Scale) error {
+	const budget, k = 256, 100
+	for _, name := range []string{"SIFT", "DEEP", "SALD"} {
+		ds, gt, err := largeDataset(name, s, k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== %s (budget=%d bits, recall@%d) ==\n", name, budget, k)
+		cfg := vaqConfig(budget, 64, s.Seed)
+		cfg.MaxBits = 8
+		vaqM, err := buildVAQ("VAQ", ds, cfg, core.SearchOptions{VisitFrac: 0.10})
+		if err != nil {
+			return err
+		}
+		boltM, err := buildBolt("Bolt", ds, budget, s.Seed)
+		if err != nil {
+			return err
+		}
+		pqfsM, err := buildPQFS("PQFS", ds, 64, budget/64, s.Seed)
+		if err != nil {
+			return err
+		}
+		var rows []measured
+		for _, m := range []*method{vaqM, boltM, pqfsM} {
+			row, err := evaluate(m, ds.Queries, gt, k)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		printTable(w, rows, "")
+		vaqRow := rows[0]
+		for _, r := range rows[1:] {
+			if vaqRow.recall >= r.recall-1e-9 && vaqRow.avgQuerySec > 0 {
+				fmt.Fprintf(w, "speedup@recall of VAQ vs %s: %.2fx (VAQ recall %.4f >= %s recall %.4f)\n",
+					r.name, r.avgQuerySec/vaqRow.avgQuerySec, vaqRow.recall, r.name, r.recall)
+			} else {
+				fmt.Fprintf(w, "speedup@recall of VAQ vs %s: n/a (VAQ recall %.4f < %.4f)\n",
+					r.name, vaqRow.recall, r.recall)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunFig9 reproduces Figure 9 on SIFT: every combination of uniform vs
+// clustered (non-uniform) subspaces with uniform vs adaptive bit
+// allocation, across budgets and segment counts. Expected shape: adaptive
+// allocation always helps; non-uniform subspaces alone do not.
+func RunFig9(w io.Writer, s Scale) error {
+	const k = 100
+	ds, gt, err := largeDataset("SIFT", s, k)
+	if err != nil {
+		return err
+	}
+	budgets := []int{256, 128}
+	segss := []int{64, 32, 16}
+	if s.N <= QuickScale.N {
+		budgets = []int{128}
+		segss = []int{32, 16}
+	}
+	for _, budget := range budgets {
+		for _, segs := range segss {
+			fmt.Fprintf(w, "== SIFT budget=%d bits, %d segments (recall@%d) ==\n", budget, segs, k)
+			var rows []measured
+			for _, nonUniform := range []bool{false, true} {
+				for _, adaptive := range []bool{false, true} {
+					cfg := vaqConfig(budget, segs, s.Seed)
+					cfg.MaxBits = 8
+					cfg.NonUniform = nonUniform
+					if !adaptive {
+						cfg.Alloc = core.AllocUniform
+					}
+					name := "uniform-subs"
+					if nonUniform {
+						name = "clustered-subs"
+					}
+					if adaptive {
+						name += "+adaptive-bits"
+					} else {
+						name += "+uniform-bits"
+					}
+					m, err := buildVAQ(name, ds, cfg, core.SearchOptions{Mode: core.ModeHeap})
+					if err != nil {
+						return err
+					}
+					row, err := evaluate(m, ds.Queries, gt, k)
+					if err != nil {
+						return err
+					}
+					rows = append(rows, row)
+				}
+			}
+			printTable(w, rows, "")
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// RunAblationAlloc compares the three bit-allocation strategies (DESIGN.md
+// §5) on the strongly-skewed SALD stand-in and prints the allocations.
+func RunAblationAlloc(w io.Writer, s Scale) error {
+	const k = 100
+	ds, gt, err := largeDataset("SALD", s, k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== SALD (n=%d, 128 bits, 16 subspaces, recall@%d) ==\n", ds.Base.Rows, k)
+	var rows []measured
+	for _, st := range []core.AllocStrategy{core.AllocMILP, core.AllocTransformCoding, core.AllocUniform} {
+		cfg := vaqConfig(128, 16, s.Seed)
+		cfg.Alloc = st
+		ix, err := core.Build(ds.Train, ds.Base, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "allocation[%s] = %v\n", st, ix.Bits())
+		searcher := ix.NewSearcher()
+		m := &method{name: st.String(), search: func(q []float32, k int) ([]int, error) {
+			res, err := searcher.Search(q, k, core.SearchOptions{VisitFrac: 0.25})
+			if err != nil {
+				return nil, err
+			}
+			return eval.IDs(res), nil
+		}}
+		row, err := evaluate(m, ds.Queries, gt, k)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+	printTable(w, rows, "")
+	return nil
+}
+
+// RunAblationTI sweeps the TI visit fraction (DESIGN.md §5) and reports
+// the recall/time trade-off, with VisitFrac = 1.0 as the exact-scan
+// anchor.
+func RunAblationTI(w io.Writer, s Scale) error {
+	const k = 100
+	ds, gt, err := largeDataset("SALD", s, k)
+	if err != nil {
+		return err
+	}
+	cfg := vaqConfig(256, 32, s.Seed)
+	ix, err := core.Build(ds.Train, ds.Base, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== SALD (n=%d, 256 bits, 32 subspaces, %d TI clusters, recall@%d) ==\n",
+		ds.Base.Rows, ix.TIClusterCount(), k)
+	var rows []measured
+	for _, frac := range []float64{0.05, 0.10, 0.25, 0.50, 1.00} {
+		searcher := ix.NewSearcher()
+		f := frac
+		m := &method{name: fmt.Sprintf("visit-%.2f", f), search: func(q []float32, k int) ([]int, error) {
+			res, err := searcher.Search(q, k, core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: f})
+			if err != nil {
+				return nil, err
+			}
+			return eval.IDs(res), nil
+		}}
+		row, err := evaluate(m, ds.Queries, gt, k)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+	printTable(w, rows, "visit-1.00")
+	return nil
+}

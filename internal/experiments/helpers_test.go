@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vaq/internal/vec"
+)
+
+func TestRerank(t *testing.T) {
+	base, _ := vec.FromRows([][]float32{
+		{0, 0}, {5, 0}, {1, 0}, {10, 0},
+	})
+	q := []float32{0.4, 0}
+	// Candidates in arbitrary order; rerank must sort by true distance.
+	got := rerank(base, q, []int{3, 1, 0, 2}, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("rerank got %v", got)
+	}
+	// k larger than candidate list clamps.
+	got = rerank(base, q, []int{1}, 5)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("clamped rerank got %v", got)
+	}
+	if out := rerank(base, q, nil, 3); len(out) != 0 {
+		t.Fatalf("empty candidates: %v", out)
+	}
+}
+
+func TestPrintTableSpeedupColumn(t *testing.T) {
+	rows := []measured{
+		{name: "ref", recall: 0.9, mapScore: 0.8, avgQuerySec: 0.002, buildSeconds: 1},
+		{name: "fast", recall: 0.85, mapScore: 0.75, avgQuerySec: 0.001, buildSeconds: 2},
+	}
+	var buf bytes.Buffer
+	printTable(&buf, rows, "ref")
+	out := buf.String()
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "2.00x") {
+		t.Fatalf("speedup column missing:\n%s", out)
+	}
+	buf.Reset()
+	printTable(&buf, rows, "")
+	if strings.Contains(buf.String(), "speedup") {
+		t.Fatalf("speedup column should be absent:\n%s", buf.String())
+	}
+}
+
+func TestBuildTimedPropagatesErrors(t *testing.T) {
+	_, err := buildTimed("boom", func() (searchFunc, error) {
+		return nil, errBoom
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+var errBoom = &strErr{"synthetic failure"}
+
+type strErr struct{ s string }
+
+func (e *strErr) Error() string { return e.s }

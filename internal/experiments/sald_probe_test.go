@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"vaq/internal/core"
+)
+
+// TestProbeSALDNonUniform is a tuning aid (see TestProbeSmoothness):
+// compares uniform vs non-uniform subspaces at the Figure 6 SALD
+// configuration. Run with VAQ_PROBE=1.
+func TestProbeSALDNonUniform(t *testing.T) {
+	if os.Getenv("VAQ_PROBE") == "" {
+		t.Skip("probe disabled (set VAQ_PROBE=1)")
+	}
+	s := Scale{N: 20000, NQ: 50, Seed: 42}
+	const k = 100
+	ds, gt, err := largeDataset("SALD", s, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nonUniform := range []bool{false, true} {
+		cfg := vaqConfig(256, 32, 42)
+		cfg.NonUniform = nonUniform
+		m, err := buildVAQ("VAQ", ds, cfg, core.SearchOptions{VisitFrac: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := evaluate(m, ds.Queries, gt, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("nonUniform=%v: recall %.4f MAP %.4f (%.2fms, build %.1fs)",
+			nonUniform, row.recall, row.mapScore, row.avgQuerySec*1000, row.buildSeconds)
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"vaq/internal/core"
+	"vaq/internal/dataset"
+	"vaq/internal/eval"
+)
+
+// TestProbeSmoothness is a tuning aid, not a regression test: it prints
+// VAQ-vs-PQ recall across the RandomWalk smoothness knob at the Figure 6
+// configuration (256 bits, 32 subspaces), which is how the generator
+// settings in dataset.Large were calibrated (see DESIGN.md "Generator
+// rationale"). Run explicitly with:
+//
+//	VAQ_PROBE=1 go test ./internal/experiments -run TestProbeSmoothness -v
+func TestProbeSmoothness(t *testing.T) {
+	if os.Getenv("VAQ_PROBE") == "" {
+		t.Skip("probe disabled (set VAQ_PROBE=1)")
+	}
+	const n, nq, k = 8000, 25, 100
+	for _, sm := range []float64{0.3, 0.5, 0.65, 0.75, 0.9} {
+		rng := rand.New(rand.NewSource(42))
+		base := dataset.RandomWalk(rng, n, 128, sm)
+		queries := dataset.NoisyQueries(rng, base, nq, 0.02, 0.3)
+		ds := &dataset.Dataset{Name: "probe", Base: base, Train: base, Queries: queries}
+		gt, err := eval.GroundTruth(base, queries, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vaqM, err := buildVAQ("VAQ", ds, vaqConfig(256, 32, 42),
+			core.SearchOptions{VisitFrac: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pqM, err := buildPQ("PQ", ds, 32, 8, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := evaluate(vaqM, queries, gt, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := evaluate(pqM, queries, gt, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("smoothness %.2f: VAQ %.4f (%.2fms)  PQ %.4f (%.2fms)",
+			sm, v.recall, v.avgQuerySec*1000, p.recall, p.avgQuerySec*1000)
+	}
+}

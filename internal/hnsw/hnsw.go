@@ -1,0 +1,317 @@
+// Package hnsw implements the Hierarchical Navigable Small World graph
+// index (Malkov & Yashunin; paper §II-C "State of the Art" and Figure 12).
+// It is a from-scratch implementation of the standard algorithm: an
+// exponentially-leveled multi-layer proximity graph, greedy descent through
+// the upper layers, beam search (efSearch) at the base layer, and the
+// neighbor-selection heuristic that keeps graphs navigable on clustered
+// data.
+package hnsw
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vaq/internal/vec"
+)
+
+// Config controls graph construction.
+type Config struct {
+	// M is the out-degree target for upper layers (base layer allows 2M).
+	M int
+	// EFConstruction is the beam width during insertion.
+	EFConstruction int
+	// Seed drives level sampling.
+	Seed int64
+	// Heuristic enables the diversity-aware neighbor selection of the
+	// HNSW paper (select-neighbors-heuristic); plain closest-M otherwise.
+	Heuristic bool
+}
+
+// Index is a built HNSW graph over an in-memory vector matrix.
+type Index struct {
+	data       *vec.Matrix
+	links      [][][]int32 // links[level][node] = neighbor ids
+	maxLevel   int
+	entryPoint int32
+	m          int
+	mMax0      int
+	efC        int
+	levelMult  float64
+	rng        *rand.Rand
+	n          int
+}
+
+// Build constructs the graph by inserting every row of data.
+func Build(data *vec.Matrix, cfg Config) (*Index, error) {
+	if data.Rows == 0 {
+		return nil, fmt.Errorf("hnsw: empty data")
+	}
+	if cfg.M < 2 {
+		return nil, fmt.Errorf("hnsw: M must be >= 2, got %d", cfg.M)
+	}
+	if cfg.EFConstruction < cfg.M {
+		return nil, fmt.Errorf("hnsw: EFConstruction %d must be >= M %d", cfg.EFConstruction, cfg.M)
+	}
+	ix := &Index{
+		data:       data,
+		m:          cfg.M,
+		mMax0:      2 * cfg.M,
+		efC:        cfg.EFConstruction,
+		levelMult:  1 / math.Log(float64(cfg.M)),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		entryPoint: -1,
+		maxLevel:   -1,
+		n:          data.Rows,
+	}
+	for i := 0; i < data.Rows; i++ {
+		ix.insert(int32(i), cfg.Heuristic)
+	}
+	return ix, nil
+}
+
+// Len reports the number of indexed vectors.
+func (ix *Index) Len() int { return ix.n }
+
+func (ix *Index) dist(a, b int32) float32 {
+	return vec.SquaredL2(ix.data.Row(int(a)), ix.data.Row(int(b)))
+}
+
+func (ix *Index) distQ(q []float32, b int32) float32 {
+	return vec.SquaredL2(q, ix.data.Row(int(b)))
+}
+
+func (ix *Index) randomLevel() int {
+	return int(math.Floor(-math.Log(ix.rng.Float64()+1e-12) * ix.levelMult))
+}
+
+// candidate heaps: a min-heap on distance for expansion and a max-heap for
+// the result set.
+type candidate struct {
+	id   int32
+	dist float32
+}
+
+type minHeap []candidate
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type maxHeap []candidate
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// searchLayer runs the beam search of the HNSW paper at one layer,
+// returning up to ef closest found nodes.
+func (ix *Index) searchLayer(q []float32, entry int32, ef, level int, visited map[int32]bool) []candidate {
+	for k := range visited {
+		delete(visited, k)
+	}
+	d0 := ix.distQ(q, entry)
+	cands := minHeap{{entry, d0}}
+	results := maxHeap{{entry, d0}}
+	visited[entry] = true
+	for len(cands) > 0 {
+		c := heap.Pop(&cands).(candidate)
+		if len(results) >= ef && c.dist > results[0].dist {
+			break
+		}
+		for _, nb := range ix.links[level][c.id] {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			d := ix.distQ(q, nb)
+			if len(results) < ef || d < results[0].dist {
+				heap.Push(&cands, candidate{nb, d})
+				heap.Push(&results, candidate{nb, d})
+				if len(results) > ef {
+					heap.Pop(&results)
+				}
+			}
+		}
+	}
+	out := make([]candidate, len(results))
+	copy(out, results)
+	return out
+}
+
+// selectNeighbors picks up to m links for a new node. With the heuristic
+// enabled, a candidate is kept only if it is closer to the query than to
+// every already-kept neighbor (diversity pruning).
+func (ix *Index) selectNeighbors(cands []candidate, m int, heuristic bool) []int32 {
+	// Sort ascending by distance (insertion sort; candidate sets are small).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].dist < cands[j-1].dist; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	if !heuristic {
+		out := make([]int32, 0, m)
+		for _, c := range cands {
+			if len(out) == m {
+				break
+			}
+			out = append(out, c.id)
+		}
+		return out
+	}
+	out := make([]int32, 0, m)
+	for _, c := range cands {
+		if len(out) == m {
+			break
+		}
+		keep := true
+		for _, kept := range out {
+			if ix.dist(c.id, kept) < c.dist {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, c.id)
+		}
+	}
+	// Backfill with closest skipped candidates if under-full.
+	if len(out) < m {
+		have := make(map[int32]bool, len(out))
+		for _, id := range out {
+			have[id] = true
+		}
+		for _, c := range cands {
+			if len(out) == m {
+				break
+			}
+			if !have[c.id] {
+				out = append(out, c.id)
+			}
+		}
+	}
+	return out
+}
+
+func (ix *Index) insert(id int32, heuristic bool) {
+	level := ix.randomLevel()
+	for len(ix.links) <= level {
+		layer := make([][]int32, ix.n)
+		ix.links = append(ix.links, layer)
+	}
+	if ix.entryPoint < 0 {
+		ix.entryPoint = id
+		ix.maxLevel = level
+		return
+	}
+	q := ix.data.Row(int(id))
+	visited := make(map[int32]bool)
+	ep := ix.entryPoint
+	// Greedy descent through layers above the node's level.
+	for l := ix.maxLevel; l > level; l-- {
+		changed := true
+		d := ix.distQ(q, ep)
+		for changed {
+			changed = false
+			for _, nb := range ix.links[l][ep] {
+				if nd := ix.distQ(q, nb); nd < d {
+					d = nd
+					ep = nb
+					changed = true
+				}
+			}
+		}
+	}
+	// Connect on each layer from min(level, maxLevel) down to 0.
+	top := level
+	if top > ix.maxLevel {
+		top = ix.maxLevel
+	}
+	for l := top; l >= 0; l-- {
+		cands := ix.searchLayer(q, ep, ix.efC, l, visited)
+		mm := ix.m
+		if l == 0 {
+			mm = ix.mMax0
+		}
+		neighbors := ix.selectNeighbors(cands, ix.m, heuristic)
+		ix.links[l][id] = neighbors
+		for _, nb := range neighbors {
+			ix.links[l][nb] = append(ix.links[l][nb], id)
+			if len(ix.links[l][nb]) > mm {
+				// Shrink: keep the mm closest links of nb.
+				shrink := make([]candidate, 0, len(ix.links[l][nb]))
+				for _, x := range ix.links[l][nb] {
+					shrink = append(shrink, candidate{x, ix.dist(nb, x)})
+				}
+				ix.links[l][nb] = ix.selectNeighbors(shrink, mm, heuristic)
+			}
+		}
+		if len(cands) > 0 {
+			// Next layer starts from the best found here.
+			best := cands[0]
+			for _, c := range cands[1:] {
+				if c.dist < best.dist {
+					best = c
+				}
+			}
+			ep = best.id
+		}
+	}
+	if level > ix.maxLevel {
+		ix.maxLevel = level
+		ix.entryPoint = id
+	}
+}
+
+// Search returns the approximate k nearest neighbors of q using beam width
+// efSearch (>= k).
+func (ix *Index) Search(q []float32, k, efSearch int) ([]vec.Neighbor, error) {
+	if len(q) != ix.data.Cols {
+		return nil, fmt.Errorf("hnsw: query dim %d, index dim %d", len(q), ix.data.Cols)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("hnsw: k must be >= 1, got %d", k)
+	}
+	if efSearch < k {
+		efSearch = k
+	}
+	ep := ix.entryPoint
+	for l := ix.maxLevel; l > 0; l-- {
+		changed := true
+		d := ix.distQ(q, ep)
+		for changed {
+			changed = false
+			for _, nb := range ix.links[l][ep] {
+				if nd := ix.distQ(q, nb); nd < d {
+					d = nd
+					ep = nb
+					changed = true
+				}
+			}
+		}
+	}
+	visited := make(map[int32]bool)
+	cands := ix.searchLayer(q, ep, efSearch, 0, visited)
+	tk := vec.NewTopK(k)
+	for _, c := range cands {
+		tk.Push(int(c.id), c.dist)
+	}
+	return tk.Results(), nil
+}

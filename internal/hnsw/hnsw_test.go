@@ -1,0 +1,137 @@
+package hnsw
+
+import (
+	"math/rand"
+	"testing"
+
+	"vaq/internal/eval"
+	"vaq/internal/vec"
+)
+
+func uniform(rng *rand.Rand, n, d int) *vec.Matrix {
+	x := vec.NewMatrix(n, d)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	return x
+}
+
+func TestBuildValidation(t *testing.T) {
+	x := uniform(rand.New(rand.NewSource(1)), 10, 4)
+	if _, err := Build(vec.NewMatrix(0, 4), Config{M: 8, EFConstruction: 100}); err == nil {
+		t.Fatal("empty data must fail")
+	}
+	if _, err := Build(x, Config{M: 1, EFConstruction: 100}); err == nil {
+		t.Fatal("M=1 must fail")
+	}
+	if _, err := Build(x, Config{M: 8, EFConstruction: 4}); err == nil {
+		t.Fatal("efC < M must fail")
+	}
+}
+
+func TestExactOnSmallSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := uniform(rng, 200, 8)
+	ix, err := Build(x, Config{M: 8, EFConstruction: 100, Seed: 2, Heuristic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 200 {
+		t.Fatalf("len %d", ix.Len())
+	}
+	// With ef >= n the search is effectively exhaustive.
+	for trial := 0; trial < 10; trial++ {
+		qi := rng.Intn(200)
+		res, err := ix.Search(x.Row(qi), 1, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].ID != qi || res[0].Dist != 0 {
+			t.Fatalf("self search returned %v", res[0])
+		}
+	}
+}
+
+func TestRecallAgainstGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := uniform(rng, 3000, 16)
+	queries := uniform(rng, 30, 16)
+	ix, err := Build(x, Config{M: 12, EFConstruction: 150, Seed: 3, Heuristic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := eval.GroundTruth(x, queries, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([][]int, queries.Rows)
+	for qi := 0; qi < queries.Rows; qi++ {
+		res, err := ix.Search(queries.Row(qi), 10, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[qi] = eval.IDs(res)
+	}
+	recall := eval.Recall(results, gt, 10)
+	if recall < 0.85 {
+		t.Fatalf("HNSW recall@10 = %v, want >= 0.85", recall)
+	}
+}
+
+func TestEFSearchTradesRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := uniform(rng, 2000, 12)
+	queries := uniform(rng, 25, 12)
+	ix, err := Build(x, Config{M: 8, EFConstruction: 100, Seed: 4, Heuristic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, _ := eval.GroundTruth(x, queries, 10)
+	recallAt := func(ef int) float64 {
+		results := make([][]int, queries.Rows)
+		for qi := 0; qi < queries.Rows; qi++ {
+			res, _ := ix.Search(queries.Row(qi), 10, ef)
+			results[qi] = eval.IDs(res)
+		}
+		return eval.Recall(results, gt, 10)
+	}
+	low, high := recallAt(10), recallAt(200)
+	if high < low-0.02 {
+		t.Fatalf("higher ef must not reduce recall: ef10=%v ef200=%v", low, high)
+	}
+	if high < 0.85 {
+		t.Fatalf("ef=200 recall %v too low", high)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := uniform(rng, 50, 4)
+	ix, err := Build(x, Config{M: 4, EFConstruction: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search(make([]float32, 3), 5, 10); err == nil {
+		t.Fatal("bad dim must fail")
+	}
+	if _, err := ix.Search(x.Row(0), 0, 10); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	// efSearch below k is raised silently.
+	res, err := ix.Search(x.Row(0), 5, 1)
+	if err != nil || len(res) != 5 {
+		t.Fatalf("ef clamp: %v %v", res, err)
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	x := uniform(rand.New(rand.NewSource(6)), 1, 4)
+	ix, err := Build(x, Config{M: 4, EFConstruction: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.Search(x.Row(0), 3, 10)
+	if err != nil || len(res) != 1 || res[0].ID != 0 {
+		t.Fatalf("single element: %v %v", res, err)
+	}
+}

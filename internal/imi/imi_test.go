@@ -1,0 +1,113 @@
+package imi
+
+import (
+	"math/rand"
+	"testing"
+
+	"vaq/internal/eval"
+	"vaq/internal/quantizer"
+	"vaq/internal/vec"
+)
+
+func clustered(rng *rand.Rand, n, d int) *vec.Matrix {
+	x := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		r := x.Row(i)
+		for j := 0; j < d; j++ {
+			r[j] = float32(rng.Intn(5))*2 + float32(rng.NormFloat64()*0.3)
+		}
+	}
+	return x
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := clustered(rng, 100, 8)
+	if _, err := Build(x, x, Config{CoarseBits: 0}); err == nil {
+		t.Fatal("CoarseBits=0 must fail")
+	}
+	if _, err := Build(x, x, Config{CoarseBits: 13}); err == nil {
+		t.Fatal("CoarseBits=13 must fail")
+	}
+}
+
+func TestSearchFindsNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := clustered(rng, 2000, 16)
+	ix, err := Build(x, x, Config{
+		CoarseBits: 4,
+		OPQ:        quantizer.OPQConfig{M: 4, BitsPerSubspace: 8, Train: quantizer.TrainConfig{Seed: 2}},
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 2000 {
+		t.Fatalf("len %d", ix.Len())
+	}
+	queries := clustered(rng, 15, 16)
+	gt, _ := eval.GroundTruth(x, queries, 10)
+	results := make([][]int, queries.Rows)
+	for qi := 0; qi < queries.Rows; qi++ {
+		res, err := ix.Search(queries.Row(qi), 10, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[qi] = eval.IDs(res)
+	}
+	recall := eval.Recall(results, gt, 10)
+	if recall < 0.4 {
+		t.Fatalf("IMI recall@10 = %v too low", recall)
+	}
+}
+
+func TestMoreCandidatesMoreRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := clustered(rng, 1500, 12)
+	ix, err := Build(x, x, Config{
+		CoarseBits: 4,
+		OPQ:        quantizer.OPQConfig{M: 4, BitsPerSubspace: 6, Train: quantizer.TrainConfig{Seed: 3}},
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := clustered(rng, 10, 12)
+	gt, _ := eval.GroundTruth(x, queries, 10)
+	recallAt := func(cand int) float64 {
+		results := make([][]int, queries.Rows)
+		for qi := 0; qi < queries.Rows; qi++ {
+			res, _ := ix.Search(queries.Row(qi), 10, cand)
+			results[qi] = eval.IDs(res)
+		}
+		return eval.Recall(results, gt, 10)
+	}
+	small, large := recallAt(20), recallAt(1500)
+	if large < small-1e-9 {
+		t.Fatalf("more candidates must not reduce recall: %v vs %v", small, large)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := clustered(rng, 300, 8)
+	ix, err := Build(x, x, Config{
+		CoarseBits: 3,
+		OPQ:        quantizer.OPQConfig{M: 2, BitsPerSubspace: 4, Train: quantizer.TrainConfig{Seed: 4}},
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search(make([]float32, 3), 5, 10); err == nil {
+		t.Fatal("bad dim must fail")
+	}
+	if _, err := ix.Search(x.Row(0), 0, 10); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	// candidates below k is clamped.
+	res, err := ix.Search(x.Row(0), 5, 1)
+	if err != nil || len(res) == 0 {
+		t.Fatalf("clamped candidates: %v %v", res, err)
+	}
+}

@@ -1,0 +1,403 @@
+// Package isax implements an iSAX2+-style tree index (Camerra et al.;
+// paper §II-C and Figure 11): series are summarized by PAA, discretized
+// into iSAX words with per-segment variable cardinality, and organized in a
+// tree whose leaves split by promoting one segment to the next cardinality.
+// Queries descend by lower bound (the classic MINDIST_PAA_iSAX), visiting
+// either a fixed number of leaves (the "ng-approximate" mode of [37]) or
+// running a best-first search with an epsilon-relaxed bound.
+package isax
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"vaq/internal/vec"
+)
+
+// maxCardBits is the deepest per-segment cardinality (2^8 symbols).
+const maxCardBits = 8
+
+// breakpoints[b] holds the 2^b - 1 standard-normal breakpoints separating
+// 2^b equiprobable regions; computed once at package init.
+var breakpoints [maxCardBits + 1][]float64
+
+func init() {
+	for b := 1; b <= maxCardBits; b++ {
+		card := 1 << b
+		bp := make([]float64, card-1)
+		for i := 1; i < card; i++ {
+			bp[i-1] = normalQuantile(float64(i) / float64(card))
+		}
+		breakpoints[b] = bp
+	}
+}
+
+// normalQuantile inverts the standard normal CDF (Acklam's rational
+// approximation; |error| < 1.15e-9, ample for SAX breakpoints).
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	a := []float64{-39.69683028665376, 220.9460984245205, -275.9285104469687,
+		138.3577518672690, -30.66479806614716, 2.506628277459239}
+	b := []float64{-54.47609879822406, 161.5858368580409, -155.6989798598866,
+		66.80131188771972, -13.28068155288572}
+	c := []float64{-0.007784894002430293, -0.3223964580411365, -2.400758277161838,
+		-2.549732539343734, 4.374664141464968, 2.938163982698783}
+	d := []float64{0.007784695709041462, 0.3224671290700398, 2.445134137142996,
+		3.754408661907416}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// Config controls Build.
+type Config struct {
+	// Segments is the PAA word length (paper-style default 16).
+	Segments int
+	// LeafCapacity is the split threshold (default 100).
+	LeafCapacity int
+}
+
+// node is a tree node. Leaves hold member ids; internal nodes hold two
+// children produced by promoting segment splitSeg one cardinality bit.
+type node struct {
+	// card[s] is the cardinality (in bits) this node's word uses per
+	// segment; word[s] is the symbol under that cardinality.
+	card []uint8
+	word []uint16
+	// leaf members (nil for internal nodes).
+	members []int32
+	// split info for internal nodes.
+	splitSeg int
+	children [2]*node
+}
+
+// Index is a built iSAX tree.
+type Index struct {
+	data     *vec.Matrix
+	segments int
+	leafCap  int
+	root     *node // synthetic root over first-bit words
+	rootKids map[uint16]*node
+	paa      []float32 // n x segments
+	n        int
+	segLen   float64
+}
+
+// Build constructs the tree over z-normalized (or any) series.
+func Build(data *vec.Matrix, cfg Config) (*Index, error) {
+	if data.Rows == 0 {
+		return nil, fmt.Errorf("isax: empty data")
+	}
+	if cfg.Segments < 1 || cfg.Segments > data.Cols {
+		return nil, fmt.Errorf("isax: Segments=%d invalid for length %d", cfg.Segments, data.Cols)
+	}
+	if cfg.Segments > 16 {
+		return nil, fmt.Errorf("isax: Segments=%d exceeds 16 (root word key width)", cfg.Segments)
+	}
+	if cfg.LeafCapacity <= 0 {
+		cfg.LeafCapacity = 100
+	}
+	ix := &Index{
+		data:     data,
+		segments: cfg.Segments,
+		leafCap:  cfg.LeafCapacity,
+		rootKids: make(map[uint16]*node),
+		paa:      make([]float32, data.Rows*cfg.Segments),
+		n:        data.Rows,
+		segLen:   float64(data.Cols) / float64(cfg.Segments),
+	}
+	for i := 0; i < data.Rows; i++ {
+		computePAA(data.Row(i), ix.paaRow(i))
+	}
+	for i := 0; i < data.Rows; i++ {
+		ix.insert(int32(i))
+	}
+	return ix, nil
+}
+
+func (ix *Index) paaRow(i int) []float32 {
+	return ix.paa[i*ix.segments : (i+1)*ix.segments]
+}
+
+// computePAA fills out with the piecewise aggregate approximation of x.
+func computePAA(x []float32, out []float32) {
+	d := len(x)
+	w := len(out)
+	for s := 0; s < w; s++ {
+		lo := s * d / w
+		hi := (s + 1) * d / w
+		if hi == lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for j := lo; j < hi; j++ {
+			sum += float64(x[j])
+		}
+		out[s] = float32(sum / float64(hi-lo))
+	}
+}
+
+// symbol maps a PAA value to its SAX symbol at the given cardinality bits.
+func symbol(v float64, bits uint8) uint16 {
+	bp := breakpoints[bits]
+	// Binary search: number of breakpoints below v.
+	idx := sort.SearchFloat64s(bp, v)
+	return uint16(idx)
+}
+
+// Len reports the number of indexed series.
+func (ix *Index) Len() int { return ix.n }
+
+func (ix *Index) insert(id int32) {
+	paa := ix.paaRow(int(id))
+	// Root children keyed by the full 1-bit word.
+	var key uint16
+	for s := 0; s < ix.segments; s++ {
+		key = key<<1 | symbol(float64(paa[s]), 1)&1
+	}
+	nd, ok := ix.rootKids[key]
+	if !ok {
+		card := make([]uint8, ix.segments)
+		word := make([]uint16, ix.segments)
+		for s := 0; s < ix.segments; s++ {
+			card[s] = 1
+			word[s] = symbol(float64(paa[s]), 1)
+		}
+		nd = &node{card: card, word: word}
+		ix.rootKids[key] = nd
+	}
+	ix.insertInto(nd, id)
+}
+
+func (ix *Index) insertInto(nd *node, id int32) {
+	for nd.children[0] != nil {
+		paa := ix.paaRow(int(id))
+		s := nd.splitSeg
+		bit := symbol(float64(paa[s]), nd.children[0].card[s]) & 1
+		nd = nd.children[bit]
+	}
+	nd.members = append(nd.members, id)
+	if len(nd.members) > ix.leafCap {
+		ix.split(nd)
+	}
+}
+
+// split promotes one segment's cardinality by a bit and redistributes the
+// leaf's members between the two refined children (iSAX 2.0 node split).
+func (ix *Index) split(nd *node) {
+	// Choose the segment whose members' PAA values have the highest
+	// variance among segments that can still be refined.
+	best, bestVar := -1, -1.0
+	for s := 0; s < ix.segments; s++ {
+		if nd.card[s] >= maxCardBits {
+			continue
+		}
+		var mean, ss float64
+		for _, id := range nd.members {
+			mean += float64(ix.paaRow(int(id))[s])
+		}
+		mean /= float64(len(nd.members))
+		for _, id := range nd.members {
+			d := float64(ix.paaRow(int(id))[s]) - mean
+			ss += d * d
+		}
+		if ss > bestVar {
+			bestVar = ss
+			best = s
+		}
+	}
+	if best == -1 {
+		return // cannot refine further; oversized leaf is allowed
+	}
+	nd.splitSeg = best
+	newBits := nd.card[best] + 1
+	for b := 0; b < 2; b++ {
+		card := append([]uint8(nil), nd.card...)
+		word := append([]uint16(nil), nd.word...)
+		card[best] = newBits
+		word[best] = nd.word[best]<<1 | uint16(b)
+		nd.children[b] = &node{card: card, word: word}
+	}
+	members := nd.members
+	nd.members = nil
+	for _, id := range members {
+		paa := ix.paaRow(int(id))
+		bit := symbol(float64(paa[best]), newBits) & 1
+		ix.insertInto(nd.children[bit], id)
+	}
+}
+
+// minDistSq computes the squared MINDIST_PAA_iSAX lower bound between a
+// query's PAA and a node's iSAX word.
+func (ix *Index) minDistSq(qPaa []float32, nd *node) float32 {
+	var sum float64
+	for s := 0; s < ix.segments; s++ {
+		bits := nd.card[s]
+		bp := breakpoints[bits]
+		sym := int(nd.word[s])
+		var lo, hi float64
+		if sym == 0 {
+			lo = math.Inf(-1)
+		} else {
+			lo = bp[sym-1]
+		}
+		if sym == len(bp) {
+			hi = math.Inf(1)
+		} else {
+			hi = bp[sym]
+		}
+		q := float64(qPaa[s])
+		var gap float64
+		if q < lo {
+			gap = lo - q
+		} else if q > hi {
+			gap = q - hi
+		}
+		sum += gap * gap
+	}
+	return float32(ix.segLen * sum)
+}
+
+// leafRef pairs a leaf with its lower bound for ordering.
+type leafRef struct {
+	nd *node
+	lb float32
+}
+
+// collectLeaves gathers every leaf with its bound for the query.
+func (ix *Index) collectLeaves(qPaa []float32) []leafRef {
+	var out []leafRef
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.children[0] == nil {
+			if len(nd.members) > 0 {
+				out = append(out, leafRef{nd, ix.minDistSq(qPaa, nd)})
+			}
+			return
+		}
+		walk(nd.children[0])
+		walk(nd.children[1])
+	}
+	for _, nd := range ix.rootKids {
+		walk(nd)
+	}
+	return out
+}
+
+// SearchApprox visits the visitLeaves leaves with the smallest lower bound
+// and ranks their members by true distance (squared Euclidean). This is
+// the ng-approximate search mode the paper evaluates in Figure 11.
+func (ix *Index) SearchApprox(q []float32, k, visitLeaves int) ([]vec.Neighbor, error) {
+	if err := ix.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	if visitLeaves < 1 {
+		visitLeaves = 1
+	}
+	qPaa := make([]float32, ix.segments)
+	computePAA(q, qPaa)
+	leaves := ix.collectLeaves(qPaa)
+	sort.Slice(leaves, func(a, b int) bool { return leaves[a].lb < leaves[b].lb })
+	if visitLeaves > len(leaves) {
+		visitLeaves = len(leaves)
+	}
+	tk := vec.NewTopK(k)
+	for _, lf := range leaves[:visitLeaves] {
+		for _, id := range lf.nd.members {
+			tk.Push(int(id), vec.SquaredL2(q, ix.data.Row(int(id))))
+		}
+	}
+	return tk.Results(), nil
+}
+
+type lbHeap []leafRef
+
+func (h lbHeap) Len() int            { return len(h) }
+func (h lbHeap) Less(i, j int) bool  { return h[i].lb < h[j].lb }
+func (h lbHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lbHeap) Push(x interface{}) { *h = append(*h, x.(leafRef)) }
+func (h *lbHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SearchEpsilon runs best-first search over leaves, pruning a leaf when
+// its lower bound times (1+epsilon) exceeds the current k-th best
+// distance. epsilon = 0 yields exact nearest neighbors; larger values
+// answer faster with bounded error (the "Epsilon" variants of Figure 11).
+func (ix *Index) SearchEpsilon(q []float32, k int, epsilon float64) ([]vec.Neighbor, error) {
+	if err := ix.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	if epsilon < 0 {
+		return nil, fmt.Errorf("isax: epsilon must be >= 0, got %v", epsilon)
+	}
+	qPaa := make([]float32, ix.segments)
+	computePAA(q, qPaa)
+	leaves := ix.collectLeaves(qPaa)
+	h := lbHeap(leaves)
+	heap.Init(&h)
+	tk := vec.NewTopK(k)
+	relax := float32(1 + epsilon)
+	for h.Len() > 0 {
+		lf := heap.Pop(&h).(leafRef)
+		if tk.Full() && lf.lb*relax*relax >= tk.Threshold() {
+			break // every remaining leaf has an even larger bound
+		}
+		for _, id := range lf.nd.members {
+			tk.Push(int(id), vec.SquaredL2(q, ix.data.Row(int(id))))
+		}
+	}
+	return tk.Results(), nil
+}
+
+func (ix *Index) checkQuery(q []float32, k int) error {
+	if len(q) != ix.data.Cols {
+		return fmt.Errorf("isax: query length %d, index length %d", len(q), ix.data.Cols)
+	}
+	if k < 1 {
+		return fmt.Errorf("isax: k must be >= 1, got %d", k)
+	}
+	return nil
+}
+
+// LeafCount reports the number of non-empty leaves (useful for tests and
+// experiment logs).
+func (ix *Index) LeafCount() int {
+	count := 0
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.children[0] == nil {
+			if len(nd.members) > 0 {
+				count++
+			}
+			return
+		}
+		walk(nd.children[0])
+		walk(nd.children[1])
+	}
+	for _, nd := range ix.rootKids {
+		walk(nd)
+	}
+	return count
+}

@@ -1,0 +1,209 @@
+package isax
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"vaq/internal/dataset"
+	"vaq/internal/eval"
+	"vaq/internal/vec"
+)
+
+func TestNormalQuantile(t *testing.T) {
+	// Known values.
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.84134, 0.99998}, // ~1
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.want) > 1e-3 {
+			t.Fatalf("quantile(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(normalQuantile(0)) || !math.IsNaN(normalQuantile(1)) {
+		t.Fatal("quantile at 0/1 must be NaN")
+	}
+}
+
+func TestBreakpointsNested(t *testing.T) {
+	// Breakpoints at cardinality b are a subset of those at b+1 — the
+	// property that makes iSAX words refinable.
+	for b := 1; b < maxCardBits; b++ {
+		for _, v := range breakpoints[b] {
+			found := false
+			for _, w := range breakpoints[b+1] {
+				if math.Abs(v-w) < 1e-9 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("breakpoint %v at card %d missing at card %d", v, b, b+1)
+			}
+		}
+	}
+}
+
+func TestSymbolPrefixProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		v := rng.NormFloat64() * 2
+		for b := uint8(1); b < maxCardBits; b++ {
+			s1 := symbol(v, b)
+			s2 := symbol(v, b+1)
+			if s2>>1 != s1 {
+				t.Fatalf("prefix violated: v=%v card %d sym %d, card %d sym %d", v, b, s1, b+1, s2)
+			}
+		}
+	}
+}
+
+func TestComputePAA(t *testing.T) {
+	x := []float32{1, 1, 3, 3, 5, 5, 7, 7}
+	out := make([]float32, 4)
+	computePAA(x, out)
+	want := []float32{1, 3, 5, 7}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("paa %v want %v", out, want)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	x := vec.NewMatrix(10, 32)
+	if _, err := Build(vec.NewMatrix(0, 32), Config{Segments: 8}); err == nil {
+		t.Fatal("empty must fail")
+	}
+	if _, err := Build(x, Config{Segments: 0}); err == nil {
+		t.Fatal("segments=0 must fail")
+	}
+	if _, err := Build(x, Config{Segments: 64}); err == nil {
+		t.Fatal("segments > length must fail")
+	}
+	if _, err := Build(vec.NewMatrix(10, 100), Config{Segments: 17}); err == nil {
+		t.Fatal("segments > 16 must fail")
+	}
+}
+
+func TestExactSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := dataset.RandomWalk(rng, 1200, 64, 0.5)
+	ix, err := Build(x, Config{Segments: 8, LeafCapacity: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 1200 {
+		t.Fatalf("len %d", ix.Len())
+	}
+	queries := dataset.NoisyQueries(rng, x, 10, 0.05, 0.2)
+	gt, _ := eval.GroundTruth(x, queries, 5)
+	for qi := 0; qi < queries.Rows; qi++ {
+		res, err := ix.SearchEpsilon(queries.Row(qi), 5, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := eval.IDs(res)
+		want := gt[qi]
+		sort.Ints(got)
+		w := append([]int(nil), want...)
+		sort.Ints(w)
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("query %d: exact search %v != truth %v", qi, got, w)
+			}
+		}
+	}
+}
+
+func TestApproxRecallGrowsWithLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := dataset.RandomWalk(rng, 2000, 64, 0.4)
+	ix, err := Build(x, Config{Segments: 8, LeafCapacity: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.LeafCount() < 10 {
+		t.Fatalf("tree barely split: %d leaves", ix.LeafCount())
+	}
+	queries := dataset.NoisyQueries(rng, x, 15, 0.05, 0.3)
+	gt, _ := eval.GroundTruth(x, queries, 10)
+	recallAt := func(leaves int) float64 {
+		results := make([][]int, queries.Rows)
+		for qi := 0; qi < queries.Rows; qi++ {
+			res, _ := ix.SearchApprox(queries.Row(qi), 10, leaves)
+			results[qi] = eval.IDs(res)
+		}
+		return eval.Recall(results, gt, 10)
+	}
+	r1, rAll := recallAt(1), recallAt(ix.LeafCount())
+	if rAll < 0.999 {
+		t.Fatalf("visiting all leaves must be exact: recall %v", rAll)
+	}
+	if r1 > rAll+1e-9 {
+		t.Fatalf("recall ordering broken: 1 leaf %v vs all %v", r1, rAll)
+	}
+}
+
+func TestEpsilonTradeoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := dataset.RandomWalk(rng, 1500, 64, 0.6)
+	ix, _ := Build(x, Config{Segments: 8, LeafCapacity: 40})
+	queries := dataset.NoisyQueries(rng, x, 10, 0.05, 0.2)
+	gt, _ := eval.GroundTruth(x, queries, 10)
+	recallAt := func(eps float64) float64 {
+		results := make([][]int, queries.Rows)
+		for qi := 0; qi < queries.Rows; qi++ {
+			res, err := ix.SearchEpsilon(queries.Row(qi), 10, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[qi] = eval.IDs(res)
+		}
+		return eval.Recall(results, gt, 10)
+	}
+	exact := recallAt(0)
+	if exact < 0.999 {
+		t.Fatalf("epsilon=0 must be exact, recall %v", exact)
+	}
+	loose := recallAt(2.0)
+	if loose > exact+1e-9 {
+		t.Fatalf("loose epsilon cannot beat exact: %v vs %v", loose, exact)
+	}
+	if _, err := ix.SearchEpsilon(queries.Row(0), 5, -1); err == nil {
+		t.Fatal("negative epsilon must fail")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := dataset.RandomWalk(rng, 100, 32, 0.5)
+	ix, _ := Build(x, Config{Segments: 8, LeafCapacity: 20})
+	if _, err := ix.SearchApprox(make([]float32, 3), 5, 1); err == nil {
+		t.Fatal("bad query length must fail")
+	}
+	if _, err := ix.SearchApprox(x.Row(0), 0, 1); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+}
+
+func TestMinDistIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := dataset.RandomWalk(rng, 500, 64, 0.5)
+	ix, _ := Build(x, Config{Segments: 8, LeafCapacity: 30})
+	q := dataset.NoisyQueries(rng, x, 1, 0.1, 0.1).Row(0)
+	qPaa := make([]float32, ix.segments)
+	computePAA(q, qPaa)
+	for _, lf := range ix.collectLeaves(qPaa) {
+		for _, id := range lf.nd.members {
+			true_ := vec.SquaredL2(q, x.Row(int(id)))
+			if lf.lb > true_+1e-3 {
+				t.Fatalf("MINDIST %v exceeds true distance %v for member %d", lf.lb, true_, id)
+			}
+		}
+	}
+}

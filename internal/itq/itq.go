@@ -1,0 +1,183 @@
+// Package itq implements ITQ-LSH (Gong et al., "Iterative Quantization";
+// paper §II-C and §IV "Baselines"): PCA to the code length, an orthogonal
+// rotation learned by alternating between binary assignments and an
+// orthogonal Procrustes update, and Hamming-distance search over packed
+// binary codes.
+package itq
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"vaq/internal/linalg"
+	"vaq/internal/pca"
+	"vaq/internal/vec"
+)
+
+// Index is a built ITQ index.
+type Index struct {
+	model    *pca.TruncatedModel
+	rotation *linalg.Dense // l x l learned rotation
+	codes    []uint64      // n * words packed binary codes
+	words    int
+	nbits    int
+	n        int
+	dim      int
+}
+
+// Config configures Build.
+type Config struct {
+	// Bits is the binary code length (must be <= data dimensionality).
+	Bits int
+	// Iterations of the ITQ rotation refinement (default 30).
+	Iterations int
+	// Seed initializes the random rotation.
+	Seed int64
+}
+
+// Build learns the rotation on train and encodes data.
+func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
+	if cfg.Bits < 1 {
+		return nil, fmt.Errorf("itq: Bits must be >= 1, got %d", cfg.Bits)
+	}
+	if cfg.Bits > train.Cols {
+		return nil, fmt.Errorf("itq: %d bits exceed %d dimensions", cfg.Bits, train.Cols)
+	}
+	if train.Cols != data.Cols {
+		return nil, fmt.Errorf("itq: train dim %d != data dim %d", train.Cols, data.Cols)
+	}
+	iters := cfg.Iterations
+	if iters <= 0 {
+		iters = 30
+	}
+	// Only the top-l principal components matter, so use the truncated
+	// (subspace-iteration) PCA: O(d^2 l) instead of O(d^3).
+	l := cfg.Bits
+	model, err := pca.FitTruncated(train, l, pca.Options{Center: true})
+	if err != nil {
+		return nil, err
+	}
+	z, err := model.Project(train)
+	if err != nil {
+		return nil, err
+	}
+	n := train.Rows
+	v := linalg.NewDense(n, l)
+	for i := 0; i < n; i++ {
+		row := z.Row(i)
+		dst := v.Row(i)
+		for j := 0; j < l; j++ {
+			dst[j] = float64(row[j])
+		}
+	}
+	// Random orthogonal init via Procrustes of a random matrix.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rinit := linalg.NewDense(l, l)
+	for i := range rinit.Data {
+		rinit.Data[i] = rng.NormFloat64()
+	}
+	r, err := linalg.OrthoProcrustes(rinit)
+	if err != nil {
+		return nil, err
+	}
+	// Alternate: B = sign(V R); R = Procrustes(Vᵀ B).
+	for it := 0; it < iters; it++ {
+		vr, err := v.Mul(r)
+		if err != nil {
+			return nil, err
+		}
+		b := linalg.NewDense(n, l)
+		for i, val := range vr.Data {
+			if val >= 0 {
+				b.Data[i] = 1
+			} else {
+				b.Data[i] = -1
+			}
+		}
+		vtb, err := v.T().Mul(b)
+		if err != nil {
+			return nil, err
+		}
+		r, err = linalg.OrthoProcrustes(vtb)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ix := &Index{
+		model:    model,
+		rotation: r,
+		words:    (l + 63) / 64,
+		nbits:    l,
+		n:        data.Rows,
+		dim:      train.Cols,
+	}
+	ix.codes = make([]uint64, data.Rows*ix.words)
+	buf := make([]uint64, ix.words)
+	for i := 0; i < data.Rows; i++ {
+		if err := ix.encode(data.Row(i), buf); err != nil {
+			return nil, err
+		}
+		copy(ix.codes[i*ix.words:(i+1)*ix.words], buf)
+	}
+	return ix, nil
+}
+
+// encode maps a raw vector to its packed binary code.
+func (ix *Index) encode(x []float32, out []uint64) error {
+	tmp := &vec.Matrix{Rows: 1, Cols: len(x), Data: x}
+	zm, err := ix.model.Project(tmp)
+	if err != nil {
+		return err
+	}
+	zq := zm.Row(0)
+	for w := range out {
+		out[w] = 0
+	}
+	l := ix.nbits
+	for j := 0; j < l; j++ {
+		var s float64
+		for t := 0; t < l; t++ {
+			s += float64(zq[t]) * ix.rotation.At(t, j)
+		}
+		if s >= 0 {
+			out[j/64] |= 1 << (j % 64)
+		}
+	}
+	return nil
+}
+
+// Len reports the number of encoded vectors.
+func (ix *Index) Len() int { return ix.n }
+
+// Dim reports the expected query dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Bits reports the code length.
+func (ix *Index) Bits() int { return ix.nbits }
+
+// Search returns the k nearest neighbors by Hamming distance between the
+// query's code and the database codes. Neighbor.Dist holds the Hamming
+// distance (integer-valued float32).
+func (ix *Index) Search(q []float32, k int) ([]vec.Neighbor, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("itq: query dim %d, index dim %d", len(q), ix.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("itq: k must be >= 1, got %d", k)
+	}
+	qcode := make([]uint64, ix.words)
+	if err := ix.encode(q, qcode); err != nil {
+		return nil, err
+	}
+	tk := vec.NewTopK(k)
+	for i := 0; i < ix.n; i++ {
+		base := i * ix.words
+		var h int
+		for w := 0; w < ix.words; w++ {
+			h += bits.OnesCount64(ix.codes[base+w] ^ qcode[w])
+		}
+		tk.Push(i, float32(h))
+	}
+	return tk.Results(), nil
+}

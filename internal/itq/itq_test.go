@@ -1,0 +1,131 @@
+package itq
+
+import (
+	"math/rand"
+	"testing"
+
+	"vaq/internal/vec"
+)
+
+func gaussian(rng *rand.Rand, n, d int) *vec.Matrix {
+	x := vec.NewMatrix(n, d)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	return x
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := gaussian(rng, 50, 8)
+	if _, err := Build(x, x, Config{Bits: 0}); err == nil {
+		t.Fatal("bits=0 must fail")
+	}
+	if _, err := Build(x, x, Config{Bits: 9}); err == nil {
+		t.Fatal("bits > d must fail")
+	}
+	if _, err := Build(x, vec.NewMatrix(5, 4), Config{Bits: 4}); err == nil {
+		t.Fatal("dim mismatch must fail")
+	}
+}
+
+func TestCodesAreBinaryAndStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := gaussian(rng, 300, 16)
+	ix, err := Build(x, x, Config{Bits: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 300 || ix.Dim() != 16 || ix.Bits() != 16 {
+		t.Fatalf("shape %d %d %d", ix.Len(), ix.Dim(), ix.Bits())
+	}
+	// Identical query must have Hamming distance 0 to its own code.
+	res, err := ix.Search(x.Row(12), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := 0; i < x.Rows; i++ {
+		if res[0].Dist == 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("self query should find a zero-distance code, got %v", res[0])
+	}
+}
+
+func TestHammingNeighborhoodQuality(t *testing.T) {
+	// Clustered data: items in the same cluster should mostly share codes
+	// closer than items in other clusters.
+	rng := rand.New(rand.NewSource(3))
+	n, d := 600, 16
+	x := vec.NewMatrix(n, d)
+	labels := make([]int, n)
+	centers := gaussian(rng, 4, d)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(4)
+		labels[i] = c
+		row := x.Row(i)
+		for j := 0; j < d; j++ {
+			row[j] = centers.At(c, j)*4 + float32(rng.NormFloat64()*0.3)
+		}
+	}
+	ix, err := Build(x, x, Config{Bits: 16, Seed: 3, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	total := 0
+	for trial := 0; trial < 30; trial++ {
+		qi := rng.Intn(n)
+		res, err := ix.Search(x.Row(qi), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			total++
+			if labels[r.ID] == labels[qi] {
+				agree++
+			}
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.8 {
+		t.Fatalf("Hamming neighbors agree with clusters only %.2f", frac)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := gaussian(rng, 100, 8)
+	ix, err := Build(x, x, Config{Bits: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search(make([]float32, 3), 5); err == nil {
+		t.Fatal("bad dim must fail")
+	}
+	if _, err := ix.Search(x.Row(0), 0); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+}
+
+func TestMultiWordCodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := gaussian(rng, 200, 80)
+	ix, err := Build(x, x, Config{Bits: 80, Seed: 5, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.Search(x.Row(0), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("got %d", len(res))
+	}
+	if res[0].Dist != 0 {
+		t.Fatalf("self query distance %v", res[0].Dist)
+	}
+}

@@ -1,0 +1,399 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vaq/internal/vec"
+)
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 4.5)
+	if m.At(1, 2) != 4.5 {
+		t.Fatal("Set/At")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 1)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone shares storage")
+	}
+	if len(m.Row(0)) != 3 {
+		t.Fatal("Row length")
+	}
+}
+
+func TestDenseFromRows(t *testing.T) {
+	m, err := DenseFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatal("values")
+	}
+	if _, err := DenseFromRows([][]float64{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged must fail")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := DenseFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 || mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Fatalf("bad transpose %+v", mt)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := DenseFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := DenseFromRows([][]float64{{19, 22}, {43, 50}})
+	if MaxAbsDiff(c, want) > 0 {
+		t.Fatalf("got %v", c.Data)
+	}
+	if _, err := a.Mul(NewDense(3, 2)); err == nil {
+		t.Fatal("shape mismatch must fail")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("got %v", y)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("shape mismatch must fail")
+	}
+}
+
+func TestIdentityAndCol(t *testing.T) {
+	id := Identity(3)
+	if id.At(1, 1) != 1 || id.At(0, 1) != 0 {
+		t.Fatal("identity")
+	}
+	m, _ := DenseFromRows([][]float64{{1, 2}, {3, 4}})
+	col := m.Col(1)
+	if col[0] != 2 || col[1] != 4 {
+		t.Fatalf("col %v", col)
+	}
+}
+
+func TestFloat32Conversions(t *testing.T) {
+	f := vec.NewMatrix(2, 2)
+	f.Set(0, 1, 3.5)
+	d := FromFloat32(f)
+	if d.At(0, 1) != 3.5 {
+		t.Fatal("FromFloat32")
+	}
+	back := d.ToFloat32()
+	if !back.Equal(f) {
+		t.Fatal("round trip")
+	}
+}
+
+func TestCovarianceCentered(t *testing.T) {
+	// Two perfectly correlated columns.
+	x, _ := vec.FromRows([][]float32{{1, 2}, {2, 4}, {3, 6}})
+	cov := Covariance(x, true)
+	// var(col0) = 2/3, var(col1) = 8/3, cov = 4/3
+	if math.Abs(cov.At(0, 0)-2.0/3) > 1e-9 ||
+		math.Abs(cov.At(1, 1)-8.0/3) > 1e-9 ||
+		math.Abs(cov.At(0, 1)-4.0/3) > 1e-9 ||
+		cov.At(0, 1) != cov.At(1, 0) {
+		t.Fatalf("cov = %v", cov.Data)
+	}
+}
+
+func TestCovarianceUncentered(t *testing.T) {
+	x, _ := vec.FromRows([][]float32{{1, 0}, {0, 1}})
+	cov := Covariance(x, false)
+	if cov.At(0, 0) != 0.5 || cov.At(1, 1) != 0.5 || cov.At(0, 1) != 0 {
+		t.Fatalf("cov = %v", cov.Data)
+	}
+}
+
+func TestCovarianceEmpty(t *testing.T) {
+	cov := Covariance(vec.NewMatrix(0, 3), true)
+	if cov.Rows != 3 || cov.Cols != 3 {
+		t.Fatal("shape")
+	}
+}
+
+func randomSymmetric(rng *rand.Rand, n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func checkEig(t *testing.T, a *Dense, res *EigResult, tol float64) {
+	t.Helper()
+	n := a.Rows
+	// Sorted descending.
+	for i := 1; i < n; i++ {
+		if res.Values[i] > res.Values[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", res.Values)
+		}
+	}
+	// A v = lambda v for each column.
+	for j := 0; j < n; j++ {
+		v := res.Vectors.Col(j)
+		av, _ := a.MulVec(v)
+		for i := 0; i < n; i++ {
+			if math.Abs(av[i]-res.Values[j]*v[i]) > tol {
+				t.Fatalf("A·v != λ·v at col %d row %d: %v vs %v",
+					j, i, av[i], res.Values[j]*v[i])
+			}
+		}
+	}
+	// Orthonormal columns.
+	for a1 := 0; a1 < n; a1++ {
+		for b1 := a1; b1 < n; b1++ {
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += res.Vectors.At(i, a1) * res.Vectors.At(i, b1)
+			}
+			want := 0.0
+			if a1 == b1 {
+				want = 1
+			}
+			if math.Abs(dot-want) > tol {
+				t.Fatalf("V not orthonormal at (%d,%d): %v", a1, b1, dot)
+			}
+		}
+	}
+	// Trace preserved.
+	var trA, trL float64
+	for i := 0; i < n; i++ {
+		trA += a.At(i, i)
+		trL += res.Values[i]
+	}
+	if math.Abs(trA-trL) > tol*float64(n) {
+		t.Fatalf("trace mismatch %v vs %v", trA, trL)
+	}
+}
+
+func TestSymEigKnown2x2(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{{2, 1}, {1, 2}})
+	for _, m := range []EigMethod{EigJacobi, EigQL} {
+		res, err := SymEig(a, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Values[0]-3) > 1e-10 || math.Abs(res.Values[1]-1) > 1e-10 {
+			t.Fatalf("method %d: values %v", m, res.Values)
+		}
+		checkEig(t, a, res, 1e-9)
+	}
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{{5, 0, 0}, {0, -2, 0}, {0, 0, 3}})
+	res, err := SymEig(a, EigAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, -2}
+	for i := range want {
+		if math.Abs(res.Values[i]-want[i]) > 1e-12 {
+			t.Fatalf("values %v", res.Values)
+		}
+	}
+}
+
+func TestSymEigRandomBothMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 5, 10, 24, 50} {
+		a := randomSymmetric(rng, n)
+		for _, m := range []EigMethod{EigJacobi, EigQL} {
+			res, err := SymEig(a, m)
+			if err != nil {
+				t.Fatalf("n=%d method=%d: %v", n, m, err)
+			}
+			checkEig(t, a, res, 1e-7)
+		}
+	}
+}
+
+func TestSymEigMethodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		a := randomSymmetric(rng, 16)
+		r1, err := SymEig(a, EigJacobi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := SymEig(a, EigQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range r1.Values {
+			if math.Abs(r1.Values[i]-r2.Values[i]) > 1e-8 {
+				t.Fatalf("eigenvalue %d differs: %v vs %v", i, r1.Values[i], r2.Values[i])
+			}
+		}
+	}
+}
+
+func TestSymEigLargeQL(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSymmetric(rng, 128)
+	res, err := SymEig(a, EigQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEig(t, a, res, 1e-6)
+}
+
+func TestSymEigPSD(t *testing.T) {
+	// Covariance matrices are PSD; eigenvalues must be >= -eps.
+	rng := rand.New(rand.NewSource(5))
+	x := vec.NewMatrix(200, 12)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	cov := Covariance(x, true)
+	res, err := SymEig(cov, EigAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Values {
+		if v < -1e-9 {
+			t.Fatalf("PSD matrix has negative eigenvalue %v", v)
+		}
+	}
+	checkEig(t, cov, res, 1e-7)
+}
+
+func TestSymEigErrors(t *testing.T) {
+	if _, err := SymEig(NewDense(2, 3), EigAuto); err == nil {
+		t.Fatal("non-square must fail")
+	}
+	res, err := SymEig(NewDense(0, 0), EigAuto)
+	if err != nil || len(res.Values) != 0 {
+		t.Fatal("empty matrix should succeed trivially")
+	}
+	if _, err := SymEig(Identity(2), EigMethod(99)); err == nil {
+		t.Fatal("unknown method must fail")
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, shape := range [][2]int{{4, 4}, {8, 3}, {3, 8}, {20, 6}, {1, 5}} {
+		n, m := shape[0], shape[1]
+		a := NewDense(n, m)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		res, err := SVD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := min(n, m)
+		if len(res.S) != r || res.U.Cols != r || res.V.Cols != r {
+			t.Fatalf("thin shapes wrong: %d %d %d", len(res.S), res.U.Cols, res.V.Cols)
+		}
+		for i := 1; i < r; i++ {
+			if res.S[i] > res.S[i-1]+1e-10 {
+				t.Fatalf("singular values not sorted: %v", res.S)
+			}
+			if res.S[i] < 0 {
+				t.Fatalf("negative singular value: %v", res.S)
+			}
+		}
+		// Reconstruct U S Vt and compare.
+		us := NewDense(n, r)
+		for i := 0; i < n; i++ {
+			for j := 0; j < r; j++ {
+				us.Set(i, j, res.U.At(i, j)*res.S[j])
+			}
+		}
+		rec, err := us.Mul(res.V.T())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := MaxAbsDiff(rec, a); diff > 1e-6 {
+			t.Fatalf("shape %v: reconstruction error %v", shape, diff)
+		}
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: second singular value ~ 0; U must stay orthonormal.
+	a, _ := DenseFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.S[1] > 1e-6 {
+		t.Fatalf("rank-1 matrix should have tiny second singular value: %v", res.S)
+	}
+	var dot, n0, n1 float64
+	for i := 0; i < 3; i++ {
+		dot += res.U.At(i, 0) * res.U.At(i, 1)
+		n0 += res.U.At(i, 0) * res.U.At(i, 0)
+		n1 += res.U.At(i, 1) * res.U.At(i, 1)
+	}
+	if math.Abs(dot) > 1e-6 || math.Abs(n0-1) > 1e-6 || math.Abs(n1-1) > 1e-6 {
+		t.Fatalf("U not orthonormal: dot=%v norms=%v,%v", dot, n0, n1)
+	}
+}
+
+func TestSVDEmpty(t *testing.T) {
+	res, err := SVD(NewDense(0, 3))
+	if err != nil || len(res.S) != 0 {
+		t.Fatalf("empty SVD: %v %v", res, err)
+	}
+}
+
+func TestOrthoProcrustes(t *testing.T) {
+	// For an already-orthogonal M, Procrustes must return (approximately) an
+	// orthogonal matrix R with R Rᵀ = I.
+	theta := 0.7
+	m, _ := DenseFromRows([][]float64{
+		{math.Cos(theta), -math.Sin(theta)},
+		{math.Sin(theta), math.Cos(theta)},
+	})
+	r, err := OrthoProcrustes(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrt, _ := r.Mul(r.T())
+	if MaxAbsDiff(rrt, Identity(2)) > 1e-8 {
+		t.Fatalf("R not orthogonal: %v", rrt.Data)
+	}
+}
+
+func TestOrthoProcrustesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 5; trial++ {
+		n := 6
+		m := NewDense(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		r, err := OrthoProcrustes(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrt, _ := r.Mul(r.T())
+		if MaxAbsDiff(rrt, Identity(n)) > 1e-7 {
+			t.Fatalf("R not orthogonal (trial %d)", trial)
+		}
+	}
+}

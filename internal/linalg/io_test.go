@@ -1,0 +1,76 @@
+package linalg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewDense(13, 7)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDense(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(m, got) != 0 {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestDenseReadErrors(t *testing.T) {
+	if _, err := ReadDense(bytes.NewReader([]byte("XXXX0000000000000000"))); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	if _, err := ReadDense(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty must fail")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	m := Identity(4)
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDense(bytes.NewReader(buf.Bytes()[:30])); err == nil {
+		t.Fatal("truncated must fail")
+	}
+}
+
+func TestFloat64SliceRoundTrip(t *testing.T) {
+	v := []float64{1.5, -2.25, 0, 1e300, -1e-300}
+	var buf bytes.Buffer
+	if err := WriteFloat64s(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFloat64s(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(v) {
+		t.Fatalf("length %d", len(got))
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("at %d: %v vs %v", i, got[i], v[i])
+		}
+	}
+	// Empty slice.
+	buf.Reset()
+	if err := WriteFloat64s(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadFloat64s(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty slice: %v %v", got, err)
+	}
+	if _, err := ReadFloat64s(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("truncated must fail")
+	}
+}

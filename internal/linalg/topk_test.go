@@ -1,0 +1,94 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTopKEigMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Symmetric PSD matrix with a decaying spectrum (covariance-like).
+	d := 40
+	g := NewDense(d, d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			g.Set(i, j, rng.NormFloat64()/math.Sqrt(float64(j+1)))
+		}
+	}
+	a, err := g.T().Mul(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := SymEig(a, EigAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 6
+	top, err := TopKEig(a, k, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Values) != k {
+		t.Fatalf("got %d values", len(top.Values))
+	}
+	for i := 0; i < k; i++ {
+		rel := math.Abs(top.Values[i]-full.Values[i]) / (1 + full.Values[i])
+		if rel > 1e-6 {
+			t.Fatalf("eigenvalue %d: %v vs %v", i, top.Values[i], full.Values[i])
+		}
+	}
+	// Eigenvectors satisfy A v = lambda v.
+	for j := 0; j < k; j++ {
+		v := top.Vectors.Col(j)
+		av, _ := a.MulVec(v)
+		for i := 0; i < d; i++ {
+			if math.Abs(av[i]-top.Values[j]*v[i]) > 1e-5*(1+math.Abs(top.Values[j])) {
+				t.Fatalf("A·v != λ·v at (%d,%d)", j, i)
+			}
+		}
+	}
+	// Orthonormal columns.
+	for a1 := 0; a1 < k; a1++ {
+		for b1 := a1; b1 < k; b1++ {
+			var dot float64
+			for i := 0; i < d; i++ {
+				dot += top.Vectors.At(i, a1) * top.Vectors.At(i, b1)
+			}
+			want := 0.0
+			if a1 == b1 {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("not orthonormal at (%d,%d): %v", a1, b1, dot)
+			}
+		}
+	}
+}
+
+func TestTopKEigErrors(t *testing.T) {
+	if _, err := TopKEig(NewDense(2, 3), 1, 10, 1); err == nil {
+		t.Fatal("non-square must fail")
+	}
+	if _, err := TopKEig(Identity(3), 0, 10, 1); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	if _, err := TopKEig(Identity(3), 4, 10, 1); err == nil {
+		t.Fatal("k>d must fail")
+	}
+}
+
+func TestTopKEigFullRank(t *testing.T) {
+	// k = d should reproduce the full decomposition.
+	a, _ := DenseFromRows([][]float64{{4, 1}, {1, 3}})
+	top, err := TopKEig(a, 2, 80, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := SymEig(a, EigAuto)
+	for i := range full.Values {
+		if math.Abs(top.Values[i]-full.Values[i]) > 1e-8 {
+			t.Fatalf("values %v vs %v", top.Values, full.Values)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package lsh implements a data-independent E2LSH-style baseline (paper
+// §II-B): L hash tables, each keyed by the concatenation of T p-stable
+// projections h(x) = floor((a·x + b)/w), with multi-probe querying over
+// the buckets adjacent to the query's. Data-independent hashing needs many
+// tables for good recall — the storage/accuracy trade-off the paper cites
+// as the reason learning-to-hash methods (and quantization) supplanted it.
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vaq/internal/vec"
+)
+
+// Config controls Build.
+type Config struct {
+	// Tables is the number of hash tables L (default 8).
+	Tables int
+	// Hashes is the number of concatenated projections per table T
+	// (default 8).
+	Hashes int
+	// Width is the quantization width w of each projection; 0 picks a
+	// data-driven default (the mean pairwise distance of a small sample).
+	Width float64
+	// Probes per table beyond the exact bucket (multi-probe; default 2).
+	Probes int
+	// Seed drives the random projections.
+	Seed int64
+}
+
+type table struct {
+	a       []float32 // Hashes x d projection vectors, flattened
+	b       []float32 // Hashes offsets
+	buckets map[uint64][]int32
+}
+
+// Index is a built LSH index over an in-memory dataset (raw vectors are
+// retained for exact candidate ranking, the standard E2LSH usage).
+type Index struct {
+	data   *vec.Matrix
+	tables []table
+	hashes int
+	width  float32
+	probes int
+	n      int
+}
+
+// Build hashes every row of data into the L tables.
+func Build(data *vec.Matrix, cfg Config) (*Index, error) {
+	if data.Rows == 0 {
+		return nil, fmt.Errorf("lsh: empty data")
+	}
+	if cfg.Tables <= 0 {
+		cfg.Tables = 8
+	}
+	if cfg.Hashes <= 0 {
+		cfg.Hashes = 8
+	}
+	if cfg.Hashes > 16 {
+		return nil, fmt.Errorf("lsh: Hashes=%d exceeds 16 (key packing)", cfg.Hashes)
+	}
+	if cfg.Probes < 0 {
+		return nil, fmt.Errorf("lsh: negative probe count")
+	}
+	if cfg.Probes == 0 {
+		cfg.Probes = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	width := cfg.Width
+	if width <= 0 {
+		width = sampleMeanDistance(data, rng) / 2
+		if width <= 0 {
+			width = 1
+		}
+	}
+	d := data.Cols
+	ix := &Index{
+		data:   data,
+		hashes: cfg.Hashes,
+		width:  float32(width),
+		probes: cfg.Probes,
+		n:      data.Rows,
+	}
+	for t := 0; t < cfg.Tables; t++ {
+		tb := table{
+			a:       make([]float32, cfg.Hashes*d),
+			b:       make([]float32, cfg.Hashes),
+			buckets: make(map[uint64][]int32),
+		}
+		for i := range tb.a {
+			tb.a[i] = float32(rng.NormFloat64())
+		}
+		for i := range tb.b {
+			tb.b[i] = float32(rng.Float64()) * ix.width
+		}
+		ix.tables = append(ix.tables, tb)
+	}
+	for i := 0; i < data.Rows; i++ {
+		row := data.Row(i)
+		for t := range ix.tables {
+			key := ix.hashKey(&ix.tables[t], row, -1, 0)
+			ix.tables[t].buckets[key] = append(ix.tables[t].buckets[key], int32(i))
+		}
+	}
+	return ix, nil
+}
+
+// sampleMeanDistance estimates the distance scale from random pairs.
+func sampleMeanDistance(data *vec.Matrix, rng *rand.Rand) float64 {
+	const pairs = 100
+	var sum float64
+	for p := 0; p < pairs; p++ {
+		i, j := rng.Intn(data.Rows), rng.Intn(data.Rows)
+		sum += math.Sqrt(float64(vec.SquaredL2(data.Row(i), data.Row(j))))
+	}
+	return sum / pairs
+}
+
+// hashKey computes the packed bucket key of v under table tb. If
+// perturbHash >= 0, that projection's bin is shifted by perturbDelta
+// (multi-probe).
+func (ix *Index) hashKey(tb *table, v []float32, perturbHash, perturbDelta int) uint64 {
+	d := len(v)
+	var key uint64
+	for h := 0; h < ix.hashes; h++ {
+		dot := vec.Dot(tb.a[h*d:(h+1)*d], v)
+		bin := int(math.Floor(float64((dot + tb.b[h]) / ix.width)))
+		if h == perturbHash {
+			bin += perturbDelta
+		}
+		// Pack 4 bits of bin per hash (wraps; collisions are acceptable —
+		// they only add candidates).
+		key = key<<4 | uint64(bin&0xF)
+	}
+	return key
+}
+
+// Len reports the number of indexed vectors.
+func (ix *Index) Len() int { return ix.n }
+
+// Search collects candidates from the query's bucket in every table (plus
+// multi-probe perturbations) and ranks them by exact distance.
+func (ix *Index) Search(q []float32, k int) ([]vec.Neighbor, error) {
+	if len(q) != ix.data.Cols {
+		return nil, fmt.Errorf("lsh: query dim %d, index dim %d", len(q), ix.data.Cols)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("lsh: k must be >= 1, got %d", k)
+	}
+	seen := make(map[int32]bool)
+	tk := vec.NewTopK(k)
+	consider := func(ids []int32) {
+		for _, id := range ids {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			tk.Push(int(id), vec.SquaredL2(q, ix.data.Row(int(id))))
+		}
+	}
+	for t := range ix.tables {
+		tb := &ix.tables[t]
+		consider(tb.buckets[ix.hashKey(tb, q, -1, 0)])
+		// Multi-probe: perturb the first `probes` projections by ±1.
+		for p := 0; p < ix.probes && p < ix.hashes; p++ {
+			consider(tb.buckets[ix.hashKey(tb, q, p, +1)])
+			consider(tb.buckets[ix.hashKey(tb, q, p, -1)])
+		}
+	}
+	return tk.Results(), nil
+}
+
+// CandidateCount reports how many distinct candidates a query would touch
+// (for instrumentation in experiments).
+func (ix *Index) CandidateCount(q []float32) int {
+	seen := make(map[int32]bool)
+	for t := range ix.tables {
+		tb := &ix.tables[t]
+		for _, id := range tb.buckets[ix.hashKey(tb, q, -1, 0)] {
+			seen[id] = true
+		}
+		for p := 0; p < ix.probes && p < ix.hashes; p++ {
+			for _, id := range tb.buckets[ix.hashKey(tb, q, p, +1)] {
+				seen[id] = true
+			}
+			for _, id := range tb.buckets[ix.hashKey(tb, q, p, -1)] {
+				seen[id] = true
+			}
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,133 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"vaq/internal/eval"
+	"vaq/internal/vec"
+)
+
+func clustered(rng *rand.Rand, n, d int) *vec.Matrix {
+	centers := vec.NewMatrix(16, d)
+	for i := range centers.Data {
+		centers.Data[i] = float32(rng.NormFloat64() * 4)
+	}
+	x := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		c := centers.Row(rng.Intn(16))
+		r := x.Row(i)
+		for j := 0; j < d; j++ {
+			r[j] = c[j] + float32(rng.NormFloat64()*0.5)
+		}
+	}
+	return x
+}
+
+// perturbedQueries draws database rows and jitters them, so true neighbors
+// exist at LSH-findable distances.
+func perturbedQueries(rng *rand.Rand, x *vec.Matrix, nq int) *vec.Matrix {
+	q := vec.NewMatrix(nq, x.Cols)
+	for i := 0; i < nq; i++ {
+		src := x.Row(rng.Intn(x.Rows))
+		dst := q.Row(i)
+		for j := range dst {
+			dst[j] = src[j] + float32(rng.NormFloat64()*0.2)
+		}
+	}
+	return q
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(vec.NewMatrix(0, 4), Config{}); err == nil {
+		t.Fatal("empty must fail")
+	}
+	x := clustered(rand.New(rand.NewSource(1)), 50, 8)
+	if _, err := Build(x, Config{Hashes: 17}); err == nil {
+		t.Fatal("too many hashes must fail")
+	}
+	if _, err := Build(x, Config{Probes: -1}); err == nil {
+		t.Fatal("negative probes must fail")
+	}
+}
+
+func TestSearchFindsClusterNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := clustered(rng, 3000, 16)
+	ix, err := Build(x, Config{Tables: 10, Hashes: 6, Probes: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 3000 {
+		t.Fatalf("len %d", ix.Len())
+	}
+	queries := perturbedQueries(rng, x, 20)
+	gt, _ := eval.GroundTruth(x, queries, 10)
+	results := make([][]int, queries.Rows)
+	for qi := 0; qi < queries.Rows; qi++ {
+		res, err := ix.Search(queries.Row(qi), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[qi] = eval.IDs(res)
+	}
+	recall := eval.Recall(results, gt, 10)
+	if recall < 0.5 {
+		t.Fatalf("LSH recall@10 = %v too low", recall)
+	}
+	// Candidates must be a strict subset of the database (pruning).
+	cands := ix.CandidateCount(queries.Row(0))
+	if cands <= 0 || cands >= 3000 {
+		t.Fatalf("candidate count %d implausible", cands)
+	}
+}
+
+func TestMoreTablesMoreRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := clustered(rng, 2000, 12)
+	queries := perturbedQueries(rng, x, 15)
+	gt, _ := eval.GroundTruth(x, queries, 10)
+	recallWith := func(tables int) float64 {
+		ix, err := Build(x, Config{Tables: tables, Hashes: 8, Probes: 2, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := make([][]int, queries.Rows)
+		for qi := 0; qi < queries.Rows; qi++ {
+			res, _ := ix.Search(queries.Row(qi), 10)
+			results[qi] = eval.IDs(res)
+		}
+		return eval.Recall(results, gt, 10)
+	}
+	few, many := recallWith(2), recallWith(16)
+	if many < few-0.05 {
+		t.Fatalf("more tables should not reduce recall: %v vs %v", few, many)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := clustered(rng, 200, 8)
+	ix, err := Build(x, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search(make([]float32, 3), 5); err == nil {
+		t.Fatal("bad dim must fail")
+	}
+	if _, err := ix.Search(x.Row(0), 0); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+}
+
+func TestExplicitWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := clustered(rng, 300, 8)
+	ix, err := Build(x, Config{Width: 3.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.width != 3.5 {
+		t.Fatalf("width %v", ix.width)
+	}
+}

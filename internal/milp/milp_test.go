@@ -1,0 +1,356 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLPTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18  => x=2, y=6, obj=36.
+	p := &Problem{
+		Objective: []float64{3, 5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Sense: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Sense: LE, RHS: 18},
+		},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 36, 1e-7) || !approx(sol.X[0], 2, 1e-7) || !approx(sol.X[1], 6, 1e-7) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestLPEquality(t *testing.T) {
+	// max x + 2y s.t. x + y = 10, y <= 6 => x=4, y=6, obj=16.
+	p := &Problem{
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 10},
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 6},
+		},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 16, 1e-7) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestLPGreaterEqual(t *testing.T) {
+	// max -x - y s.t. x + y >= 5, x <= 10, y <= 10 (minimize x+y) => obj = -5.
+	p := &Problem{
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: GE, RHS: 5},
+		},
+		Upper: []float64{10, 10},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, -5, 1e-7) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestLPNegativeRHS(t *testing.T) {
+	// Constraint with negative RHS: -x <= -3 is x >= 3.
+	p := &Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Sense: LE, RHS: -3},
+		},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[0], 3, 1e-7) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestLPInfeasible(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: GE, RHS: 5},
+			{Coeffs: []float64{1}, Sense: LE, RHS: 3},
+		},
+	}
+	if _, err := SolveLP(p); err != ErrInfeasible {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestLPUnbounded(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: GE, RHS: 0},
+		},
+	}
+	if _, err := SolveLP(p); err != ErrUnbounded {
+		t.Fatalf("want ErrUnbounded, got %v", err)
+	}
+}
+
+func TestLPBounds(t *testing.T) {
+	// max x + y with 1 <= x <= 2, 0 <= y <= 3.
+	p := &Problem{
+		Objective:   []float64{1, 1},
+		Constraints: nil,
+		Lower:       []float64{1, 0},
+		Upper:       []float64{2, 3},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 5, 1e-7) {
+		t.Fatalf("got %+v", sol)
+	}
+	// Lower bound must be respected when it is not binding at optimum of
+	// a minimizing objective.
+	p2 := &Problem{
+		Objective: []float64{-1, -1},
+		Lower:     []float64{1, 0},
+		Upper:     []float64{2, 3},
+	}
+	sol2, err := SolveLP(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol2.X[0], 1, 1e-7) || !approx(sol2.X[1], 0, 1e-7) {
+		t.Fatalf("got %+v", sol2)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if _, err := SolveLP(&Problem{}); err == nil {
+		t.Fatal("empty objective must fail")
+	}
+	if _, err := SolveLP(&Problem{
+		Objective:   []float64{1, 2},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Sense: LE, RHS: 1}},
+	}); err == nil {
+		t.Fatal("bad coefficient count must fail")
+	}
+	if _, err := SolveLP(&Problem{Objective: []float64{1}, Lower: []float64{0, 0}}); err == nil {
+		t.Fatal("bad Lower length must fail")
+	}
+	if _, err := SolveLP(&Problem{Objective: []float64{1}, Upper: []float64{0, 0}}); err == nil {
+		t.Fatal("bad Upper length must fail")
+	}
+	if _, err := SolveMILP(&Problem{Objective: []float64{1}, Integer: []bool{true, false}}); err == nil {
+		t.Fatal("bad Integer length must fail")
+	}
+}
+
+func TestMILPKnapsack(t *testing.T) {
+	// 0/1 knapsack: values 10,13,7; weights 3,4,2; capacity 6.
+	// Best: items 1+3 (wait: 10+7=17 w=5) vs item 2+3 (13+7=20 w=6). => 20.
+	p := &Problem{
+		Objective: []float64{10, 13, 7},
+		Constraints: []Constraint{
+			{Coeffs: []float64{3, 4, 2}, Sense: LE, RHS: 6},
+		},
+		Integer: []bool{true, true, true},
+		Upper:   []float64{1, 1, 1},
+	}
+	sol, err := SolveMILP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 20, 1e-6) {
+		t.Fatalf("got %+v", sol)
+	}
+	if !approx(sol.X[0], 0, 1e-6) || !approx(sol.X[1], 1, 1e-6) || !approx(sol.X[2], 1, 1e-6) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestMILPIntegerRounding(t *testing.T) {
+	// LP optimum is fractional (x = 3.5); MILP must give x=3.
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{2}, Sense: LE, RHS: 7},
+		},
+		Integer: []bool{true},
+	}
+	sol, err := SolveMILP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[0], 3, 1e-9) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+func TestMILPEqualityBudget(t *testing.T) {
+	// The VAQ shape: maximize w·y s.t. Σy = B, lo <= y <= hi, y integer.
+	w := []float64{0.5, 0.3, 0.15, 0.05}
+	B := 20.0
+	p := &Problem{
+		Objective: w,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1, 1, 1}, Sense: EQ, RHS: B},
+		},
+		Integer: []bool{true, true, true, true},
+		Lower:   []float64{1, 1, 1, 1},
+		Upper:   []float64{8, 8, 8, 8},
+	}
+	sol, err := SolveMILP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range sol.X {
+		sum += v
+		if v < 1-1e-9 || v > 8+1e-9 {
+			t.Fatalf("bounds violated: %v", sol.X)
+		}
+		if !approx(v, math.Round(v), 1e-9) {
+			t.Fatalf("non-integral: %v", sol.X)
+		}
+	}
+	if !approx(sum, B, 1e-9) {
+		t.Fatalf("budget not met: %v", sol.X)
+	}
+	// Greedy-optimal here: y = (8, 8, 3, 1) with obj 4 + 2.4 + .45 + .05.
+	want := 0.5*8 + 0.3*8 + 0.15*3 + 0.05*1
+	if !approx(sol.Objective, want, 1e-9) {
+		t.Fatalf("objective %v want %v (%v)", sol.Objective, want, sol.X)
+	}
+}
+
+func TestMILPMonotoneConstraint(t *testing.T) {
+	// Add y1 >= y2 >= y3 ordering rows; optimum must respect them.
+	p := &Problem{
+		Objective: []float64{0.2, 0.5, 0.3}, // tempts solver to invert order
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1, 1}, Sense: EQ, RHS: 9},
+			{Coeffs: []float64{1, -1, 0}, Sense: GE, RHS: 0},
+			{Coeffs: []float64{0, 1, -1}, Sense: GE, RHS: 0},
+		},
+		Integer: []bool{true, true, true},
+		Lower:   []float64{1, 1, 1},
+		Upper:   []float64{6, 6, 6},
+	}
+	sol, err := SolveMILP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X[0] < sol.X[1]-1e-9 || sol.X[1] < sol.X[2]-1e-9 {
+		t.Fatalf("ordering violated: %v", sol.X)
+	}
+}
+
+func TestMILPInfeasible(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 10},
+		},
+		Integer: []bool{true, true},
+		Upper:   []float64{3, 3},
+	}
+	if _, err := SolveMILP(p); err != ErrInfeasible {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestMILPAllContinuousDelegates(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1},
+		Upper:     []float64{2.5},
+	}
+	sol, err := SolveMILP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[0], 2.5, 1e-9) {
+		t.Fatalf("got %+v", sol)
+	}
+}
+
+// Property: for the budget-allocation family (the only MILP shape VAQ
+// issues), branch & bound must match exhaustive search.
+func TestMILPMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3) + 2 // 2..4 variables
+		lo, hi := 1.0, float64(rng.Intn(4)+3)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64() + 0.01
+		}
+		budget := float64(rng.Intn(n*int(hi)-n+1) + n) // in [n, n*hi]
+		p := &Problem{
+			Objective: w,
+			Constraints: []Constraint{
+				{Coeffs: ones(n), Sense: EQ, RHS: budget},
+			},
+			Integer: trues(n),
+			Lower:   fill(n, lo),
+			Upper:   fill(n, hi),
+		}
+		sol, err := SolveMILP(p)
+		// Brute force.
+		best := math.Inf(-1)
+		var rec func(i int, rem float64, acc float64)
+		rec = func(i int, rem float64, acc float64) {
+			if i == n {
+				if rem == 0 && acc > best {
+					best = acc
+				}
+				return
+			}
+			for v := lo; v <= hi; v++ {
+				if v > rem {
+					break
+				}
+				rec(i+1, rem-v, acc+w[i]*v)
+			}
+		}
+		rec(0, budget, 0)
+		if math.IsInf(best, -1) {
+			return err == ErrInfeasible
+		}
+		if err != nil {
+			return false
+		}
+		return approx(sol.Objective, best, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ones(n int) []float64 { return fill(n, 1) }
+func fill(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+func trues(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}

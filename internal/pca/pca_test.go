@@ -1,0 +1,224 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vaq/internal/vec"
+)
+
+// anisotropic builds data whose first axis has far more variance.
+func anisotropic(rng *rand.Rand, n, d int, scales []float64) *vec.Matrix {
+	x := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		r := x.Row(i)
+		for j := 0; j < d; j++ {
+			r[j] = float32(rng.NormFloat64() * scales[j])
+		}
+	}
+	return x
+}
+
+func TestFitSortedEigenvalues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := anisotropic(rng, 2000, 4, []float64{10, 5, 1, 0.1})
+	m, err := Fit(x, Options{Center: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if m.Eigenvalues[i] > m.Eigenvalues[i-1] {
+			t.Fatalf("not sorted: %v", m.Eigenvalues)
+		}
+	}
+	// Largest eigenvalue should be near 100 (variance of first axis).
+	if m.Eigenvalues[0] < 70 || m.Eigenvalues[0] > 130 {
+		t.Fatalf("first eigenvalue %v, want ~100", m.Eigenvalues[0])
+	}
+	// First component should be aligned with the first canonical axis.
+	if math.Abs(m.Components.At(0, 0)) < 0.95 {
+		t.Fatalf("first component %v not aligned with axis 0", m.Components.Col(0))
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(vec.NewMatrix(0, 3), Options{}); err == nil {
+		t.Fatal("empty input must fail")
+	}
+}
+
+func TestExplainedVarianceRatioSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := anisotropic(rng, 500, 6, []float64{3, 2, 1, 1, 0.5, 0.1})
+	m, err := Fit(x, Options{Center: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.ExplainedVarianceRatio()
+	var sum float64
+	for _, v := range r {
+		if v < 0 {
+			t.Fatalf("negative ratio %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ratios sum to %v", sum)
+	}
+}
+
+func TestExplainedVarianceRatioDegenerate(t *testing.T) {
+	m := &Model{Dim: 3, Eigenvalues: []float64{0, 0, 0}}
+	r := m.ExplainedVarianceRatio()
+	for _, v := range r {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("degenerate profile should be uniform: %v", r)
+		}
+	}
+}
+
+func TestProjectPreservesDistances(t *testing.T) {
+	// Orthonormal projection onto the full basis preserves pairwise
+	// Euclidean distances (rotation invariance).
+	rng := rand.New(rand.NewSource(3))
+	x := anisotropic(rng, 50, 8, []float64{4, 3, 2, 2, 1, 1, 0.5, 0.2})
+	m, err := Fit(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := m.Project(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		i, j := rng.Intn(50), rng.Intn(50)
+		orig := float64(vec.L2(x.Row(i), x.Row(j)))
+		proj := float64(vec.L2(z.Row(i), z.Row(j)))
+		if math.Abs(orig-proj) > 1e-3*(1+orig) {
+			t.Fatalf("distance not preserved: %v vs %v", orig, proj)
+		}
+	}
+}
+
+func TestProjectVarianceConcentration(t *testing.T) {
+	// After projection, the first column must carry the largest variance.
+	rng := rand.New(rand.NewSource(4))
+	x := anisotropic(rng, 1000, 5, []float64{1, 1, 8, 1, 1})
+	m, err := Fit(x, Options{Center: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := m.Project(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := vec.ColumnVariances(z)
+	for j := 1; j < 5; j++ {
+		if vars[j] > vars[0] {
+			t.Fatalf("projected variance not concentrated: %v", vars)
+		}
+	}
+	// And must decrease monotonically (within noise tolerance).
+	for j := 1; j < 5; j++ {
+		if vars[j] > vars[j-1]*1.05+1e-9 {
+			t.Fatalf("projected variances not descending: %v", vars)
+		}
+	}
+}
+
+func TestProjectVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := anisotropic(rng, 100, 4, []float64{2, 1, 1, 1})
+	m, _ := Fit(x, Options{Center: true})
+	z, _ := m.Project(x)
+	single, err := m.ProjectVec(x.Row(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range single {
+		if math.Abs(float64(single[j]-z.At(7, j))) > 1e-6 {
+			t.Fatalf("ProjectVec mismatch at %d", j)
+		}
+	}
+	if _, err := m.ProjectVec([]float32{1}); err == nil {
+		t.Fatal("wrong dimension must fail")
+	}
+}
+
+func TestProjectDimensionError(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := anisotropic(rng, 10, 3, []float64{1, 1, 1})
+	m, _ := Fit(x, Options{})
+	if _, err := m.Project(vec.NewMatrix(2, 5)); err == nil {
+		t.Fatal("wrong dimension must fail")
+	}
+}
+
+func TestPermuteComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := anisotropic(rng, 300, 3, []float64{3, 2, 1})
+	m, _ := Fit(x, Options{Center: true})
+	orig := m.Clone()
+	if err := m.PermuteComponents([]int{2, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Eigenvalues[0] != orig.Eigenvalues[2] || m.Eigenvalues[1] != orig.Eigenvalues[0] {
+		t.Fatalf("eigenvalues not permuted: %v vs %v", m.Eigenvalues, orig.Eigenvalues)
+	}
+	for i := 0; i < 3; i++ {
+		if m.Components.At(i, 0) != orig.Components.At(i, 2) {
+			t.Fatal("components not permuted")
+		}
+	}
+	if err := m.PermuteComponents([]int{0, 0, 1}); err == nil {
+		t.Fatal("duplicate permutation must fail")
+	}
+	if err := m.PermuteComponents([]int{0}); err == nil {
+		t.Fatal("short permutation must fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := anisotropic(rng, 100, 3, []float64{1, 1, 1})
+	m, _ := Fit(x, Options{Center: true})
+	c := m.Clone()
+	c.Eigenvalues[0] = -99
+	c.Components.Set(0, 0, -99)
+	c.Mean[0] = -99
+	if m.Eigenvalues[0] == -99 || m.Components.At(0, 0) == -99 || m.Mean[0] == -99 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+// Property: total eigenvalue mass equals total column variance
+// (trace preservation through the eigendecomposition).
+func TestEigenvalueMassProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 20
+		d := rng.Intn(8) + 2
+		x := vec.NewMatrix(n, d)
+		for i := range x.Data {
+			x.Data[i] = float32(rng.NormFloat64())
+		}
+		m, err := Fit(x, Options{Center: true})
+		if err != nil {
+			return false
+		}
+		var evSum float64
+		for _, v := range m.Eigenvalues {
+			evSum += v
+		}
+		var varSum float64
+		for _, v := range vec.ColumnVariances(x) {
+			varSum += v
+		}
+		return math.Abs(evSum-varSum) < 1e-6*(1+varSum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

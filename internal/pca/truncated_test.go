@@ -1,0 +1,98 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vaq/internal/vec"
+)
+
+func TestFitTruncatedMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := anisotropic(rng, 800, 12, []float64{8, 5, 3, 2, 1, 1, 0.5, 0.5, 0.2, 0.2, 0.1, 0.1})
+	full, err := Fit(x, Options{Center: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 4
+	trunc, err := FitTruncated(x, k, Options{Center: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunc.K != k || trunc.Dim != 12 {
+		t.Fatalf("shape %d %d", trunc.K, trunc.Dim)
+	}
+	for i := 0; i < k; i++ {
+		rel := math.Abs(trunc.Eigenvalues[i]-full.Eigenvalues[i]) / (1 + full.Eigenvalues[i])
+		if rel > 1e-5 {
+			t.Fatalf("eigenvalue %d: %v vs %v", i, trunc.Eigenvalues[i], full.Eigenvalues[i])
+		}
+	}
+	// Projections agree up to per-component sign.
+	zFull, _ := full.Project(x)
+	zTrunc, err := trunc.Project(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zTrunc.Cols != k {
+		t.Fatalf("projected cols %d", zTrunc.Cols)
+	}
+	for j := 0; j < k; j++ {
+		sign := float32(1)
+		if zFull.At(0, j)*zTrunc.At(0, j) < 0 {
+			sign = -1
+		}
+		for i := 0; i < 50; i++ {
+			a, b := zFull.At(i, j), sign*zTrunc.At(i, j)
+			if math.Abs(float64(a-b)) > 1e-3*(1+math.Abs(float64(a))) {
+				t.Fatalf("projection mismatch at (%d,%d): %v vs %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestTruncatedExplainedRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := anisotropic(rng, 500, 6, []float64{5, 2, 1, 0.5, 0.2, 0.1})
+	trunc, err := FitTruncated(x, 3, Options{Center: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := trunc.ExplainedVarianceRatio()
+	var sum float64
+	for i, r := range ratios {
+		if r < 0 || r > 1 {
+			t.Fatalf("ratio %d out of range: %v", i, r)
+		}
+		if i > 0 && r > ratios[i-1]+1e-9 {
+			t.Fatalf("ratios not descending: %v", ratios)
+		}
+		sum += r
+	}
+	if sum > 1+1e-9 {
+		t.Fatalf("ratios exceed total variance: %v", sum)
+	}
+	// The dominant axis should explain the bulk.
+	if ratios[0] < 0.5 {
+		t.Fatalf("dominant ratio %v too small", ratios[0])
+	}
+}
+
+func TestFitTruncatedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := anisotropic(rng, 50, 4, []float64{1, 1, 1, 1})
+	if _, err := FitTruncated(vec.NewMatrix(0, 4), 2, Options{}); err == nil {
+		t.Fatal("empty must fail")
+	}
+	if _, err := FitTruncated(x, 0, Options{}); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	if _, err := FitTruncated(x, 5, Options{}); err == nil {
+		t.Fatal("k>d must fail")
+	}
+	m, _ := FitTruncated(x, 2, Options{})
+	if _, err := m.Project(vec.NewMatrix(1, 5)); err == nil {
+		t.Fatal("bad projection dim must fail")
+	}
+}

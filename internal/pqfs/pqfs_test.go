@@ -1,0 +1,91 @@
+package pqfs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vaq/internal/quantizer"
+	"vaq/internal/vec"
+)
+
+func clustered(rng *rand.Rand, n, d int) *vec.Matrix {
+	x := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		r := x.Row(i)
+		for j := 0; j < d; j++ {
+			r[j] = float32(rng.Intn(4))*2 + float32(rng.NormFloat64()*0.2)
+		}
+	}
+	return x
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := clustered(rng, 50, 8)
+	if _, err := Build(x, x, Config{M: 0}); err == nil {
+		t.Fatal("M=0 must fail")
+	}
+	if _, err := Build(x, vec.NewMatrix(5, 4), Config{M: 2}); err == nil {
+		t.Fatal("dim mismatch must fail")
+	}
+}
+
+// The defining property of PQ Fast Scan: identical results to plain PQ on
+// the same codebooks, because the integer pass only filters codes whose
+// lower bound proves they cannot make the top-k.
+func TestMatchesPlainPQExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := clustered(rng, 1200, 16)
+	cfg := Config{M: 4, Train: quantizer.TrainConfig{Seed: 7}}
+	ix, err := Build(x, x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := quantizer.TrainPQ(x, x, quantizer.PQConfig{
+		M: 4, BitsPerSubspace: 8, Train: quantizer.TrainConfig{Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 15; trial++ {
+		q := append([]float32(nil), x.Row(rng.Intn(x.Rows))...)
+		for j := range q {
+			q[j] += float32(rng.NormFloat64() * 0.1)
+		}
+		fast, err := ix.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := pq.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) != len(plain) {
+			t.Fatalf("lengths %d vs %d", len(fast), len(plain))
+		}
+		for i := range fast {
+			if math.Abs(float64(fast[i].Dist-plain[i].Dist)) > 1e-5*(1+float64(plain[i].Dist)) {
+				t.Fatalf("trial %d rank %d: PQFS %v vs PQ %v", trial, i, fast[i], plain[i])
+			}
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := clustered(rng, 300, 8)
+	ix, err := Build(x, x, Config{M: 2, Train: quantizer.TrainConfig{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 300 || ix.Dim() != 8 {
+		t.Fatalf("shape %d %d", ix.Len(), ix.Dim())
+	}
+	if _, err := ix.Search(make([]float32, 5), 5); err == nil {
+		t.Fatal("bad dim must fail")
+	}
+	if _, err := ix.Search(x.Row(0), 0); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+}

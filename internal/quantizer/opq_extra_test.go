@@ -1,0 +1,67 @@
+package quantizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vaq/internal/vec"
+)
+
+// OPQ's transform is orthogonal (PCA, optionally composed with the
+// refinement rotation), so pairwise distances must be preserved.
+func TestOPQTransformIsIsometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := clusteredData(rng, 300, 12)
+	for _, iters := range []int{0, 2} {
+		opq, err := TrainOPQ(x, x, OPQConfig{
+			M: 4, BitsPerSubspace: 3, NonParametricIters: iters,
+			Train: TrainConfig{Seed: 21},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			i, j := rng.Intn(300), rng.Intn(300)
+			a, err := opq.TransformQuery(x.Row(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := opq.TransformQuery(x.Row(j))
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig := float64(vec.L2(x.Row(i), x.Row(j)))
+			rot := float64(vec.L2(a, b))
+			if math.Abs(orig-rot) > 1e-3*(1+orig) {
+				t.Fatalf("iters=%d: distance not preserved: %v vs %v", iters, orig, rot)
+			}
+		}
+	}
+}
+
+// Dictionaries above the hierarchical threshold must train through the
+// two-level path and still encode with low error.
+func TestTrainCodebooksHierarchicalPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := clusteredData(rng, 5000, 8)
+	sub, _ := UniformSubspaces(8, 2)
+	cb, err := TrainCodebooks(x, sub, []int{11, 11}, TrainConfig{
+		Seed: 22, HierarchicalThreshold: 1024, Parallel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		if cb.Books[s].Rows != 1<<11 {
+			t.Fatalf("book %d has %d rows", s, cb.Books[s].Rows)
+		}
+	}
+	codes, err := cb.Encode(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse := cb.ReconstructionError(x, codes); mse > 0.2 {
+		t.Fatalf("hierarchical 2^11 dictionaries reconstruct poorly: %v", mse)
+	}
+}

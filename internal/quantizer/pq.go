@@ -1,0 +1,69 @@
+package quantizer
+
+import (
+	"fmt"
+
+	"vaq/internal/vec"
+)
+
+// PQ is plain Product Quantization (Jégou et al., paper §II-C): uniform
+// subspaces, equal dictionary sizes, exhaustive ADC scan at query time.
+type PQ struct {
+	cb    *Codebooks
+	codes *Codes
+	n     int
+}
+
+// PQConfig configures TrainPQ.
+type PQConfig struct {
+	// M is the number of subspaces.
+	M int
+	// BitsPerSubspace is the dictionary size exponent (8 is the literature
+	// default; Bolt-style settings use 4).
+	BitsPerSubspace int
+	Train           TrainConfig
+}
+
+// TrainPQ learns dictionaries on train and encodes data with them.
+// train and data may be the same matrix.
+func TrainPQ(train, data *vec.Matrix, cfg PQConfig) (*PQ, error) {
+	if train.Cols != data.Cols {
+		return nil, fmt.Errorf("quantizer: train dim %d != data dim %d", train.Cols, data.Cols)
+	}
+	sub, err := UniformSubspaces(train.Cols, cfg.M)
+	if err != nil {
+		return nil, err
+	}
+	bits := make([]int, cfg.M)
+	for i := range bits {
+		bits[i] = cfg.BitsPerSubspace
+	}
+	cb, err := TrainCodebooks(train, sub, bits, cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+	codes, err := cb.Encode(data, true)
+	if err != nil {
+		return nil, err
+	}
+	return &PQ{cb: cb, codes: codes, n: data.Rows}, nil
+}
+
+// Codebooks exposes the trained dictionaries.
+func (p *PQ) Codebooks() *Codebooks { return p.cb }
+
+// Codes exposes the encoded dataset.
+func (p *PQ) Codes() *Codes { return p.codes }
+
+// Len reports the number of encoded vectors.
+func (p *PQ) Len() int { return p.n }
+
+// Search returns the approximate k nearest neighbors of q (squared
+// distances).
+func (p *PQ) Search(q []float32, k int) ([]vec.Neighbor, error) {
+	if len(q) != p.cb.Sub.Dim() {
+		return nil, fmt.Errorf("quantizer: query dim %d, index dim %d", len(q), p.cb.Sub.Dim())
+	}
+	lut := p.cb.BuildLUT(q)
+	return ScanADC(p.codes, lut, k), nil
+}

@@ -1,0 +1,101 @@
+package quantizer
+
+import (
+	"fmt"
+
+	"vaq/internal/vec"
+)
+
+// SDCTable caches the pairwise squared distances between dictionary items
+// of each subspace, enabling Symmetric Distance Computation (paper §II-C):
+// both the query and the database vectors are encoded, and distances
+// accumulate as d_SDC(C(x), C(q)) = Σ_s ||c_s[x_s] - c_s[q_s]||².
+//
+// SDC trades a little accuracy (the query is quantized too) for never
+// touching float vectors at query time — useful when queries arrive
+// already encoded (e.g. from another shard).
+type SDCTable struct {
+	m       int
+	sizes   []int
+	offsets []int
+	dist    []float32 // per subspace: k_s x k_s matrix, flattened
+}
+
+// BuildSDCTable precomputes the per-subspace codeword distance matrices.
+// Memory is Σ_s k_s² floats, so it suits dictionaries up to ~2^10 entries.
+func (cb *Codebooks) BuildSDCTable() *SDCTable {
+	m := cb.Sub.M()
+	t := &SDCTable{m: m, sizes: make([]int, m), offsets: make([]int, m+1)}
+	total := 0
+	for s := 0; s < m; s++ {
+		k := cb.Books[s].Rows
+		t.sizes[s] = k
+		t.offsets[s] = total
+		total += k * k
+	}
+	t.offsets[m] = total
+	t.dist = make([]float32, total)
+	for s := 0; s < m; s++ {
+		book := cb.Books[s]
+		k := book.Rows
+		base := t.offsets[s]
+		for a := 0; a < k; a++ {
+			ra := book.Row(a)
+			for b := a + 1; b < k; b++ {
+				d := vec.SquaredL2(ra, book.Row(b))
+				t.dist[base+a*k+b] = d
+				t.dist[base+b*k+a] = d
+			}
+		}
+	}
+	return t
+}
+
+// Distance accumulates the symmetric distance between two code words.
+func (t *SDCTable) Distance(a, b []uint16) float32 {
+	var d float32
+	for s := 0; s < t.m; s++ {
+		k := t.sizes[s]
+		d += t.dist[t.offsets[s]+int(a[s])*k+int(b[s])]
+	}
+	return d
+}
+
+// ScanSDC scans all codes against an encoded query, returning the k
+// nearest by symmetric distance.
+func ScanSDC(codes *Codes, t *SDCTable, qCode []uint16, k int) ([]vec.Neighbor, error) {
+	if len(qCode) != codes.M || codes.M != t.m {
+		return nil, fmt.Errorf("quantizer: SDC width mismatch: query %d, codes %d, table %d",
+			len(qCode), codes.M, t.m)
+	}
+	tk := vec.NewTopK(k)
+	m := codes.M
+	for i := 0; i < codes.N; i++ {
+		row := codes.Data[i*m : (i+1)*m]
+		var d float32
+		for s := 0; s < m; s++ {
+			kk := t.sizes[s]
+			d += t.dist[t.offsets[s]+int(qCode[s])*kk+int(row[s])]
+		}
+		tk.Push(i, d)
+	}
+	return tk.Results(), nil
+}
+
+// SearchSDC encodes the query with the PQ dictionaries and scans
+// symmetrically. The table is built per call unless one is supplied; for
+// batch workloads build it once with Codebooks().BuildSDCTable().
+func (p *PQ) SearchSDC(q []float32, k int, table *SDCTable) ([]vec.Neighbor, error) {
+	if len(q) != p.cb.Sub.Dim() {
+		return nil, fmt.Errorf("quantizer: query dim %d, index dim %d", len(q), p.cb.Sub.Dim())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("quantizer: k must be >= 1, got %d", k)
+	}
+	if table == nil {
+		table = p.cb.BuildSDCTable()
+	}
+	qCode := make([]uint16, p.cb.Sub.M())
+	p.cb.EncodeVec(q, qCode)
+	return ScanSDC(p.codes, table, qCode, k)
+}

@@ -1,0 +1,146 @@
+package quantizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vaq/internal/vec"
+)
+
+func TestSDCTableSymmetryAndDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := clusteredData(rng, 300, 8)
+	sub, _ := UniformSubspaces(8, 4)
+	cb, _ := TrainCodebooks(x, sub, []int{3, 4, 2, 3}, TrainConfig{Seed: 1})
+	table := cb.BuildSDCTable()
+	for s := 0; s < 4; s++ {
+		k := cb.Books[s].Rows
+		for a := 0; a < k; a++ {
+			codeA := make([]uint16, 4)
+			codeB := make([]uint16, 4)
+			codeA[s] = uint16(a)
+			if table.Distance(codeA, codeA) < 0 {
+				t.Fatal("negative self distance")
+			}
+			for b := 0; b < k; b++ {
+				codeB[s] = uint16(b)
+				// Isolate subspace s by keeping others at code 0.
+				dAB := table.Distance(codeA, codeB)
+				dBA := table.Distance(codeB, codeA)
+				if dAB != dBA {
+					t.Fatalf("asymmetric SDC at s=%d (%d,%d): %v vs %v", s, a, b, dAB, dBA)
+				}
+			}
+		}
+	}
+	// Diagonal entries are zero: identical codes have distance 0.
+	code := []uint16{1, 2, 1, 0}
+	if d := table.Distance(code, code); d != 0 {
+		t.Fatalf("self distance %v", d)
+	}
+}
+
+func TestSDCMatchesExplicitReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := clusteredData(rng, 400, 8)
+	sub, _ := UniformSubspaces(8, 4)
+	cb, _ := TrainCodebooks(x, sub, []int{4, 4, 4, 4}, TrainConfig{Seed: 2})
+	codes, _ := cb.Encode(x, false)
+	table := cb.BuildSDCTable()
+	bufA := make([]float32, 8)
+	bufB := make([]float32, 8)
+	for trial := 0; trial < 30; trial++ {
+		i, j := rng.Intn(400), rng.Intn(400)
+		cb.Decode(codes.Row(i), bufA)
+		cb.Decode(codes.Row(j), bufB)
+		want := vec.SquaredL2(bufA, bufB)
+		got := table.Distance(codes.Row(i), codes.Row(j))
+		if math.Abs(float64(got-want)) > 1e-4*(1+float64(want)) {
+			t.Fatalf("SDC %v != reconstruction distance %v", got, want)
+		}
+	}
+}
+
+func TestSearchSDC(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := clusteredData(rng, 800, 16)
+	pq, err := TrainPQ(x, x, PQConfig{M: 4, BitsPerSubspace: 6, Train: TrainConfig{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := pq.Codebooks().BuildSDCTable()
+	// Self query should find itself at distance 0 (identical code).
+	hits := 0
+	for trial := 0; trial < 20; trial++ {
+		qi := rng.Intn(800)
+		res, err := pq.SearchSDC(x.Row(qi), 10, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.ID == qi {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 16 {
+		t.Fatalf("SDC self-recall %d/20", hits)
+	}
+	// Table built on demand when nil.
+	if _, err := pq.SearchSDC(x.Row(0), 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.SearchSDC(make([]float32, 3), 5, table); err == nil {
+		t.Fatal("bad dim must fail")
+	}
+	if _, err := pq.SearchSDC(x.Row(0), 0, table); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+}
+
+func TestSDCVsADCAccuracy(t *testing.T) {
+	// SDC quantizes the query too, so its distances are no better (and
+	// usually worse) approximations than ADC; both must still retrieve
+	// overlapping neighbor sets.
+	rng := rand.New(rand.NewSource(4))
+	x := clusteredData(rng, 600, 8)
+	pq, _ := TrainPQ(x, x, PQConfig{M: 4, BitsPerSubspace: 5, Train: TrainConfig{Seed: 4}})
+	table := pq.Codebooks().BuildSDCTable()
+	overlap := 0
+	total := 0
+	for trial := 0; trial < 10; trial++ {
+		q := append([]float32(nil), x.Row(rng.Intn(600))...)
+		for j := range q {
+			q[j] += float32(rng.NormFloat64() * 0.05)
+		}
+		adc, _ := pq.Search(q, 10)
+		sdc, _ := pq.SearchSDC(q, 10, table)
+		set := map[int]bool{}
+		for _, r := range adc {
+			set[r.ID] = true
+		}
+		for _, r := range sdc {
+			total++
+			if set[r.ID] {
+				overlap++
+			}
+		}
+	}
+	if frac := float64(overlap) / float64(total); frac < 0.5 {
+		t.Fatalf("SDC/ADC overlap %v too low", frac)
+	}
+}
+
+func TestScanSDCErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := clusteredData(rng, 100, 4)
+	sub, _ := UniformSubspaces(4, 2)
+	cb, _ := TrainCodebooks(x, sub, []int{2, 2}, TrainConfig{Seed: 5})
+	codes, _ := cb.Encode(x, false)
+	table := cb.BuildSDCTable()
+	if _, err := ScanSDC(codes, table, []uint16{0}, 3); err == nil {
+		t.Fatal("wrong query width must fail")
+	}
+}

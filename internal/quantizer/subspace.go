@@ -1,0 +1,77 @@
+// Package quantizer provides the product-quantization machinery shared by
+// PQ, OPQ, Bolt, PQFS, IMI and VAQ: subspace layouts over the data
+// dimensions, per-subspace codebooks (possibly of different sizes), code
+// storage, asymmetric-distance lookup tables and the exhaustive ADC scan
+// (paper §II-C and Figure 2).
+package quantizer
+
+import (
+	"fmt"
+)
+
+// Subspaces describes how the d data dimensions decompose into m
+// contiguous, non-overlapping subspaces. Subspace i covers columns
+// [Offsets[i], Offsets[i]+Lengths[i]).
+type Subspaces struct {
+	Offsets []int
+	Lengths []int
+}
+
+// UniformSubspaces splits d dimensions into m subspaces of (nearly) equal
+// length. When m does not divide d, earlier subspaces get the extra
+// dimension, matching how the paper pads q = d/m.
+func UniformSubspaces(d, m int) (Subspaces, error) {
+	if m < 1 || d < 1 {
+		return Subspaces{}, fmt.Errorf("quantizer: need d >= 1 and m >= 1, got d=%d m=%d", d, m)
+	}
+	if m > d {
+		return Subspaces{}, fmt.Errorf("quantizer: m=%d subspaces exceed d=%d dimensions", m, d)
+	}
+	base, rem := d/m, d%m
+	s := Subspaces{Offsets: make([]int, m), Lengths: make([]int, m)}
+	off := 0
+	for i := 0; i < m; i++ {
+		l := base
+		if i < rem {
+			l++
+		}
+		s.Offsets[i] = off
+		s.Lengths[i] = l
+		off += l
+	}
+	return s, nil
+}
+
+// FromLengths builds a subspace layout from explicit segment lengths.
+func FromLengths(lengths []int) (Subspaces, error) {
+	if len(lengths) == 0 {
+		return Subspaces{}, fmt.Errorf("quantizer: empty subspace lengths")
+	}
+	s := Subspaces{Offsets: make([]int, len(lengths)), Lengths: append([]int(nil), lengths...)}
+	off := 0
+	for i, l := range lengths {
+		if l < 1 {
+			return Subspaces{}, fmt.Errorf("quantizer: subspace %d has non-positive length %d", i, l)
+		}
+		s.Offsets[i] = off
+		off += l
+	}
+	return s, nil
+}
+
+// M returns the number of subspaces.
+func (s Subspaces) M() int { return len(s.Lengths) }
+
+// Dim returns the total dimensionality covered.
+func (s Subspaces) Dim() int {
+	if len(s.Lengths) == 0 {
+		return 0
+	}
+	last := len(s.Lengths) - 1
+	return s.Offsets[last] + s.Lengths[last]
+}
+
+// Of slices subspace i out of a full-dimension vector.
+func (s Subspaces) Of(v []float32, i int) []float32 {
+	return v[s.Offsets[i] : s.Offsets[i]+s.Lengths[i]]
+}

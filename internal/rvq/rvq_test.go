@@ -1,0 +1,155 @@
+package rvq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vaq/internal/quantizer"
+	"vaq/internal/vec"
+)
+
+func clustered(rng *rand.Rand, n, d int) *vec.Matrix {
+	x := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		r := x.Row(i)
+		for j := 0; j < d; j++ {
+			r[j] = float32(rng.Intn(4))*2 + float32(rng.NormFloat64()*0.3)
+		}
+	}
+	return x
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := clustered(rng, 100, 8)
+	if _, err := Build(x, x, Config{Stages: 0}); err == nil {
+		t.Fatal("stages=0 must fail")
+	}
+	if _, err := Build(x, x, Config{Stages: 2, BitsPerStage: 13}); err == nil {
+		t.Fatal("13 bits must fail")
+	}
+	if _, err := Build(x, vec.NewMatrix(5, 9), Config{Stages: 2}); err == nil {
+		t.Fatal("dim mismatch must fail")
+	}
+	if _, err := Build(vec.NewMatrix(0, 8), vec.NewMatrix(0, 8), Config{Stages: 2}); err == nil {
+		t.Fatal("empty must fail")
+	}
+}
+
+func TestResidualStagesReduceError(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := clustered(rng, 800, 16)
+	var prev float64 = math.Inf(1)
+	for _, stages := range []int{1, 2, 4} {
+		ix, err := Build(x, x, Config{Stages: stages, BitsPerStage: 6, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mse := ix.ReconstructionError(x)
+		if mse > prev+1e-9 {
+			t.Fatalf("%d stages increased error: %v > %v", stages, mse, prev)
+		}
+		prev = mse
+	}
+	// Relative check: 4 stages x 6 bits should remove ~90% of the data's
+	// total variance on this workload.
+	var totalVar float64
+	for _, v := range vec.ColumnVariances(x) {
+		totalVar += v
+	}
+	if prev > 0.15*totalVar {
+		t.Fatalf("4-stage reconstruction error %v too high vs variance %v", prev, totalVar)
+	}
+}
+
+func TestADCDistanceIsExact(t *testing.T) {
+	// The norm-corrected ADC must equal the explicit distance between the
+	// query and the decoded reconstruction.
+	rng := rand.New(rand.NewSource(3))
+	x := clustered(rng, 400, 12)
+	ix, err := Build(x, x, Config{Stages: 3, BitsPerStage: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := x.Row(7)
+	res, err := ix.Search(q, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float32, 12)
+	for _, r := range res {
+		ix.Decode(r.ID, buf)
+		want := vec.SquaredL2(q, buf)
+		if math.Abs(float64(r.Dist-want)) > 1e-3*(1+float64(want)) {
+			t.Fatalf("ADC %v != explicit %v for id %d", r.Dist, want, r.ID)
+		}
+	}
+}
+
+func TestSearchBasicsAndSelfRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := clustered(rng, 1000, 16)
+	ix, err := Build(x, x, Config{Stages: 4, BitsPerStage: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 1000 || ix.Dim() != 16 {
+		t.Fatalf("shape %d %d", ix.Len(), ix.Dim())
+	}
+	hits := 0
+	for trial := 0; trial < 20; trial++ {
+		qi := rng.Intn(1000)
+		res, err := ix.Search(x.Row(qi), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.ID == qi {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 17 {
+		t.Fatalf("self-recall %d/20", hits)
+	}
+	if _, err := ix.Search(make([]float32, 3), 5); err == nil {
+		t.Fatal("bad dim must fail")
+	}
+	if _, err := ix.Search(x.Row(0), 0); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+}
+
+// RVQ at the same budget should beat PQ on reconstruction error for data
+// with global (cross-subspace) structure — the accuracy edge of additive
+// families that Table I records.
+func TestRVQBeatsPQReconstructionOnCorrelatedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, d := 1200, 16
+	x := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		base := rng.NormFloat64() * 3
+		r := x.Row(i)
+		for j := 0; j < d; j++ {
+			r[j] = float32(base + rng.NormFloat64()*0.4)
+		}
+	}
+	// 32-bit budget: RVQ 4 stages x 8 bits; PQ 4 subspaces x 8 bits.
+	rvqIx, err := Build(x, x, Config{Stages: 4, BitsPerStage: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := quantizer.TrainPQ(x, x, quantizer.PQConfig{
+		M: 4, BitsPerSubspace: 8, Train: quantizer.TrainConfig{Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rvqMSE := rvqIx.ReconstructionError(x)
+	pqMSE := pq.Codebooks().ReconstructionError(x, pq.Codes())
+	if rvqMSE > pqMSE {
+		t.Fatalf("RVQ MSE %v should beat PQ MSE %v on globally-correlated data", rvqMSE, pqMSE)
+	}
+}

@@ -1,0 +1,202 @@
+// Package tc implements the Transform Coding baseline (Brandt, CVPR'10;
+// paper Table I and §II-C): PCA followed by per-component SCALAR
+// quantization, with bits allocated across components by greedy marginal
+// variance reduction. TC is the closest ancestor of VAQ — adaptive bit
+// allocation over a decorrelating transform — but with one-dimensional
+// quantizers instead of vector dictionaries per subspace, which is why it
+// trails OPQ/VAQ in accuracy.
+package tc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vaq/internal/pca"
+	"vaq/internal/vec"
+)
+
+// Index is a built transform-coding index.
+type Index struct {
+	model *pca.Model
+	// bits[j] is the number of bits of PCA component j (0 = dropped).
+	bits []int
+	// boundaries and centers per used component: quantizer level centers
+	// are the component's per-bin means.
+	centers [][]float32 // centers[j][level]
+	codes   []uint16    // n x used (flattened), indices into centers
+	used    []int       // component js with bits > 0, in PCA order
+	n       int
+	dim     int
+}
+
+// Config controls Build.
+type Config struct {
+	// Budget is total bits per vector.
+	Budget int
+	// MaxBitsPerComponent caps a single component (default 8).
+	MaxBitsPerComponent int
+}
+
+// Build fits PCA on train, allocates the bit budget greedily (each bit
+// goes to the component with the largest remaining variance, halving it —
+// the classic high-rate approximation), learns scalar quantizers from the
+// training distribution, and encodes data.
+func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
+	if cfg.Budget < 1 {
+		return nil, fmt.Errorf("tc: budget %d must be >= 1", cfg.Budget)
+	}
+	if cfg.MaxBitsPerComponent <= 0 {
+		cfg.MaxBitsPerComponent = 8
+	}
+	if train.Cols != data.Cols {
+		return nil, fmt.Errorf("tc: train dim %d != data dim %d", train.Cols, data.Cols)
+	}
+	model, err := pca.Fit(train, pca.Options{Center: true})
+	if err != nil {
+		return nil, err
+	}
+	d := train.Cols
+	// Greedy allocation: one bit at a time to the component whose current
+	// (residual) variance is largest; each bit divides it by 4 (6 dB/bit).
+	resid := append([]float64(nil), model.Eigenvalues...)
+	bits := make([]int, d)
+	for b := 0; b < cfg.Budget; b++ {
+		best := -1
+		for j := 0; j < d; j++ {
+			if bits[j] >= cfg.MaxBitsPerComponent {
+				continue
+			}
+			if best == -1 || resid[j] > resid[best] {
+				best = j
+			}
+		}
+		if best == -1 {
+			break
+		}
+		bits[best]++
+		resid[best] /= 4
+	}
+	ix := &Index{model: model, bits: bits, n: data.Rows, dim: d}
+	for j := 0; j < d; j++ {
+		if bits[j] > 0 {
+			ix.used = append(ix.used, j)
+		}
+	}
+	// Project training data once to learn quantile-based scalar levels.
+	zTrain, err := model.Project(train)
+	if err != nil {
+		return nil, err
+	}
+	ix.centers = make([][]float32, len(ix.used))
+	for uj, j := range ix.used {
+		levels := 1 << bits[j]
+		col := make([]float32, zTrain.Rows)
+		for i := 0; i < zTrain.Rows; i++ {
+			col[i] = zTrain.At(i, j)
+		}
+		sort.Slice(col, func(a, b int) bool { return col[a] < col[b] })
+		centers := make([]float32, levels)
+		for l := 0; l < levels; l++ {
+			lo := l * len(col) / levels
+			hi := (l + 1) * len(col) / levels
+			if hi == lo {
+				hi = lo + 1
+				if hi > len(col) {
+					lo, hi = len(col)-1, len(col)
+				}
+			}
+			var sum float64
+			for _, v := range col[lo:hi] {
+				sum += float64(v)
+			}
+			centers[l] = float32(sum / float64(hi-lo))
+		}
+		ix.centers[uj] = centers
+	}
+	// Encode data.
+	zData := zTrain
+	if data != train {
+		zData, err = model.Project(data)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ix.codes = make([]uint16, data.Rows*len(ix.used))
+	for i := 0; i < data.Rows; i++ {
+		row := zData.Row(i)
+		base := i * len(ix.used)
+		for uj, j := range ix.used {
+			ix.codes[base+uj] = nearestLevel(ix.centers[uj], row[j])
+		}
+	}
+	return ix, nil
+}
+
+// nearestLevel finds the closest center by binary search over the sorted
+// center list (centers are monotone because they are quantile means).
+func nearestLevel(centers []float32, v float32) uint16 {
+	lo := sort.Search(len(centers), func(i int) bool { return centers[i] >= v })
+	if lo == len(centers) {
+		return uint16(lo - 1)
+	}
+	if lo == 0 {
+		return 0
+	}
+	if math.Abs(float64(centers[lo]-v)) < math.Abs(float64(v-centers[lo-1])) {
+		return uint16(lo)
+	}
+	return uint16(lo - 1)
+}
+
+// Len reports the number of encoded vectors.
+func (ix *Index) Len() int { return ix.n }
+
+// Dim reports the expected query dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Bits returns the per-PCA-component allocation (a copy).
+func (ix *Index) Bits() []int { return append([]int(nil), ix.bits...) }
+
+// Search returns the approximate k nearest neighbors by ADC over the
+// scalar quantizers (squared distances over the used components; dropped
+// components are ignored, the dimensionality-reduction loss TC accepts).
+func (ix *Index) Search(q []float32, k int) ([]vec.Neighbor, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("tc: query dim %d, index dim %d", len(q), ix.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("tc: k must be >= 1, got %d", k)
+	}
+	zq, err := ix.model.ProjectVec(q)
+	if err != nil {
+		return nil, err
+	}
+	// Per-component lookup tables.
+	offsets := make([]int, len(ix.used)+1)
+	total := 0
+	for uj := range ix.used {
+		offsets[uj] = total
+		total += len(ix.centers[uj])
+	}
+	offsets[len(ix.used)] = total
+	lut := make([]float32, total)
+	for uj, j := range ix.used {
+		qv := zq[j]
+		for l, c := range ix.centers[uj] {
+			dl := qv - c
+			lut[offsets[uj]+l] = dl * dl
+		}
+	}
+	tk := vec.NewTopK(k)
+	w := len(ix.used)
+	for i := 0; i < ix.n; i++ {
+		base := i * w
+		var d float32
+		for uj := 0; uj < w; uj++ {
+			d += lut[offsets[uj]+int(ix.codes[base+uj])]
+		}
+		tk.Push(i, d)
+	}
+	return tk.Results(), nil
+}

@@ -1,0 +1,117 @@
+package tc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vaq/internal/vec"
+)
+
+func skewed(rng *rand.Rand, n, d int) *vec.Matrix {
+	x := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		r := x.Row(i)
+		for j := 0; j < d; j++ {
+			scale := math.Pow(float64(j+1), -1)
+			r[j] = float32((float64(rng.Intn(3)-1) + rng.NormFloat64()*0.3) * scale)
+		}
+	}
+	return x
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := skewed(rng, 100, 8)
+	if _, err := Build(x, x, Config{Budget: 0}); err == nil {
+		t.Fatal("budget 0 must fail")
+	}
+	if _, err := Build(x, vec.NewMatrix(5, 9), Config{Budget: 16}); err == nil {
+		t.Fatal("dim mismatch must fail")
+	}
+}
+
+func TestBitAllocationFavorsHighVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := skewed(rng, 600, 16)
+	ix, err := Build(x, x, Config{Budget: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := ix.Bits()
+	total := 0
+	for j, b := range bits {
+		total += b
+		if j > 0 && b > bits[0] {
+			t.Fatalf("later component out-allocated the first: %v", bits)
+		}
+	}
+	if total != 32 {
+		t.Fatalf("bits sum to %d: %v", total, bits)
+	}
+	if bits[0] < 4 {
+		t.Fatalf("dominant component should get several bits: %v", bits)
+	}
+	// With a small budget some components must be dropped entirely —
+	// TC's dimensionality-reduction behaviour (paper §II-C on KSSQ/TC).
+	dropped := 0
+	for _, b := range bits {
+		if b == 0 {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatalf("expected dropped components at 32 bits over 16 dims: %v", bits)
+	}
+}
+
+func TestSearchBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := skewed(rng, 900, 16)
+	ix, err := Build(x, x, Config{Budget: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 900 || ix.Dim() != 16 {
+		t.Fatalf("shape %d %d", ix.Len(), ix.Dim())
+	}
+	hits := 0
+	for trial := 0; trial < 20; trial++ {
+		qi := rng.Intn(900)
+		res, err := ix.Search(x.Row(qi), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 10 {
+			t.Fatalf("got %d results", len(res))
+		}
+		for _, r := range res {
+			if r.ID == qi {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 14 {
+		t.Fatalf("self-recall %d/20", hits)
+	}
+	if _, err := ix.Search(make([]float32, 3), 5); err == nil {
+		t.Fatal("bad dim must fail")
+	}
+	if _, err := ix.Search(x.Row(0), 0); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+}
+
+func TestNearestLevel(t *testing.T) {
+	centers := []float32{-2, 0, 2}
+	cases := []struct {
+		v    float32
+		want uint16
+	}{{-5, 0}, {-1.5, 0}, {-0.9, 1}, {0.9, 1}, {1.1, 2}, {9, 2}}
+	for _, c := range cases {
+		if got := nearestLevel(centers, c.v); got != c.want {
+			t.Fatalf("nearestLevel(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

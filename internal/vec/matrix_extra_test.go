@@ -1,0 +1,59 @@
+package vec
+
+import "testing"
+
+func TestSelectRowsCopy(t *testing.T) {
+	m, _ := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	s := m.SelectRowsCopy([]int{2, 0})
+	want, _ := FromRows([][]float32{{5, 6}, {1, 2}})
+	if !s.Equal(want) {
+		t.Fatalf("got %v", s.Data)
+	}
+	// Copy semantics: mutating the selection must not touch the source.
+	s.Set(0, 0, 99)
+	if m.At(2, 0) == 99 {
+		t.Fatal("SelectRowsCopy must copy")
+	}
+	empty := m.SelectRowsCopy(nil)
+	if empty.Rows != 0 || empty.Cols != 2 {
+		t.Fatalf("empty selection %dx%d", empty.Rows, empty.Cols)
+	}
+}
+
+func TestSelectColumnsRange(t *testing.T) {
+	m, _ := FromRows([][]float32{{1, 2, 3, 4}, {5, 6, 7, 8}})
+	s := m.SelectColumnsRange(1, 3)
+	want, _ := FromRows([][]float32{{2, 3}, {6, 7}})
+	if !s.Equal(want) {
+		t.Fatalf("got %v", s.Data)
+	}
+	s.Set(0, 0, 99)
+	if m.At(0, 1) == 99 {
+		t.Fatal("SelectColumnsRange must copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range must panic")
+		}
+	}()
+	m.SelectColumnsRange(2, 5)
+}
+
+func TestSliceRowsPanics(t *testing.T) {
+	m := NewMatrix(3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad slice must panic")
+		}
+	}()
+	m.SliceRows(2, 1)
+}
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dims must panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}

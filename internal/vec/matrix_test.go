@@ -1,0 +1,360 @@
+package vec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixShape(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape %dx%d len=%d", m.Rows, m.Cols, len(m.Data))
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("wrong values: %v", m.Data)
+	}
+	if _, err := FromRows([][]float32{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged rows should fail")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Fatalf("empty FromRows: %v %v", empty, err)
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Row(1)[2] = 7
+	if m.At(1, 2) != 7 {
+		t.Fatal("Row must alias backing storage")
+	}
+	if got := len(m.Row(0)); got != 3 {
+		t.Fatalf("row length %d", got)
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 5)
+	if m.At(0, 1) != 5 {
+		t.Fatal("Set/At mismatch")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMatrix(1, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Fatal("clone should be Equal")
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	m, _ := FromRows([][]float32{{1}, {2}, {3}, {4}})
+	s := m.SliceRows(1, 3)
+	if s.Rows != 2 || s.At(0, 0) != 2 || s.At(1, 0) != 3 {
+		t.Fatalf("bad slice: %+v", s)
+	}
+	s.Set(0, 0, 99)
+	if m.At(1, 0) != 99 {
+		t.Fatal("SliceRows must be a view")
+	}
+}
+
+func TestSelectColumns(t *testing.T) {
+	m, _ := FromRows([][]float32{{1, 2, 3}, {4, 5, 6}})
+	s := m.SelectColumns([]int{2, 0})
+	want, _ := FromRows([][]float32{{3, 1}, {6, 4}})
+	if !s.Equal(want) {
+		t.Fatalf("got %v", s.Data)
+	}
+}
+
+func TestPermuteColumns(t *testing.T) {
+	m, _ := FromRows([][]float32{{1, 2, 3}})
+	p, err := m.PermuteColumns([]int{1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0, 0) != 2 || p.At(0, 2) != 1 {
+		t.Fatalf("bad permutation result %v", p.Data)
+	}
+	if _, err := m.PermuteColumns([]int{0, 0, 1}); err == nil {
+		t.Fatal("duplicate entries must fail")
+	}
+	if _, err := m.PermuteColumns([]int{0, 1}); err == nil {
+		t.Fatal("short permutation must fail")
+	}
+	if _, err := m.PermuteColumns([]int{0, 1, 5}); err == nil {
+		t.Fatal("out-of-range entry must fail")
+	}
+}
+
+func TestMulTransposed(t *testing.T) {
+	a, _ := FromRows([][]float32{{1, 2}, {3, 4}})
+	bT, _ := FromRows([][]float32{{1, 0}, {0, 1}, {1, 1}})
+	got, err := a.MulTransposed(bT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromRows([][]float32{{1, 2, 3}, {3, 4, 7}})
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got.Data, want.Data)
+	}
+	if _, err := a.MulTransposed(NewMatrix(2, 3)); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(17, 9)
+	for i := range m.Data {
+		m.Data[i] = rng.Float32()*2 - 1
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestReadMatrixBadMagic(t *testing.T) {
+	if _, err := ReadMatrix(bytes.NewReader([]byte("XXXX0000000000000000"))); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+}
+
+func TestSquaredL2Known(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	b := []float32{2, 2, 1, 4, 8}
+	if got := SquaredL2(a, b); got != 1+4+9 {
+		t.Fatalf("got %v", got)
+	}
+	if got := L2([]float32{0, 3}, []float32{4, 0}); got != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDotKnown(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5, 6}
+	b := []float32{6, 5, 4, 3, 2, 1}
+	if got := Dot(a, b); got != 56 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	a := []float32{3, 4}
+	if Norm(a) != 5 {
+		t.Fatal("norm")
+	}
+	Normalize(a)
+	if math.Abs(float64(Norm(a))-1) > 1e-6 {
+		t.Fatalf("normalized norm %v", Norm(a))
+	}
+	z := []float32{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero vector must stay zero")
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	ZNormalize(a)
+	var sum, ss float64
+	for _, v := range a {
+		sum += float64(v)
+		ss += float64(v) * float64(v)
+	}
+	if math.Abs(sum) > 1e-5 {
+		t.Fatalf("mean %v", sum/5)
+	}
+	if math.Abs(ss/5-1) > 1e-5 {
+		t.Fatalf("variance %v", ss/5)
+	}
+	c := []float32{7, 7, 7}
+	ZNormalize(c)
+	for _, v := range c {
+		if v != 0 {
+			t.Fatal("constant vector should z-normalize to zero")
+		}
+	}
+	ZNormalize(nil) // must not panic
+}
+
+func TestColumnStats(t *testing.T) {
+	m, _ := FromRows([][]float32{{1, 10}, {3, 10}})
+	means := ColumnMeans(m)
+	if means[0] != 2 || means[1] != 10 {
+		t.Fatalf("means %v", means)
+	}
+	vars := ColumnVariances(m)
+	if vars[0] != 1 || vars[1] != 0 {
+		t.Fatalf("vars %v", vars)
+	}
+}
+
+// Property: SquaredL2 agrees with a scalar float64 reference within
+// tolerance, for random vectors.
+func TestSquaredL2Property(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%33 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = rng.Float32()*10 - 5
+			b[i] = rng.Float32()*10 - 5
+		}
+		var ref float64
+		for i := range a {
+			d := float64(a[i]) - float64(b[i])
+			ref += d * d
+		}
+		got := float64(SquaredL2(a, b))
+		return math.Abs(got-ref) <= 1e-3*(1+ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distance axioms — symmetry, identity, triangle inequality.
+func TestL2MetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 2
+		a, b, c := make([]float32, n), make([]float32, n), make([]float32, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i], c[i] = rng.Float32(), rng.Float32(), rng.Float32()
+		}
+		ab, ba := L2(a, b), L2(b, a)
+		if ab != ba {
+			return false
+		}
+		if L2(a, a) != 0 {
+			return false
+		}
+		return float64(L2(a, c)) <= float64(L2(a, b))+float64(L2(b, c))+1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKBasics(t *testing.T) {
+	tk := NewTopK(3)
+	if tk.Full() || tk.Len() != 0 {
+		t.Fatal("fresh TopK should be empty")
+	}
+	if tk.Threshold() != maxFloat32 {
+		t.Fatal("threshold before full should be max")
+	}
+	tk.Push(1, 5)
+	tk.Push(2, 3)
+	tk.Push(3, 8)
+	if !tk.Full() {
+		t.Fatal("should be full")
+	}
+	if tk.Threshold() != 8 {
+		t.Fatalf("threshold %v", tk.Threshold())
+	}
+	if ok := tk.Push(4, 9); ok {
+		t.Fatal("worse candidate must be rejected")
+	}
+	if ok := tk.Push(5, 1); !ok {
+		t.Fatal("better candidate must be accepted")
+	}
+	res := tk.Results()
+	if len(res) != 3 || res[0].ID != 5 || res[2].ID != 1 {
+		t.Fatalf("results %v", res)
+	}
+	tk.Reset()
+	if tk.Len() != 0 {
+		t.Fatal("reset should empty")
+	}
+}
+
+func TestTopKPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTopK(0)
+}
+
+// Property: TopK returns exactly the k smallest distances, in order.
+func TestTopKProperty(t *testing.T) {
+	f := func(seed int64, kRaw, nRaw uint8) bool {
+		k := int(kRaw)%10 + 1
+		n := int(nRaw)%100 + 1
+		rng := rand.New(rand.NewSource(seed))
+		dists := make([]float32, n)
+		tk := NewTopK(k)
+		for i := 0; i < n; i++ {
+			dists[i] = rng.Float32()
+			tk.Push(i, dists[i])
+		}
+		res := tk.Results()
+		want := k
+		if n < k {
+			want = n
+		}
+		if len(res) != want {
+			return false
+		}
+		// Results must be sorted and match a reference selection.
+		ref := NewTopK(k)
+		for i, d := range dists {
+			ref.Push(i, d)
+		}
+		refRes := ref.Results()
+		for i := range res {
+			if i > 0 && res[i].Dist < res[i-1].Dist {
+				return false
+			}
+			if res[i] != refRes[i] {
+				return false
+			}
+		}
+		// Every retained distance must be <= every dropped distance.
+		thr := res[len(res)-1].Dist
+		kept := make(map[int]bool, len(res))
+		for _, r := range res {
+			kept[r.ID] = true
+		}
+		for i, d := range dists {
+			if !kept[i] && d < thr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package vec
+
+import "sort"
+
+// Neighbor is one search result: the index of a database vector and its
+// distance to the query. Distances are whatever metric the producer used
+// (typically squared or plain Euclidean) but are always "smaller is closer".
+type Neighbor struct {
+	ID   int
+	Dist float32
+}
+
+// TopK is a bounded max-heap of the K closest neighbors seen so far.
+// The root holds the current worst (largest-distance) retained neighbor, so
+// Threshold is an O(1) best-so-far bound for pruning.
+//
+// The zero value is unusable; construct with NewTopK.
+type TopK struct {
+	k    int
+	heap []Neighbor
+}
+
+// NewTopK returns a collector for the k nearest neighbors. k must be >= 1.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		panic("vec: TopK requires k >= 1")
+	}
+	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
+}
+
+// Len reports how many neighbors are currently retained (<= k).
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Full reports whether k neighbors have been collected.
+func (t *TopK) Full() bool { return len(t.heap) == t.k }
+
+// Threshold returns the distance of the worst retained neighbor, or +Inf
+// behaviourally (math.MaxFloat32) while fewer than k neighbors are held.
+func (t *TopK) Threshold() float32 {
+	if len(t.heap) < t.k {
+		return maxFloat32
+	}
+	return t.heap[0].Dist
+}
+
+const maxFloat32 = float32(3.4028234663852886e+38)
+
+// Push offers a candidate. It is accepted if the heap is not yet full or the
+// candidate beats the current worst. Returns true if accepted.
+func (t *TopK) Push(id int, dist float32) bool {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, Neighbor{ID: id, Dist: dist})
+		t.siftUp(len(t.heap) - 1)
+		return true
+	}
+	if dist >= t.heap[0].Dist {
+		return false
+	}
+	t.heap[0] = Neighbor{ID: id, Dist: dist}
+	t.siftDown(0)
+	return true
+}
+
+// Reset empties the collector for reuse.
+func (t *TopK) Reset() { t.heap = t.heap[:0] }
+
+// Results returns the retained neighbors sorted ascending by distance
+// (ties broken by ID). The collector remains valid afterwards.
+func (t *TopK) Results() []Neighbor {
+	out := make([]Neighbor, len(t.heap))
+	copy(out, t.heap)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.heap[p].Dist >= t.heap[i].Dist {
+			return
+		}
+		t.heap[p], t.heap[i] = t.heap[i], t.heap[p]
+		i = p
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && t.heap[l].Dist > t.heap[big].Dist {
+			big = l
+		}
+		if r < n && t.heap[r].Dist > t.heap[big].Dist {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		t.heap[i], t.heap[big] = t.heap[big], t.heap[i]
+		i = big
+	}
+}

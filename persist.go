@@ -1,0 +1,38 @@
+package vaq
+
+import (
+	"fmt"
+	"io"
+
+	"vaq/internal/core"
+)
+
+// WriteTo serializes the index (model, dictionaries, codes and skip
+// structure) so it can be reloaded without retraining. The format is
+// versioned; Read rejects unknown versions.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	return ix.inner.WriteTo(w)
+}
+
+// Read deserializes an index written by WriteTo.
+func Read(r io.Reader) (*Index, error) {
+	inner, err := core.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("vaq: %w", err)
+	}
+	return &Index{inner: inner}, nil
+}
+
+// Save writes the index to a file.
+func (ix *Index) Save(path string) error {
+	return ix.inner.Save(path)
+}
+
+// Load reads an index from a file.
+func Load(path string) (*Index, error) {
+	inner, err := core.Load(path)
+	if err != nil {
+		return nil, fmt.Errorf("vaq: %w", err)
+	}
+	return &Index{inner: inner}, nil
+}
