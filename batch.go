@@ -1,6 +1,7 @@
 package vaq
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,7 +9,14 @@ import (
 
 // SearchBatch answers many queries, distributing them across worker
 // goroutines (one reusable Searcher each). Results are returned in query
-// order. workers <= 0 uses GOMAXPROCS.
+// order. workers <= 0 uses runtime.GOMAXPROCS(0).
+//
+// Malformed input (k < 1, a query with the wrong dimensionality) is
+// rejected up front with a nil result slice. Errors raised while
+// executing individual queries do not abort the batch: every other query
+// still runs, its result is kept, and its telemetry is recorded; the
+// failed slots are nil in the returned slice and the per-query errors
+// come back joined (errors.Join) with their query indices.
 func (ix *Index) SearchBatch(queries [][]float32, k int, opt SearchOptions, workers int) ([][]Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("vaq: k must be >= 1, got %d", k)
@@ -29,11 +37,8 @@ func (ix *Index) SearchBatch(queries [][]float32, k int, opt SearchOptions, work
 	if workers > n {
 		workers = n
 	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
+	qErrs := make([]error, n)
+	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -43,11 +48,7 @@ func (ix *Index) SearchBatch(queries [][]float32, k int, opt SearchOptions, work
 			for qi := range next {
 				res, err := s.Search(queries[qi], k, opt)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("vaq: query %d: %w", qi, err)
-					}
-					mu.Unlock()
+					qErrs[qi] = fmt.Errorf("vaq: query %d: %w", qi, err)
 					continue
 				}
 				out[qi] = res
@@ -59,8 +60,5 @@ func (ix *Index) SearchBatch(queries [][]float32, k int, opt SearchOptions, work
 	}
 	close(next)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return out, errors.Join(qErrs...)
 }

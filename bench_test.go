@@ -113,6 +113,41 @@ func BenchmarkSearchEA(b *testing.B)     { benchSearchMode(b, core.ModeEA, 0) }
 func BenchmarkSearchTIEA25(b *testing.B) { benchSearchMode(b, core.ModeTIEA, 0.25) }
 func BenchmarkSearchTIEA10(b *testing.B) { benchSearchMode(b, core.ModeTIEA, 0.10) }
 
+// BenchmarkSearchMetricsOn/Off isolate the hot-path cost of the
+// index-wide telemetry registry (two time.Now calls plus a handful of
+// atomic adds per query). Compare with:
+//
+//	go test -bench='SearchMetrics(On|Off)' -count=10 | benchstat
+//
+// The delta is the observability tax; the acceptance bar is <2%.
+func benchMetricsToggle(b *testing.B, disable bool) {
+	// Kept small enough that -count=10 runs rebuild the index in seconds:
+	// the measurement is a relative delta, not an absolute throughput.
+	ds, err := dataset.Large("SALD", 8000, 64, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := core.Build(ds.Train, ds.Base, core.Config{
+		NumSubspaces: 16, Budget: 128, Seed: 7, DisableMetrics: disable,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := ix.NewSearcher()
+	queries := ds.Queries
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries.Row(i % queries.Rows)
+		if _, err := s.Search(q, 100, core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: 0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchMetricsOn(b *testing.B)  { benchMetricsToggle(b, false) }
+func BenchmarkSearchMetricsOff(b *testing.B) { benchMetricsToggle(b, true) }
+
 // BenchmarkEncodeLargeDict exercises the hierarchical k-means path for
 // dictionaries above 2^10 entries (DESIGN.md §5).
 func BenchmarkEncodeLargeDict(b *testing.B) {

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"vaq/internal/core"
+	"vaq/internal/dataset"
+	"vaq/internal/metrics"
+)
+
+// benchParams configures the machine-readable search benchmark
+// (vaqbench -json).
+type benchParams struct {
+	Dataset   string  `json:"dataset"`
+	N         int     `json:"n"`
+	NQ        int     `json:"nq"`
+	Seed      int64   `json:"seed"`
+	Subspaces int     `json:"subspaces"`
+	Budget    int     `json:"budget"`
+	K         int     `json:"k"`
+	VisitFrac float64 `json:"visit_frac"`
+	Workers   int     `json:"workers"`
+	Passes    int     `json:"passes"`
+}
+
+// benchSummary is the JSON document vaqbench -json emits: everything a
+// cross-PR perf tracker needs to plot build cost, throughput, tail
+// latency and prune effectiveness over time.
+type benchSummary struct {
+	Params benchParams         `json:"params"`
+	Build  metrics.BuildReport `json:"build"`
+	Search struct {
+		Queries       uint64  `json:"queries"`
+		WallSeconds   float64 `json:"wall_seconds"`
+		QPS           float64 `json:"qps"`
+		LatencyP50Ns  int64   `json:"latency_p50_ns"`
+		LatencyP95Ns  int64   `json:"latency_p95_ns"`
+		LatencyP99Ns  int64   `json:"latency_p99_ns"`
+		LatencyMeanNs int64   `json:"latency_mean_ns"`
+		TIPruneRate   float64 `json:"ti_prune_rate"`
+		EAAbandonRate float64 `json:"ea_abandon_rate"`
+	} `json:"search"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// runJSONBench builds an index over a synthetic dataset, drives the query
+// workload through a worker pool of reusable Searchers, and writes the
+// summary to path ("-" for stdout).
+func runJSONBench(path string, p benchParams) error {
+	ds, err := dataset.Large(p.Dataset, p.N, p.NQ, p.Seed)
+	if err != nil {
+		return err
+	}
+	ix, err := core.Build(ds.Train, ds.Base, core.Config{
+		NumSubspaces: p.Subspaces,
+		Budget:       p.Budget,
+		Seed:         p.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	metrics.Publish("vaqbench_index", ix.Metrics())
+
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	if p.Passes < 1 {
+		p.Passes = 1
+	}
+	opt := core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: p.VisitFrac}
+	nq := ds.Queries.Rows
+
+	// Warmup pass (dictionary LUT allocation, page faults), then reset so
+	// the summary reflects steady state only.
+	runPool(ix, ds, p.K, opt, p.Workers)
+	ix.Metrics().Reset()
+
+	start := time.Now()
+	for pass := 0; pass < p.Passes; pass++ {
+		runPool(ix, ds, p.K, opt, p.Workers)
+	}
+	wall := time.Since(start)
+
+	var sum benchSummary
+	sum.Params = p
+	sum.Build = ix.BuildReport()
+	sum.Metrics = ix.Metrics().Snapshot()
+	sum.Search.Queries = sum.Metrics.Queries
+	sum.Search.WallSeconds = wall.Seconds()
+	sum.Search.QPS = float64(p.Passes*nq) / wall.Seconds()
+	sum.Search.LatencyP50Ns = int64(sum.Metrics.Latency.Quantile(0.50))
+	sum.Search.LatencyP95Ns = int64(sum.Metrics.Latency.Quantile(0.95))
+	sum.Search.LatencyP99Ns = int64(sum.Metrics.Latency.Quantile(0.99))
+	sum.Search.LatencyMeanNs = int64(sum.Metrics.Latency.Mean())
+	sum.Search.TIPruneRate = sum.Metrics.TIPruneRate()
+	sum.Search.EAAbandonRate = sum.Metrics.EAAbandonRate()
+
+	b, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %.0f qps, p50 %s, p95 %s, p99 %s, TI prune %.1f%%, EA abandon %.1f%%\n",
+		path, sum.Search.QPS,
+		time.Duration(sum.Search.LatencyP50Ns),
+		time.Duration(sum.Search.LatencyP95Ns),
+		time.Duration(sum.Search.LatencyP99Ns),
+		100*sum.Search.TIPruneRate, 100*sum.Search.EAAbandonRate)
+	return nil
+}
+
+// runPool runs every query once across workers reusable Searchers.
+func runPool(ix *core.Index, ds *dataset.Dataset, k int, opt core.SearchOptions, workers int) {
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := ix.NewSearcher()
+			for qi := range next {
+				if _, err := s.Search(ds.Queries.Row(qi), k, opt); err != nil {
+					fmt.Fprintf(os.Stderr, "vaqbench: query %d: %v\n", qi, err)
+				}
+			}
+		}()
+	}
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		next <- qi
+	}
+	close(next)
+	wg.Wait()
+}

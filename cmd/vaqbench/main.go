@@ -1,4 +1,5 @@
-// Command vaqbench regenerates the tables and figures of the VAQ paper.
+// Command vaqbench regenerates the tables and figures of the VAQ paper,
+// and doubles as the cross-PR performance tracker.
 //
 // Usage:
 //
@@ -6,9 +7,17 @@
 //	vaqbench -exp fig1            # one experiment at the default scale
 //	vaqbench -exp all -scale quick
 //	vaqbench -exp tab2 -n 50000 -gallery 128
+//	vaqbench -json BENCH_sald.json -n 20000 -nq 200   # perf summary
+//	vaqbench -json - -metrics-addr localhost:6060     # live expvar/pprof
 //
-// Output is plain text: the same rows/series each figure plots, so shapes
-// can be compared against the paper directly (see EXPERIMENTS.md).
+// Experiment output is plain text: the same rows/series each figure
+// plots, so shapes can be compared against the paper directly (see
+// EXPERIMENTS.md). The -json mode instead builds one index, drives the
+// query workload through a Searcher pool, and emits a machine-readable
+// summary (build-phase timings, QPS, p50/p95/p99 latency, TI/EA prune
+// rates) for tracking the perf trajectory across PRs. With
+// -metrics-addr, either mode serves live metrics on /debug/vars and
+// profiles on /debug/pprof/.
 package main
 
 import (
@@ -18,23 +27,62 @@ import (
 	"time"
 
 	"vaq/internal/experiments"
+	"vaq/internal/metrics"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list    = flag.Bool("list", false, "list available experiments")
-		scale   = flag.String("scale", "default", "preset scale: quick or default")
-		n       = flag.Int("n", 0, "override base-vector count for large datasets")
-		nq      = flag.Int("nq", 0, "override query count")
-		gallery = flag.Int("gallery", 0, "override gallery dataset count")
-		seed    = flag.Int64("seed", 0, "override data seed")
+		exp         = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list        = flag.Bool("list", false, "list available experiments")
+		scale       = flag.String("scale", "default", "preset scale: quick or default")
+		n           = flag.Int("n", 0, "override base-vector count for large datasets")
+		nq          = flag.Int("nq", 0, "override query count")
+		gallery     = flag.Int("gallery", 0, "override gallery dataset count")
+		seed        = flag.Int64("seed", 0, "override data seed")
+		jsonOut     = flag.String("json", "", "run the search benchmark and write a JSON summary to this path ('-' for stdout)")
+		benchData   = flag.String("dataset", "SALD", "dataset for -json (SIFT, DEEP, SEISMIC, SALD, ASTRO)")
+		subspaces   = flag.Int("subspaces", 16, "subspaces for -json")
+		budget      = flag.Int("budget", 128, "bit budget for -json")
+		k           = flag.Int("k", 100, "neighbors per query for -json")
+		visit       = flag.Float64("visit", 0.25, "TI visit fraction for -json")
+		workers     = flag.Int("workers", 0, "query workers for -json (0 = GOMAXPROCS)")
+		passes      = flag.Int("passes", 3, "timed passes over the query set for -json")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
 	)
 	flag.Parse()
 
+	if *metricsAddr != "" {
+		srv, err := metrics.ServeDebug(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "vaqbench: serving metrics on http://%s/debug/vars\n", srv.Addr)
+	}
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *jsonOut != "" {
+		p := benchParams{
+			Dataset: *benchData, N: *n, NQ: *nq, Seed: *seed,
+			Subspaces: *subspaces, Budget: *budget, K: *k,
+			VisitFrac: *visit, Workers: *workers, Passes: *passes,
+		}
+		if p.N <= 0 {
+			p.N = 20000
+		}
+		if p.NQ <= 0 {
+			p.NQ = 200
+		}
+		if p.Seed == 0 {
+			p.Seed = 7
+		}
+		if err := runJSONBench(*jsonOut, p); err != nil {
+			fmt.Fprintf(os.Stderr, "vaqbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -6,6 +6,7 @@
 //
 //	datagen -name SALD -n 20000 -nq 50 -out sald.vaqd
 //	vaqsearch -data sald.vaqd -budget 256 -subspaces 32 -k 100 -visit 0.1
+//	vaqsearch -data sald.vaqd -metrics-addr localhost:6060   # live expvar/pprof
 package main
 
 import (
@@ -17,24 +18,34 @@ import (
 	"vaq/internal/core"
 	"vaq/internal/dataset"
 	"vaq/internal/eval"
+	"vaq/internal/metrics"
 )
 
 func main() {
 	var (
-		dataPath  = flag.String("data", "", "dataset file from cmd/datagen (required)")
-		budget    = flag.Int("budget", 256, "bit budget per vector")
-		subspaces = flag.Int("subspaces", 32, "number of subspaces")
-		minBits   = flag.Int("minbits", 1, "minimum bits per subspace")
-		maxBits   = flag.Int("maxbits", 13, "maximum bits per subspace")
-		k         = flag.Int("k", 100, "neighbors per query")
-		visit     = flag.Float64("visit", 0.25, "fraction of TI clusters visited")
-		nonUnif   = flag.Bool("nonuniform", false, "cluster dimensions into non-uniform subspaces")
-		seed      = flag.Int64("seed", 42, "build seed")
+		dataPath    = flag.String("data", "", "dataset file from cmd/datagen (required)")
+		budget      = flag.Int("budget", 256, "bit budget per vector")
+		subspaces   = flag.Int("subspaces", 32, "number of subspaces")
+		minBits     = flag.Int("minbits", 1, "minimum bits per subspace")
+		maxBits     = flag.Int("maxbits", 13, "maximum bits per subspace")
+		k           = flag.Int("k", 100, "neighbors per query")
+		visit       = flag.Float64("visit", 0.25, "fraction of TI clusters visited")
+		nonUnif     = flag.Bool("nonuniform", false, "cluster dimensions into non-uniform subspaces")
+		seed        = flag.Int64("seed", 42, "build seed")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
 	)
 	flag.Parse()
 	if *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "vaqsearch: -data is required")
 		os.Exit(2)
+	}
+	if *metricsAddr != "" {
+		srv, err := metrics.ServeDebug(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqsearch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "vaqsearch: serving metrics on http://%s/debug/vars\n", srv.Addr)
 	}
 	ds, err := dataset.Load(*dataPath)
 	if err != nil {
@@ -57,8 +68,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vaqsearch: build: %v\n", err)
 		os.Exit(1)
 	}
+	rep := ix.BuildReport()
 	fmt.Printf("built in %.2fs: bits=%v, %d TI clusters, %d code bytes\n",
 		time.Since(start).Seconds(), ix.Bits(), ix.TIClusterCount(), ix.CodeBytes())
+	fmt.Printf("build phases: pca=%s alloc=%s train=%s encode=%s ti=%s\n",
+		rep.PCA.Round(time.Millisecond), rep.Allocation.Round(time.Millisecond),
+		rep.Training.Round(time.Millisecond), rep.Encoding.Round(time.Millisecond),
+		rep.TIClustering.Round(time.Millisecond))
+	metrics.Publish("vaqsearch_index", ix.Metrics())
 
 	gt, err := eval.GroundTruth(ds.Base, ds.Queries, *k)
 	if err != nil {
@@ -83,4 +100,11 @@ func main() {
 		*k, eval.Recall(results, gt, *k),
 		*k, eval.MAP(results, gt, *k),
 		elapsed.Seconds()/float64(ds.Queries.Rows)*1000)
+	snap := ix.Metrics().Snapshot()
+	fmt.Printf("metrics: %d queries, p50 %s, p95 %s, p99 %s, TI prune %.1f%%, EA abandon %.1f%%, %d lookups\n",
+		snap.Queries,
+		snap.Latency.Quantile(0.50).Round(time.Microsecond),
+		snap.Latency.Quantile(0.95).Round(time.Microsecond),
+		snap.Latency.Quantile(0.99).Round(time.Microsecond),
+		100*snap.TIPruneRate(), 100*snap.EAAbandonRate(), snap.Lookups)
 }

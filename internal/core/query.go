@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
+	"vaq/internal/metrics"
 	"vaq/internal/quantizer"
 	"vaq/internal/vec"
 )
@@ -58,10 +60,12 @@ func (ix *Index) Search(q []float32, k int) ([]vec.Neighbor, error) {
 // given options.
 func (ix *Index) SearchWith(q []float32, k int, opt SearchOptions) ([]vec.Neighbor, error) {
 	if k < 1 {
+		ix.metrics.RecordError()
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
 	qz, err := ix.ProjectQuery(q)
 	if err != nil {
+		ix.metrics.RecordError()
 		return nil, err
 	}
 	s := ix.newSearcher()
@@ -113,10 +117,12 @@ func (ix *Index) newSearcher() *Searcher {
 // (unprojected) query.
 func (s *Searcher) Search(q []float32, k int, opt SearchOptions) ([]vec.Neighbor, error) {
 	if k < 1 {
+		s.ix.metrics.RecordError()
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
 	qz, err := s.ix.ProjectQuery(q)
 	if err != nil {
+		s.ix.metrics.RecordError()
 		return nil, err
 	}
 	return s.run(qz, k, opt), nil
@@ -125,9 +131,11 @@ func (s *Searcher) Search(q []float32, k int, opt SearchOptions) ([]vec.Neighbor
 // SearchProjected runs one query that is already in the index's PCA space.
 func (s *Searcher) SearchProjected(qz []float32, k int, opt SearchOptions) ([]vec.Neighbor, error) {
 	if k < 1 {
+		s.ix.metrics.RecordError()
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
 	if len(qz) != s.ix.cb.Sub.Dim() {
+		s.ix.metrics.RecordError()
 		return nil, fmt.Errorf("core: projected query dim %d, want %d", len(qz), s.ix.cb.Sub.Dim())
 	}
 	return s.run(qz, k, opt), nil
@@ -135,6 +143,10 @@ func (s *Searcher) SearchProjected(qz []float32, k int, opt SearchOptions) ([]ve
 
 func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 	ix := s.ix
+	var start time.Time
+	if ix.metrics != nil {
+		start = time.Now()
+	}
 	// Build or refill the lookup table (Algorithm 4 lines 5-13).
 	if s.lut == nil {
 		s.lut = ix.cb.BuildLUT(qz)
@@ -161,6 +173,15 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 		s.scanEA(useSub)
 	default:
 		s.scanTIEA(qz, k, opt.VisitFrac, useSub)
+	}
+	if ix.metrics != nil {
+		ix.metrics.RecordSearch(metrics.SearchRecord{
+			ClustersVisited:  s.stats.ClustersVisited,
+			CodesConsidered:  s.stats.CodesConsidered,
+			CodesSkippedTI:   s.stats.CodesSkippedTI,
+			CodesAbandonedEA: s.stats.CodesAbandonedEA,
+			Lookups:          s.stats.Lookups,
+		}, time.Since(start))
 	}
 	return s.topk.Results()
 }

@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"vaq/internal/linalg"
+	"vaq/internal/metrics"
 	"vaq/internal/pca"
 	"vaq/internal/quantizer"
 	"vaq/internal/vec"
@@ -378,6 +379,9 @@ func Read(r io.Reader) (*Index, error) {
 		ti:       ti,
 		n:        n,
 		queryDim: int(queryDim),
+		// DisableMetrics is a runtime knob, not part of the on-disk
+		// format: loaded indexes always get a fresh registry.
+		metrics: metrics.New(),
 	}, nil
 }
 

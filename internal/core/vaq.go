@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"vaq/internal/linalg"
+	"vaq/internal/metrics"
 	"vaq/internal/pca"
 	"vaq/internal/quantizer"
 	"vaq/internal/vec"
@@ -60,6 +62,10 @@ type Config struct {
 	// HierarchicalThreshold switches dictionary training to hierarchical
 	// k-means above this size (paper: 2^10; 0 = default 1024).
 	HierarchicalThreshold int
+	// DisableMetrics turns off the index-wide query telemetry registry.
+	// Recording costs a handful of atomic adds per query (measurably
+	// under 2% of a search), so the default is on.
+	DisableMetrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +105,8 @@ type Index struct {
 	ti       *tiIndex
 	n        int
 	queryDim int
+	metrics  *metrics.IndexMetrics
+	report   metrics.BuildReport
 }
 
 // Build trains a VAQ index: PCA (Algorithm 1), subspace construction and
@@ -119,12 +127,16 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 	if m < 1 || m > d {
 		return nil, fmt.Errorf("core: NumSubspaces=%d invalid for %d dimensions", m, d)
 	}
+	var report metrics.BuildReport
+	buildStart := time.Now()
 
 	// Step 1 (Algorithm 1): eigendecomposition, descending eigenvalues.
+	phase := time.Now()
 	model, err := pca.Fit(train, pca.Options{Center: cfg.CenterPCA, Method: linalg.EigAuto})
 	if err != nil {
 		return nil, err
 	}
+	report.PCA = time.Since(phase)
 	ratios := model.ExplainedVarianceRatio()
 
 	// Step 2 (§III-B): subspace lengths (uniform or variance-clustered).
@@ -144,6 +156,7 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 	subVar := subspaceVariances(ratios, lengths)
 
 	// Step 4 (Algorithm 2): adaptive bit allocation.
+	phase = time.Now()
 	bits, err := allocateBits(cfg.Alloc, allocParams{
 		Weights:        subVar,
 		Budget:         cfg.Budget,
@@ -155,6 +168,7 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	report.Allocation = time.Since(phase)
 
 	// Step 5 (Algorithm 3): project, train variable-size dictionaries,
 	// encode.
@@ -166,6 +180,7 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	phase = time.Now()
 	cb, err := quantizer.TrainCodebooks(trainZ, sub, bits, quantizer.TrainConfig{
 		Seed:                  cfg.Seed,
 		MaxIter:               cfg.KMeansIters,
@@ -175,6 +190,7 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	report.Training = time.Since(phase)
 	dataZ := trainZ
 	if data != train {
 		dataZ, err = model.Project(data)
@@ -182,10 +198,12 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 			return nil, err
 		}
 	}
+	phase = time.Now()
 	codes, err := cb.Encode(dataZ, true)
 	if err != nil {
 		return nil, err
 	}
+	report.Encoding = time.Since(phase)
 
 	// Step 6 (Algorithm 3 lines 24-48): TI cluster structure.
 	clusterCount := cfg.TIClusters
@@ -199,8 +217,15 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 104729))
+	phase = time.Now()
 	ti := buildTIIndex(cb, codes, clusterCount, cfg.TIPrefixSubspaces, rng)
+	report.TIClustering = time.Since(phase)
+	report.Total = time.Since(buildStart)
 
+	var reg *metrics.IndexMetrics
+	if !cfg.DisableMetrics {
+		reg = metrics.New()
+	}
 	return &Index{
 		cfg:      cfg,
 		model:    model,
@@ -212,6 +237,8 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 		ti:       ti,
 		n:        data.Rows,
 		queryDim: d,
+		metrics:  reg,
+		report:   report,
 	}, nil
 }
 
@@ -246,6 +273,16 @@ func (ix *Index) CodeBytes() int { return ix.codes.Bytes(ix.bits) }
 
 // TIClusterCount reports how many triangle-inequality clusters were built.
 func (ix *Index) TIClusterCount() int { return len(ix.ti.clusters) }
+
+// Metrics returns the index-wide query telemetry registry shared by every
+// Searcher of this index, or nil when Config.DisableMetrics was set. The
+// registry is safe for concurrent use.
+func (ix *Index) Metrics() *metrics.IndexMetrics { return ix.metrics }
+
+// BuildReport returns the wall-clock cost of each build phase. Loaded
+// (deserialized) indexes report zero durations: the report describes a
+// Build call, not the index state.
+func (ix *Index) BuildReport() metrics.BuildReport { return ix.report }
 
 // ProjectQuery rotates a raw query into the index's PCA space. Exposed for
 // benchmarks that amortize projection across search modes.

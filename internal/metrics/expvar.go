@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"sync"
+)
+
+var (
+	publishMu sync.Mutex
+	published = map[string]bool{}
+	registry  sync.Map // expvar name -> *IndexMetrics
+)
+
+// Publish registers the registry under name in the process-wide expvar
+// namespace, so GET /debug/vars shows a live JSON snapshot. Publishing
+// the same name again rebinds it to the new registry instead of
+// panicking (expvar.Publish panics on duplicates, which is hostile to
+// tests and index reloads): the expvar Func reads through an indirection
+// map, so only the first call for a name touches expvar itself.
+func Publish(name string, m *IndexMetrics) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	registry.Store(name, m)
+	if published[name] {
+		return
+	}
+	if expvar.Get(name) != nil {
+		panic(fmt.Sprintf("metrics: expvar name %q taken by a non-metrics var", name))
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		v, ok := registry.Load(name)
+		if !ok {
+			return Snapshot{}
+		}
+		return v.(*IndexMetrics).Snapshot()
+	}))
+	published[name] = true
+}
+
+// ServeDebug starts an HTTP server on addr (e.g. "localhost:6060" or
+// ":0" for an ephemeral port) exposing /debug/vars (expvar) and
+// /debug/pprof/* from http.DefaultServeMux. It returns the running
+// server with Addr set to the actual listen address; shut it down with
+// srv.Close. This is the one-flag observability hook for the cmd tools.
+func ServeDebug(addr string) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: http.DefaultServeMux}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return srv, nil
+}

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: bucket i covers latencies in
+// (base·2^(i-1), base·2^i] with base = 1µs, so the 40 buckets span 1µs to
+// ~150 hours. Fixed buckets keep Observe lock-free (one atomic add) and
+// snapshots mergeable; the exponential spacing bounds the relative error
+// of any interpolated quantile by 2x, which is plenty for p50/p95/p99
+// trend tracking.
+const (
+	histBuckets = 40
+	histBaseNs  = 1_000 // 1µs
+)
+
+// Histogram is a fixed-bucket, concurrency-safe latency histogram.
+// The zero value is ready to use. Observe is lock-free.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sumNs  atomic.Int64
+	total  atomic.Uint64
+}
+
+// bucketFor maps a duration to its bucket index in O(1) via the bit length
+// of d/base (buckets are powers of two).
+func bucketFor(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= histBaseNs {
+		return 0
+	}
+	b := bits.Len64(uint64((ns - 1) / histBaseNs))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketFor(d)].Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+	h.total.Add(1)
+}
+
+// Reset zeroes all buckets. Not atomic with respect to concurrent
+// Observe calls; intended for test setup and benchmark warmup.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sumNs.Store(0)
+	h.total.Store(0)
+}
+
+// Snapshot returns a point-in-time copy of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.total.Load()
+	s.SumNs = h.sumNs.Load()
+	s.Buckets = make([]uint64, histBuckets)
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram, suitable for JSON
+// export. Buckets[i] counts samples in (1µs·2^(i-1), 1µs·2^i].
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	SumNs   int64    `json:"sum_ns"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// BucketUpperBound returns the inclusive upper edge of bucket i.
+func BucketUpperBound(i int) time.Duration {
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return time.Duration(histBaseNs << uint(i))
+}
+
+// Mean returns the average observed latency (0 if empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / int64(s.Count))
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation inside the containing bucket. Returns 0 if empty.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo := float64(BucketUpperBound(i)) / 2
+			if i == 0 {
+				lo = 0
+			}
+			hi := float64(BucketUpperBound(i))
+			frac := (rank - cum) / float64(c)
+			return time.Duration(lo + (hi-lo)*frac)
+		}
+		cum = next
+	}
+	return BucketUpperBound(len(s.Buckets) - 1)
+}

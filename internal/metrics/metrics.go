@@ -1,0 +1,165 @@
+// Package metrics is the observability substrate for the VAQ index: an
+// atomic, concurrency-safe registry aggregating per-query pruning
+// counters (the paper's §III-E SearchStats currency) and fixed-bucket
+// latency histograms across all searchers of an index, plus build-phase
+// timing and an expvar/pprof serving hook. Everything is stdlib-only and
+// the hot recording path is lock-free (a handful of atomic adds), so it
+// can stay enabled in production.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// SearchRecord carries one query's pruning counters into the registry. It
+// mirrors core.SearchStats field-for-field; the duplication keeps this
+// package dependency-free so every layer (core, the public API, the cmd
+// tools) can import it without cycles.
+type SearchRecord struct {
+	ClustersVisited  int
+	CodesConsidered  int
+	CodesSkippedTI   int
+	CodesAbandonedEA int
+	Lookups          int
+}
+
+// IndexMetrics aggregates query telemetry for one index. All methods are
+// safe for concurrent use and nil-safe: a nil *IndexMetrics records
+// nothing, which is how metrics are disabled without branching at call
+// sites beyond a single pointer check.
+type IndexMetrics struct {
+	queries          atomic.Uint64
+	errors           atomic.Uint64
+	clustersVisited  atomic.Uint64
+	codesConsidered  atomic.Uint64
+	codesSkippedTI   atomic.Uint64
+	codesAbandonedEA atomic.Uint64
+	lookups          atomic.Uint64
+	latency          Histogram
+}
+
+// New returns an empty registry.
+func New() *IndexMetrics { return &IndexMetrics{} }
+
+// RecordSearch folds one completed query into the registry.
+func (m *IndexMetrics) RecordSearch(r SearchRecord, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.queries.Add(1)
+	m.clustersVisited.Add(uint64(r.ClustersVisited))
+	m.codesConsidered.Add(uint64(r.CodesConsidered))
+	m.codesSkippedTI.Add(uint64(r.CodesSkippedTI))
+	m.codesAbandonedEA.Add(uint64(r.CodesAbandonedEA))
+	m.lookups.Add(uint64(r.Lookups))
+	m.latency.Observe(d)
+}
+
+// RecordError counts a query that failed validation or execution.
+func (m *IndexMetrics) RecordError() {
+	if m == nil {
+		return
+	}
+	m.errors.Add(1)
+}
+
+// Reset zeroes every counter and the histogram. Not atomic with respect
+// to concurrent recording; intended for benchmarks and tests.
+func (m *IndexMetrics) Reset() {
+	if m == nil {
+		return
+	}
+	m.queries.Store(0)
+	m.errors.Store(0)
+	m.clustersVisited.Store(0)
+	m.codesConsidered.Store(0)
+	m.codesSkippedTI.Store(0)
+	m.codesAbandonedEA.Store(0)
+	m.lookups.Store(0)
+	m.latency.Reset()
+}
+
+// Snapshot returns a point-in-time copy of all counters. A nil registry
+// yields the zero snapshot.
+func (m *IndexMetrics) Snapshot() Snapshot {
+	var s Snapshot
+	if m == nil {
+		return s
+	}
+	s.Queries = m.queries.Load()
+	s.Errors = m.errors.Load()
+	s.ClustersVisited = m.clustersVisited.Load()
+	s.CodesConsidered = m.codesConsidered.Load()
+	s.CodesSkippedTI = m.codesSkippedTI.Load()
+	s.CodesAbandonedEA = m.codesAbandonedEA.Load()
+	s.Lookups = m.lookups.Load()
+	s.Latency = m.latency.Snapshot()
+	return s
+}
+
+// Snapshot is an immutable copy of an IndexMetrics, suitable for JSON
+// export and for diffing (see Sub).
+type Snapshot struct {
+	Queries          uint64            `json:"queries"`
+	Errors           uint64            `json:"errors"`
+	ClustersVisited  uint64            `json:"clusters_visited"`
+	CodesConsidered  uint64            `json:"codes_considered"`
+	CodesSkippedTI   uint64            `json:"codes_skipped_ti"`
+	CodesAbandonedEA uint64            `json:"codes_abandoned_ea"`
+	Lookups          uint64            `json:"lookups"`
+	Latency          HistogramSnapshot `json:"latency"`
+}
+
+// Sub returns the counter-wise difference s - prev (histogram excluded:
+// bucket-wise subtraction of a live histogram is rarely meaningful, so the
+// newer snapshot's histogram is kept as-is).
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := s
+	out.Queries -= prev.Queries
+	out.Errors -= prev.Errors
+	out.ClustersVisited -= prev.ClustersVisited
+	out.CodesConsidered -= prev.CodesConsidered
+	out.CodesSkippedTI -= prev.CodesSkippedTI
+	out.CodesAbandonedEA -= prev.CodesAbandonedEA
+	out.Lookups -= prev.Lookups
+	return out
+}
+
+// TIPruneRate is the fraction of considered codes eliminated by the
+// triangle-inequality bound before any table lookup.
+func (s Snapshot) TIPruneRate() float64 {
+	if s.CodesConsidered == 0 {
+		return 0
+	}
+	return float64(s.CodesSkippedTI) / float64(s.CodesConsidered)
+}
+
+// EAAbandonRate is the fraction of considered codes whose lookup
+// accumulation was cut short by early abandoning.
+func (s Snapshot) EAAbandonRate() float64 {
+	if s.CodesConsidered == 0 {
+		return 0
+	}
+	return float64(s.CodesAbandonedEA) / float64(s.CodesConsidered)
+}
+
+// BuildReport is the wall-clock cost of each build phase (Algorithm 5's
+// stages). Captured once at Build time and immutable afterwards.
+type BuildReport struct {
+	// Total is end-to-end Build time (>= the sum of the phases below;
+	// the gap is glue: matrix projection, validation, copies).
+	Total time.Duration `json:"total"`
+	// PCA is the eigendecomposition of the training matrix (Algorithm 1).
+	PCA time.Duration `json:"pca"`
+	// Allocation is the bit-budget solve (Algorithm 2: MILP, transform
+	// coding, or uniform).
+	Allocation time.Duration `json:"allocation"`
+	// Training is per-subspace dictionary learning (k-means, Algorithm 3).
+	Training time.Duration `json:"training"`
+	// Encoding is dataset quantization against the trained dictionaries.
+	Encoding time.Duration `json:"encoding"`
+	// TIClustering is the triangle-inequality skip-structure build
+	// (Algorithm 3 lines 24-48).
+	TIClustering time.Duration `json:"ti_clustering"`
+}

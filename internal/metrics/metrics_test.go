@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketFor(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{time.Hour, 32},
+		{200 * time.Hour, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	for i := 0; i < histBuckets; i++ {
+		if got := bucketFor(BucketUpperBound(i)); got != i {
+			t.Errorf("upper bound of bucket %d lands in %d", i, got)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v", got)
+	}
+	// 100 samples at ~1ms, 10 at ~100ms: p50 must sit near 1ms and p99
+	// near 100ms (within the 2x bucket resolution).
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 110 {
+		t.Fatalf("count %d", s.Count)
+	}
+	p50 := s.Quantile(0.50)
+	if p50 < 500*time.Microsecond || p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 50*time.Millisecond || p99 > 200*time.Millisecond {
+		t.Errorf("p99 = %v, want ~100ms", p99)
+	}
+	if mean := s.Mean(); mean < 5*time.Millisecond || mean > 15*time.Millisecond {
+		t.Errorf("mean = %v, want ~10ms", mean)
+	}
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.SumNs != 0 {
+		t.Fatalf("reset left %+v", s)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var m *IndexMetrics
+	m.RecordSearch(SearchRecord{Lookups: 5}, time.Millisecond)
+	m.RecordError()
+	m.Reset()
+	if s := m.Snapshot(); s.Queries != 0 || s.Lookups != 0 {
+		t.Fatalf("nil registry snapshot %+v", s)
+	}
+}
+
+func TestRecordAndSnapshotSub(t *testing.T) {
+	m := New()
+	m.RecordSearch(SearchRecord{ClustersVisited: 2, CodesConsidered: 100, CodesSkippedTI: 40, CodesAbandonedEA: 30, Lookups: 500}, time.Millisecond)
+	before := m.Snapshot()
+	m.RecordSearch(SearchRecord{CodesConsidered: 50, CodesSkippedTI: 10, Lookups: 200}, time.Millisecond)
+	m.RecordError()
+	d := m.Snapshot().Sub(before)
+	if d.Queries != 1 || d.Errors != 1 || d.CodesConsidered != 50 || d.CodesSkippedTI != 10 || d.Lookups != 200 {
+		t.Fatalf("diff %+v", d)
+	}
+	s := m.Snapshot()
+	if got := s.TIPruneRate(); got < 0.33 || got > 0.34 {
+		t.Errorf("TI prune rate %v, want 50/150", got)
+	}
+	if got := s.EAAbandonRate(); got != 0.2 {
+		t.Errorf("EA abandon rate %v, want 30/150", got)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	m := New()
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.RecordSearch(SearchRecord{CodesConsidered: 3, Lookups: 7}, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Queries != goroutines*per {
+		t.Fatalf("queries %d, want %d", s.Queries, goroutines*per)
+	}
+	if s.Lookups != goroutines*per*7 {
+		t.Fatalf("lookups %d", s.Lookups)
+	}
+	if s.Latency.Count != goroutines*per {
+		t.Fatalf("latency count %d", s.Latency.Count)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	m := New()
+	m.RecordSearch(SearchRecord{CodesConsidered: 9, Lookups: 18}, 3*time.Millisecond)
+	b, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CodesConsidered != 9 || back.Lookups != 18 || back.Latency.Count != 1 {
+		t.Fatalf("round trip %+v", back)
+	}
+}
+
+func TestPublishAndServeDebug(t *testing.T) {
+	m := New()
+	m.RecordSearch(SearchRecord{Lookups: 42}, time.Millisecond)
+	Publish("vaq_test_index", m)
+	// Republish with a fresh registry: must rebind, not panic.
+	m2 := New()
+	m2.RecordSearch(SearchRecord{Lookups: 7}, time.Millisecond)
+	Publish("vaq_test_index", m2)
+
+	srv, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", srv.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/vars: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"vaq_test_index"`) {
+		t.Fatalf("expvar output missing published metrics: %s", body)
+	}
+	var vars struct {
+		Index Snapshot `json:"vaq_test_index"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("unmarshal /debug/vars: %v", err)
+	}
+	if vars.Index.Lookups != 7 {
+		t.Fatalf("rebound registry not served: got lookups=%d, want 7", vars.Index.Lookups)
+	}
+	// pprof index must be wired up too.
+	resp2, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", srv.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: %d", resp2.StatusCode)
+	}
+}

@@ -38,10 +38,34 @@ type Config struct {
 	MaxBitsPerComponent int
 }
 
+// lloydMaxMSE[b] is the mean squared error of an optimal (Lloyd-Max)
+// b-bit scalar quantizer on a unit-variance Gaussian (Jayant & Noll,
+// "Digital Coding of Waveforms", Table 4.8). The naive high-rate rule
+// D(b) = 4^-b over-values low rates — it credits the first bit with a 4x
+// distortion reduction when an optimal 1-level-per-sign quantizer only
+// achieves 1-2/π ≈ 0.363 — which is exactly why a greedy allocator using
+// it never drops a component: the first bit anywhere always looks cheap.
+// Beyond the tabulated rates the 6 dB/bit asymptote is accurate.
+var lloydMaxMSE = []float64{1, 0.3634, 0.1175, 0.03454, 0.009497, 0.002499, 0.0006462, 0.0001659}
+
+// marginalGain is the distortion removed by giving component j (variance
+// v, currently b bits) one more bit.
+func marginalGain(v float64, b int) float64 {
+	if b+1 < len(lloydMaxMSE) {
+		return v * (lloydMaxMSE[b] - lloydMaxMSE[b+1])
+	}
+	// High-rate tail: each extra bit divides the residual by 4.
+	last := len(lloydMaxMSE) - 1
+	cur := lloydMaxMSE[last] * math.Pow(0.25, float64(b-last))
+	return v * cur * 0.75
+}
+
 // Build fits PCA on train, allocates the bit budget greedily (each bit
-// goes to the component with the largest remaining variance, halving it —
-// the classic high-rate approximation), learns scalar quantizers from the
-// training distribution, and encodes data.
+// goes to the component with the largest marginal distortion reduction
+// under the Lloyd-Max Gaussian rate-distortion curve — reverse
+// water-filling, paper §II-C), learns scalar quantizers from the training
+// distribution, and encodes data. Components whose variance never earns a
+// bit are dropped entirely: TC's dimensionality-reduction behaviour.
 func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 	if cfg.Budget < 1 {
 		return nil, fmt.Errorf("tc: budget %d must be >= 1", cfg.Budget)
@@ -57,25 +81,21 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 		return nil, err
 	}
 	d := train.Cols
-	// Greedy allocation: one bit at a time to the component whose current
-	// (residual) variance is largest; each bit divides it by 4 (6 dB/bit).
-	resid := append([]float64(nil), model.Eigenvalues...)
 	bits := make([]int, d)
 	for b := 0; b < cfg.Budget; b++ {
-		best := -1
+		best, bestGain := -1, 0.0
 		for j := 0; j < d; j++ {
 			if bits[j] >= cfg.MaxBitsPerComponent {
 				continue
 			}
-			if best == -1 || resid[j] > resid[best] {
-				best = j
+			if g := marginalGain(model.Eigenvalues[j], bits[j]); best == -1 || g > bestGain {
+				best, bestGain = j, g
 			}
 		}
 		if best == -1 {
 			break
 		}
 		bits[best]++
-		resid[best] /= 4
 	}
 	ix := &Index{model: model, bits: bits, n: data.Rows, dim: d}
 	for j := 0; j < d; j++ {

@@ -1,0 +1,115 @@
+package vaq
+
+import (
+	"net/http"
+	"time"
+
+	"vaq/internal/metrics"
+)
+
+// MetricsSnapshot is a point-in-time view of an index's query telemetry:
+// totals of the per-query SearchStats counters across every Searcher plus
+// latency percentiles from a fixed-bucket histogram. All fields are
+// cumulative since Build (or the last ResetMetrics).
+type MetricsSnapshot struct {
+	// Queries is the number of completed searches; Errors the number of
+	// searches rejected by validation (bad k, bad dimension).
+	Queries uint64 `json:"queries"`
+	Errors  uint64 `json:"errors"`
+	// ClustersVisited..Lookups are the summed SearchStats counters.
+	ClustersVisited  uint64 `json:"clusters_visited"`
+	CodesConsidered  uint64 `json:"codes_considered"`
+	CodesSkippedTI   uint64 `json:"codes_skipped_ti"`
+	CodesAbandonedEA uint64 `json:"codes_abandoned_ea"`
+	Lookups          uint64 `json:"lookups"`
+	// TIPruneRate and EAAbandonRate are the fractions of considered codes
+	// eliminated by the triangle-inequality bound / cut short by early
+	// abandoning (the Figure 7 pruning currency).
+	TIPruneRate   float64 `json:"ti_prune_rate"`
+	EAAbandonRate float64 `json:"ea_abandon_rate"`
+	// LatencyP50/P95/P99/Mean summarize per-query wall time. Bucketed
+	// estimates: exponential buckets bound the error by 2x.
+	LatencyP50  time.Duration `json:"latency_p50_ns"`
+	LatencyP95  time.Duration `json:"latency_p95_ns"`
+	LatencyP99  time.Duration `json:"latency_p99_ns"`
+	LatencyMean time.Duration `json:"latency_mean_ns"`
+}
+
+func toSnapshot(s metrics.Snapshot) MetricsSnapshot {
+	return MetricsSnapshot{
+		Queries:          s.Queries,
+		Errors:           s.Errors,
+		ClustersVisited:  s.ClustersVisited,
+		CodesConsidered:  s.CodesConsidered,
+		CodesSkippedTI:   s.CodesSkippedTI,
+		CodesAbandonedEA: s.CodesAbandonedEA,
+		Lookups:          s.Lookups,
+		TIPruneRate:      s.TIPruneRate(),
+		EAAbandonRate:    s.EAAbandonRate(),
+		LatencyP50:       s.Latency.Quantile(0.50),
+		LatencyP95:       s.Latency.Quantile(0.95),
+		LatencyP99:       s.Latency.Quantile(0.99),
+		LatencyMean:      s.Latency.Mean(),
+	}
+}
+
+// Metrics returns the current aggregated query telemetry. It is cheap
+// (atomic loads) and safe to call while queries are in flight. The zero
+// snapshot is returned when metrics are disabled.
+func (ix *Index) Metrics() MetricsSnapshot {
+	return toSnapshot(ix.inner.Metrics().Snapshot())
+}
+
+// ResetMetrics zeroes the telemetry registry (benchmark warmup, test
+// isolation). Not atomic with respect to in-flight queries.
+func (ix *Index) ResetMetrics() { ix.inner.Metrics().Reset() }
+
+// BuildReport is the wall-clock cost of each index-construction phase.
+type BuildReport struct {
+	// Total is end-to-end Build time; the remaining fields are the major
+	// phases (their sum is slightly below Total — the gap is projection
+	// and glue).
+	Total time.Duration `json:"total"`
+	// PCA is the eigendecomposition of the training matrix.
+	PCA time.Duration `json:"pca"`
+	// Allocation is the bit-budget solve (MILP / transform coding /
+	// uniform).
+	Allocation time.Duration `json:"allocation"`
+	// Training is per-subspace dictionary learning (k-means).
+	Training time.Duration `json:"training"`
+	// Encoding is dataset quantization against the trained dictionaries.
+	Encoding time.Duration `json:"encoding"`
+	// TIClustering is the triangle-inequality skip-structure build.
+	TIClustering time.Duration `json:"ti_clustering"`
+}
+
+// BuildReport returns the per-phase timings captured when this index was
+// built. Indexes loaded from disk report zero durations.
+func (ix *Index) BuildReport() BuildReport {
+	r := ix.inner.BuildReport()
+	return BuildReport{
+		Total:        r.Total,
+		PCA:          r.PCA,
+		Allocation:   r.Allocation,
+		Training:     r.Training,
+		Encoding:     r.Encoding,
+		TIClustering: r.TIClustering,
+	}
+}
+
+// PublishExpvar registers this index's live metrics under name in the
+// process-wide expvar namespace (GET /debug/vars). Publishing the same
+// name again rebinds it to this index. No-op effect when metrics are
+// disabled (the published snapshot stays zero).
+func (ix *Index) PublishExpvar(name string) {
+	metrics.Publish(name, ix.inner.Metrics())
+}
+
+// ServeDebug starts an HTTP server on addr (e.g. "localhost:6060", or
+// ":0" for an ephemeral port) exposing expvar (/debug/vars) and pprof
+// (/debug/pprof/) from the default mux. The returned server's Addr field
+// holds the actual listen address; shut it down with its Close method.
+// Combine with (*Index).PublishExpvar to watch an index live.
+func ServeDebug(addr string) (*http.Server, error) {
+	return metrics.ServeDebug(addr)
+}

@@ -18,6 +18,17 @@
 // directory for richer usage and the internal packages for the substrates
 // (PCA, k-means, the MILP bit-allocation solver, baseline quantizers and
 // tree indexes) that power the experiment suite in cmd/vaqbench.
+//
+// # Concurrency and observability
+//
+// An Index is safe for concurrent reads: run one Searcher per goroutine,
+// or use SearchBatch, which fans queries out across worker goroutines
+// (workers <= 0 means runtime.GOMAXPROCS(0) workers). Every query — from
+// Search, a Searcher, or SearchBatch — is folded into a lock-free
+// index-wide registry; Metrics returns its snapshot (query counts,
+// latency percentiles, the paper's §III-E prune counters), BuildReport
+// the per-phase build timings, and PublishExpvar/ServeDebug expose both
+// over HTTP for live inspection. Set Config.DisableMetrics to opt out.
 package vaq
 
 import (
@@ -123,6 +134,10 @@ type Config struct {
 	Seed int64
 	// KMeansIters bounds dictionary-training iterations (default 25).
 	KMeansIters int
+	// DisableMetrics turns off the index-wide query telemetry registry
+	// (see Index.Metrics). Recording costs a few atomic adds per query,
+	// so the default is on.
+	DisableMetrics bool
 }
 
 // SearchOptions tune a single query.
@@ -160,6 +175,7 @@ func (c Config) toCore() core.Config {
 		CenterPCA:             c.CenterPCA,
 		Seed:                  c.Seed,
 		KMeansIters:           c.KMeansIters,
+		DisableMetrics:        c.DisableMetrics,
 	}
 }
 
