@@ -113,6 +113,83 @@ func BenchmarkSearchEA(b *testing.B)     { benchSearchMode(b, core.ModeEA, 0) }
 func BenchmarkSearchTIEA25(b *testing.B) { benchSearchMode(b, core.ModeTIEA, 0.25) }
 func BenchmarkSearchTIEA10(b *testing.B) { benchSearchMode(b, core.ModeTIEA, 0.10) }
 
+// --- scan-layout A/B pairs ------------------------------------------------
+//
+// Same index content, same queries, same mode — only the physical layout
+// the kernels scan differs. Compare pairs with:
+//
+//	GOMAXPROCS=1 go test -bench='ScanLayout' -count=10 | benchstat
+//
+// Both members of a pair return byte-identical results (enforced by
+// TestScanLayoutEquivalence in internal/core), so any delta is pure
+// memory-layout effect.
+
+var scanLayoutBenchCache = map[core.ScanLayout]*core.Index{}
+var scanLayoutBenchData *dataset.Dataset
+
+func scanLayoutBenchIndex(b *testing.B, layout core.ScanLayout) (*core.Index, *dataset.Dataset) {
+	b.Helper()
+	// 100k codes x 32 subspaces spill any private cache level: the pair
+	// then measures layout (miss-rate) effects, not just instruction mix.
+	if scanLayoutBenchData == nil {
+		ds, err := dataset.Large("SALD", 100000, 16, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scanLayoutBenchData = ds
+	}
+	ds := scanLayoutBenchData
+	if ix, ok := scanLayoutBenchCache[layout]; ok {
+		return ix, ds
+	}
+	// Train on a sample: the pair compares scan throughput, and a smaller
+	// training set keeps the one-time build out of the measured budget.
+	ix, err := core.Build(ds.Train.SliceRows(0, 4000), ds.Base, core.Config{
+		NumSubspaces: 32, Budget: 256, Seed: 7, ScanLayout: layout,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scanLayoutBenchCache[layout] = ix
+	return ix, ds
+}
+
+func benchScanLayout(b *testing.B, layout core.ScanLayout, mode core.SearchMode, frac float64) {
+	ix, ds := scanLayoutBenchIndex(b, layout)
+	s := ix.NewSearcher()
+	// Pre-project the queries: rotation cost is identical under either
+	// layout, so the pair isolates LUT construction + scan.
+	projected := make([][]float32, ds.Queries.Rows)
+	for i := range projected {
+		qz, err := ix.ProjectQuery(ds.Queries.Row(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		projected[i] = qz
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qz := projected[i%len(projected)]
+		if _, err := s.SearchProjected(qz, 100, core.SearchOptions{Mode: mode, VisitFrac: frac}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanLayoutTIEABlocked(b *testing.B) {
+	benchScanLayout(b, core.LayoutBlocked, core.ModeTIEA, 0.25)
+}
+func BenchmarkScanLayoutTIEARowMajor(b *testing.B) {
+	benchScanLayout(b, core.LayoutRowMajor, core.ModeTIEA, 0.25)
+}
+func BenchmarkScanLayoutHeapBlocked(b *testing.B) {
+	benchScanLayout(b, core.LayoutBlocked, core.ModeHeap, 0)
+}
+func BenchmarkScanLayoutHeapRowMajor(b *testing.B) {
+	benchScanLayout(b, core.LayoutRowMajor, core.ModeHeap, 0)
+}
+
 // BenchmarkSearchMetricsOn/Off isolate the hot-path cost of the
 // index-wide telemetry registry (two time.Now calls plus a handful of
 // atomic adds per query). Compare with:

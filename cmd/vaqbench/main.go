@@ -8,6 +8,7 @@
 //	vaqbench -exp all -scale quick
 //	vaqbench -exp tab2 -n 50000 -gallery 128
 //	vaqbench -json BENCH_sald.json -n 20000 -nq 200   # perf summary
+//	vaqbench -json BENCH_pr2.json -layout both        # scan-layout A/B
 //	vaqbench -json - -metrics-addr localhost:6060     # live expvar/pprof
 //
 // Experiment output is plain text: the same rows/series each figure
@@ -15,7 +16,9 @@
 // EXPERIMENTS.md). The -json mode instead builds one index, drives the
 // query workload through a Searcher pool, and emits a machine-readable
 // summary (build-phase timings, QPS, p50/p95/p99 latency, TI/EA prune
-// rates) for tracking the perf trajectory across PRs. With
+// rates) for tracking the perf trajectory across PRs; -layout both runs
+// the workload once per scan layout and records the blocked-over-rowmajor
+// throughput ratio. With
 // -metrics-addr, either mode serves live metrics on /debug/vars and
 // profiles on /debug/pprof/.
 package main
@@ -43,10 +46,12 @@ func main() {
 		benchData   = flag.String("dataset", "SALD", "dataset for -json (SIFT, DEEP, SEISMIC, SALD, ASTRO)")
 		subspaces   = flag.Int("subspaces", 16, "subspaces for -json")
 		budget      = flag.Int("budget", 128, "bit budget for -json")
+		maxBits     = flag.Int("maxbits", 0, "max bits per subspace for -json (0 = default; 8 keeps every dictionary uint8-addressable)")
 		k           = flag.Int("k", 100, "neighbors per query for -json")
 		visit       = flag.Float64("visit", 0.25, "TI visit fraction for -json")
 		workers     = flag.Int("workers", 0, "query workers for -json (0 = GOMAXPROCS)")
 		passes      = flag.Int("passes", 3, "timed passes over the query set for -json")
+		layout      = flag.String("layout", "blocked", "scan layout for -json: blocked, rowmajor, or both (A/B comparison)")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
 	)
 	flag.Parse()
@@ -68,8 +73,9 @@ func main() {
 	if *jsonOut != "" {
 		p := benchParams{
 			Dataset: *benchData, N: *n, NQ: *nq, Seed: *seed,
-			Subspaces: *subspaces, Budget: *budget, K: *k,
+			Subspaces: *subspaces, Budget: *budget, MaxBits: *maxBits, K: *k,
 			VisitFrac: *visit, Workers: *workers, Passes: *passes,
+			Layout: *layout,
 		}
 		if p.N <= 0 {
 			p.N = 20000

@@ -31,12 +31,23 @@ func main() {
 		k           = flag.Int("k", 100, "neighbors per query")
 		visit       = flag.Float64("visit", 0.25, "fraction of TI clusters visited")
 		nonUnif     = flag.Bool("nonuniform", false, "cluster dimensions into non-uniform subspaces")
+		layoutName  = flag.String("layout", "blocked", "scan layout: blocked (cache-optimized, default) or rowmajor (legacy)")
 		seed        = flag.Int64("seed", 42, "build seed")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
 	)
 	flag.Parse()
 	if *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "vaqsearch: -data is required")
+		os.Exit(2)
+	}
+	var layout core.ScanLayout
+	switch *layoutName {
+	case "blocked":
+		layout = core.LayoutBlocked
+	case "rowmajor":
+		layout = core.LayoutRowMajor
+	default:
+		fmt.Fprintf(os.Stderr, "vaqsearch: unknown layout %q (blocked or rowmajor)\n", *layoutName)
 		os.Exit(2)
 	}
 	if *metricsAddr != "" {
@@ -63,6 +74,7 @@ func main() {
 		MaxBits:      *maxBits,
 		NonUniform:   *nonUnif,
 		Seed:         *seed,
+		ScanLayout:   layout,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vaqsearch: build: %v\n", err)

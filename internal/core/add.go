@@ -61,5 +61,13 @@ func (ix *Index) Add(vectors *vec.Matrix) (firstID int, err error) {
 	}
 	ix.codes.N += vectors.Rows
 	ix.n += vectors.Rows
+	// The blocked scan copy is derived from codes+clusters, so it must be
+	// rebuilt wholesale: insertions shift every later member of a cluster,
+	// which reshuffles block lanes. O(n*m) per Add call — Add is a
+	// maintenance path, not a hot path, so simplicity wins over an
+	// incremental rebuild.
+	if ix.blocked != nil {
+		ix.blocked = buildBlockedStore(ix.cb, ix.codes, ix.ti)
+	}
 	return firstID, nil
 }

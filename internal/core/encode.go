@@ -74,7 +74,7 @@ func buildTIIndex(cb *quantizer.Codebooks, codes *quantizer.Codes, clusterCount,
 	dists := make([]float32, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
-		workers = 1
+		workers = n
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -133,16 +133,19 @@ func decodePrefix(cb *quantizer.Codebooks, code []uint16, prefixSubspaces int, o
 	}
 }
 
-// queryClusterDistances returns the (plain) distances between the projected
-// query's prefix and every TI centroid (Algorithm 4 lines 14-17).
-func (ti *tiIndex) queryClusterDistances(q []float32, out []float32) []float32 {
+// queryClusterDistancesSq returns the SQUARED distances between the
+// projected query's prefix and every TI centroid (Algorithm 4 lines
+// 14-17). Squared distances rank clusters identically to plain ones, so
+// the per-query root is deferred to the visited clusters only (the
+// triangle bound is the sole consumer of plain distances).
+func (ti *tiIndex) queryClusterDistancesSq(q []float32, out []float32) []float32 {
 	if cap(out) < ti.centroids.Rows {
 		out = make([]float32, ti.centroids.Rows)
 	}
 	out = out[:ti.centroids.Rows]
 	prefix := q[:ti.prefixDim]
 	for c := 0; c < ti.centroids.Rows; c++ {
-		out[c] = float32(math.Sqrt(float64(vec.SquaredL2(prefix, ti.centroids.Row(c)))))
+		out[c] = vec.SquaredL2(prefix, ti.centroids.Row(c))
 	}
 	return out
 }

@@ -168,11 +168,23 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 	}
 	switch mode {
 	case ModeHeap:
-		s.scanHeap(useSub)
+		if ix.blocked != nil {
+			s.scanHeapBlocked(useSub)
+		} else {
+			s.scanHeap(useSub)
+		}
 	case ModeEA:
+		// EA's observable semantics (threshold evolution, abandon counts)
+		// are tied to its original-id scan order, which is already a
+		// sequential walk of the canonical row-major codes — both layouts
+		// share this kernel.
 		s.scanEA(useSub)
 	default:
-		s.scanTIEA(qz, k, opt.VisitFrac, useSub)
+		if ix.blocked != nil {
+			s.scanTIEABlocked(qz, opt.VisitFrac, useSub)
+		} else {
+			s.scanTIEA(qz, opt.VisitFrac, useSub)
+		}
 	}
 	if ix.metrics != nil {
 		ix.metrics.RecordSearch(metrics.SearchRecord{
@@ -184,6 +196,60 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 		}, time.Since(start))
 	}
 	return s.topk.Results()
+}
+
+// eaAccumulate accumulates one row-major code word against the lookup
+// tables with the early-abandon cadence of §III-E: every check subspaces
+// (and only once the top-k heap was full when the code was reached —
+// notFull snapshots that), the partial distance is tested against the
+// best-so-far threshold bsf. It returns the accumulated distance, the
+// number of lookups performed, and whether the code was abandoned.
+//
+// The chunked loop preserves the exact semantics of the historical
+// per-term "(sI+1)%check == 0" test — abandons happen only at chunk
+// boundaries and the tail after the last full chunk is never tested —
+// while replacing the modulo with loop structure and giving the compiler
+// a 4-wide unrolled body whose loads can issue in parallel. Additions stay
+// strictly sequential in subspace order so every kernel (and both scan
+// layouts) produces bit-identical float32 distances.
+func eaAccumulate(dist []float32, offsets []int, row []uint16, useSub, check int, bsf float32, notFull bool) (float32, int, bool) {
+	var d float32
+	sI := 0
+	if !notFull {
+		for sI+check <= useSub {
+			end := sI + check
+			for ; sI+4 <= end; sI += 4 {
+				a0 := dist[offsets[sI]+int(row[sI])]
+				a1 := dist[offsets[sI+1]+int(row[sI+1])]
+				a2 := dist[offsets[sI+2]+int(row[sI+2])]
+				a3 := dist[offsets[sI+3]+int(row[sI+3])]
+				d += a0
+				d += a1
+				d += a2
+				d += a3
+			}
+			for ; sI < end; sI++ {
+				d += dist[offsets[sI]+int(row[sI])]
+			}
+			if d > bsf {
+				return d, sI, true
+			}
+		}
+	}
+	for ; sI+4 <= useSub; sI += 4 {
+		a0 := dist[offsets[sI]+int(row[sI])]
+		a1 := dist[offsets[sI+1]+int(row[sI+1])]
+		a2 := dist[offsets[sI+2]+int(row[sI+2])]
+		a3 := dist[offsets[sI+3]+int(row[sI+3])]
+		d += a0
+		d += a1
+		d += a2
+		d += a3
+	}
+	for ; sI < useSub; sI++ {
+		d += dist[offsets[sI]+int(row[sI])]
+	}
+	return d, useSub, false
 }
 
 // scanHeap is the no-pruning baseline: accumulate every subspace of every
@@ -213,25 +279,15 @@ func (s *Searcher) scanHeap(useSub int) {
 func (s *Searcher) scanEA(useSub int) {
 	ix := s.ix
 	codes := ix.codes
-	lut := s.lut
+	dist, offsets := s.lut.Dist, s.lut.Offsets
 	m := codes.M
 	check := ix.cfg.EACheckEvery
 	for i := 0; i < codes.N; i++ {
 		row := codes.Data[i*m : i*m+useSub]
 		bsf := s.topk.Threshold()
-		full := !s.topk.Full()
-		var d float32
-		abandoned := false
-		sI := 0
-		for ; sI < useSub; sI++ {
-			d += lut.Dist[lut.Offsets[sI]+int(row[sI])]
-			if !full && (sI+1)%check == 0 && d > bsf {
-				abandoned = true
-				sI++
-				break
-			}
-		}
-		s.stats.Lookups += sI
+		notFull := !s.topk.Full()
+		d, lookups, abandoned := eaAccumulate(dist, offsets, row, useSub, check, bsf, notFull)
+		s.stats.Lookups += lookups
 		if abandoned {
 			s.stats.CodesAbandonedEA++
 		} else {
@@ -241,16 +297,16 @@ func (s *Searcher) scanEA(useSub int) {
 	s.stats.CodesConsidered = codes.N
 }
 
-// scanTIEA is the full cascade (Algorithm 4): order TI clusters by query
-// distance, visit only the nearest fraction, skip members via the triangle
-// inequality, and early-abandon lookups for survivors.
-func (s *Searcher) scanTIEA(qz []float32, k int, visitFrac float64, useSub int) {
+// orderClusters ranks the TI clusters for one query: it fills s.clustD
+// with the SQUARED prefix distances to every centroid, sorts cluster ids
+// ascending by that (squared distance is order-equivalent to plain, so
+// the ranking needs no roots), and returns how many clusters the visit
+// fraction admits. The kernels take the root only for clusters they
+// actually visit — the triangle bound needs plain distances — saving
+// ~(1-visitFrac)*TIClusters sqrt calls per query.
+func (s *Searcher) orderClusters(qz []float32, visitFrac float64) int {
 	ix := s.ix
 	ti := ix.ti
-	lut := s.lut
-	codes := ix.codes
-	m := codes.M
-	check := ix.cfg.EACheckEvery
 	if visitFrac <= 0 {
 		visitFrac = ix.cfg.DefaultVisitFrac
 	}
@@ -265,7 +321,7 @@ func (s *Searcher) scanTIEA(qz []float32, k int, visitFrac float64, useSub int) 
 	if visit > nClusters {
 		visit = nClusters
 	}
-	s.clustD = ti.queryClusterDistances(qz, s.clustD)
+	s.clustD = ti.queryClusterDistancesSq(qz, s.clustD)
 	if cap(s.clustIdx) < nClusters {
 		s.clustIdx = make([]int, nClusters)
 	}
@@ -273,14 +329,93 @@ func (s *Searcher) scanTIEA(qz []float32, k int, visitFrac float64, useSub int) 
 	for i := range s.clustIdx {
 		s.clustIdx[i] = i
 	}
-	sort.Slice(s.clustIdx, func(a, b int) bool {
-		return s.clustD[s.clustIdx[a]] < s.clustD[s.clustIdx[b]]
-	})
+	s.selectNearestClusters(visit)
+	return visit
+}
 
+// selectNearestClusters reorders s.clustIdx so its first visit entries are
+// the visit nearest clusters in ascending (squared distance, cluster id)
+// order. Only the visited prefix needs an order, so a quickselect narrows
+// the boundary segment in expected O(nClusters) comparisons and the final
+// sort covers visit entries instead of all of them — at the default visit
+// fractions that removes most of the per-query ranking cost. The id
+// tiebreak makes the key a strict total order, so the visited set and its
+// order are deterministic even when two centroids are equidistant.
+func (s *Searcher) selectNearestClusters(visit int) {
+	idx, d := s.clustIdx, s.clustD
+	less := func(a, b int) bool {
+		if d[a] != d[b] {
+			return d[a] < d[b]
+		}
+		return a < b
+	}
+	lo, hi := 0, len(idx)
+	for hi-lo > 16 {
+		// Median-of-three pivot from the segment's ends and middle.
+		mid := lo + (hi-lo)/2
+		if less(idx[mid], idx[lo]) {
+			idx[mid], idx[lo] = idx[lo], idx[mid]
+		}
+		if less(idx[hi-1], idx[lo]) {
+			idx[hi-1], idx[lo] = idx[lo], idx[hi-1]
+		}
+		if less(idx[hi-1], idx[mid]) {
+			idx[hi-1], idx[mid] = idx[mid], idx[hi-1]
+		}
+		pivot := idx[mid]
+		i, j := lo, hi-1
+		for i <= j {
+			for less(idx[i], pivot) {
+				i++
+			}
+			for less(pivot, idx[j]) {
+				j--
+			}
+			if i <= j {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+				j--
+			}
+		}
+		// Keys are distinct, so [lo..j] < pivot-zone < [i..hi). Descend
+		// into whichever side still straddles the visit boundary.
+		if visit <= j+1 {
+			hi = j + 1
+		} else if visit >= i {
+			lo = i
+		} else {
+			// The boundary falls in the (single-element) pivot zone:
+			// membership of idx[:visit] is already settled.
+			lo, hi = visit, visit
+		}
+	}
+	// Insertion-sort the small segment that still straddles the boundary,
+	// settling which elements belong in the prefix.
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && less(idx[j], idx[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	sort.Slice(idx[:visit], func(a, b int) bool { return less(idx[a], idx[b]) })
+}
+
+// scanTIEA is the full cascade (Algorithm 4): order TI clusters by query
+// distance, visit only the nearest fraction, skip members via the triangle
+// inequality, and early-abandon lookups for survivors.
+func (s *Searcher) scanTIEA(qz []float32, visitFrac float64, useSub int) {
+	ix := s.ix
+	ti := ix.ti
+	codes := ix.codes
+	dist, offsets := s.lut.Dist, s.lut.Offsets
+	m := codes.M
+	check := ix.cfg.EACheckEvery
+	visit := s.orderClusters(qz, visitFrac)
 	s.stats.ClustersVisited = visit
 	for v := 0; v < visit; v++ {
 		c := s.clustIdx[v]
-		dq := s.clustD[c]
+		// The ranking sorted squared distances; the triangle bound needs
+		// the plain distance, taken only for the visited fraction.
+		dq := float32(math.Sqrt(float64(s.clustD[c])))
 		members := ti.clusters[c]
 		s.stats.CodesConsidered += len(members)
 		for mi, e := range members {
@@ -307,19 +442,9 @@ func (s *Searcher) scanTIEA(qz []float32, k int, visitFrac float64, useSub int) 
 			// Early-abandon accumulation for the survivor.
 			row := codes.Data[e.id*m : e.id*m+useSub]
 			bsf := s.topk.Threshold()
-			full := !s.topk.Full()
-			var d float32
-			abandoned := false
-			sI := 0
-			for ; sI < useSub; sI++ {
-				d += lut.Dist[lut.Offsets[sI]+int(row[sI])]
-				if !full && (sI+1)%check == 0 && d > bsf {
-					abandoned = true
-					sI++
-					break
-				}
-			}
-			s.stats.Lookups += sI
+			notFull := !s.topk.Full()
+			d, lookups, abandoned := eaAccumulate(dist, offsets, row, useSub, check, bsf, notFull)
+			s.stats.Lookups += lookups
 			if abandoned {
 				s.stats.CodesAbandonedEA++
 			} else {

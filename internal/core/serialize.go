@@ -19,22 +19,27 @@ import (
 // Serialization format (little-endian):
 //
 //	magic "VAQI", version u16
-//	config block (fixed-width fields)
+//	config block (fixed-width fields; v2 appends ScanLayout)
 //	pca: eigenvalues []f64, components Dense, hasMean u8 [+ mean []f64]
 //	layout: m u32, lengths []u32, bits []u32, ratios []f64, subVar []f64
 //	codebooks: m matrices
 //	codes: n u64, m u32, data []u16
 //	ti: prefixSubspaces u32, centroids Matrix, clusters: count u32,
 //	    then per cluster: len u32, entries (id u32, dist f32)
+//
+// The codes are always stored canonically (row-major, original id order);
+// the blocked scan layout is a deterministic function of the codes and the
+// TI structure, so it is rebuilt on load rather than serialized. Version 1
+// predates ScanLayout: v1 streams still load and get the default layout.
 var magicIndex = [4]byte{'V', 'A', 'Q', 'I'}
 
-const indexVersion = 1
+const indexVersion = 2
 
 // WriteTo serializes the index so it can be reloaded without retraining.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
-	err := ix.writeBody(bw)
+	err := ix.writeBody(bw, indexVersion)
 	if err == nil {
 		err = bw.Flush()
 	}
@@ -74,21 +79,28 @@ func readF64(r io.Reader) (float64, error) {
 	return math.Float64frombits(u), err
 }
 
-func (ix *Index) writeBody(w io.Writer) error {
+// writeBody emits the serialized index at the requested format version.
+// Version 1 (the pre-ScanLayout format) is kept writable so tests can
+// prove legacy streams still load.
+func (ix *Index) writeBody(w io.Writer, version uint64) error {
 	if _, err := w.Write(magicIndex[:]); err != nil {
 		return err
 	}
-	if err := writeU64(w, indexVersion); err != nil {
+	if err := writeU64(w, version); err != nil {
 		return err
 	}
 	// Config (only the fields needed to answer queries identically).
 	cfg := ix.cfg
-	for _, v := range []uint64{
+	vals := []uint64{
 		uint64(cfg.NumSubspaces), uint64(cfg.Budget), uint64(cfg.MinBits),
 		uint64(cfg.MaxBits), uint64(cfg.TIClusters), uint64(cfg.TIPrefixSubspaces),
 		uint64(cfg.EACheckEvery), uint64(cfg.Seed), boolU64(cfg.NonUniform),
 		boolU64(cfg.DisablePartialBalance), boolU64(cfg.CenterPCA), uint64(cfg.Alloc),
-	} {
+	}
+	if version >= 2 {
+		vals = append(vals, uint64(cfg.ScanLayout))
+	}
+	for _, v := range vals {
 		if err := writeU64(w, v); err != nil {
 			return err
 		}
@@ -207,7 +219,7 @@ func Read(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != indexVersion {
+	if version < 1 || version > indexVersion {
 		return nil, fmt.Errorf("core: unsupported index version %d", version)
 	}
 	var cfgVals [12]uint64
@@ -230,6 +242,17 @@ func Read(r io.Reader) (*Index, error) {
 		CenterPCA:             cfgVals[10] == 1,
 		Alloc:                 AllocStrategy(cfgVals[11]),
 	}
+	if version >= 2 {
+		layoutU, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ScanLayout = ScanLayout(layoutU)
+		if cfg.ScanLayout != LayoutBlocked && cfg.ScanLayout != LayoutRowMajor {
+			return nil, fmt.Errorf("core: unknown ScanLayout %d", layoutU)
+		}
+	}
+	// v1 predates ScanLayout; the zero value is the blocked default.
 	if cfg.TargetVariance, err = readF64(br); err != nil {
 		return nil, err
 	}
@@ -368,6 +391,12 @@ func Read(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The blocked layout is derived, not stored: rebuild it here so the
+	// loaded index scans exactly like a freshly built one.
+	var blocked *blockedStore
+	if cfg.ScanLayout == LayoutBlocked {
+		blocked = buildBlockedStore(cb, codes, ti)
+	}
 	return &Index{
 		cfg:      cfg,
 		model:    model,
@@ -377,6 +406,7 @@ func Read(r io.Reader) (*Index, error) {
 		cb:       cb,
 		codes:    codes,
 		ti:       ti,
+		blocked:  blocked,
 		n:        n,
 		queryDim: int(queryDim),
 		// DisableMetrics is a runtime knob, not part of the on-disk

@@ -34,9 +34,9 @@ func TestTriangleBoundIsLowerBound(t *testing.T) {
 				t.Fatal(err)
 			}
 			lut := ix.cb.BuildLUT(qz)
-			clustD := ix.ti.queryClusterDistances(qz, nil)
+			clustD := ix.ti.queryClusterDistancesSq(qz, nil)
 			for c, members := range ix.ti.clusters {
-				dq := float64(clustD[c])
+				dq := math.Sqrt(float64(clustD[c]))
 				for _, e := range members {
 					bound := math.Abs(dq - float64(e.dist))
 					adc := float64(lut.Distance(ix.codes.Row(e.id)))

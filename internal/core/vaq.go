@@ -66,6 +66,12 @@ type Config struct {
 	// Recording costs a handful of atomic adds per query (measurably
 	// under 2% of a search), so the default is on.
 	DisableMetrics bool
+	// ScanLayout selects the physical layout the query kernels scan
+	// (default LayoutBlocked: cluster-contiguous blocked-transposed codes
+	// with a uint8 fast path; LayoutRowMajor keeps the legacy row-major
+	// scan for A/B benchmarking). Both layouts return identical results
+	// and prune stats.
+	ScanLayout ScanLayout
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +109,7 @@ type Index struct {
 	cb       *quantizer.Codebooks
 	codes    *quantizer.Codes
 	ti       *tiIndex
+	blocked  *blockedStore // scan-optimized copy; nil under LayoutRowMajor
 	n        int
 	queryDim int
 	metrics  *metrics.IndexMetrics
@@ -126,6 +133,9 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 	m := cfg.NumSubspaces
 	if m < 1 || m > d {
 		return nil, fmt.Errorf("core: NumSubspaces=%d invalid for %d dimensions", m, d)
+	}
+	if cfg.ScanLayout != LayoutBlocked && cfg.ScanLayout != LayoutRowMajor {
+		return nil, fmt.Errorf("core: unknown ScanLayout %d", cfg.ScanLayout)
 	}
 	var report metrics.BuildReport
 	buildStart := time.Now()
@@ -220,6 +230,15 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 	phase = time.Now()
 	ti := buildTIIndex(cb, codes, clusterCount, cfg.TIPrefixSubspaces, rng)
 	report.TIClustering = time.Since(phase)
+
+	// Step 7: derive the scan-optimized physical layout (cluster-
+	// contiguous, blocked-transposed, uint8 where dictionaries allow).
+	var blocked *blockedStore
+	if cfg.ScanLayout == LayoutBlocked {
+		phase = time.Now()
+		blocked = buildBlockedStore(cb, codes, ti)
+		report.Layout = time.Since(phase)
+	}
 	report.Total = time.Since(buildStart)
 
 	var reg *metrics.IndexMetrics
@@ -235,6 +254,7 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 		cb:       cb,
 		codes:    codes,
 		ti:       ti,
+		blocked:  blocked,
 		n:        data.Rows,
 		queryDim: d,
 		metrics:  reg,
@@ -273,6 +293,9 @@ func (ix *Index) CodeBytes() int { return ix.codes.Bytes(ix.bits) }
 
 // TIClusterCount reports how many triangle-inequality clusters were built.
 func (ix *Index) TIClusterCount() int { return len(ix.ti.clusters) }
+
+// Layout reports the physical scan layout the query kernels use.
+func (ix *Index) Layout() ScanLayout { return ix.cfg.ScanLayout }
 
 // Metrics returns the index-wide query telemetry registry shared by every
 // Searcher of this index, or nil when Config.DisableMetrics was set. The

@@ -162,4 +162,8 @@ type BuildReport struct {
 	// TIClustering is the triangle-inequality skip-structure build
 	// (Algorithm 3 lines 24-48).
 	TIClustering time.Duration `json:"ti_clustering"`
+	// Layout is the derivation of the scan-optimized physical code
+	// layout (cluster-contiguous blocked transposition; zero when the
+	// legacy row-major layout was requested).
+	Layout time.Duration `json:"layout"`
 }

@@ -138,7 +138,7 @@ func (cb *Codebooks) Encode(data *vec.Matrix, parallel bool) (*Codes, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > data.Rows {
-		workers = 1
+		workers = data.Rows
 	}
 	var wg sync.WaitGroup
 	chunk := (data.Rows + workers - 1) / workers

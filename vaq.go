@@ -81,6 +81,21 @@ const (
 	EQ = milp.EQ // Σ coeffs·bits == RHS
 )
 
+// ScanLayout selects the physical layout the query kernels scan.
+type ScanLayout = core.ScanLayout
+
+// Scan layouts.
+const (
+	// LayoutBlocked (default) scans a cache-optimized copy of the codes:
+	// cluster-contiguous, group-transposed in small blocks, uint8 where
+	// dictionaries fit. Results and prune stats are identical to
+	// LayoutRowMajor.
+	LayoutBlocked = core.LayoutBlocked
+	// LayoutRowMajor scans the canonical row-major codes directly (the
+	// legacy layout, kept for A/B benchmarking).
+	LayoutRowMajor = core.LayoutRowMajor
+)
+
 // SearchMode selects the query-time pruning strategy.
 type SearchMode = core.SearchMode
 
@@ -138,6 +153,10 @@ type Config struct {
 	// (see Index.Metrics). Recording costs a few atomic adds per query,
 	// so the default is on.
 	DisableMetrics bool
+	// ScanLayout selects the physical layout the query kernels scan
+	// (default LayoutBlocked; LayoutRowMajor keeps the legacy scan for
+	// A/B comparison). Both return identical results and prune stats.
+	ScanLayout ScanLayout
 }
 
 // SearchOptions tune a single query.
@@ -176,6 +195,7 @@ func (c Config) toCore() core.Config {
 		Seed:                  c.Seed,
 		KMeansIters:           c.KMeansIters,
 		DisableMetrics:        c.DisableMetrics,
+		ScanLayout:            c.ScanLayout,
 	}
 }
 
@@ -271,6 +291,8 @@ type Stats struct {
 	CodeBytes int
 	// TIClusters is the number of data-skipping clusters built.
 	TIClusters int
+	// Layout is the physical scan layout the query kernels use.
+	Layout ScanLayout
 }
 
 // Stats returns a description of the trained index — the adaptive bit
@@ -284,6 +306,7 @@ func (ix *Index) Stats() Stats {
 		SubspaceVariances: ix.inner.SubspaceVariances(),
 		CodeBytes:         ix.inner.CodeBytes(),
 		TIClusters:        ix.inner.TIClusterCount(),
+		Layout:            ix.inner.Layout(),
 	}
 }
 
