@@ -11,12 +11,12 @@ import (
 // goroutines (one reusable Searcher each). Results are returned in query
 // order. workers <= 0 uses runtime.GOMAXPROCS(0).
 //
-// Malformed input (k < 1, a query with the wrong dimensionality) is
-// rejected up front with a nil result slice. Errors raised while
-// executing individual queries do not abort the batch: every other query
-// still runs, its result is kept, and its telemetry is recorded; the
-// failed slots are nil in the returned slice and the per-query errors
-// come back joined (errors.Join) with their query indices.
+// A k < 1 is rejected up front with a nil result slice. Per-query faults
+// (a query with the wrong dimensionality, execution errors) do not abort
+// the batch: every other query still runs, its result is kept, and its
+// telemetry is recorded; each failed query is counted once in the metrics
+// registry's error counter, its slot is nil in the returned slice, and the
+// per-query errors come back joined (errors.Join) with their query indices.
 func (ix *Index) SearchBatch(queries [][]float32, k int, opt SearchOptions, workers int) ([][]Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("vaq: k must be >= 1, got %d", k)
@@ -25,11 +25,6 @@ func (ix *Index) SearchBatch(queries [][]float32, k int, opt SearchOptions, work
 	out := make([][]Result, n)
 	if n == 0 {
 		return out, nil
-	}
-	for i, q := range queries {
-		if len(q) != ix.Dim() {
-			return nil, fmt.Errorf("vaq: query %d has dimension %d, index has %d", i, len(q), ix.Dim())
-		}
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

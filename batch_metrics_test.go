@@ -173,11 +173,11 @@ func TestPublishExpvarServesIndexMetrics(t *testing.T) {
 }
 
 // TestSearchBatchErrorContract pins the documented batch semantics: a
-// fully valid batch returns a nil error (errors.Join of no errors), and
-// malformed input is rejected up front with the offending query named.
-// (Every per-query failure mode is currently caught by the upfront
-// validation, so the mid-batch joined-error path is exercised by
-// inspection + the contract test here rather than a reachable failure.)
+// fully valid batch returns a nil error (errors.Join of no errors); k < 1
+// is rejected up front; and per-query faults fail only their own slot —
+// the rest of the batch completes with results and telemetry, each failed
+// query increments the registry's error counter exactly once (not once per
+// batch), and the joined error names every failed index.
 func TestSearchBatchErrorContract(t *testing.T) {
 	ix, data := metricsTestIndex(t, 600, 8, Config{NumSubspaces: 4, Budget: 16, Seed: 5})
 	queries := data[:40]
@@ -190,13 +190,48 @@ func TestSearchBatchErrorContract(t *testing.T) {
 			t.Fatalf("query %d: %d results", i, len(res))
 		}
 	}
-	// Upfront validation: nil results, error mentions the offending query.
-	bad := append(append([][]float32(nil), queries...), make([]float32, 3))
-	out, err = ix.SearchBatch(bad, 5, SearchOptions{}, 4)
-	if err == nil || out != nil {
-		t.Fatalf("dim mismatch must fail upfront, got out=%v err=%v", out != nil, err)
+	if out, err := ix.SearchBatch(queries, 0, SearchOptions{}, 4); err == nil || out != nil {
+		t.Fatalf("k=0 must fail upfront, got out=%v err=%v", out != nil, err)
 	}
-	if !strings.Contains(err.Error(), fmt.Sprintf("query %d", len(bad)-1)) {
-		t.Fatalf("error does not name the bad query: %v", err)
+
+	// Mixed batch: two wrong-dimension queries among good ones.
+	badA := 3
+	mixed := make([][]float32, 0, len(queries)+2)
+	mixed = append(mixed, queries[:badA]...)
+	mixed = append(mixed, make([]float32, 3))
+	mixed = append(mixed, queries[badA:]...)
+	mixed = append(mixed, make([]float32, 1))
+	badB := len(mixed) - 1
+
+	before := ix.Metrics()
+	out, err = ix.SearchBatch(mixed, 5, SearchOptions{}, 4)
+	if err == nil {
+		t.Fatal("mixed batch must return the joined per-query errors")
+	}
+	if out == nil {
+		t.Fatal("mixed batch must still return the good results")
+	}
+	for _, bad := range []int{badA, badB} {
+		if out[bad] != nil {
+			t.Errorf("failed query %d has non-nil results", bad)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("query %d", bad)) {
+			t.Errorf("joined error does not name query %d: %v", bad, err)
+		}
+	}
+	for i, res := range out {
+		if i == badA || i == badB {
+			continue
+		}
+		if len(res) != 5 {
+			t.Errorf("good query %d: %d results", i, len(res))
+		}
+	}
+	diff := ix.Metrics()
+	if got := diff.Errors - before.Errors; got != 2 {
+		t.Errorf("errors counted = %d, want exactly one per failed query (2)", got)
+	}
+	if got := diff.Queries - before.Queries; got != uint64(len(queries)) {
+		t.Errorf("good queries recorded = %d, want %d", got, len(queries))
 	}
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -41,13 +43,55 @@ func parseLayout(name string) (core.ScanLayout, error) {
 	return 0, fmt.Errorf("unknown layout %q (blocked, rowmajor or both)", name)
 }
 
+// benchProvenance records where a summary came from, so numbers from
+// different machines, toolchains or configs are never compared as equals
+// (the schema is documented in DESIGN.md §7).
+type benchProvenance struct {
+	// SchemaVersion is bumped whenever the summary document's shape
+	// changes incompatibly.
+	SchemaVersion int `json:"schema_version"`
+	// GoVersion/GOOS/GOARCH identify the toolchain and platform.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS and NumCPU pin the parallelism the run had available.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// ConfigFingerprint is a short sha256 of the canonical params JSON:
+	// two summaries are comparable iff their fingerprints match.
+	ConfigFingerprint string `json:"config_fingerprint"`
+	// Layout is the scan layout this run measured.
+	Layout string `json:"layout"`
+}
+
+// benchSchemaVersion tracks the benchSummary document shape.
+const benchSchemaVersion = 2
+
+// provenanceFor stamps the environment and the params fingerprint.
+func provenanceFor(p benchParams) benchProvenance {
+	canonical, _ := json.Marshal(p) // struct marshal: cannot fail
+	sum := sha256.Sum256(canonical)
+	return benchProvenance{
+		SchemaVersion:     benchSchemaVersion,
+		GoVersion:         runtime.Version(),
+		GOOS:              runtime.GOOS,
+		GOARCH:            runtime.GOARCH,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
+		ConfigFingerprint: hex.EncodeToString(sum[:8]),
+		Layout:            p.Layout,
+	}
+}
+
 // benchSummary is the JSON document vaqbench -json emits: everything a
 // cross-PR perf tracker needs to plot build cost, throughput, tail
-// latency and prune effectiveness over time.
+// latency and prune effectiveness over time, plus the provenance needed
+// to know which runs are comparable.
 type benchSummary struct {
-	Params benchParams         `json:"params"`
-	Build  metrics.BuildReport `json:"build"`
-	Search struct {
+	Params     benchParams         `json:"params"`
+	Provenance benchProvenance     `json:"provenance"`
+	Build      metrics.BuildReport `json:"build"`
+	Search     struct {
 		Queries       uint64  `json:"queries"`
 		WallSeconds   float64 `json:"wall_seconds"`
 		QPS           float64 `json:"qps"`
@@ -157,6 +201,7 @@ func runBenchOnce(ds *dataset.Dataset, p benchParams) (*benchSummary, error) {
 
 	sum := &benchSummary{}
 	sum.Params = p
+	sum.Provenance = provenanceFor(p)
 	sum.Build = ix.BuildReport()
 	sum.Metrics = ix.Metrics().Snapshot()
 	sum.Search.Queries = sum.Metrics.Queries

@@ -7,6 +7,11 @@
 //	datagen -name SALD -n 20000 -nq 50 -out sald.vaqd
 //	vaqsearch -data sald.vaqd -budget 256 -subspaces 32 -k 100 -visit 0.1
 //	vaqsearch -data sald.vaqd -metrics-addr localhost:6060   # live expvar/pprof
+//	vaqsearch -data sald.vaqd -metrics-addr :6060 -trace -recall-sample 0.1 -hold 5m
+//
+// With -metrics-addr the debug mux also serves /debug/vaq/metrics
+// (Prometheus text) and, with -trace, /debug/vaq/traces (per-query
+// spans; ?format=chrome for a chrome://tracing export).
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"vaq/internal/dataset"
 	"vaq/internal/eval"
 	"vaq/internal/metrics"
+	"vaq/internal/trace"
 )
 
 func main() {
@@ -33,7 +39,11 @@ func main() {
 		nonUnif     = flag.Bool("nonuniform", false, "cluster dimensions into non-uniform subspaces")
 		layoutName  = flag.String("layout", "blocked", "scan layout: blocked (cache-optimized, default) or rowmajor (legacy)")
 		seed        = flag.Int64("seed", 42, "build seed")
-		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars), pprof (/debug/pprof/) and /debug/vaq/{metrics,traces} on this address")
+		traceOn     = flag.Bool("trace", false, "record per-query spans and publish them at /debug/vaq/traces")
+		traceSlow   = flag.Duration("trace-slow", 10*time.Millisecond, "queries at or above this duration enter the slow-exemplar reservoir")
+		recallRate  = flag.Float64("recall-sample", 0, "fraction of queries shadow-checked against an exact scan (0 disables)")
+		hold        = flag.Duration("hold", 0, "keep the process (and -metrics-addr endpoints) alive this long after the workload")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -68,13 +78,14 @@ func main() {
 
 	start := time.Now()
 	ix, err := core.Build(ds.Train, ds.Base, core.Config{
-		NumSubspaces: *subspaces,
-		Budget:       *budget,
-		MinBits:      *minBits,
-		MaxBits:      *maxBits,
-		NonUniform:   *nonUnif,
-		Seed:         *seed,
-		ScanLayout:   layout,
+		NumSubspaces:     *subspaces,
+		Budget:           *budget,
+		MinBits:          *minBits,
+		MaxBits:          *maxBits,
+		NonUniform:       *nonUnif,
+		Seed:             *seed,
+		ScanLayout:       layout,
+		RecallSampleRate: *recallRate,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vaqsearch: build: %v\n", err)
@@ -88,6 +99,11 @@ func main() {
 		rep.Training.Round(time.Millisecond), rep.Encoding.Round(time.Millisecond),
 		rep.TIClustering.Round(time.Millisecond))
 	metrics.Publish("vaqsearch_index", ix.Metrics())
+	var tr *trace.Tracer
+	if *traceOn {
+		tr = ix.EnableTracing(trace.Config{SlowThreshold: *traceSlow})
+		trace.Publish("vaqsearch_index", tr)
+	}
 
 	gt, err := eval.GroundTruth(ds.Base, ds.Queries, *k)
 	if err != nil {
@@ -119,4 +135,21 @@ func main() {
 		snap.Latency.Quantile(0.95).Round(time.Microsecond),
 		snap.Latency.Quantile(0.99).Round(time.Microsecond),
 		100*snap.TIPruneRate(), 100*snap.EAAbandonRate(), snap.Lookups)
+	if snap.RecallSamples > 0 {
+		fmt.Printf("online recall: %.4f over %d sampled queries\n",
+			snap.ObservedRecall(), snap.RecallSamples)
+	}
+	if tr != nil {
+		if slow, seen := tr.Slowest(); len(slow) > 0 {
+			fmt.Printf("slowest traced query (%d over the %s threshold):\n", seen, *traceSlow)
+			trace.WriteText(os.Stdout, slow[:1])
+		} else {
+			fmt.Printf("no query exceeded the %s slow threshold (%d traced)\n",
+				*traceSlow, tr.Count())
+		}
+	}
+	if *hold > 0 {
+		fmt.Fprintf(os.Stderr, "vaqsearch: holding for %s (ctrl-c to exit)\n", *hold)
+		time.Sleep(*hold)
+	}
 }

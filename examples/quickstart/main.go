@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"vaq"
 )
@@ -38,6 +39,10 @@ func main() {
 	fmt.Printf("indexed %d vectors at %d bytes of codes\n", stats.N, stats.CodeBytes)
 	fmt.Printf("adaptive bit allocation: %v\n", stats.BitsPerSubspace)
 
+	// Record per-query spans; a 1ns threshold makes every query a
+	// "slow" exemplar so the dump below always has something to show.
+	tr := ix.EnableTracing(vaq.TraceConfig{SlowThreshold: time.Nanosecond})
+
 	// Query with a perturbed database vector.
 	q := append([]float32(nil), data[4242]...)
 	for j := range q {
@@ -50,5 +55,23 @@ func main() {
 	fmt.Println("top-5 neighbors (id, squared distance):")
 	for _, r := range results {
 		fmt.Printf("  %6d  %.5f\n", r.ID, r.Dist)
+	}
+
+	// Where did that query spend its time? Print the slowest exemplar's
+	// span breakdown (projection, LUT fill, cluster ranking, scans).
+	if slow, _ := tr.Slowest(); len(slow) > 0 {
+		fmt.Printf("\nslowest traced query (total %s, %d spans):\n",
+			slow[0].Total, len(slow[0].Spans))
+		for i, sp := range slow[0].Spans {
+			if i == 10 {
+				fmt.Printf("  ... %d more spans\n", len(slow[0].Spans)-i)
+				break
+			}
+			fmt.Printf("  %-14s %8s", sp.Name, sp.Dur)
+			if sp.Name == vaq.SpanClusterScan {
+				fmt.Printf("  cluster=%d rank=%d lookups=%d", sp.Cluster, sp.Rank, sp.Lookups)
+			}
+			fmt.Println()
+		}
 	}
 }

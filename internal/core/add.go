@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
+	"time"
 
 	"vaq/internal/vec"
 )
@@ -21,12 +23,24 @@ func (ix *Index) Add(vectors *vec.Matrix) (firstID int, err error) {
 	if vectors == nil || vectors.Rows == 0 {
 		return ix.n, nil
 	}
+	start := time.Now()
 	if vectors.Cols != ix.queryDim {
 		return 0, fmt.Errorf("core: Add dimension %d, index dimension %d", vectors.Cols, ix.queryDim)
 	}
 	z, err := ix.model.Project(vectors)
 	if err != nil {
 		return 0, err
+	}
+	if ix.retained != nil {
+		// Keep the shadow-exact recall sampler's ground truth complete: the
+		// retained matrix must cover every id the approximate scan can
+		// return. Append reallocates, so searchers holding the old matrix
+		// stay valid.
+		grownZ := &vec.Matrix{Rows: ix.retained.Rows + z.Rows, Cols: ix.retained.Cols}
+		grownZ.Data = make([]float32, 0, grownZ.Rows*grownZ.Cols)
+		grownZ.Data = append(grownZ.Data, ix.retained.Data...)
+		grownZ.Data = append(grownZ.Data, z.Data...)
+		ix.retained = grownZ
 	}
 	firstID = ix.n
 	m := ix.cb.Sub.M()
@@ -68,6 +82,13 @@ func (ix *Index) Add(vectors *vec.Matrix) (firstID int, err error) {
 	// incremental rebuild.
 	if ix.blocked != nil {
 		ix.blocked = buildBlockedStore(ix.cb, ix.codes, ix.ti)
+	}
+	if ix.cfg.Logger != nil {
+		ix.cfg.Logger.Info("vaq.add",
+			slog.Int("added", vectors.Rows),
+			slog.Int("first_id", firstID),
+			slog.Int("n", ix.n),
+			slog.Duration("total", time.Since(start)))
 	}
 	return firstID, nil
 }

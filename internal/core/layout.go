@@ -2,8 +2,10 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"vaq/internal/quantizer"
+	"vaq/internal/trace"
 )
 
 // ScanLayout selects the physical layout of the encoded dataset that the
@@ -341,8 +343,18 @@ func (s *Searcher) scanTIEABlocked(qz []float32, visitFrac float64, useSub int) 
 	bs := ix.blocked
 	dist, offsets := s.lut.Dist, s.lut.Offsets
 	check := ix.cfg.EACheckEvery
+	rec := s.rec
+	rankStart := rec.Clock()
 	visit := s.orderClusters(qz, visitFrac)
+	if rec.Active() {
+		rec.Add(trace.Span{Name: trace.SpanClusterRank, Start: rankStart, Dur: rec.Clock() - rankStart, Count: visit})
+	}
 	s.stats.ClustersVisited = visit
+	// Aggregate EA-resume span: most survivors abandon straight off the
+	// precomputed first chunk, so the (rare) resume stretches are summed
+	// into one span instead of flooding the ring with microspans.
+	var resumeStart, resumeDur time.Duration
+	resumeCnt := 0
 	// chunk == check exactly when the canonical cadence has at least one
 	// abandon boundary; with fewer usable subspaces than the cadence the
 	// precompute covers the whole (boundary-free) accumulation.
@@ -354,6 +366,13 @@ func (s *Searcher) scanTIEABlocked(qz []float32, visitFrac float64, useSub int) 
 	accQ := -1 // block (by first physical position) acc currently holds
 	for v := 0; v < visit; v++ {
 		c := s.clustIdx[v]
+		rk := clampRank(v, len(s.stats.TISkipsByRank))
+		var spanStart time.Duration
+		var before SearchStats
+		if rec.Active() {
+			spanStart = rec.Clock()
+			before = s.stats
+		}
 		// The ranking sorted squared distances; the triangle bound needs
 		// the plain distance, taken only for the visited fraction.
 		dq := float32(math.Sqrt(float64(s.clustD[c])))
@@ -372,9 +391,15 @@ func (s *Searcher) scanTIEABlocked(qz []float32, visitFrac float64, useSub int) 
 						// Members are sorted ascending by ds: every later
 						// member has an even larger bound. Stop the cluster.
 						s.stats.CodesSkippedTI += len(members) - mi
+						if s.stats.TISkipsByRank != nil {
+							s.stats.TISkipsByRank[rk] += uint32(len(members) - mi)
+						}
 						break
 					}
 					s.stats.CodesSkippedTI++
+					if s.stats.TISkipsByRank != nil {
+						s.stats.TISkipsByRank[rk]++
+					}
 					continue
 				}
 			}
@@ -396,16 +421,39 @@ func (s *Searcher) scanTIEABlocked(qz []float32, visitFrac float64, useSub int) 
 				// partial — the canonical kernel's commonest exit.
 				s.stats.Lookups += chunk
 				s.stats.CodesAbandonedEA++
+				if s.stats.AbandonDepths != nil {
+					s.stats.AbandonDepths[chunk]++
+				}
 				continue
+			}
+			var t0 time.Duration
+			if rec.Active() {
+				t0 = rec.Clock()
 			}
 			d, lookups, abandoned := bs.eaResumeLane(dist, offsets, d, chunk,
 				q, cnt, mi-blockStart, useSub, check, bsf, notFull)
+			if rec.Active() {
+				if resumeCnt == 0 {
+					resumeStart = t0
+				}
+				resumeDur += rec.Clock() - t0
+				resumeCnt++
+			}
 			s.stats.Lookups += lookups
 			if abandoned {
 				s.stats.CodesAbandonedEA++
+				if s.stats.AbandonDepths != nil {
+					s.stats.AbandonDepths[lookups]++
+				}
 			} else {
 				s.topk.Push(e.id, d)
 			}
 		}
+		if rec.Active() {
+			rec.Add(clusterScanSpan(spanStart, rec.Clock(), c, v, len(members), &before, &s.stats))
+		}
+	}
+	if resumeCnt > 0 {
+		rec.Add(trace.Span{Name: trace.SpanEAResume, Start: resumeStart, Dur: resumeDur, Count: resumeCnt})
 	}
 }

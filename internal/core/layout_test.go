@@ -48,7 +48,7 @@ func compareLayouts(t *testing.T, blocked, rowmajor *Index, queries *vec.Matrix,
 		if !reflect.DeepEqual(rb, rr) {
 			t.Fatalf("query %d opt %+v: results differ\nblocked:  %v\nrowmajor: %v", qi, opt, rb, rr)
 		}
-		if sb.LastStats() != sr.LastStats() {
+		if !reflect.DeepEqual(sb.LastStats(), sr.LastStats()) {
 			t.Fatalf("query %d opt %+v: stats differ\nblocked:  %+v\nrowmajor: %+v",
 				qi, opt, sb.LastStats(), sr.LastStats())
 		}

@@ -8,6 +8,7 @@ import (
 
 	"vaq/internal/metrics"
 	"vaq/internal/quantizer"
+	"vaq/internal/trace"
 	"vaq/internal/vec"
 )
 
@@ -59,17 +60,8 @@ func (ix *Index) Search(q []float32, k int) ([]vec.Neighbor, error) {
 // SearchWith returns the approximate k nearest neighbors of q under the
 // given options.
 func (ix *Index) SearchWith(q []float32, k int, opt SearchOptions) ([]vec.Neighbor, error) {
-	if k < 1 {
-		ix.metrics.RecordError()
-		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
-	}
-	qz, err := ix.ProjectQuery(q)
-	if err != nil {
-		ix.metrics.RecordError()
-		return nil, err
-	}
 	s := ix.newSearcher()
-	return s.run(qz, k, opt), nil
+	return s.Search(q, k, opt)
 }
 
 // SearchStats instruments one query: how much work each pruning layer
@@ -89,6 +81,42 @@ type SearchStats struct {
 	CodesAbandonedEA int
 	// Lookups counts subspace table accumulations actually performed.
 	Lookups int
+	// AbandonDepths attributes early abandons to the lookup count at which
+	// they happened: AbandonDepths[i] counts codes cut short after exactly
+	// i table lookups (nonzero entries sit at multiples of EACheckEvery).
+	// Nil when metrics are disabled; the slice aliases per-Searcher scratch,
+	// valid until the next query on the same Searcher.
+	AbandonDepths []uint32
+	// TISkipsByRank attributes triangle-inequality pruning to the visit
+	// rank of the cluster it happened in: TISkipsByRank[r] counts codes
+	// pruned inside the r-th nearest visited cluster, with ranks past the
+	// last bucket clamped into it. Same lifetime as AbandonDepths.
+	TISkipsByRank []uint32
+}
+
+// record converts the stats to the dependency-free currency the metrics
+// registry and tracer share. The attribution slices are passed by reference
+// (RecordSearch folds them immediately; the tracer stores the record only in
+// a completed QueryTrace, which deep-copies via recordCopy).
+func (st *SearchStats) record() metrics.SearchRecord {
+	return metrics.SearchRecord{
+		ClustersVisited:  st.ClustersVisited,
+		CodesConsidered:  st.CodesConsidered,
+		CodesSkippedTI:   st.CodesSkippedTI,
+		CodesAbandonedEA: st.CodesAbandonedEA,
+		Lookups:          st.Lookups,
+		AbandonDepths:    st.AbandonDepths,
+		TISkipsByRank:    st.TISkipsByRank,
+	}
+}
+
+// recordCopy is record with the attribution slices deep-copied, safe to
+// retain past the next query (QueryTraces live in the tracer ring).
+func (st *SearchStats) recordCopy() metrics.SearchRecord {
+	r := st.record()
+	r.AbandonDepths = append([]uint32(nil), r.AbandonDepths...)
+	r.TISkipsByRank = append([]uint32(nil), r.TISkipsByRank...)
+	return r
 }
 
 // Searcher holds per-query scratch buffers so batch workloads don't
@@ -101,17 +129,34 @@ type Searcher struct {
 	clustIdx []int
 	topk     *vec.TopK
 	stats    SearchStats
+	// rec collects per-query spans when the index had a tracer attached at
+	// Searcher creation (nil otherwise: every Recorder method is nil-safe).
+	rec *trace.Recorder
+	// projDur backdates the trace origin by the query-projection time,
+	// which happens before run opens the traced window. Consumed by run.
+	projDur time.Duration
+	// depthScratch/rankScratch back stats.AbandonDepths/TISkipsByRank so
+	// batch workloads don't allocate attribution per query.
+	depthScratch []uint32
+	rankScratch  []uint32
 }
 
-// LastStats reports the instrumentation of the most recent query.
+// LastStats reports the instrumentation of the most recent query. Its
+// attribution slices alias Searcher scratch: copy them before the next
+// query on this Searcher if they must outlive it.
 func (s *Searcher) LastStats() SearchStats { return s.stats }
 
 // NewSearcher returns a reusable query context for this index.
 func (ix *Index) NewSearcher() *Searcher { return ix.newSearcher() }
 
 func (ix *Index) newSearcher() *Searcher {
-	return &Searcher{ix: ix}
+	return &Searcher{ix: ix, rec: ix.tracer.Load().NewRecorder()}
 }
+
+// AttachTracer re-points this Searcher at t (nil detaches). Searchers pick
+// up the index tracer at creation; long-lived ones built before
+// EnableTracing use this to opt in without being recreated.
+func (s *Searcher) AttachTracer(t *trace.Tracer) { s.rec = t.NewRecorder() }
 
 // Search runs one query through the reusable context. q is the RAW
 // (unprojected) query.
@@ -120,10 +165,17 @@ func (s *Searcher) Search(q []float32, k int, opt SearchOptions) ([]vec.Neighbor
 		s.ix.metrics.RecordError()
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
+	var projStart time.Time
+	if s.rec.Active() {
+		projStart = time.Now()
+	}
 	qz, err := s.ix.ProjectQuery(q)
 	if err != nil {
 		s.ix.metrics.RecordError()
 		return nil, err
+	}
+	if s.rec.Active() {
+		s.projDur = time.Since(projStart)
 	}
 	return s.run(qz, k, opt), nil
 }
@@ -143,20 +195,47 @@ func (s *Searcher) SearchProjected(qz []float32, k int, opt SearchOptions) ([]ve
 
 func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 	ix := s.ix
+	rec := s.rec
 	var start time.Time
 	if ix.metrics != nil {
 		start = time.Now()
 	}
+	if rec.Active() {
+		// Backdate the trace origin so the projection (done by the caller)
+		// occupies [0, projDur) of the timeline.
+		rec.Begin(s.projDur)
+		if s.projDur > 0 {
+			rec.Add(trace.Span{Name: trace.SpanProject, Dur: s.projDur})
+		}
+		s.projDur = 0
+	}
 	// Build or refill the lookup table (Algorithm 4 lines 5-13).
+	lutStart := rec.Clock()
 	if s.lut == nil {
 		s.lut = ix.cb.BuildLUT(qz)
 	} else {
 		ix.cb.FillLUT(qz, s.lut)
 	}
+	if rec.Active() {
+		rec.Add(trace.Span{Name: trace.SpanLUTFill, Start: lutStart, Dur: rec.Clock() - lutStart})
+	}
 	s.topk = vec.NewTopK(k)
 	s.stats = SearchStats{}
 
 	mSub := ix.cb.Sub.M()
+	if ix.metrics != nil {
+		// Attach the pruning-attribution scratch; the kernels increment it
+		// behind one nil check, so the metrics-off path pays nothing.
+		if len(s.depthScratch) != mSub+1 {
+			s.depthScratch = make([]uint32, mSub+1)
+			s.rankScratch = make([]uint32, metrics.ClusterRankBuckets)
+		} else {
+			clear(s.depthScratch)
+			clear(s.rankScratch)
+		}
+		s.stats.AbandonDepths = s.depthScratch
+		s.stats.TISkipsByRank = s.rankScratch
+	}
 	useSub := mSub
 	if opt.Subspaces > 0 && opt.Subspaces < mSub {
 		useSub = opt.Subspaces
@@ -166,6 +245,7 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 		// Truncated distances invalidate the TI bound; degrade gracefully.
 		mode = ModeEA
 	}
+	scanStart := rec.Clock()
 	switch mode {
 	case ModeHeap:
 		if ix.blocked != nil {
@@ -186,16 +266,56 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 			s.scanTIEA(qz, opt.VisitFrac, useSub)
 		}
 	}
-	if ix.metrics != nil {
-		ix.metrics.RecordSearch(metrics.SearchRecord{
-			ClustersVisited:  s.stats.ClustersVisited,
-			CodesConsidered:  s.stats.CodesConsidered,
-			CodesSkippedTI:   s.stats.CodesSkippedTI,
-			CodesAbandonedEA: s.stats.CodesAbandonedEA,
-			Lookups:          s.stats.Lookups,
-		}, time.Since(start))
+	if rec.Active() && mode != ModeTIEA {
+		// The TI+EA kernels emit per-cluster spans themselves; the
+		// whole-dataset modes get one span covering the scan.
+		rec.Add(trace.Span{
+			Name: trace.SpanScan, Start: scanStart, Dur: rec.Clock() - scanStart,
+			Count:       s.stats.CodesConsidered,
+			AbandonedEA: s.stats.CodesAbandonedEA,
+			Lookups:     s.stats.Lookups,
+		})
 	}
-	return s.topk.Results()
+	if ix.metrics != nil {
+		ix.metrics.RecordSearch(s.stats.record(), time.Since(start))
+	}
+	if rec.Active() {
+		rec.End(mode.String(), k, s.stats.recordCopy())
+	}
+	res := s.topk.Results()
+	// Shadow-exact recall sampling happens after the trace closes so the
+	// exemplar durations measure the approximate query, not the audit.
+	if ix.recallEvery > 0 && ix.recallCtr.Add(1)%ix.recallEvery == 0 {
+		s.shadowRecallSample(qz, k, res)
+	}
+	return res
+}
+
+// shadowRecallSample audits one answer against an exact scan of the
+// retained projected dataset. PCA rotation is orthogonal, so exact squared
+// L2 in the projected space ranks identically to the raw space; the hit
+// count folds into the registry's online recall estimate.
+func (s *Searcher) shadowRecallSample(qz []float32, k int, approx []vec.Neighbor) {
+	data := s.ix.retained
+	if data == nil {
+		return
+	}
+	exact := vec.NewTopK(k)
+	for i := 0; i < data.Rows; i++ {
+		exact.Push(i, vec.SquaredL2(qz, data.Row(i)))
+	}
+	truth := exact.Results()
+	got := make(map[int]struct{}, len(approx))
+	for _, nb := range approx {
+		got[nb.ID] = struct{}{}
+	}
+	hits := 0
+	for _, nb := range truth {
+		if _, ok := got[nb.ID]; ok {
+			hits++
+		}
+	}
+	s.ix.metrics.RecordRecallSample(hits, len(truth))
 }
 
 // eaAccumulate accumulates one row-major code word against the lookup
@@ -290,6 +410,9 @@ func (s *Searcher) scanEA(useSub int) {
 		s.stats.Lookups += lookups
 		if abandoned {
 			s.stats.CodesAbandonedEA++
+			if s.stats.AbandonDepths != nil {
+				s.stats.AbandonDepths[lookups]++
+			}
 		} else {
 			s.topk.Push(i, d)
 		}
@@ -409,10 +532,22 @@ func (s *Searcher) scanTIEA(qz []float32, visitFrac float64, useSub int) {
 	dist, offsets := s.lut.Dist, s.lut.Offsets
 	m := codes.M
 	check := ix.cfg.EACheckEvery
+	rec := s.rec
+	rankStart := rec.Clock()
 	visit := s.orderClusters(qz, visitFrac)
+	if rec.Active() {
+		rec.Add(trace.Span{Name: trace.SpanClusterRank, Start: rankStart, Dur: rec.Clock() - rankStart, Count: visit})
+	}
 	s.stats.ClustersVisited = visit
 	for v := 0; v < visit; v++ {
 		c := s.clustIdx[v]
+		rk := clampRank(v, len(s.stats.TISkipsByRank))
+		var spanStart time.Duration
+		var before SearchStats
+		if rec.Active() {
+			spanStart = rec.Clock()
+			before = s.stats
+		}
 		// The ranking sorted squared distances; the triangle bound needs
 		// the plain distance, taken only for the visited fraction.
 		dq := float32(math.Sqrt(float64(s.clustD[c])))
@@ -433,9 +568,15 @@ func (s *Searcher) scanTIEA(qz []float32, visitFrac float64, useSub int) {
 						// Members are sorted ascending by ds: every later
 						// member has an even larger bound. Stop the cluster.
 						s.stats.CodesSkippedTI += len(members) - mi
+						if s.stats.TISkipsByRank != nil {
+							s.stats.TISkipsByRank[rk] += uint32(len(members) - mi)
+						}
 						break
 					}
 					s.stats.CodesSkippedTI++
+					if s.stats.TISkipsByRank != nil {
+						s.stats.TISkipsByRank[rk]++
+					}
 					continue
 				}
 			}
@@ -447,9 +588,37 @@ func (s *Searcher) scanTIEA(qz []float32, visitFrac float64, useSub int) {
 			s.stats.Lookups += lookups
 			if abandoned {
 				s.stats.CodesAbandonedEA++
+				if s.stats.AbandonDepths != nil {
+					s.stats.AbandonDepths[lookups]++
+				}
 			} else {
 				s.topk.Push(e.id, d)
 			}
 		}
+		if rec.Active() {
+			rec.Add(clusterScanSpan(spanStart, rec.Clock(), c, v, len(members), &before, &s.stats))
+		}
+	}
+}
+
+// clampRank maps a cluster visit rank into the attribution buckets (the
+// tail shares the last bucket). buckets == 0 means attribution is off; the
+// return value is unused then.
+func clampRank(v, buckets int) int {
+	if v >= buckets {
+		return buckets - 1
+	}
+	return v
+}
+
+// clusterScanSpan builds the SpanClusterScan for one visited cluster from
+// the stat deltas it produced.
+func clusterScanSpan(start, end time.Duration, cluster, rank, members int, before, after *SearchStats) trace.Span {
+	return trace.Span{
+		Name: trace.SpanClusterScan, Start: start, Dur: end - start,
+		Cluster: cluster, Rank: rank, Count: members,
+		SkippedTI:   after.CodesSkippedTI - before.CodesSkippedTI,
+		AbandonedEA: after.CodesAbandonedEA - before.CodesAbandonedEA,
+		Lookups:     after.Lookups - before.Lookups,
 	}
 }

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"os"
+	"time"
 
 	"vaq/internal/linalg"
 	"vaq/internal/metrics"
@@ -37,11 +39,18 @@ const indexVersion = 2
 
 // WriteTo serializes the index so it can be reloaded without retraining.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	start := time.Now()
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	err := ix.writeBody(bw, indexVersion)
 	if err == nil {
 		err = bw.Flush()
+	}
+	if err == nil && ix.cfg.Logger != nil {
+		ix.cfg.Logger.Info("vaq.serialize",
+			slog.Int("n", ix.n),
+			slog.Int64("bytes", cw.n),
+			slog.Duration("total", time.Since(start)))
 	}
 	return cw.n, err
 }
@@ -203,6 +212,30 @@ func boolU64(b bool) uint64 {
 		return 1
 	}
 	return 0
+}
+
+// ReadLogged is Read with structured logging: the loaded index adopts l as
+// its maintenance logger (serialized streams carry no logger — it is a
+// runtime knob) and the load itself is logged. nil l behaves like Read.
+func ReadLogged(r io.Reader, l *slog.Logger) (*Index, error) {
+	start := time.Now()
+	ix, err := Read(r)
+	if err != nil {
+		if l != nil {
+			l.Error("vaq.read", slog.String("error", err.Error()))
+		}
+		return nil, err
+	}
+	ix.cfg.Logger = l
+	if l != nil {
+		l.Info("vaq.read",
+			slog.Int("n", ix.n),
+			slog.Int("dim", ix.queryDim),
+			slog.Int("subspaces", ix.cb.Sub.M()),
+			slog.String("layout", ix.cfg.ScanLayout.String()),
+			slog.Duration("total", time.Since(start)))
+	}
+	return ix, nil
 }
 
 // Read deserializes an index written by WriteTo.
@@ -410,8 +443,9 @@ func Read(r io.Reader) (*Index, error) {
 		n:        n,
 		queryDim: int(queryDim),
 		// DisableMetrics is a runtime knob, not part of the on-disk
-		// format: loaded indexes always get a fresh registry.
-		metrics: metrics.New(),
+		// format: loaded indexes always get a fresh registry (sized for
+		// pruning attribution; see metrics.NewSized).
+		metrics: metrics.NewSized(m + 1),
 	}, nil
 }
 

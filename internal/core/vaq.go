@@ -3,13 +3,17 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
+	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"vaq/internal/linalg"
 	"vaq/internal/metrics"
 	"vaq/internal/pca"
 	"vaq/internal/quantizer"
+	"vaq/internal/trace"
 	"vaq/internal/vec"
 )
 
@@ -72,6 +76,18 @@ type Config struct {
 	// scan for A/B benchmarking). Both layouts return identical results
 	// and prune stats.
 	ScanLayout ScanLayout
+	// RecallSampleRate enables the online recall estimator: roughly this
+	// fraction of queries (deterministically every round(1/rate)-th) is
+	// shadow-verified by an exact scan over the retained projected
+	// vectors, and the observed recall@k folds into the metrics registry.
+	// Enabling it makes Build and Add retain the projected dataset
+	// (4*n*d bytes) and adds the exact-scan cost to sampled queries. 0
+	// disables. Runtime-only: neither the rate nor the retained vectors
+	// are serialized, so loaded indexes start with sampling off.
+	RecallSampleRate float64
+	// Logger receives structured build/maintenance logs (phase timings of
+	// Build, Add, WriteTo). nil discards. Runtime-only, never serialized.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +130,16 @@ type Index struct {
 	queryDim int
 	metrics  *metrics.IndexMetrics
 	report   metrics.BuildReport
+	// tracer, when set, hands every newly created Searcher a span
+	// recorder; atomic so EnableTracing is safe while queries are in
+	// flight (in-flight Searchers keep their current recorder).
+	tracer atomic.Pointer[trace.Tracer]
+	// retained holds the projected dataset rows for the shadow-exact
+	// recall estimator (nil unless RecallSampleRate > 0); recallEvery is
+	// the sampling stride and recallCtr the query counter driving it.
+	retained    *vec.Matrix
+	recallEvery uint64
+	recallCtr   atomic.Uint64
 }
 
 // Build trains a VAQ index: PCA (Algorithm 1), subspace construction and
@@ -243,9 +269,10 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 
 	var reg *metrics.IndexMetrics
 	if !cfg.DisableMetrics {
-		reg = metrics.New()
+		// Sized for attribution: a query abandons after 0..m lookups.
+		reg = metrics.NewSized(m + 1)
 	}
-	return &Index{
+	ix := &Index{
 		cfg:      cfg,
 		model:    model,
 		ratios:   ratios,
@@ -259,7 +286,35 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 		queryDim: d,
 		metrics:  reg,
 		report:   report,
-	}, nil
+	}
+	if cfg.RecallSampleRate > 0 {
+		ix.retained = dataZ
+		ix.recallEvery = sampleStride(cfg.RecallSampleRate)
+	}
+	if cfg.Logger != nil {
+		cfg.Logger.Info("vaq.build",
+			slog.Int("n", data.Rows), slog.Int("dim", d),
+			slog.Int("subspaces", m), slog.Int("budget", cfg.Budget),
+			slog.Int("ti_clusters", len(ti.clusters)),
+			slog.String("layout", cfg.ScanLayout.String()),
+			slog.Duration("pca", report.PCA),
+			slog.Duration("allocation", report.Allocation),
+			slog.Duration("training", report.Training),
+			slog.Duration("encoding", report.Encoding),
+			slog.Duration("ti_clustering", report.TIClustering),
+			slog.Duration("layout_build", report.Layout),
+			slog.Duration("total", report.Total))
+	}
+	return ix, nil
+}
+
+// sampleStride converts a sampling fraction into the deterministic
+// every-Nth stride the recall estimator uses (rate 1.0 → every query).
+func sampleStride(rate float64) uint64 {
+	if rate >= 1 {
+		return 1
+	}
+	return uint64(math.Round(1 / rate))
 }
 
 // Len reports the number of encoded vectors.
@@ -306,6 +361,39 @@ func (ix *Index) Metrics() *metrics.IndexMetrics { return ix.metrics }
 // (deserialized) indexes report zero durations: the report describes a
 // Build call, not the index state.
 func (ix *Index) BuildReport() metrics.BuildReport { return ix.report }
+
+// EnableTracing installs a fresh per-query span tracer built from cfg and
+// returns it. Searchers created afterwards (including the throwaway ones
+// behind Index.Search/SearchWith) record a QueryTrace per query; Searchers
+// created earlier keep running untraced. Safe to call while queries are in
+// flight.
+func (ix *Index) EnableTracing(cfg trace.Config) *trace.Tracer {
+	t := trace.New(cfg)
+	ix.tracer.Store(t)
+	return t
+}
+
+// DisableTracing detaches the index tracer; existing Searchers keep their
+// recorders until replaced.
+func (ix *Index) DisableTracing() { ix.tracer.Store(nil) }
+
+// Tracer returns the active tracer, or nil when tracing is disabled.
+func (ix *Index) Tracer() *trace.Tracer { return ix.tracer.Load() }
+
+// SetLogger replaces the structured logger used by Add and WriteTo —
+// the hook for indexes loaded from disk, whose on-disk config carries no
+// logger. nil discards.
+func (ix *Index) SetLogger(l *slog.Logger) { ix.cfg.Logger = l }
+
+// RecallSampling reports the effective shadow-exact sampling stride: every
+// n-th query is verified (0 = sampling disabled — never configured, or the
+// index was loaded from disk, which drops the retained vectors).
+func (ix *Index) RecallSampling() (everyNth uint64) {
+	if ix.retained == nil {
+		return 0
+	}
+	return ix.recallEvery
+}
 
 // ProjectQuery rotates a raw query into the index's PCA space. Exposed for
 // benchmarks that amortize projection across search modes.

@@ -12,16 +12,27 @@ import (
 	"time"
 )
 
+// ClusterRankBuckets is the number of visit-rank buckets the TI-skip
+// attribution keeps: bucket r counts codes pruned inside the r-th nearest
+// visited cluster, with ranks past the last bucket clamped into it. 64
+// covers the full visit list at the paper's default (1000 clusters x 0.25
+// visit fraction ranks 0..249 → the tail shares the last bucket) while
+// keeping the per-query fold bounded.
+const ClusterRankBuckets = 64
+
 // SearchRecord carries one query's pruning counters into the registry. It
-// mirrors core.SearchStats field-for-field; the duplication keeps this
-// package dependency-free so every layer (core, the public API, the cmd
-// tools) can import it without cycles.
+// mirrors core.SearchStats field-for-field (enforced by a reflection test
+// in internal/core); the duplication keeps this package dependency-free so
+// every layer (core, the public API, the cmd tools) can import it without
+// cycles.
 type SearchRecord struct {
 	ClustersVisited  int
 	CodesConsidered  int
 	CodesSkippedTI   int
 	CodesAbandonedEA int
 	Lookups          int
+	AbandonDepths    []uint32
+	TISkipsByRank    []uint32
 }
 
 // IndexMetrics aggregates query telemetry for one index. All methods are
@@ -37,12 +48,40 @@ type IndexMetrics struct {
 	codesAbandonedEA atomic.Uint64
 	lookups          atomic.Uint64
 	latency          Histogram
+	// Pruning attribution (sized at construction by NewSized; empty for
+	// New, whose callers predate attribution): abandonDepths[i] totals
+	// codes early-abandoned after exactly i table lookups, tiSkipsByRank[r]
+	// totals codes TI-pruned inside the r-th nearest visited cluster.
+	abandonDepths []atomic.Uint64
+	tiSkipsByRank []atomic.Uint64
+	// Online recall estimator totals (RecordRecallSample).
+	recallSamples  atomic.Uint64
+	recallHits     atomic.Uint64
+	recallExpected atomic.Uint64
 }
 
-// New returns an empty registry.
+// New returns an empty registry without attribution histograms (their
+// shape depends on the index: use NewSized when the subspace count is
+// known).
 func New() *IndexMetrics { return &IndexMetrics{} }
 
-// RecordSearch folds one completed query into the registry.
+// NewSized returns an empty registry whose pruning-attribution histograms
+// hold depths abandonment-depth counters (one per possible lookup count,
+// i.e. subspaces+1) and ClusterRankBuckets visit-rank counters.
+func NewSized(depths int) *IndexMetrics {
+	if depths < 0 {
+		depths = 0
+	}
+	return &IndexMetrics{
+		abandonDepths: make([]atomic.Uint64, depths),
+		tiSkipsByRank: make([]atomic.Uint64, ClusterRankBuckets),
+	}
+}
+
+// RecordSearch folds one completed query into the registry. Attribution
+// slices are folded entry-wise (skipping zeros: per query only a handful
+// of depths and ranks are hot) and ignored when their length does not
+// match the registry's shape.
 func (m *IndexMetrics) RecordSearch(r SearchRecord, d time.Duration) {
 	if m == nil {
 		return
@@ -53,7 +92,33 @@ func (m *IndexMetrics) RecordSearch(r SearchRecord, d time.Duration) {
 	m.codesSkippedTI.Add(uint64(r.CodesSkippedTI))
 	m.codesAbandonedEA.Add(uint64(r.CodesAbandonedEA))
 	m.lookups.Add(uint64(r.Lookups))
+	if len(r.AbandonDepths) == len(m.abandonDepths) {
+		for i, v := range r.AbandonDepths {
+			if v != 0 {
+				m.abandonDepths[i].Add(uint64(v))
+			}
+		}
+	}
+	if len(r.TISkipsByRank) == len(m.tiSkipsByRank) {
+		for i, v := range r.TISkipsByRank {
+			if v != 0 {
+				m.tiSkipsByRank[i].Add(uint64(v))
+			}
+		}
+	}
 	m.latency.Observe(d)
+}
+
+// RecordRecallSample folds one shadow-exact comparison into the online
+// recall estimate: hits of expected true neighbors were present in the
+// approximate answer.
+func (m *IndexMetrics) RecordRecallSample(hits, expected int) {
+	if m == nil || expected <= 0 {
+		return
+	}
+	m.recallSamples.Add(1)
+	m.recallHits.Add(uint64(hits))
+	m.recallExpected.Add(uint64(expected))
 }
 
 // RecordError counts a query that failed validation or execution.
@@ -77,6 +142,15 @@ func (m *IndexMetrics) Reset() {
 	m.codesSkippedTI.Store(0)
 	m.codesAbandonedEA.Store(0)
 	m.lookups.Store(0)
+	for i := range m.abandonDepths {
+		m.abandonDepths[i].Store(0)
+	}
+	for i := range m.tiSkipsByRank {
+		m.tiSkipsByRank[i].Store(0)
+	}
+	m.recallSamples.Store(0)
+	m.recallHits.Store(0)
+	m.recallExpected.Store(0)
 	m.latency.Reset()
 }
 
@@ -94,6 +168,21 @@ func (m *IndexMetrics) Snapshot() Snapshot {
 	s.CodesSkippedTI = m.codesSkippedTI.Load()
 	s.CodesAbandonedEA = m.codesAbandonedEA.Load()
 	s.Lookups = m.lookups.Load()
+	if len(m.abandonDepths) > 0 {
+		s.AbandonDepths = make([]uint64, len(m.abandonDepths))
+		for i := range m.abandonDepths {
+			s.AbandonDepths[i] = m.abandonDepths[i].Load()
+		}
+	}
+	if len(m.tiSkipsByRank) > 0 {
+		s.TISkipsByRank = make([]uint64, len(m.tiSkipsByRank))
+		for i := range m.tiSkipsByRank {
+			s.TISkipsByRank[i] = m.tiSkipsByRank[i].Load()
+		}
+	}
+	s.RecallSamples = m.recallSamples.Load()
+	s.RecallHits = m.recallHits.Load()
+	s.RecallExpected = m.recallExpected.Load()
 	s.Latency = m.latency.Snapshot()
 	return s
 }
@@ -101,14 +190,27 @@ func (m *IndexMetrics) Snapshot() Snapshot {
 // Snapshot is an immutable copy of an IndexMetrics, suitable for JSON
 // export and for diffing (see Sub).
 type Snapshot struct {
-	Queries          uint64            `json:"queries"`
-	Errors           uint64            `json:"errors"`
-	ClustersVisited  uint64            `json:"clusters_visited"`
-	CodesConsidered  uint64            `json:"codes_considered"`
-	CodesSkippedTI   uint64            `json:"codes_skipped_ti"`
-	CodesAbandonedEA uint64            `json:"codes_abandoned_ea"`
-	Lookups          uint64            `json:"lookups"`
-	Latency          HistogramSnapshot `json:"latency"`
+	Queries          uint64 `json:"queries"`
+	Errors           uint64 `json:"errors"`
+	ClustersVisited  uint64 `json:"clusters_visited"`
+	CodesConsidered  uint64 `json:"codes_considered"`
+	CodesSkippedTI   uint64 `json:"codes_skipped_ti"`
+	CodesAbandonedEA uint64 `json:"codes_abandoned_ea"`
+	Lookups          uint64 `json:"lookups"`
+	// AbandonDepths[i] totals codes early-abandoned after exactly i table
+	// lookups (nonzero entries sit at multiples of Config.EACheckEvery);
+	// TISkipsByRank[r] totals codes TI-pruned inside the r-th nearest
+	// visited cluster (rank clamped to the last bucket). Nil when the
+	// registry was built without attribution shape (New vs NewSized).
+	AbandonDepths []uint64 `json:"abandon_depths,omitempty"`
+	TISkipsByRank []uint64 `json:"ti_skips_by_rank,omitempty"`
+	// RecallSamples/Hits/Expected are the shadow-exact recall estimator
+	// totals: over RecallSamples sampled queries, RecallHits of
+	// RecallExpected true neighbors appeared in the approximate answers.
+	RecallSamples  uint64            `json:"recall_samples,omitempty"`
+	RecallHits     uint64            `json:"recall_hits,omitempty"`
+	RecallExpected uint64            `json:"recall_expected,omitempty"`
+	Latency        HistogramSnapshot `json:"latency"`
 }
 
 // Sub returns the counter-wise difference s - prev (histogram excluded:
@@ -123,7 +225,32 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	out.CodesSkippedTI -= prev.CodesSkippedTI
 	out.CodesAbandonedEA -= prev.CodesAbandonedEA
 	out.Lookups -= prev.Lookups
+	if len(s.AbandonDepths) == len(prev.AbandonDepths) {
+		out.AbandonDepths = make([]uint64, len(s.AbandonDepths))
+		for i := range s.AbandonDepths {
+			out.AbandonDepths[i] = s.AbandonDepths[i] - prev.AbandonDepths[i]
+		}
+	}
+	if len(s.TISkipsByRank) == len(prev.TISkipsByRank) {
+		out.TISkipsByRank = make([]uint64, len(s.TISkipsByRank))
+		for i := range s.TISkipsByRank {
+			out.TISkipsByRank[i] = s.TISkipsByRank[i] - prev.TISkipsByRank[i]
+		}
+	}
+	out.RecallSamples -= prev.RecallSamples
+	out.RecallHits -= prev.RecallHits
+	out.RecallExpected -= prev.RecallExpected
 	return out
+}
+
+// ObservedRecall is the shadow-exact recall estimate: the fraction of true
+// nearest neighbors the approximate answers contained, over all sampled
+// queries (0 when nothing was sampled).
+func (s Snapshot) ObservedRecall() float64 {
+	if s.RecallExpected == 0 {
+		return 0
+	}
+	return float64(s.RecallHits) / float64(s.RecallExpected)
 }
 
 // TIPruneRate is the fraction of considered codes eliminated by the

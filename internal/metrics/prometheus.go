@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// PrometheusContentType is the text exposition format version this package
+// emits (the format every Prometheus-compatible scraper accepts).
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func init() {
+	http.HandleFunc("/debug/vaq/metrics", handlePrometheus)
+}
+
+// handlePrometheus serves every published registry (metrics.Publish) in
+// Prometheus text format; ?index=NAME restricts to one.
+func handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	if want := r.URL.Query().Get("index"); want != "" {
+		if _, ok := registry.Load(want); !ok {
+			http.Error(w, fmt.Sprintf("no index published as %q", want), http.StatusNotFound)
+			return
+		}
+		names = []string{want}
+	}
+	w.Header().Set("Content-Type", PrometheusContentType)
+	WritePrometheus(w, names...) //nolint:errcheck // best-effort HTTP body
+}
+
+// promFamily describes one exported counter family.
+type promFamily struct {
+	name string
+	help string
+	val  func(s Snapshot) uint64
+}
+
+var promCounters = []promFamily{
+	{"vaq_queries_total", "Completed searches.", func(s Snapshot) uint64 { return s.Queries }},
+	{"vaq_errors_total", "Searches rejected by validation or execution.", func(s Snapshot) uint64 { return s.Errors }},
+	{"vaq_clusters_visited_total", "TI clusters scanned.", func(s Snapshot) uint64 { return s.ClustersVisited }},
+	{"vaq_codes_considered_total", "Encoded vectors reached by the scan loop.", func(s Snapshot) uint64 { return s.CodesConsidered }},
+	{"vaq_codes_skipped_ti_total", "Codes pruned by the triangle-inequality bound.", func(s Snapshot) uint64 { return s.CodesSkippedTI }},
+	{"vaq_codes_abandoned_ea_total", "Codes whose lookup accumulation was cut short.", func(s Snapshot) uint64 { return s.CodesAbandonedEA }},
+	{"vaq_lookups_total", "Subspace table accumulations performed.", func(s Snapshot) uint64 { return s.Lookups }},
+	{"vaq_recall_samples_total", "Queries shadow-verified against an exact scan.", func(s Snapshot) uint64 { return s.RecallSamples }},
+	{"vaq_recall_hits_total", "True neighbors found in sampled approximate answers.", func(s Snapshot) uint64 { return s.RecallHits }},
+	{"vaq_recall_expected_total", "True neighbors expected in sampled answers.", func(s Snapshot) uint64 { return s.RecallExpected }},
+}
+
+// WritePrometheus emits the published registries in Prometheus text
+// exposition format v0.0.4, each metric labeled with the expvar name it
+// was published under. With names given, only those indexes are emitted
+// (unknown names are skipped); otherwise all published indexes are, in
+// sorted-name order so the output is deterministic.
+func WritePrometheus(w io.Writer, names ...string) error {
+	if len(names) == 0 {
+		registry.Range(func(k, _ any) bool {
+			names = append(names, k.(string))
+			return true
+		})
+		sort.Strings(names)
+	}
+	snaps := make(map[string]Snapshot, len(names))
+	kept := names[:0]
+	for _, name := range names {
+		v, ok := registry.Load(name)
+		if !ok {
+			continue
+		}
+		snaps[name] = v.(*IndexMetrics).Snapshot()
+		kept = append(kept, name)
+	}
+	names = kept
+	for _, fam := range promCounters {
+		if err := writeFamilyHeader(w, fam.name, fam.help); err != nil {
+			return err
+		}
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "%s{index=%q} %d\n", fam.name, name, fam.val(snaps[name])); err != nil {
+				return err
+			}
+		}
+	}
+	// Attribution histograms: plain counter families with a position label
+	// (they are distributions over subspace depth / cluster rank, not over
+	// an observed value, so buckets-as-counters is the honest encoding).
+	if err := writeFamilyHeader(w, "vaq_ea_abandon_depth_total",
+		"Codes early-abandoned after exactly this many table lookups."); err != nil {
+		return err
+	}
+	for _, name := range names {
+		for depth, v := range snaps[name].AbandonDepths {
+			if v == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "vaq_ea_abandon_depth_total{index=%q,lookups=\"%d\"} %d\n", name, depth, v); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeFamilyHeader(w, "vaq_ti_skips_by_rank_total",
+		"Codes TI-pruned inside the rank-th nearest visited cluster (last rank clamps the tail)."); err != nil {
+		return err
+	}
+	for _, name := range names {
+		for rank, v := range snaps[name].TISkipsByRank {
+			if v == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "vaq_ti_skips_by_rank_total{index=%q,rank=\"%d\"} %d\n", name, rank, v); err != nil {
+				return err
+			}
+		}
+	}
+	// Latency histogram in native Prometheus histogram form.
+	if err := writeTypedHeader(w, "vaq_query_latency_seconds", "Per-query wall time (scan path).", "histogram"); err != nil {
+		return err
+	}
+	for _, name := range names {
+		lat := snaps[name].Latency
+		var cum uint64
+		for i, c := range lat.Buckets {
+			cum += c
+			le := BucketUpperBound(i).Seconds()
+			if _, err := fmt.Fprintf(w, "vaq_query_latency_seconds_bucket{index=%q,le=\"%g\"} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "vaq_query_latency_seconds_bucket{index=%q,le=\"+Inf\"} %d\n", name, lat.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "vaq_query_latency_seconds_sum{index=%q} %g\n", name, float64(lat.SumNs)/1e9); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "vaq_query_latency_seconds_count{index=%q} %d\n", name, lat.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamilyHeader(w io.Writer, name, help string) error {
+	return writeTypedHeader(w, name, help, "counter")
+}
+
+func writeTypedHeader(w io.Writer, name, help, typ string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
+}

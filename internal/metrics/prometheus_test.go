@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promTestRecord is a deterministic workload for the exposition tests.
+func promTestRecord(m *IndexMetrics) {
+	m.RecordSearch(SearchRecord{
+		ClustersVisited:  2,
+		CodesConsidered:  10,
+		CodesSkippedTI:   4,
+		CodesAbandonedEA: 2,
+		Lookups:          30,
+		AbandonDepths:    []uint32{0, 2, 0},
+		TISkipsByRank:    firstRank(4),
+	}, 2*time.Millisecond)
+	m.RecordRecallSample(4, 5)
+	m.RecordError()
+}
+
+func firstRank(v uint32) []uint32 {
+	r := make([]uint32, ClusterRankBuckets)
+	r[0] = v
+	return r
+}
+
+// TestWritePrometheusGolden pins the full scrape body for a deterministic
+// registry: every counter family, the attribution families, and the native
+// latency histogram, in the exact order and format a Prometheus scraper
+// parses.
+func TestWritePrometheusGolden(t *testing.T) {
+	m := NewSized(3)
+	promTestRecord(m)
+	Publish("prom_golden", m)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, "prom_golden"); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	counterVals := []uint64{1, 1, 2, 10, 4, 2, 30, 1, 4, 5}
+	var want strings.Builder
+	for i, fam := range promCounters {
+		fmt.Fprintf(&want, "# HELP %s %s\n# TYPE %s counter\n", fam.name, fam.help, fam.name)
+		fmt.Fprintf(&want, "%s{index=%q} %d\n", fam.name, "prom_golden", counterVals[i])
+	}
+	want.WriteString("# HELP vaq_ea_abandon_depth_total Codes early-abandoned after exactly this many table lookups.\n" +
+		"# TYPE vaq_ea_abandon_depth_total counter\n" +
+		"vaq_ea_abandon_depth_total{index=\"prom_golden\",lookups=\"1\"} 2\n")
+	want.WriteString("# HELP vaq_ti_skips_by_rank_total Codes TI-pruned inside the rank-th nearest visited cluster (last rank clamps the tail).\n" +
+		"# TYPE vaq_ti_skips_by_rank_total counter\n" +
+		"vaq_ti_skips_by_rank_total{index=\"prom_golden\",rank=\"0\"} 4\n")
+	want.WriteString("# HELP vaq_query_latency_seconds Per-query wall time (scan path).\n" +
+		"# TYPE vaq_query_latency_seconds histogram\n")
+	// One 2ms observation: cumulative buckets are 0 until its bucket, 1 after.
+	obsBucket := bucketFor(2 * time.Millisecond)
+	for i := 0; i < histBuckets; i++ {
+		cum := 0
+		if i >= obsBucket {
+			cum = 1
+		}
+		fmt.Fprintf(&want, "vaq_query_latency_seconds_bucket{index=\"prom_golden\",le=\"%g\"} %d\n",
+			BucketUpperBound(i).Seconds(), cum)
+	}
+	want.WriteString("vaq_query_latency_seconds_bucket{index=\"prom_golden\",le=\"+Inf\"} 1\n")
+	fmt.Fprintf(&want, "vaq_query_latency_seconds_sum{index=\"prom_golden\"} %g\n", 0.002)
+	want.WriteString("vaq_query_latency_seconds_count{index=\"prom_golden\"} 1\n")
+
+	if got != want.String() {
+		t.Errorf("scrape body mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want.String())
+	}
+}
+
+// TestPrometheusHandler covers the HTTP surface: content type, index
+// filtering, 404 on unknown names, and counter monotonicity across scrapes
+// while traffic arrives.
+func TestPrometheusHandler(t *testing.T) {
+	m := NewSized(3)
+	promTestRecord(m)
+	Publish("prom_handler", m)
+	srv, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	scrape := func(query string) (string, *http.Response) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/vaq/metrics%s", srv.Addr, query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp
+	}
+
+	body, resp := scrape("?index=prom_handler")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != PrometheusContentType {
+		t.Errorf("content type %q, want %q", ct, PrometheusContentType)
+	}
+	queriesRe := regexp.MustCompile(`vaq_queries_total\{index="prom_handler"\} (\d+)`)
+	match := queriesRe.FindStringSubmatch(body)
+	if match == nil {
+		t.Fatalf("scrape missing vaq_queries_total:\n%s", body)
+	}
+	first, _ := strconv.ParseUint(match[1], 10, 64)
+
+	// Unknown index: 404.
+	if _, resp := scrape("?index=no_such_index"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown index: status %d, want 404", resp.StatusCode)
+	}
+
+	// Unfiltered scrape includes the published index.
+	if body, _ := scrape(""); !strings.Contains(body, `index="prom_handler"`) {
+		t.Errorf("unfiltered scrape missing published index")
+	}
+
+	// Counters are monotone across scrapes under continued traffic.
+	promTestRecord(m)
+	body, _ = scrape("?index=prom_handler")
+	match = queriesRe.FindStringSubmatch(body)
+	if match == nil {
+		t.Fatalf("second scrape missing vaq_queries_total")
+	}
+	second, _ := strconv.ParseUint(match[1], 10, 64)
+	if second <= first {
+		t.Errorf("vaq_queries_total not monotone: %d then %d", first, second)
+	}
+}
+
+func TestRecordSearchAttributionFold(t *testing.T) {
+	m := NewSized(4)
+	m.RecordSearch(SearchRecord{
+		CodesAbandonedEA: 3,
+		AbandonDepths:    []uint32{0, 2, 0, 1},
+		TISkipsByRank:    firstRank(7),
+	}, time.Millisecond)
+	m.RecordSearch(SearchRecord{
+		CodesAbandonedEA: 1,
+		AbandonDepths:    []uint32{0, 0, 1, 0},
+		TISkipsByRank:    firstRank(2),
+	}, time.Millisecond)
+	s := m.Snapshot()
+	if want := []uint64{0, 2, 1, 1}; !equalU64(s.AbandonDepths, want) {
+		t.Errorf("AbandonDepths = %v, want %v", s.AbandonDepths, want)
+	}
+	if s.TISkipsByRank[0] != 9 {
+		t.Errorf("TISkipsByRank[0] = %d, want 9", s.TISkipsByRank[0])
+	}
+
+	// Mismatched attribution shape is ignored, scalar counters still fold.
+	m.RecordSearch(SearchRecord{CodesAbandonedEA: 5, AbandonDepths: []uint32{1}}, time.Millisecond)
+	s = m.Snapshot()
+	if s.CodesAbandonedEA != 9 {
+		t.Errorf("CodesAbandonedEA = %d, want 9", s.CodesAbandonedEA)
+	}
+	if s.AbandonDepths[0] != 0 {
+		t.Errorf("mismatched-shape attribution was folded: %v", s.AbandonDepths)
+	}
+
+	// Sub diffs attribution element-wise; Reset zeroes it.
+	prev := s
+	m.RecordSearch(SearchRecord{AbandonDepths: []uint32{0, 1, 0, 0}, TISkipsByRank: firstRank(1)}, time.Millisecond)
+	d := m.Snapshot().Sub(prev)
+	if d.AbandonDepths[1] != 1 || d.TISkipsByRank[0] != 1 || d.Queries != 1 {
+		t.Errorf("Sub diff wrong: %+v", d)
+	}
+	m.Reset()
+	s = m.Snapshot()
+	if s.AbandonDepths[1] != 0 || s.TISkipsByRank[0] != 0 {
+		t.Errorf("Reset left attribution: %+v", s)
+	}
+}
+
+func TestRecallRecording(t *testing.T) {
+	m := New()
+	m.RecordRecallSample(3, 5)
+	m.RecordRecallSample(4, 5)
+	s := m.Snapshot()
+	if s.RecallSamples != 2 || s.RecallHits != 7 || s.RecallExpected != 10 {
+		t.Fatalf("recall counters: %+v", s)
+	}
+	if got := s.ObservedRecall(); got != 0.7 {
+		t.Errorf("ObservedRecall = %v, want 0.7", got)
+	}
+	m.RecordRecallSample(1, 0) // expected<=0 must be a no-op
+	if s := m.Snapshot(); s.RecallSamples != 2 {
+		t.Errorf("expected<=0 sample was recorded")
+	}
+	var nilM *IndexMetrics
+	nilM.RecordRecallSample(1, 1) // must not panic
+	if (Snapshot{}).ObservedRecall() != 0 {
+		t.Errorf("empty snapshot recall != 0")
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

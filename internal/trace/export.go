@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The process-wide tracer registry behind /debug/vaq/traces, mirroring the
+// expvar indirection in internal/metrics: Publish rebinds an existing name
+// instead of erroring, so index reloads and tests stay simple.
+var tracers sync.Map // name -> *Tracer
+
+// Publish registers t under name for the /debug/vaq/traces handler (which
+// is installed on http.DefaultServeMux at package init, like net/http/pprof
+// does — ServeDebug in internal/metrics serves that mux). Publishing a nil
+// tracer removes the name.
+func Publish(name string, t *Tracer) {
+	if t == nil {
+		tracers.Delete(name)
+		return
+	}
+	tracers.Store(name, t)
+}
+
+func init() {
+	http.HandleFunc("/debug/vaq/traces", handleTraces)
+}
+
+// handleTraces serves the registered tracers. Query parameters:
+//
+//	?name=X         only the tracer published as X (default: all)
+//	?format=chrome  Chrome trace-event JSON (load in chrome://tracing
+//	                or Perfetto); default is a human-readable dump
+//	?slow=1         restrict to the slow-query exemplar reservoir
+func handleTraces(w http.ResponseWriter, r *http.Request) {
+	wantName := r.URL.Query().Get("name")
+	slowOnly := r.URL.Query().Get("slow") == "1"
+	var names []string
+	tracers.Range(func(k, _ any) bool {
+		if wantName == "" || k.(string) == wantName {
+			names = append(names, k.(string))
+		}
+		return true
+	})
+	sort.Strings(names)
+	if wantName != "" && len(names) == 0 {
+		http.Error(w, fmt.Sprintf("no tracer published as %q", wantName), http.StatusNotFound)
+		return
+	}
+	collect := func(name string) []*QueryTrace {
+		v, ok := tracers.Load(name)
+		if !ok {
+			return nil
+		}
+		t := v.(*Tracer)
+		if slowOnly {
+			qts, _ := t.Slowest()
+			return qts
+		}
+		return t.Recent()
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var all []*QueryTrace
+		for _, name := range names {
+			all = append(all, collect(name)...)
+		}
+		WriteChromeTrace(w, all) //nolint:errcheck // best-effort HTTP body
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, name := range names {
+		v, _ := tracers.Load(name)
+		t, _ := v.(*Tracer)
+		if t == nil {
+			continue
+		}
+		fmt.Fprintf(w, "== tracer %q: %d traces recorded", name, t.Count())
+		if slowOnly {
+			_, seen := t.Slowest()
+			fmt.Fprintf(w, ", %d over the %s slow threshold", seen, t.cfg.SlowThreshold)
+		}
+		fmt.Fprintln(w)
+		WriteText(w, collect(name)) //nolint:errcheck // best-effort HTTP body
+	}
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). Times are
+// microseconds; each query gets its own tid so spans never interleave.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the traces as a Chrome trace-event JSON array
+// (the chrome://tracing / Perfetto interchange format). Each query is one
+// "thread": a top-level event spanning the whole query plus one event per
+// recorded span, timestamped on the shared wall clock so concurrent
+// queries line up.
+func WriteChromeTrace(w io.Writer, qts []*QueryTrace) error {
+	events := make([]chromeEvent, 0, len(qts)*4)
+	for _, qt := range qts {
+		base := float64(qt.Start.UnixNano()) / 1e3
+		events = append(events, chromeEvent{
+			Name: "query", Ph: "X", Ts: base, Dur: us(qt.Total), Pid: 1, Tid: qt.Seq,
+			Args: map[string]any{
+				"mode": qt.Mode, "k": qt.K,
+				"codes_considered": qt.Stats.CodesConsidered,
+				"codes_skipped_ti": qt.Stats.CodesSkippedTI,
+				"abandoned_ea":     qt.Stats.CodesAbandonedEA,
+				"lookups":          qt.Stats.Lookups,
+			},
+		})
+		for _, s := range qt.Spans {
+			ev := chromeEvent{
+				Name: s.Name, Ph: "X", Ts: base + us(s.Start), Dur: us(s.Dur),
+				Pid: 1, Tid: qt.Seq,
+			}
+			if s.Name == SpanClusterScan {
+				ev.Args = map[string]any{
+					"cluster": s.Cluster, "rank": s.Rank, "members": s.Count,
+					"skipped_ti": s.SkippedTI, "abandoned_ea": s.AbandonedEA,
+					"lookups": s.Lookups,
+				}
+			} else if s.Count > 0 {
+				ev.Args = map[string]any{"count": s.Count}
+			}
+			events = append(events, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteText emits a human-readable dump: one block per trace, one line per
+// span, with the pruning attribution inline.
+func WriteText(w io.Writer, qts []*QueryTrace) error {
+	for _, qt := range qts {
+		_, err := fmt.Fprintf(w, "query #%d %s mode=%s k=%d considered=%d ti_skipped=%d ea_abandoned=%d lookups=%d\n",
+			qt.Seq, qt.Total, qt.Mode, qt.K,
+			qt.Stats.CodesConsidered, qt.Stats.CodesSkippedTI,
+			qt.Stats.CodesAbandonedEA, qt.Stats.Lookups)
+		if err != nil {
+			return err
+		}
+		for _, s := range qt.Spans {
+			fmt.Fprintf(w, "  %-13s +%-12s %-12s", s.Name, s.Start, s.Dur)
+			switch {
+			case s.Name == SpanClusterScan:
+				fmt.Fprintf(w, " cluster=%d rank=%d members=%d skipped=%d abandoned=%d lookups=%d",
+					s.Cluster, s.Rank, s.Count, s.SkippedTI, s.AbandonedEA, s.Lookups)
+			case s.Count > 0:
+				fmt.Fprintf(w, " count=%d", s.Count)
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if qt.DroppedSpans > 0 {
+			if _, err := fmt.Fprintf(w, "  (+%d spans dropped past cap)\n", qt.DroppedSpans); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

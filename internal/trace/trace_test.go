@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vaq/internal/metrics"
+)
+
+func mkTrace(total time.Duration) *QueryTrace {
+	return &QueryTrace{Start: time.Unix(0, 0), Total: total, Mode: "ti+ea", K: 5}
+}
+
+func TestRingWrap(t *testing.T) {
+	tr := New(Config{RingSize: 4, SlowThreshold: time.Hour})
+	for i := 1; i <= 10; i++ {
+		tr.add(mkTrace(time.Duration(i)))
+	}
+	if tr.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", tr.Count())
+	}
+	rec := tr.Recent()
+	if len(rec) != 4 {
+		t.Fatalf("Recent kept %d, want ring size 4", len(rec))
+	}
+	for i, qt := range rec {
+		if want := uint64(7 + i); qt.Seq != want {
+			t.Errorf("Recent[%d].Seq = %d, want %d (oldest first)", i, qt.Seq, want)
+		}
+	}
+}
+
+func TestSlowReservoir(t *testing.T) {
+	tr := New(Config{RingSize: 8, SlowThreshold: 100, Exemplars: 3, Seed: 42})
+	tr.add(mkTrace(50)) // below threshold: not an exemplar
+	if slow, seen := tr.Slowest(); seen != 0 || len(slow) != 0 {
+		t.Fatalf("sub-threshold trace entered the reservoir: %d seen, %d kept", seen, len(slow))
+	}
+	for i := 0; i < 50; i++ {
+		tr.add(mkTrace(time.Duration(100 + i)))
+	}
+	slow, seen := tr.Slowest()
+	if seen != 50 {
+		t.Errorf("slowSeen = %d, want 50", seen)
+	}
+	if len(slow) != 3 {
+		t.Fatalf("reservoir kept %d, want 3", len(slow))
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Total > slow[i-1].Total {
+			t.Errorf("Slowest not worst-first: %v after %v", slow[i].Total, slow[i-1].Total)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Count() != 0 || tr.Recent() != nil {
+		t.Error("nil Tracer reads must be empty")
+	}
+	if slow, seen := tr.Slowest(); slow != nil || seen != 0 {
+		t.Error("nil Tracer Slowest must be empty")
+	}
+	r := tr.NewRecorder()
+	if r != nil {
+		t.Fatal("nil Tracer must yield a nil Recorder")
+	}
+	// Every Recorder method must be a no-op, not a panic.
+	r.Begin(time.Millisecond)
+	if r.Active() {
+		t.Error("nil Recorder is Active")
+	}
+	if r.Clock() != 0 {
+		t.Error("nil Recorder Clock != 0")
+	}
+	r.Add(Span{Name: SpanScan})
+	r.End("ti+ea", 5, metrics.SearchRecord{})
+}
+
+func TestRecorderSpanCapAndBackdate(t *testing.T) {
+	tr := New(Config{MaxSpans: 2, SlowThreshold: time.Hour})
+	r := tr.NewRecorder()
+	r.Begin(time.Millisecond) // projection already took 1ms
+	for i := 0; i < 5; i++ {
+		r.Add(Span{Name: SpanClusterScan})
+	}
+	r.End("ti+ea", 3, metrics.SearchRecord{Lookups: 9})
+	rec := tr.Recent()
+	if len(rec) != 1 {
+		t.Fatalf("recorded %d traces", len(rec))
+	}
+	qt := rec[0]
+	if len(qt.Spans) != 2 || qt.DroppedSpans != 3 {
+		t.Errorf("span cap: kept %d dropped %d, want 2/3", len(qt.Spans), qt.DroppedSpans)
+	}
+	if qt.Total < time.Millisecond {
+		t.Errorf("backdated total %v < 1ms projection", qt.Total)
+	}
+	if qt.Stats.Lookups != 9 || qt.Mode != "ti+ea" || qt.K != 3 {
+		t.Errorf("trace metadata wrong: %+v", qt)
+	}
+	// The recorder is reusable: a fresh Begin clears spans and drop count.
+	r.Begin(0)
+	r.End("ea", 1, metrics.SearchRecord{})
+	if qt := tr.Recent()[1]; len(qt.Spans) != 0 || qt.DroppedSpans != 0 {
+		t.Errorf("Begin did not reset recorder: %+v", qt)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(Config{RingSize: 16, SlowThreshold: 1}) // everything is "slow"
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := tr.NewRecorder()
+			for i := 0; i < perWorker; i++ {
+				r.Begin(0)
+				r.Add(Span{Name: SpanLUTFill})
+				r.End("ti+ea", 5, metrics.SearchRecord{})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { // concurrent readers against the lock-free ring
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				tr.Recent()
+				tr.Slowest()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if tr.Count() != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", tr.Count(), workers*perWorker)
+	}
+	if _, seen := tr.Slowest(); seen != workers*perWorker {
+		t.Fatalf("slowSeen = %d, want %d", seen, workers*perWorker)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	qt := &QueryTrace{
+		Seq: 7, Start: time.Unix(1, 0), Total: time.Millisecond, Mode: "ti+ea", K: 5,
+		Stats: metrics.SearchRecord{CodesConsidered: 10, Lookups: 30},
+		Spans: []Span{
+			{Name: SpanLUTFill, Start: 0, Dur: 50 * time.Microsecond},
+			{Name: SpanClusterScan, Start: 60 * time.Microsecond, Dur: 200 * time.Microsecond,
+				Cluster: 9, Rank: 0, Count: 4, SkippedTI: 1, Lookups: 12},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []*QueryTrace{qt}); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 { // query + 2 spans
+		t.Fatalf("%d events, want 3", len(events))
+	}
+	top := events[0]
+	if top["name"] != "query" || top["ph"] != "X" || top["dur"].(float64) != 1000 {
+		t.Errorf("query event wrong: %v", top)
+	}
+	if top["tid"].(float64) != 7 {
+		t.Errorf("tid = %v, want the query seq", top["tid"])
+	}
+	var scan map[string]any
+	for _, ev := range events {
+		if ev["name"] == SpanClusterScan {
+			scan = ev
+		}
+	}
+	if scan == nil {
+		t.Fatal("cluster_scan event missing")
+	}
+	args := scan["args"].(map[string]any)
+	if args["cluster"].(float64) != 9 || args["lookups"].(float64) != 12 {
+		t.Errorf("cluster_scan args wrong: %v", args)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	qt := mkTrace(3 * time.Millisecond)
+	qt.Seq = 2
+	qt.Spans = []Span{{Name: SpanClusterRank, Dur: time.Microsecond, Count: 10}}
+	qt.DroppedSpans = 4
+	var buf bytes.Buffer
+	if err := WriteText(&buf, []*QueryTrace{qt}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"query #2", "mode=ti+ea", SpanClusterRank, "count=10", "+4 spans dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tr := New(Config{RingSize: 8, SlowThreshold: 100, Seed: 9})
+	tr.add(mkTrace(50))
+	tr.add(mkTrace(500))
+	Publish("th_test", tr)
+	defer Publish("th_test", nil)
+	srv := httptest.NewServer(http.HandlerFunc(handleTraces))
+	defer srv.Close()
+
+	get := func(query string) (string, *http.Response) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp
+	}
+
+	body, resp := get("?name=th_test")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, `tracer "th_test": 2 traces recorded`) ||
+		!strings.Contains(body, "query #1") || !strings.Contains(body, "query #2") {
+		t.Errorf("text dump incomplete:\n%s", body)
+	}
+
+	if _, resp := get("?name=no_such_tracer"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown tracer: status %d, want 404", resp.StatusCode)
+	}
+
+	body, resp = get("?name=th_test&format=chrome")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("chrome format content type %q", ct)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("chrome endpoint not JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Errorf("%d chrome events, want 2", len(events))
+	}
+
+	// slow=1 restricts to the exemplar reservoir (only the 500ns trace).
+	body, _ = get("?name=th_test&slow=1")
+	if !strings.Contains(body, "1 over the") || !strings.Contains(body, "query #2") ||
+		strings.Contains(body, "query #1 ") {
+		t.Errorf("slow filter wrong:\n%s", body)
+	}
+
+	// Unpublished names disappear.
+	Publish("th_test", nil)
+	if _, resp := get("?name=th_test"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unpublished tracer still served: %d", resp.StatusCode)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.RingSize != 128 || cfg.SlowThreshold != 10*time.Millisecond ||
+		cfg.Exemplars != 16 || cfg.MaxSpans != 192 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	tr := New(Config{})
+	if got := tr.Config(); got != cfg {
+		t.Fatalf("New did not apply defaults: %+v", got)
+	}
+	_ = fmt.Sprintf("%v", tr.Config()) // Config must stay printable
+}

@@ -27,6 +27,18 @@ type MetricsSnapshot struct {
 	// abandoning (the Figure 7 pruning currency).
 	TIPruneRate   float64 `json:"ti_prune_rate"`
 	EAAbandonRate float64 `json:"ea_abandon_rate"`
+	// AbandonDepths attributes early abandons to the lookup count at which
+	// they happened: AbandonDepths[i] totals codes cut short after exactly
+	// i table lookups. TISkipsByRank attributes triangle-inequality pruning
+	// to the visit rank of the cluster it happened in (the last bucket
+	// clamps the tail). Nil when metrics are disabled.
+	AbandonDepths []uint64 `json:"abandon_depths,omitempty"`
+	TISkipsByRank []uint64 `json:"ti_skips_by_rank,omitempty"`
+	// RecallSamples counts queries audited by the online recall estimator
+	// (Config.RecallSampleRate); ObservedRecall is the measured recall@k
+	// over those samples (0 when nothing was sampled).
+	RecallSamples  uint64  `json:"recall_samples,omitempty"`
+	ObservedRecall float64 `json:"observed_recall,omitempty"`
 	// LatencyP50/P95/P99/Mean summarize per-query wall time. Bucketed
 	// estimates: exponential buckets bound the error by 2x.
 	LatencyP50  time.Duration `json:"latency_p50_ns"`
@@ -46,6 +58,10 @@ func toSnapshot(s metrics.Snapshot) MetricsSnapshot {
 		Lookups:          s.Lookups,
 		TIPruneRate:      s.TIPruneRate(),
 		EAAbandonRate:    s.EAAbandonRate(),
+		AbandonDepths:    s.AbandonDepths,
+		TISkipsByRank:    s.TISkipsByRank,
+		RecallSamples:    s.RecallSamples,
+		ObservedRecall:   s.ObservedRecall(),
 		LatencyP50:       s.Latency.Quantile(0.50),
 		LatencyP95:       s.Latency.Quantile(0.95),
 		LatencyP99:       s.Latency.Quantile(0.99),
@@ -106,8 +122,10 @@ func (ix *Index) PublishExpvar(name string) {
 }
 
 // ServeDebug starts an HTTP server on addr (e.g. "localhost:6060", or
-// ":0" for an ephemeral port) exposing expvar (/debug/vars) and pprof
-// (/debug/pprof/) from the default mux. The returned server's Addr field
+// ":0" for an ephemeral port) exposing expvar (/debug/vars), pprof
+// (/debug/pprof/), Prometheus text-format metrics (/debug/vaq/metrics,
+// fed by PublishExpvar) and query traces (/debug/vaq/traces, fed by
+// PublishTrace) from the default mux. The returned server's Addr field
 // holds the actual listen address; shut it down with its Close method.
 // Combine with (*Index).PublishExpvar to watch an index live.
 func ServeDebug(addr string) (*http.Server, error) {

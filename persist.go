@@ -3,6 +3,7 @@ package vaq
 import (
 	"fmt"
 	"io"
+	"log/slog"
 
 	"vaq/internal/core"
 )
@@ -22,6 +23,22 @@ func Read(r io.Reader) (*Index, error) {
 	}
 	return &Index{inner: inner}, nil
 }
+
+// ReadLogged is Read with structured logging: the load is logged to l and
+// the returned index adopts l for its maintenance paths (Add, WriteTo) —
+// serialized streams carry no logger, it is a runtime knob. nil l behaves
+// exactly like Read.
+func ReadLogged(r io.Reader, l *slog.Logger) (*Index, error) {
+	inner, err := core.ReadLogged(r, l)
+	if err != nil {
+		return nil, fmt.Errorf("vaq: %w", err)
+	}
+	return &Index{inner: inner}, nil
+}
+
+// SetLogger replaces the structured logger used by the maintenance paths
+// (Add, WriteTo). nil discards.
+func (ix *Index) SetLogger(l *slog.Logger) { ix.inner.SetLogger(l) }
 
 // Save writes the index to a file.
 func (ix *Index) Save(path string) error {

@@ -34,6 +34,7 @@ package vaq
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 
 	"vaq/internal/core"
 	"vaq/internal/milp"
@@ -157,6 +158,19 @@ type Config struct {
 	// (default LayoutBlocked; LayoutRowMajor keeps the legacy scan for
 	// A/B comparison). Both return identical results and prune stats.
 	ScanLayout ScanLayout
+	// RecallSampleRate enables the online recall estimator: roughly this
+	// fraction of queries (deterministic stride sampling, so 0.01 means
+	// every 100th query) is additionally answered by an exact scan over the
+	// retained projected dataset, and the overlap folds into the metrics
+	// registry (MetricsSnapshot.ObservedRecall). The sampled queries pay the
+	// full exact-scan cost, and the index retains its projected vectors
+	// (4*n*dim bytes), so pick a small rate. 0 disables (default).
+	// Runtime-only: not serialized; loaded indexes have sampling off.
+	RecallSampleRate float64
+	// Logger receives structured build/maintenance logs (Build, Add,
+	// WriteTo) via log/slog. nil discards (default). Runtime-only: not
+	// serialized.
+	Logger *slog.Logger
 }
 
 // SearchOptions tune a single query.
@@ -196,6 +210,8 @@ func (c Config) toCore() core.Config {
 		KMeansIters:           c.KMeansIters,
 		DisableMetrics:        c.DisableMetrics,
 		ScanLayout:            c.ScanLayout,
+		RecallSampleRate:      c.RecallSampleRate,
+		Logger:                c.Logger,
 	}
 }
 
