@@ -12,6 +12,7 @@ import (
 
 	"vaq/internal/core"
 	"vaq/internal/dataset"
+	"vaq/internal/diag"
 	"vaq/internal/metrics"
 )
 
@@ -103,6 +104,10 @@ type benchSummary struct {
 		EAAbandonRate float64 `json:"ea_abandon_rate"`
 	} `json:"search"`
 	Metrics metrics.Snapshot `json:"metrics"`
+	// Report is the index-quality IndexReport (-report flag): quantization
+	// distortion, codeword utilization and TI balance alongside the perf
+	// numbers, so a perf tracker can correlate throughput with quality.
+	Report *diag.Report `json:"report,omitempty"`
 }
 
 // layoutComparison is the JSON document emitted by -layout both: the same
@@ -118,7 +123,7 @@ type layoutComparison struct {
 // layout) over a synthetic dataset, drives the query workload through a
 // worker pool of reusable Searchers, and writes the summary to path
 // ("-" for stdout).
-func runJSONBench(path string, p benchParams) error {
+func runJSONBench(path string, p benchParams, withReport bool) error {
 	ds, err := dataset.Large(p.Dataset, p.N, p.NQ, p.Seed)
 	if err != nil {
 		return err
@@ -126,11 +131,11 @@ func runJSONBench(path string, p benchParams) error {
 	if p.Layout == "both" {
 		pb, pr := p, p
 		pb.Layout, pr.Layout = "blocked", "rowmajor"
-		blocked, err := runBenchOnce(ds, pb)
+		blocked, err := runBenchOnce(ds, pb, withReport)
 		if err != nil {
 			return err
 		}
-		rowmajor, err := runBenchOnce(ds, pr)
+		rowmajor, err := runBenchOnce(ds, pr, withReport)
 		if err != nil {
 			return err
 		}
@@ -143,7 +148,7 @@ func runJSONBench(path string, p benchParams) error {
 			cmp.Blocked.Search.QPS, cmp.RowMajor.Search.QPS, cmp.TIEAQPSSpeedup)
 		return writeJSONDoc(path, cmp, line)
 	}
-	sum, err := runBenchOnce(ds, p)
+	sum, err := runBenchOnce(ds, p, withReport)
 	if err != nil {
 		return err
 	}
@@ -158,7 +163,7 @@ func runJSONBench(path string, p benchParams) error {
 
 // runBenchOnce builds one index at p's layout and measures the query
 // workload against it.
-func runBenchOnce(ds *dataset.Dataset, p benchParams) (*benchSummary, error) {
+func runBenchOnce(ds *dataset.Dataset, p benchParams, withReport bool) (*benchSummary, error) {
 	layout, err := parseLayout(p.Layout)
 	if err != nil {
 		return nil, err
@@ -213,6 +218,9 @@ func runBenchOnce(ds *dataset.Dataset, p benchParams) (*benchSummary, error) {
 	sum.Search.LatencyMeanNs = int64(sum.Metrics.Latency.Mean())
 	sum.Search.TIPruneRate = sum.Metrics.TIPruneRate()
 	sum.Search.EAAbandonRate = sum.Metrics.EAAbandonRate()
+	if withReport {
+		sum.Report = ix.Diagnose()
+	}
 	return sum, nil
 }
 

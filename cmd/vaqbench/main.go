@@ -9,7 +9,9 @@
 //	vaqbench -exp tab2 -n 50000 -gallery 128
 //	vaqbench -json BENCH_sald.json -n 20000 -nq 200   # perf summary
 //	vaqbench -json BENCH_pr2.json -layout both        # scan-layout A/B
+//	vaqbench -json BENCH_sald.json -report            # + IndexReport quality block
 //	vaqbench -json - -metrics-addr localhost:6060     # live expvar/pprof
+//	vaqbench -compare BENCH_old.json BENCH_new.json -threshold 5
 //
 // Experiment output is plain text: the same rows/series each figure
 // plots, so shapes can be compared against the paper directly (see
@@ -18,7 +20,11 @@
 // summary (build-phase timings, QPS, p50/p95/p99 latency, TI/EA prune
 // rates) for tracking the perf trajectory across PRs; -layout both runs
 // the workload once per scan layout and records the blocked-over-rowmajor
-// throughput ratio. With
+// throughput ratio; -report additionally embeds the index-quality
+// IndexReport (distortion, utilization, TI balance) in the summary. The
+// -compare mode diffs two -json summaries metric by metric and exits 1
+// when QPS drops or a latency percentile rises beyond -threshold percent
+// (exit 2 when the summaries' config fingerprints do not match). With
 // -metrics-addr, either mode serves live metrics on /debug/vars and
 // profiles on /debug/pprof/.
 package main
@@ -52,9 +58,21 @@ func main() {
 		workers     = flag.Int("workers", 0, "query workers for -json (0 = GOMAXPROCS)")
 		passes      = flag.Int("passes", 3, "timed passes over the query set for -json")
 		layout      = flag.String("layout", "blocked", "scan layout for -json: blocked, rowmajor, or both (A/B comparison)")
+		report      = flag.Bool("report", false, "embed the index-quality IndexReport in the -json summary")
+		compare     = flag.Bool("compare", false, "diff two -json summaries (args: baseline.json new.json); exit 1 on regression")
+		threshold   = flag.Float64("threshold", 5, "regression threshold for -compare, in percent")
+		force       = flag.Bool("force", false, "let -compare proceed despite mismatched config fingerprints")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "vaqbench: -compare needs exactly two summary files: baseline.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, *force))
+	}
 
 	if *metricsAddr != "" {
 		srv, err := metrics.ServeDebug(*metricsAddr)
@@ -86,7 +104,7 @@ func main() {
 		if p.Seed == 0 {
 			p.Seed = 7
 		}
-		if err := runJSONBench(*jsonOut, p); err != nil {
+		if err := runJSONBench(*jsonOut, p, *report); err != nil {
 			fmt.Fprintf(os.Stderr, "vaqbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,194 @@
+// Command vaqdiag computes and prints the index-quality IndexReport for a
+// VAQ index: per-subspace variance vs. allocated bits, quantization MSE
+// and its share of subspace energy, codeword-utilization entropy and dead
+// counts, and triangle-inequality cluster balance (DESIGN.md §7).
+//
+// Usage:
+//
+//	datagen -name SALD -n 20000 -nq 50 -out sald.vaqd
+//	vaqdiag -data sald.vaqd                      # build, then report (text)
+//	vaqdiag -data sald.vaqd -json                # machine-readable report
+//	vaqdiag -index index.vaq                     # report on a serialized index
+//	vaqdiag -data sald.vaqd -json -validate      # CI: exit 1 on inconsistency
+//
+// An index loaded with -index reports utilization and balance only: the
+// distortion baseline is runtime-only state, so its report is Partial.
+// -validate cross-checks the report's internal invariants (occupancy
+// histograms sum to the dictionary size, dead counts match, cluster sizes
+// account for every vector) and exits nonzero when any fail, which makes
+// the command double as a CI smoke check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"vaq/internal/core"
+	"vaq/internal/dataset"
+	"vaq/internal/diag"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset file from cmd/datagen: build an index, then diagnose it")
+		indexPath = flag.String("index", "", "serialized index file (from WriteTo): diagnose without rebuilding")
+		budget    = flag.Int("budget", 256, "bit budget per vector (with -data)")
+		subspaces = flag.Int("subspaces", 32, "number of subspaces (with -data)")
+		minBits   = flag.Int("minbits", 1, "minimum bits per subspace (with -data)")
+		maxBits   = flag.Int("maxbits", 13, "maximum bits per subspace (with -data)")
+		seed      = flag.Int64("seed", 42, "build seed (with -data)")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of text")
+		validate  = flag.Bool("validate", false, "check the report's internal invariants; exit 1 on any failure")
+	)
+	flag.Parse()
+	if (*dataPath == "") == (*indexPath == "") {
+		fmt.Fprintln(os.Stderr, "vaqdiag: exactly one of -data or -index is required")
+		os.Exit(2)
+	}
+
+	var (
+		ix  *core.Index
+		err error
+	)
+	if *dataPath != "" {
+		var ds *dataset.Dataset
+		ds, err = dataset.Load(*dataPath)
+		if err == nil {
+			ix, err = core.Build(ds.Train, ds.Base, core.Config{
+				NumSubspaces: *subspaces,
+				Budget:       *budget,
+				MinBits:      *minBits,
+				MaxBits:      *maxBits,
+				Seed:         *seed,
+			})
+		}
+	} else {
+		var f *os.File
+		f, err = os.Open(*indexPath)
+		if err == nil {
+			ix, err = core.Read(f)
+			f.Close()
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vaqdiag: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := ix.Diagnose()
+	if *jsonOut {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqdiag: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(b, '\n'))
+	} else if err := diag.WriteText(os.Stdout, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "vaqdiag: %v\n", err)
+		os.Exit(1)
+	}
+	if *validate {
+		problems := validateReport(rep)
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "vaqdiag: INVALID: %s\n", p)
+		}
+		if len(problems) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "vaqdiag: report valid")
+	}
+}
+
+// validateReport cross-checks the invariants every well-formed IndexReport
+// must satisfy, regardless of dataset or config. Returns one message per
+// violation.
+func validateReport(r *diag.Report) []string {
+	var bad []string
+	fail := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+	if r.N < 0 {
+		fail("negative N %d", r.N)
+	}
+	if len(r.Subspaces) == 0 {
+		fail("no subspaces")
+	}
+	if r.ProjectedDim <= 0 {
+		fail("non-positive projected dim %d", r.ProjectedDim)
+	}
+	if r.Partial && r.MSESource != "" {
+		fail("partial report claims MSE source %q", r.MSESource)
+	}
+	if !r.Partial && r.MSESource == "" {
+		fail("non-partial report without an MSE source")
+	}
+	deadTotal, dims := 0, 0
+	var mseSum float64
+	for _, sr := range r.Subspaces {
+		deadTotal += sr.DeadCodewords
+		dims += sr.Dims
+		mseSum += sr.MSE
+		if sr.Entries != 1<<sr.Bits {
+			fail("subspace %d: %d entries for %d bits", sr.Index, sr.Entries, sr.Bits)
+		}
+		if len(sr.OccupancyHist) != diag.OccupancyBuckets {
+			fail("subspace %d: occupancy histogram has %d buckets, want %d",
+				sr.Index, len(sr.OccupancyHist), diag.OccupancyBuckets)
+			continue
+		}
+		histSum := 0
+		for _, c := range sr.OccupancyHist {
+			histSum += c
+		}
+		if histSum != sr.Entries {
+			fail("subspace %d: occupancy histogram sums to %d, want %d entries",
+				sr.Index, histSum, sr.Entries)
+		}
+		if sr.OccupancyHist[0] != sr.DeadCodewords {
+			fail("subspace %d: dead bucket %d != dead codewords %d",
+				sr.Index, sr.OccupancyHist[0], sr.DeadCodewords)
+		}
+		if sr.MaxCodewordShare < 0 || sr.MaxCodewordShare > 1 {
+			fail("subspace %d: max codeword share %g outside [0,1]", sr.Index, sr.MaxCodewordShare)
+		}
+		if sr.EntropyUtilization < 0 || sr.EntropyUtilization > 1+1e-9 {
+			fail("subspace %d: entropy utilization %g outside [0,1]", sr.Index, sr.EntropyUtilization)
+		}
+		if sr.MSE < 0 || sr.Variance < 0 || sr.MSEShare < 0 {
+			fail("subspace %d: negative distortion (mse %g, variance %g, share %g)",
+				sr.Index, sr.MSE, sr.Variance, sr.MSEShare)
+		}
+	}
+	if deadTotal != r.DeadCodewordsTotal {
+		fail("dead codewords total %d != per-subspace sum %d", r.DeadCodewordsTotal, deadTotal)
+	}
+	if dims != r.ProjectedDim {
+		fail("subspace dims sum to %d, want projected dim %d", dims, r.ProjectedDim)
+	}
+	if !r.Partial && !closeEnough(mseSum, r.TotalMSE) {
+		fail("total MSE %g != per-subspace sum %g", r.TotalMSE, mseSum)
+	}
+	if r.TI.Clusters > 0 {
+		// Every encoded vector lives in exactly one cluster, so the mean
+		// size times the cluster count must reconstruct N exactly.
+		if total := r.TI.MeanSize * float64(r.TI.Clusters); math.Abs(total-float64(r.N)) > 1e-6*float64(r.N)+1e-6 {
+			fail("TI cluster sizes account for %.1f vectors, want %d", total, r.N)
+		}
+		if r.TI.MinSize > r.TI.MaxSize {
+			fail("TI min size %d > max size %d", r.TI.MinSize, r.TI.MaxSize)
+		}
+		if r.TI.Gini < 0 || r.TI.Gini > 1 {
+			fail("TI gini %g outside [0,1]", r.TI.Gini)
+		}
+	}
+	if r.Drift != nil && r.Drift.Ratio < 0 {
+		fail("negative drift ratio %g", r.Drift.Ratio)
+	}
+	return bad
+}
+
+// closeEnough compares floats accumulated in different orders.
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(math.Abs(a)+math.Abs(b))+1e-12
+}

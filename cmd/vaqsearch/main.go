@@ -10,8 +10,10 @@
 //	vaqsearch -data sald.vaqd -metrics-addr :6060 -trace -recall-sample 0.1 -hold 5m
 //
 // With -metrics-addr the debug mux also serves /debug/vaq/metrics
-// (Prometheus text) and, with -trace, /debug/vaq/traces (per-query
-// spans; ?format=chrome for a chrome://tracing export).
+// (Prometheus text), /debug/vaq/report (the index-quality IndexReport,
+// recomputed per scrape; ?format=text for a human-readable dump) and,
+// with -trace, /debug/vaq/traces (per-query spans; ?format=chrome for a
+// chrome://tracing export).
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 
 	"vaq/internal/core"
 	"vaq/internal/dataset"
+	"vaq/internal/diag"
 	"vaq/internal/eval"
 	"vaq/internal/metrics"
 	"vaq/internal/trace"
@@ -99,6 +102,15 @@ func main() {
 		rep.Training.Round(time.Millisecond), rep.Encoding.Round(time.Millisecond),
 		rep.TIClustering.Round(time.Millisecond))
 	metrics.Publish("vaqsearch_index", ix.Metrics())
+	diag.Publish("vaqsearch_index", ix.Diagnose)
+	drep := ix.Diagnose()
+	entries := 0
+	for _, sr := range drep.Subspaces {
+		entries += sr.Entries
+	}
+	fmt.Printf("diagnostics: mse_share=%.4f (%s), dead codewords %d/%d, TI gini %.2f, imbalance %.1fx\n",
+		drep.MSEShare, drep.MSESource, drep.DeadCodewordsTotal, entries,
+		drep.TI.Gini, drep.TI.ImbalanceRatio)
 	var tr *trace.Tracer
 	if *traceOn {
 		tr = ix.EnableTracing(trace.Config{SlowThreshold: *traceSlow})

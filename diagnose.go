@@ -1,0 +1,78 @@
+package vaq
+
+import (
+	"io"
+
+	"vaq/internal/diag"
+)
+
+// IndexReport is a point-in-time quality assessment of a built index: per
+// subspace, the variance the allocator weighted it by, the bits it got,
+// the quantization MSE it produces (absolute and as a share of the
+// subspace's energy), and codeword-utilization statistics (entropy, dead
+// codewords, a log2 occupancy histogram); index-wide, the total
+// reconstruction error against the exact projected vectors, the
+// triangle-inequality cluster balance, and the online drift status. The
+// JSON schema is documented in DESIGN.md §7.
+type IndexReport = diag.Report
+
+// SubspaceReport is the per-subspace slice of an IndexReport.
+type SubspaceReport = diag.SubspaceReport
+
+// TIBalanceReport summarizes how evenly the triangle-inequality clusters
+// split the dataset (min/max/mean sizes, Gini coefficient, imbalance).
+type TIBalanceReport = diag.TIBalanceReport
+
+// DriftReport is the online quantization-drift status: the EWMA
+// reconstruction MSE of vectors folded in by Add, per subspace and as a
+// ratio over the Build-time baseline.
+type DriftReport = diag.DriftReport
+
+// Values of IndexReport.MSESource.
+const (
+	// MSESourceFresh: the distortion fields were recomputed against
+	// retained projected vectors covering the whole current dataset
+	// (the index was built with RecallSampleRate > 0, so it retains
+	// them; Add keeps the retained set complete).
+	MSESourceFresh = diag.MSEFresh
+	// MSESourceBaseline: the distortion fields are carried forward from
+	// the Build-time baseline; vectors added since Build are reflected
+	// only in the drift gauges.
+	MSESourceBaseline = diag.MSEBaseline
+)
+
+// Diagnose computes a fresh IndexReport. Codeword utilization and cluster
+// balance are always recomputed from the live index; the distortion (MSE)
+// fields come from retained projected vectors when available, else from
+// the Build-time baseline, else the report is explicitly Partial (an
+// index loaded from disk retains neither — the baseline is runtime-only).
+// Cost: one pass over the codes, plus one pass over the projected vectors
+// when they are retained. Safe to call concurrently with Search and Add.
+func (ix *Index) Diagnose() *IndexReport { return ix.inner.Diagnose() }
+
+// PublishDiagnostics registers this index under name for the
+// /debug/vaq/report HTTP handler (served by ServeDebug alongside
+// /debug/vars, /debug/vaq/metrics and /debug/vaq/traces): JSON by
+// default, ?format=text for a human-readable dump, ?index=NAME to select
+// one index. The report is recomputed on every scrape, so it always
+// reflects the current index state. It also labels this index's CPU
+// profile samples with name when Config.ProfileLabels is on.
+func (ix *Index) PublishDiagnostics(name string) {
+	ix.inner.SetProfileLabel(name)
+	diag.Publish(name, func() *IndexReport { return ix.inner.Diagnose() })
+}
+
+// UnpublishDiagnostics removes a name registered by PublishDiagnostics.
+func UnpublishDiagnostics(name string) { diag.Publish(name, nil) }
+
+// WriteReportText renders an IndexReport as the human-readable table the
+// /debug/vaq/report?format=text endpoint and the vaqdiag CLI print.
+func WriteReportText(w io.Writer, r *IndexReport) error { return diag.WriteText(w, r) }
+
+// EnableProfileLabels turns on runtime/pprof phase labels (vaq_phase =
+// project | lut_fill | scan, index = the given name) for an index whose
+// build config did not request them — typically one loaded from disk,
+// since ProfileLabels is a runtime knob that is never serialized. CPU
+// profiles taken from /debug/pprof/profile then attribute samples to
+// search phases. Safe while queries are in flight.
+func (ix *Index) EnableProfileLabels(name string) { ix.inner.EnableProfileLabels(name) }

@@ -31,6 +31,11 @@ func (ix *Index) Add(vectors *vec.Matrix) (firstID int, err error) {
 	if err != nil {
 		return 0, err
 	}
+	// Mutation starts here: exclude queries, Diagnose and WriteTo (they
+	// hold read locks). The projection above only reads the immutable
+	// model, so it stays outside the critical section.
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if ix.retained != nil {
 		// Keep the shadow-exact recall sampler's ground truth complete: the
 		// retained matrix must cover every id the approximate scan can
@@ -46,6 +51,12 @@ func (ix *Index) Add(vectors *vec.Matrix) (firstID int, err error) {
 	m := ix.cb.Sub.M()
 	code := make([]uint16, m)
 	prefixBuf := make([]float32, ix.ti.prefixDim)
+	// Per-subspace squared reconstruction error of this batch, folded
+	// into the drift EWMA below (only when Build left a baseline).
+	var batchSqErr []float64
+	if ix.baselineMSE != nil {
+		batchSqErr = make([]float64, m)
+	}
 	// Grow code storage.
 	grown := make([]uint16, (ix.n+vectors.Rows)*m)
 	copy(grown, ix.codes.Data)
@@ -54,6 +65,13 @@ func (ix *Index) Add(vectors *vec.Matrix) (firstID int, err error) {
 		id := ix.n + i
 		ix.cb.EncodeVec(z.Row(i), code)
 		copy(ix.codes.Data[id*m:(id+1)*m], code)
+		if batchSqErr != nil {
+			zi := z.Row(i)
+			for s := 0; s < m; s++ {
+				zs := ix.cb.Sub.Of(zi, s)
+				batchSqErr[s] += float64(vec.SquaredL2(zs, ix.cb.Books[s].Row(int(code[s]))))
+			}
+		}
 		// Assign to the nearest TI centroid in prefix space.
 		decodePrefix(ix.cb, code, ix.ti.prefixSubspaces, prefixBuf)
 		best, bestD := 0, vec.SquaredL2(prefixBuf, ix.ti.centroids.Row(0))
@@ -82,6 +100,9 @@ func (ix *Index) Add(vectors *vec.Matrix) (firstID int, err error) {
 	// incremental rebuild.
 	if ix.blocked != nil {
 		ix.blocked = buildBlockedStore(ix.cb, ix.codes, ix.ti)
+	}
+	if batchSqErr != nil {
+		ix.foldDriftLocked(batchSqErr, vectors.Rows)
 	}
 	if ix.cfg.Logger != nil {
 		ix.cfg.Logger.Info("vaq.add",

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"log/slog"
+	"runtime/pprof"
+	"time"
+
+	"vaq/internal/diag"
+	"vaq/internal/quantizer"
+)
+
+// driftEWMAWindow is the smoothing horizon (in vectors) of the
+// quantization-drift estimator: an Add batch of b vectors moves the
+// per-subspace EWMA by weight b/(b+driftEWMAWindow), so the gauge reflects
+// roughly the last ~1k incoming vectors regardless of batch sizing.
+const driftEWMAWindow = 1024
+
+// sizes returns the TI cluster member counts (the balance input of the
+// IndexReport).
+func (ti *tiIndex) sizes() []int {
+	s := make([]int, len(ti.clusters))
+	for i, members := range ti.clusters {
+		s[i] = len(members)
+	}
+	return s
+}
+
+// diagInputLocked assembles the read-only view Compute needs. Callers hold
+// at least ix.mu.RLock.
+func (ix *Index) diagInputLocked() diag.Input {
+	return diag.Input{
+		N:              ix.n,
+		Dim:            ix.queryDim,
+		Bits:           ix.bits,
+		VarianceShares: ix.subVar,
+		Codebooks:      ix.cb,
+		Codes:          ix.codes,
+		ClusterSizes:   ix.ti.sizes(),
+		Projected:      ix.retained,
+	}
+}
+
+// Diagnose computes a point-in-time IndexReport: utilization and TI
+// balance are always recomputed from the current codes; the distortion
+// fields come from the retained projected vectors when the index has them
+// (MSESource "fresh", covering everything Add appended), else from the
+// Build-time baseline (MSESource "build-baseline"), else the report is
+// Partial (a loaded index retains neither). Safe to call concurrently
+// with Search and Add.
+func (ix *Index) Diagnose() *diag.Report {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	rep := diag.Compute(ix.diagInputLocked())
+	rep.GeneratedAt = time.Now()
+	switch {
+	case !rep.Partial:
+		rep.MSESource = diag.MSEFresh
+	case ix.baseline != nil:
+		// No retained vectors, but the Build-time distortion accounting is
+		// still on hand: carry it forward explicitly instead of reporting
+		// zeroed MSE fields. Vectors added since Build are not reflected
+		// here — that is what the drift gauges watch.
+		rep.Partial = false
+		rep.MSESource = diag.MSEBaseline
+		rep.TotalMSE = ix.baseline.TotalMSE
+		rep.TotalVariance = ix.baseline.TotalVariance
+		rep.MSEShare = ix.baseline.MSEShare
+		for s := range rep.Subspaces {
+			if s < len(ix.baseline.Subspaces) {
+				b := &ix.baseline.Subspaces[s]
+				rep.Subspaces[s].Variance = b.Variance
+				rep.Subspaces[s].MSE = b.MSE
+				rep.Subspaces[s].MSEShare = b.MSEShare
+			}
+		}
+	}
+	if ix.baselineMSE != nil {
+		rep.Drift = ix.driftReportLocked()
+	}
+	return rep
+}
+
+// driftReportLocked snapshots the EWMA drift state for a report. Callers
+// hold at least ix.mu.RLock.
+func (ix *Index) driftReportLocked() *diag.DriftReport {
+	ratio := driftRatio(ix.driftEWMA, ix.baselineMSE)
+	return &diag.DriftReport{
+		Ratio:           ratio,
+		AlertRatio:      ix.cfg.DriftAlertRatio,
+		Alert:           ix.cfg.DriftAlertRatio > 0 && ratio > ix.cfg.DriftAlertRatio,
+		SubspaceMSEEWMA: append([]float64(nil), ix.driftEWMA...),
+		BaselineMSE:     append([]float64(nil), ix.baselineMSE...),
+	}
+}
+
+// driftRatio is total EWMA MSE over total baseline MSE (1 = no drift). A
+// zero baseline (exact reconstruction everywhere) cannot drift downward,
+// so any positive EWMA there reports as ratio 1 + ewma to stay finite.
+func driftRatio(ewma, baseline []float64) float64 {
+	var e, b float64
+	for _, v := range ewma {
+		e += v
+	}
+	for _, v := range baseline {
+		b += v
+	}
+	if b <= 0 {
+		if e <= 0 {
+			return 1
+		}
+		return 1 + e
+	}
+	return e / b
+}
+
+// initDiagnostics computes the Build-time baseline report and seeds the
+// drift estimator and the registry's drift gauges from it. Called once at
+// the end of Build with the projected dataset still on hand.
+func (ix *Index) initDiagnostics(rep *diag.Report) {
+	rep.GeneratedAt = time.Now()
+	rep.MSESource = diag.MSEFresh
+	ix.baseline = rep
+	ix.baselineMSE = make([]float64, len(rep.Subspaces))
+	for s := range rep.Subspaces {
+		ix.baselineMSE[s] = rep.Subspaces[s].MSE
+	}
+	ix.driftEWMA = append([]float64(nil), ix.baselineMSE...)
+	ix.metrics.SetSubspaceMSE(ix.driftEWMA)
+	ix.metrics.SetDrift(1, false)
+	ix.metrics.SetDeadCodewords(uint64(rep.DeadCodewordsTotal))
+}
+
+// foldDriftLocked folds one Add batch's per-subspace squared
+// reconstruction error into the EWMA drift estimator, refreshes the
+// registry gauges, and emits the vaq.drift slog event when the ratio
+// first crosses Config.DriftAlertRatio. Callers hold ix.mu.Lock.
+func (ix *Index) foldDriftLocked(batchSqErr []float64, batch int) {
+	alpha := float64(batch) / (float64(batch) + driftEWMAWindow)
+	for s := range ix.driftEWMA {
+		ix.driftEWMA[s] = (1-alpha)*ix.driftEWMA[s] + alpha*batchSqErr[s]/float64(batch)
+	}
+	ratio := driftRatio(ix.driftEWMA, ix.baselineMSE)
+	alert := ix.cfg.DriftAlertRatio > 0 && ratio > ix.cfg.DriftAlertRatio
+	dead := countDeadCodewords(ix.cb, ix.codes)
+	ix.metrics.SetSubspaceMSE(ix.driftEWMA)
+	ix.metrics.SetDrift(ratio, alert)
+	ix.metrics.SetDeadCodewords(uint64(dead))
+	if alert && !ix.driftAlerted && ix.cfg.Logger != nil {
+		ix.cfg.Logger.Warn("vaq.drift",
+			slog.Float64("ratio", ratio),
+			slog.Float64("alert_ratio", ix.cfg.DriftAlertRatio),
+			slog.Int("n", ix.n),
+			slog.Int("dead_codewords", dead))
+	}
+	ix.driftAlerted = alert
+}
+
+// countDeadCodewords counts dictionary entries no code references, summed
+// over subspaces. One pass over the codes; Add calls it after each batch
+// (Add already pays an O(n·m) blocked-layout rebuild, so this does not
+// change its complexity).
+func countDeadCodewords(cb *quantizer.Codebooks, codes *quantizer.Codes) int {
+	m := cb.Sub.M()
+	used := make([][]bool, m)
+	total := 0
+	for s := 0; s < m; s++ {
+		used[s] = make([]bool, cb.Books[s].Rows)
+		total += cb.Books[s].Rows
+	}
+	live := 0
+	for i := 0; i < codes.N; i++ {
+		row := codes.Row(i)
+		for s := 0; s < m; s++ {
+			c := int(row[s])
+			if c < len(used[s]) && !used[s][c] {
+				used[s][c] = true
+				live++
+			}
+		}
+	}
+	return total - live
+}
+
+// profileCtxs hold the precomputed pprof label sets the query path
+// switches between, one per search phase. Precomputing them means
+// enabling profiling labels costs pprof.SetGoroutineLabels calls (a
+// pointer store into the g) instead of per-query context allocation.
+type profileCtxs struct {
+	project, lut, scan context.Context
+	// clear restores the unlabeled state after a query.
+	clear context.Context
+}
+
+// SetProfileLabel (re)builds the pprof label contexts with the given
+// index label — call it with the name the index is published under so
+// CPU profiles split by index AND phase (vaq_phase = project | lut_fill
+// | scan). No-op unless Config.ProfileLabels is set. Safe while queries
+// are in flight: running queries keep the label set they loaded.
+func (ix *Index) SetProfileLabel(index string) {
+	if !ix.cfg.ProfileLabels {
+		return
+	}
+	base := context.Background()
+	mk := func(phase string) context.Context {
+		return pprof.WithLabels(base, pprof.Labels("vaq_phase", phase, "index", index))
+	}
+	ix.profCtx.Store(&profileCtxs{
+		project: mk("project"),
+		lut:     mk("lut_fill"),
+		scan:    mk("scan"),
+		clear:   base,
+	})
+}
+
+// EnableProfileLabels turns profiling labels on after the fact — the hook
+// for indexes loaded from disk, whose on-disk format carries no runtime
+// knobs — and labels profiles with the given index name. Not safe to call
+// concurrently with itself; safe while queries are in flight.
+func (ix *Index) EnableProfileLabels(index string) {
+	ix.cfg.ProfileLabels = true
+	ix.SetProfileLabel(index)
+}

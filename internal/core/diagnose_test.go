@@ -1,0 +1,338 @@
+package core
+
+import (
+	"bytes"
+	"log/slog"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"vaq/internal/diag"
+)
+
+// checkReportConsistency asserts the invariants every IndexReport must
+// satisfy against the index it came from, whatever the config.
+func checkReportConsistency(t *testing.T, ix *Index, rep *diag.Report) {
+	t.Helper()
+	if rep.N != ix.Len() {
+		t.Errorf("report N %d, index Len %d", rep.N, ix.Len())
+	}
+	if len(rep.Subspaces) != len(ix.Bits()) {
+		t.Fatalf("report has %d subspaces, index %d", len(rep.Subspaces), len(ix.Bits()))
+	}
+	deadTotal := 0
+	for _, sr := range rep.Subspaces {
+		deadTotal += sr.DeadCodewords
+		if sr.Entries != 1<<sr.Bits {
+			t.Errorf("subspace %d: %d entries for %d bits", sr.Index, sr.Entries, sr.Bits)
+		}
+		histSum := 0
+		for _, c := range sr.OccupancyHist {
+			histSum += c
+		}
+		if histSum != sr.Entries {
+			t.Errorf("subspace %d: occupancy histogram sums to %d, want %d entries",
+				sr.Index, histSum, sr.Entries)
+		}
+		if sr.OccupancyHist[0] != sr.DeadCodewords {
+			t.Errorf("subspace %d: dead bucket %d != dead codewords %d",
+				sr.Index, sr.OccupancyHist[0], sr.DeadCodewords)
+		}
+		// Live codewords account for all N codes: at most Entries-dead
+		// distinct codewords share them, so the most popular one covers at
+		// least 1/(Entries-dead) of the codes.
+		live := sr.Entries - sr.DeadCodewords
+		if rep.N > 0 && live > 0 && sr.MaxCodewordShare < 1/float64(live)-1e-9 {
+			t.Errorf("subspace %d: max codeword share %g impossible with %d live codewords",
+				sr.Index, sr.MaxCodewordShare, live)
+		}
+		if !rep.Partial && sr.MSEShare > 1+1e-6 {
+			t.Errorf("subspace %d: MSE share %g exceeds 1 (losing more than the subspace's energy)",
+				sr.Index, sr.MSEShare)
+		}
+	}
+	if deadTotal != rep.DeadCodewordsTotal {
+		t.Errorf("dead codewords total %d != per-subspace sum %d", rep.DeadCodewordsTotal, deadTotal)
+	}
+	if rep.TI.Clusters != ix.TIClusterCount() {
+		t.Errorf("report TI clusters %d, index %d", rep.TI.Clusters, ix.TIClusterCount())
+	}
+	if rep.TI.Clusters > 0 {
+		if got := rep.TI.MeanSize * float64(rep.TI.Clusters); got < float64(rep.N)-1e-6 || got > float64(rep.N)+1e-6 {
+			t.Errorf("TI cluster sizes account for %.2f vectors, want %d", got, rep.N)
+		}
+	}
+}
+
+// TestDiagnoseMSEShareMonotonicInBits pins the property the variance-aware
+// allocator exists to produce: on skewed SALD-style data, subspaces given
+// more bits lose a smaller fraction of their energy to quantization. The
+// check groups subspaces by allocated bits and requires the group-mean MSE
+// share to be non-increasing in bits.
+func TestDiagnoseMSEShareMonotonicInBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := skewedData(rng, 2000, 32, 1.1)
+	ix, err := Build(x, x, Config{NumSubspaces: 8, Budget: 56, Seed: 31, TIClusters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ix.Diagnose()
+	if rep.Partial {
+		t.Fatal("fresh build reported Partial")
+	}
+	checkReportConsistency(t, ix, rep)
+	byBits := map[int][]float64{}
+	for _, sr := range rep.Subspaces {
+		byBits[sr.Bits] = append(byBits[sr.Bits], sr.MSEShare)
+	}
+	bits := make([]int, 0, len(byBits))
+	for b := range byBits {
+		bits = append(bits, b)
+	}
+	sort.Ints(bits)
+	if len(bits) < 3 {
+		t.Fatalf("allocation produced only %d distinct bit levels %v — not a meaningful monotonicity check", len(bits), bits)
+	}
+	prev := -1.0
+	for i := len(bits) - 1; i >= 0; i-- {
+		var mean float64
+		for _, s := range byBits[bits[i]] {
+			mean += s
+		}
+		mean /= float64(len(byBits[bits[i]]))
+		if mean < prev-1e-9 {
+			t.Errorf("mean MSE share %.4f at %d bits < %.4f at %d bits — more bits should not lose more energy",
+				prev, bits[i+1], mean, bits[i])
+		}
+		prev = mean
+	}
+}
+
+// TestDiagnoseAfterReadPartial pins the serialization contract: the
+// distortion baseline is runtime-only, so an index loaded from disk
+// degrades to an explicitly Partial report (utilization and balance still
+// computed) instead of reporting zeroed MSE fields as if they were real.
+func TestDiagnoseAfterReadPartial(t *testing.T) {
+	ix, _ := observeTestIndex(t, Config{})
+	before := ix.Diagnose()
+	if before.Partial || before.MSESource == "" {
+		t.Fatalf("fresh build: Partial=%v MSESource=%q, want a sourced distortion block",
+			before.Partial, before.MSESource)
+	}
+	if before.Drift == nil {
+		t.Fatal("fresh build: no drift block despite a live baseline")
+	}
+
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := loaded.Diagnose()
+	if !after.Partial {
+		t.Fatal("loaded index: report not Partial despite having no retained vectors and no baseline")
+	}
+	if after.MSESource != "" {
+		t.Fatalf("loaded index: Partial report claims MSE source %q", after.MSESource)
+	}
+	if after.TotalMSE != 0 || after.MSEShare != 0 {
+		t.Fatalf("loaded index: Partial report carries distortion totals (MSE %g, share %g)",
+			after.TotalMSE, after.MSEShare)
+	}
+	if after.Drift != nil {
+		t.Fatal("loaded index: drift block present without a baseline to compare against")
+	}
+	checkReportConsistency(t, loaded, after)
+	// Utilization and balance derive from serialized state, so they round-trip.
+	if after.DeadCodewordsTotal != before.DeadCodewordsTotal {
+		t.Errorf("dead codewords changed across serialization: %d -> %d",
+			before.DeadCodewordsTotal, after.DeadCodewordsTotal)
+	}
+	if after.TI != before.TI {
+		t.Errorf("TI balance changed across serialization: %+v -> %+v", before.TI, after.TI)
+	}
+}
+
+// TestDiagnoseSingleClusterExhaustive covers the degenerate TIClusters=1
+// store (every query scans everything): the balance block must describe
+// one full cluster, not divide by zero or report imbalance.
+func TestDiagnoseSingleClusterExhaustive(t *testing.T) {
+	ix, _ := observeTestIndex(t, Config{NumSubspaces: 8, Budget: 48, Seed: 907, TIClusters: 1})
+	rep := ix.Diagnose()
+	checkReportConsistency(t, ix, rep)
+	ti := rep.TI
+	if ti.Clusters != 1 || ti.MinSize != ix.Len() || ti.MaxSize != ix.Len() {
+		t.Fatalf("single-cluster balance: %+v, want one cluster of %d", ti, ix.Len())
+	}
+	if ti.Gini != 0 || ti.ImbalanceRatio != 1 || ti.EmptyClusters != 0 {
+		t.Fatalf("single-cluster balance not degenerate-clean: %+v", ti)
+	}
+}
+
+// TestDiagnoseWideDictionaries covers dictionaries past the uint8 boundary
+// (>256 entries, uint16 codes): utilization accounting must track every
+// entry of the wide books, dead ones included.
+func TestDiagnoseWideDictionaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	x := skewedData(rng, 1200, 16, 1.0)
+	ix, err := Build(x, x, Config{NumSubspaces: 2, Budget: 20, Seed: 55, TIClusters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ix.Diagnose()
+	checkReportConsistency(t, ix, rep)
+	wide := 0
+	for _, sr := range rep.Subspaces {
+		if sr.Entries > 256 {
+			wide++
+			// 1200 vectors cannot touch 1024+ entries; the gap must be
+			// accounted as dead, not dropped.
+			if min := sr.Entries - ix.Len(); sr.DeadCodewords < min {
+				t.Errorf("subspace %d: %d dead codewords, but %d entries can cover at most %d vectors",
+					sr.Index, sr.DeadCodewords, sr.Entries, ix.Len())
+			}
+		}
+	}
+	if wide == 0 {
+		t.Fatalf("allocation %v produced no dictionary wider than 256 entries — raise the budget", ix.Bits())
+	}
+}
+
+// TestDiagnoseAfterAddConsistency mutates the index with Add and checks the
+// report tracks the new state: N grows, utilization still accounts for
+// every dictionary entry, the fresh distortion stays a sane energy
+// fraction, and the drift block reflects the fold.
+func TestDiagnoseAfterAddConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	x := skewedData(rng, 1600, 24, 1.2)
+	// RecallSampleRate retains the projected dataset, so the post-Add
+	// report recomputes distortion over ALL vectors, added ones included.
+	ix, err := Build(x, x, Config{NumSubspaces: 8, Budget: 48, Seed: 907, TIClusters: 30, RecallSampleRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := skewedData(rng, 400, 24, 1.2)
+	if _, err := ix.Add(extra); err != nil {
+		t.Fatal(err)
+	}
+	rep := ix.Diagnose()
+	if rep.N != 2000 {
+		t.Fatalf("post-Add N %d, want 2000", rep.N)
+	}
+	if rep.Partial || rep.MSESource != diag.MSEFresh {
+		t.Fatalf("retained index post-Add: Partial=%v MSESource=%q, want fresh",
+			rep.Partial, rep.MSESource)
+	}
+	checkReportConsistency(t, ix, rep)
+	if rep.MSEShare <= 0 || rep.MSEShare > 1 {
+		t.Fatalf("post-Add MSE share %g outside (0,1]", rep.MSEShare)
+	}
+	if rep.Drift == nil {
+		t.Fatal("post-Add report has no drift block")
+	}
+	// Same-distribution vectors must not register as heavy drift.
+	if rep.Drift.Ratio < 0.5 || rep.Drift.Ratio > 2 {
+		t.Fatalf("same-distribution Add drifted to ratio %g", rep.Drift.Ratio)
+	}
+	snap := ix.Metrics().Snapshot()
+	if snap.DriftRatio != rep.Drift.Ratio {
+		t.Errorf("gauge drift ratio %g != report %g", snap.DriftRatio, rep.Drift.Ratio)
+	}
+	if len(snap.SubspaceMSE) != len(rep.Drift.SubspaceMSEEWMA) {
+		t.Fatalf("gauge has %d subspace MSE entries, report %d",
+			len(snap.SubspaceMSE), len(rep.Drift.SubspaceMSEEWMA))
+	}
+}
+
+// TestDriftAlertOnDistributionShift feeds the index vectors scaled far
+// outside the training distribution and checks the whole alert path: the
+// ratio crosses the configured threshold, the vaq.drift event is logged
+// once (not per batch), and the alert gauge latches on.
+func TestDriftAlertOnDistributionShift(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	rng := rand.New(rand.NewSource(907))
+	x := skewedData(rng, 1600, 24, 1.2)
+	ix, err := Build(x, x, Config{
+		NumSubspaces: 8, Budget: 48, Seed: 907, TIClusters: 30,
+		DriftAlertRatio: 1.5, Logger: logger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := skewedData(rng, 400, 24, 1.2)
+	for i := range shifted.Data {
+		shifted.Data[i] = shifted.Data[i]*10 + 5
+	}
+	for batch := 0; batch < 8; batch++ {
+		if _, err := ix.Add(shifted); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := ix.Diagnose()
+	if rep.Drift == nil || !rep.Drift.Alert {
+		t.Fatalf("no drift alert after out-of-distribution Adds: %+v", rep.Drift)
+	}
+	if rep.Drift.Ratio <= 1.5 {
+		t.Fatalf("alert set but ratio %g below threshold", rep.Drift.Ratio)
+	}
+	snap := ix.Metrics().Snapshot()
+	if !snap.DriftAlert {
+		t.Error("drift alert gauge not set")
+	}
+	if got := strings.Count(buf.String(), "vaq.drift"); got != 1 {
+		t.Errorf("vaq.drift logged %d times, want exactly once (edge-triggered)\n%s", got, buf.String())
+	}
+}
+
+// TestConcurrentDiagnoseSearchAdd drives Diagnose, Search and Add at the
+// same time — the race detector (CI's race job) proves the RWMutex
+// covers every touch point of the mutable state.
+func TestConcurrentDiagnoseSearchAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	x := skewedData(rng, 1600, 24, 1.2)
+	ix, err := Build(x, x, Config{NumSubspaces: 8, Budget: 48, Seed: 907, TIClusters: 30, RecallSampleRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 20
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		batchRng := rand.New(rand.NewSource(11))
+		for i := 0; i < rounds; i++ {
+			if _, err := ix.Add(skewedData(batchRng, 20, 24, 1.2)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		s := ix.NewSearcher()
+		for i := 0; i < rounds*5; i++ {
+			if _, err := s.Search(x.Row(i%x.Rows), 10, SearchOptions{Mode: ModeTIEA, VisitFrac: 0.3}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			rep := ix.Diagnose()
+			if rep.N < 1600 {
+				t.Errorf("Diagnose saw N %d below the initial 1600", rep.N)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	checkReportConsistency(t, ix, ix.Diagnose())
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -169,8 +170,16 @@ func (s *Searcher) Search(q []float32, k int, opt SearchOptions) ([]vec.Neighbor
 	if s.rec.Active() {
 		projStart = time.Now()
 	}
+	if pc := s.ix.profCtx.Load(); pc != nil {
+		// Label the projection phase; run switches to lut_fill/scan and
+		// clears the labels when the query finishes.
+		pprof.SetGoroutineLabels(pc.project)
+	}
 	qz, err := s.ix.ProjectQuery(q)
 	if err != nil {
+		if pc := s.ix.profCtx.Load(); pc != nil {
+			pprof.SetGoroutineLabels(pc.clear)
+		}
 		s.ix.metrics.RecordError()
 		return nil, err
 	}
@@ -195,7 +204,12 @@ func (s *Searcher) SearchProjected(qz []float32, k int, opt SearchOptions) ([]ve
 
 func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 	ix := s.ix
+	// Queries read codes/ti/blocked/retained, which Add mutates in place
+	// under the write lock; uncontended RLock is noise next to the scan.
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	rec := s.rec
+	pc := ix.profCtx.Load()
 	var start time.Time
 	if ix.metrics != nil {
 		start = time.Now()
@@ -210,6 +224,9 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 		s.projDur = 0
 	}
 	// Build or refill the lookup table (Algorithm 4 lines 5-13).
+	if pc != nil {
+		pprof.SetGoroutineLabels(pc.lut)
+	}
 	lutStart := rec.Clock()
 	if s.lut == nil {
 		s.lut = ix.cb.BuildLUT(qz)
@@ -244,6 +261,9 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 	if useSub < mSub && mode == ModeTIEA {
 		// Truncated distances invalidate the TI bound; degrade gracefully.
 		mode = ModeEA
+	}
+	if pc != nil {
+		pprof.SetGoroutineLabels(pc.scan)
 	}
 	scanStart := rec.Clock()
 	switch mode {
@@ -287,6 +307,9 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 	// exemplar durations measure the approximate query, not the audit.
 	if ix.recallEvery > 0 && ix.recallCtr.Add(1)%ix.recallEvery == 0 {
 		s.shadowRecallSample(qz, k, res)
+	}
+	if pc != nil {
+		pprof.SetGoroutineLabels(pc.clear)
 	}
 	return res
 }

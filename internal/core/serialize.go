@@ -38,7 +38,10 @@ var magicIndex = [4]byte{'V', 'A', 'Q', 'I'}
 const indexVersion = 2
 
 // WriteTo serializes the index so it can be reloaded without retraining.
+// Safe to call concurrently with queries and Diagnose; it excludes Add.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	start := time.Now()
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
@@ -444,8 +447,10 @@ func Read(r io.Reader) (*Index, error) {
 		queryDim: int(queryDim),
 		// DisableMetrics is a runtime knob, not part of the on-disk
 		// format: loaded indexes always get a fresh registry (sized for
-		// pruning attribution; see metrics.NewSized).
-		metrics: metrics.NewSized(m + 1),
+		// pruning attribution and drift gauges; see metrics.NewSized).
+		// The diagnostics baseline and drift state are runtime-only too:
+		// a loaded index Diagnoses as Partial until retrained.
+		metrics: metrics.NewSized(m+1, m),
 	}, nil
 }
 

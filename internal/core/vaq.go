@@ -9,6 +9,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sync"
+
+	"vaq/internal/diag"
 	"vaq/internal/linalg"
 	"vaq/internal/metrics"
 	"vaq/internal/pca"
@@ -88,6 +91,20 @@ type Config struct {
 	// Logger receives structured build/maintenance logs (phase timings of
 	// Build, Add, WriteTo). nil discards. Runtime-only, never serialized.
 	Logger *slog.Logger
+	// DriftAlertRatio is the quantization-drift alert threshold: when the
+	// EWMA reconstruction MSE of vectors folded in by Add exceeds this
+	// multiple of the Build-time baseline MSE, a vaq.drift slog event is
+	// emitted and the alert gauge set (e.g. 1.5 = alert at 50% excess
+	// distortion). 0 disables alerting; the drift gauges update either
+	// way. Runtime-only, never serialized.
+	DriftAlertRatio float64
+	// ProfileLabels tags query goroutines with runtime/pprof labels
+	// (vaq_phase = project | lut_fill | scan, plus an index label set via
+	// SetProfileLabel) so CPU profiles attribute samples to search phases.
+	// Off by default: when off the query path pays one atomic load; when
+	// on, three goroutine-label stores per query. Runtime-only, never
+	// serialized.
+	ProfileLabels bool
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +157,22 @@ type Index struct {
 	retained    *vec.Matrix
 	recallEvery uint64
 	recallCtr   atomic.Uint64
+	// mu orders index mutation against readers: Add holds the write lock;
+	// queries, Diagnose and WriteTo hold read locks. Uncontended RLock is
+	// tens of nanoseconds against queries hundreds of microseconds long.
+	mu sync.RWMutex
+	// baseline is the Build-time IndexReport (nil on loaded indexes — the
+	// diagnostics baseline is runtime-only, never serialized); baselineMSE
+	// its per-subspace MSE, driftEWMA the EWMA of incoming-vector MSE that
+	// Add folds against it, and driftAlerted the edge detector for the
+	// vaq.drift log event.
+	baseline     *diag.Report
+	baselineMSE  []float64
+	driftEWMA    []float64
+	driftAlerted bool
+	// profCtx holds precomputed pprof label sets (nil unless
+	// Config.ProfileLabels; see SetProfileLabel).
+	profCtx atomic.Pointer[profileCtxs]
 }
 
 // Build trains a VAQ index: PCA (Algorithm 1), subspace construction and
@@ -265,12 +298,22 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 		blocked = buildBlockedStore(cb, codes, ti)
 		report.Layout = time.Since(phase)
 	}
+	// Step 8: the diagnostics baseline — the Build-time IndexReport. The
+	// projected dataset is still on hand here, so the distortion fields
+	// are exact; Diagnose carries them forward once dataZ is gone.
+	phase = time.Now()
+	baseRep := diag.Compute(diag.Input{
+		N: data.Rows, Dim: d, Bits: bits, VarianceShares: subVar,
+		Codebooks: cb, Codes: codes, ClusterSizes: ti.sizes(), Projected: dataZ,
+	})
+	report.Diagnostics = time.Since(phase)
 	report.Total = time.Since(buildStart)
 
 	var reg *metrics.IndexMetrics
 	if !cfg.DisableMetrics {
-		// Sized for attribution: a query abandons after 0..m lookups.
-		reg = metrics.NewSized(m + 1)
+		// Sized for attribution (a query abandons after 0..m lookups) and
+		// for the per-subspace drift gauges.
+		reg = metrics.NewSized(m+1, m)
 	}
 	ix := &Index{
 		cfg:      cfg,
@@ -291,6 +334,8 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 		ix.retained = dataZ
 		ix.recallEvery = sampleStride(cfg.RecallSampleRate)
 	}
+	ix.initDiagnostics(baseRep)
+	ix.SetProfileLabel("vaq")
 	if cfg.Logger != nil {
 		cfg.Logger.Info("vaq.build",
 			slog.Int("n", data.Rows), slog.Int("dim", d),
@@ -303,6 +348,7 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 			slog.Duration("encoding", report.Encoding),
 			slog.Duration("ti_clustering", report.TIClustering),
 			slog.Duration("layout_build", report.Layout),
+			slog.Duration("diagnostics", report.Diagnostics),
 			slog.Duration("total", report.Total))
 	}
 	return ix, nil

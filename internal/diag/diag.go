@@ -1,0 +1,367 @@
+// Package diag computes index-quality diagnostics for a built VAQ index:
+// the IndexReport. Where the metrics registry (internal/metrics) answers
+// "how are queries doing right now", the report answers "do the build-time
+// decisions still hold" — per-subspace variance captured vs. bits
+// allocated, per-subspace quantization MSE (absolute and as a share of the
+// subspace's empirical variance), codeword-utilization histograms with
+// entropy and dead-codeword counts, triangle-inequality cluster balance,
+// and the overall reconstruction error against the exact projected
+// vectors. SAQ-style per-segment distortion accounting is the signal that
+// tells an operator when the allocation or the dictionaries have gone
+// stale ("retrain or keep serving"); everything here is stdlib-only and
+// read-only over the index state it is handed.
+package diag
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"vaq/internal/quantizer"
+	"vaq/internal/vec"
+)
+
+// MSE source values for Report.MSESource.
+const (
+	// MSEFresh: the distortion fields were recomputed against retained
+	// projected vectors covering the whole current dataset.
+	MSEFresh = "fresh"
+	// MSEBaseline: the distortion fields are carried forward from the
+	// Build-time baseline (the index does not retain projected vectors, so
+	// vectors added since Build are not reflected — watch the drift gauges
+	// for those).
+	MSEBaseline = "build-baseline"
+)
+
+// OccupancyBuckets is the fixed shape of SubspaceReport.OccupancyHist:
+// bucket 0 counts dead codewords (zero uses), bucket b >= 1 counts
+// codewords used between 2^(b-1) and 2^b - 1 times. 21 buckets cover one
+// million uses of a single codeword.
+const OccupancyBuckets = 21
+
+// Input is everything Compute reads. All slices and matrices are read-only
+// borrows; Compute never mutates or retains them.
+type Input struct {
+	// N is the number of encoded vectors, Dim the raw query dimensionality.
+	N, Dim int
+	// Bits is the per-subspace bit allocation (importance order). A zero
+	// entry means a degenerate single-entry dictionary.
+	Bits []int
+	// VarianceShares is each subspace's share of the explained variance
+	// from the build-time spectrum (what the allocator optimized against).
+	VarianceShares []float64
+	// Codebooks are the trained dictionaries; Codes the encoded dataset.
+	Codebooks *quantizer.Codebooks
+	Codes     *quantizer.Codes
+	// ClusterSizes are the triangle-inequality cluster member counts.
+	ClusterSizes []int
+	// Projected, when non-nil, holds the exact projected (PCA-space)
+	// dataset rows, one per code; it enables the distortion fields. nil
+	// yields a Partial report (utilization and balance only).
+	Projected *vec.Matrix
+}
+
+// SubspaceReport is the per-subspace slice of the IndexReport: what the
+// allocator gave this subspace, and how the dictionary is holding up.
+type SubspaceReport struct {
+	// Index is the subspace position (importance order, 0 = most
+	// important); Dims how many projected dimensions it spans.
+	Index int `json:"index"`
+	Dims  int `json:"dims"`
+	// Bits is the allocated dictionary exponent; Entries = 2^Bits.
+	Bits    int `json:"bits"`
+	Entries int `json:"entries"`
+	// VarianceShare is the build-time share of explained variance the
+	// allocator weighted this subspace by.
+	VarianceShare float64 `json:"variance_share"`
+	// Variance is the empirical per-vector variance of the projected data
+	// inside this subspace (sum over its dimensions); MSE the mean squared
+	// quantization error per vector; MSEShare = MSE / Variance, the
+	// fraction of the subspace's energy lost to quantization. All three are
+	// zero (and meaningless) when the report is Partial.
+	Variance float64 `json:"variance,omitempty"`
+	MSE      float64 `json:"mse,omitempty"`
+	MSEShare float64 `json:"mse_share,omitempty"`
+	// DeadCodewords counts dictionary entries no code references;
+	// UtilizationEntropyBits is the Shannon entropy of the codeword usage
+	// distribution (Bits when perfectly uniform, 0 when one codeword holds
+	// everything) and EntropyUtilization its ratio to Bits.
+	DeadCodewords          int     `json:"dead_codewords"`
+	UtilizationEntropyBits float64 `json:"utilization_entropy_bits"`
+	EntropyUtilization     float64 `json:"entropy_utilization"`
+	// MaxCodewordShare is the fraction of all codes mapped to the most
+	// popular codeword (1/Entries when uniform).
+	MaxCodewordShare float64 `json:"max_codeword_share"`
+	// OccupancyHist is the log2 histogram of per-codeword usage counts:
+	// bucket 0 = dead, bucket b = used in [2^(b-1), 2^b). Its entries sum
+	// to Entries.
+	OccupancyHist []int `json:"occupancy_hist"`
+}
+
+// TIBalanceReport describes how evenly the triangle-inequality clusters
+// split the dataset — the skip structure's effectiveness depends on it.
+type TIBalanceReport struct {
+	Clusters int `json:"clusters"`
+	// MinSize/MaxSize/MeanSize summarize member counts; EmptyClusters
+	// counts clusters with no members (wasted centroids).
+	MinSize       int     `json:"min_size"`
+	MaxSize       int     `json:"max_size"`
+	MeanSize      float64 `json:"mean_size"`
+	EmptyClusters int     `json:"empty_clusters"`
+	// Gini is the Gini coefficient of the size distribution (0 = perfectly
+	// balanced, →1 = one cluster holds everything); ImbalanceRatio is
+	// MaxSize over MeanSize.
+	Gini           float64 `json:"gini"`
+	ImbalanceRatio float64 `json:"imbalance_ratio"`
+}
+
+// DriftReport carries the online drift gauges into the report (filled by
+// the index, not by Compute: the EWMA state lives with the index).
+type DriftReport struct {
+	// Ratio is the total EWMA incoming-vector MSE over the Build-time
+	// baseline MSE (1 = no drift); AlertRatio the configured alert
+	// threshold (0 = alerting disabled) and Alert whether Ratio currently
+	// exceeds it.
+	Ratio      float64 `json:"ratio"`
+	AlertRatio float64 `json:"alert_ratio,omitempty"`
+	Alert      bool    `json:"alert"`
+	// SubspaceMSEEWMA is the per-subspace EWMA of incoming-vector MSE;
+	// BaselineMSE the Build-time per-subspace MSE it is compared against.
+	SubspaceMSEEWMA []float64 `json:"subspace_mse_ewma,omitempty"`
+	BaselineMSE     []float64 `json:"baseline_mse,omitempty"`
+}
+
+// Report is the IndexReport: a point-in-time quality assessment of a built
+// index. The JSON shape is documented in DESIGN.md §7.
+type Report struct {
+	// GeneratedAt stamps when the report was computed (set by the caller).
+	GeneratedAt time.Time `json:"generated_at"`
+	// N is the number of encoded vectors, Dim the raw dimensionality,
+	// ProjectedDim the PCA-space dimensionality the subspaces partition.
+	N            int `json:"n"`
+	Dim          int `json:"dim"`
+	ProjectedDim int `json:"projected_dim"`
+	// Partial is true when no projected vectors (and no baseline) were
+	// available: the distortion fields (Variance/MSE/MSEShare, the totals
+	// below) are absent rather than silently zero. Utilization and balance
+	// are always computed.
+	Partial bool `json:"partial"`
+	// MSESource says where the distortion fields came from: MSEFresh,
+	// MSEBaseline, or empty when Partial.
+	MSESource string `json:"mse_source,omitempty"`
+	// TotalMSE is the mean squared reconstruction error per vector against
+	// the exact projected vectors (the paper's Equation 2 currency);
+	// TotalVariance the mean per-vector energy around the dataset mean, and
+	// MSEShare their ratio — the overall fraction of signal lost.
+	TotalMSE      float64 `json:"total_mse,omitempty"`
+	TotalVariance float64 `json:"total_variance,omitempty"`
+	MSEShare      float64 `json:"mse_share,omitempty"`
+	// DeadCodewordsTotal sums DeadCodewords across subspaces.
+	DeadCodewordsTotal int `json:"dead_codewords_total"`
+	// Subspaces has one entry per subspace, importance order.
+	Subspaces []SubspaceReport `json:"subspaces"`
+	// TI describes the skip-cluster balance.
+	TI TIBalanceReport `json:"ti"`
+	// Drift is the online drift status (nil when the index has no Build
+	// baseline to compare against, e.g. after loading from disk).
+	Drift *DriftReport `json:"drift,omitempty"`
+}
+
+// Compute builds a Report from a read-only view of the index state. It
+// fills the distortion fields only when in.Projected is present (setting
+// Partial otherwise) and leaves GeneratedAt, MSESource and Drift for the
+// caller. Cost: one pass over the codes for utilization plus, with
+// projected vectors, one O(n·dim) pass for the distortion accounting.
+func Compute(in Input) *Report {
+	m := in.Codebooks.Sub.M()
+	rep := &Report{
+		N:            in.N,
+		Dim:          in.Dim,
+		ProjectedDim: in.Codebooks.Sub.Dim(),
+		Subspaces:    make([]SubspaceReport, m),
+		Partial:      in.Projected == nil,
+	}
+	for s := 0; s < m; s++ {
+		sr := &rep.Subspaces[s]
+		sr.Index = s
+		sr.Dims = in.Codebooks.Sub.Lengths[s]
+		if s < len(in.Bits) {
+			sr.Bits = in.Bits[s]
+		}
+		sr.Entries = 1 << sr.Bits
+		if s < len(in.VarianceShares) {
+			sr.VarianceShare = in.VarianceShares[s]
+		}
+	}
+	computeUtilization(in, rep)
+	if in.Projected != nil {
+		computeDistortion(in, rep)
+	}
+	rep.TI = clusterBalance(in.ClusterSizes)
+	return rep
+}
+
+// computeUtilization fills the codeword-usage fields: one pass over the
+// codes, then per-subspace entropy, dead counts and the occupancy
+// histogram.
+func computeUtilization(in Input, rep *Report) {
+	m := in.Codebooks.Sub.M()
+	counts := make([][]int, m)
+	for s := range counts {
+		counts[s] = make([]int, rep.Subspaces[s].Entries)
+	}
+	for i := 0; i < in.Codes.N; i++ {
+		row := in.Codes.Row(i)
+		for s := 0; s < m; s++ {
+			c := int(row[s])
+			if c < len(counts[s]) {
+				counts[s][c]++
+			}
+		}
+	}
+	for s := 0; s < m; s++ {
+		sr := &rep.Subspaces[s]
+		sr.OccupancyHist = make([]int, OccupancyBuckets)
+		var entropy float64
+		maxCount := 0
+		n := float64(in.Codes.N)
+		for _, c := range counts[s] {
+			sr.OccupancyHist[occupancyBucket(c)]++
+			if c == 0 {
+				sr.DeadCodewords++
+				continue
+			}
+			if c > maxCount {
+				maxCount = c
+			}
+			p := float64(c) / n
+			entropy -= p * math.Log2(p)
+		}
+		sr.UtilizationEntropyBits = entropy
+		if sr.Bits > 0 {
+			sr.EntropyUtilization = entropy / float64(sr.Bits)
+		} else if sr.DeadCodewords == 0 {
+			// A 0-bit (single-entry) dictionary that is used at all is, by
+			// definition, fully utilized.
+			sr.EntropyUtilization = 1
+		}
+		if n > 0 {
+			sr.MaxCodewordShare = float64(maxCount) / n
+		}
+		rep.DeadCodewordsTotal += sr.DeadCodewords
+	}
+}
+
+// occupancyBucket maps a usage count into the log2 occupancy histogram:
+// bucket 0 = dead, bucket b = counts in [2^(b-1), 2^b), tail clamped.
+func occupancyBucket(count int) int {
+	if count <= 0 {
+		return 0
+	}
+	b := 1
+	for count > 1 && b < OccupancyBuckets-1 {
+		count >>= 1
+		b++
+	}
+	return b
+}
+
+// computeDistortion fills the MSE/variance fields from the exact projected
+// vectors: per subspace, the mean squared quantization error and the
+// empirical variance (so MSEShare is the fraction of that subspace's
+// energy the dictionary loses).
+func computeDistortion(in Input, rep *Report) {
+	cb := in.Codebooks
+	m := cb.Sub.M()
+	dim := cb.Sub.Dim()
+	n := in.Projected.Rows
+	if n == 0 || in.Projected.Cols != dim {
+		rep.Partial = true
+		return
+	}
+	sqErr := make([]float64, m)
+	sum := make([]float64, dim)
+	sumSq := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		z := in.Projected.Row(i)
+		code := in.Codes.Row(i)
+		for s := 0; s < m; s++ {
+			zs := cb.Sub.Of(z, s)
+			entry := int(code[s])
+			if entry >= cb.Books[s].Rows {
+				continue
+			}
+			sqErr[s] += float64(vec.SquaredL2(zs, cb.Books[s].Row(entry)))
+		}
+		for j, v := range z {
+			f := float64(v)
+			sum[j] += f
+			sumSq[j] += f * f
+		}
+	}
+	for s := 0; s < m; s++ {
+		sr := &rep.Subspaces[s]
+		sr.MSE = sqErr[s] / float64(n)
+		var variance float64
+		for j := cb.Sub.Offsets[s]; j < cb.Sub.Offsets[s]+cb.Sub.Lengths[s]; j++ {
+			mean := sum[j] / float64(n)
+			variance += sumSq[j]/float64(n) - mean*mean
+		}
+		if variance < 0 {
+			variance = 0 // float cancellation on near-constant dims
+		}
+		sr.Variance = variance
+		if variance > 0 {
+			sr.MSEShare = sr.MSE / variance
+		}
+		rep.TotalMSE += sr.MSE
+		rep.TotalVariance += sr.Variance
+	}
+	if rep.TotalVariance > 0 {
+		rep.MSEShare = rep.TotalMSE / rep.TotalVariance
+	}
+}
+
+// clusterBalance summarizes the TI cluster-size distribution.
+func clusterBalance(sizes []int) TIBalanceReport {
+	b := TIBalanceReport{Clusters: len(sizes)}
+	if len(sizes) == 0 {
+		return b
+	}
+	total := 0
+	b.MinSize = sizes[0]
+	for _, s := range sizes {
+		total += s
+		if s < b.MinSize {
+			b.MinSize = s
+		}
+		if s > b.MaxSize {
+			b.MaxSize = s
+		}
+		if s == 0 {
+			b.EmptyClusters++
+		}
+	}
+	b.MeanSize = float64(total) / float64(len(sizes))
+	if b.MeanSize > 0 {
+		b.ImbalanceRatio = float64(b.MaxSize) / b.MeanSize
+	}
+	b.Gini = gini(sizes, total)
+	return b
+}
+
+// gini computes the Gini coefficient of the size distribution without
+// mutating the input.
+func gini(sizes []int, total int) float64 {
+	if total == 0 || len(sizes) < 2 {
+		return 0
+	}
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	n := len(sorted)
+	var weighted float64
+	for i, s := range sorted {
+		weighted += float64(2*(i+1)-n-1) * float64(s)
+	}
+	return weighted / (float64(n) * float64(total))
+}

@@ -1,0 +1,291 @@
+package diag
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vaq/internal/quantizer"
+	"vaq/internal/vec"
+)
+
+// handBuiltInput constructs a tiny index state directly (no core build):
+// two subspaces of 2 dims, 1 bit and 0 bits, four vectors. The 0-bit
+// subspace has a single-entry dictionary — the degenerate shape a
+// reverse-water-filling allocator produces for near-zero-variance
+// components — and must flow through every report field without dividing
+// by its bit count.
+func handBuiltInput() Input {
+	sub, err := quantizer.FromLengths([]int{2, 2})
+	if err != nil {
+		panic(err)
+	}
+	book0 := &vec.Matrix{Rows: 2, Cols: 2, Data: []float32{-1, -1, 1, 1}}
+	book1 := &vec.Matrix{Rows: 1, Cols: 2, Data: []float32{0, 0}}
+	cb := &quantizer.Codebooks{Sub: sub, Bits: []int{1, 0}, Books: []*vec.Matrix{book0, book1}}
+	codes := &quantizer.Codes{N: 4, M: 2, Data: []uint16{
+		0, 0,
+		0, 0,
+		1, 0,
+		1, 0,
+	}}
+	proj := &vec.Matrix{Rows: 4, Cols: 4, Data: []float32{
+		-1, -1, 0.1, 0,
+		-1, -1, -0.1, 0,
+		1, 1, 0.1, 0,
+		1, 1, -0.1, 0,
+	}}
+	return Input{
+		N: 4, Dim: 4,
+		Bits:           []int{1, 0},
+		VarianceShares: []float64{0.9, 0.1},
+		Codebooks:      cb,
+		Codes:          codes,
+		ClusterSizes:   []int{2, 2},
+		Projected:      proj,
+	}
+}
+
+func TestComputeHandBuilt(t *testing.T) {
+	rep := Compute(handBuiltInput())
+	if rep.Partial {
+		t.Fatal("projected vectors supplied, report must not be partial")
+	}
+	if len(rep.Subspaces) != 2 {
+		t.Fatalf("subspaces = %d, want 2", len(rep.Subspaces))
+	}
+	s0, s1 := &rep.Subspaces[0], &rep.Subspaces[1]
+	// Subspace 0 reconstructs exactly: MSE 0, both codewords used.
+	if s0.MSE != 0 || s0.MSEShare != 0 {
+		t.Errorf("subspace 0 MSE=%v share=%v, want exact reconstruction", s0.MSE, s0.MSEShare)
+	}
+	if s0.DeadCodewords != 0 || s0.Entries != 2 {
+		t.Errorf("subspace 0 dead=%d entries=%d", s0.DeadCodewords, s0.Entries)
+	}
+	if math.Abs(s0.UtilizationEntropyBits-1) > 1e-12 || math.Abs(s0.EntropyUtilization-1) > 1e-12 {
+		t.Errorf("subspace 0 entropy=%v util=%v, want 1 bit fully utilized", s0.UtilizationEntropyBits, s0.EntropyUtilization)
+	}
+	// Subspace 1: 0-bit single-entry dictionary at the data mean — MSE is
+	// exactly the subspace variance, so the share is 1.
+	if s1.Entries != 1 || s1.DeadCodewords != 0 {
+		t.Errorf("subspace 1 entries=%d dead=%d", s1.Entries, s1.DeadCodewords)
+	}
+	if s1.UtilizationEntropyBits != 0 || s1.EntropyUtilization != 1 {
+		t.Errorf("subspace 1 entropy=%v util=%v, want 0 bits / fully utilized", s1.UtilizationEntropyBits, s1.EntropyUtilization)
+	}
+	if math.Abs(s1.MSEShare-1) > 1e-5 {
+		t.Errorf("subspace 1 MSE share = %v, want 1 (codeword sits at the mean)", s1.MSEShare)
+	}
+	// Totals: MSE comes only from subspace 1.
+	if math.Abs(rep.TotalMSE-s1.MSE) > 1e-12 {
+		t.Errorf("TotalMSE=%v, want %v", rep.TotalMSE, s1.MSE)
+	}
+	if rep.MSEShare <= 0 || rep.MSEShare > 1 {
+		t.Errorf("MSEShare=%v out of (0,1]", rep.MSEShare)
+	}
+	// Balance: two clusters of two.
+	if rep.TI.Clusters != 2 || rep.TI.Gini != 0 || rep.TI.ImbalanceRatio != 1 {
+		t.Errorf("TI balance = %+v, want perfectly balanced", rep.TI)
+	}
+	checkConsistency(t, rep)
+}
+
+// checkConsistency asserts the internal invariants every report must
+// satisfy: occupancy histograms sum to the dictionary size, utilization
+// accounts for exactly N codes, entropy within [0, bits], shares sane.
+func checkConsistency(t *testing.T, rep *Report) {
+	t.Helper()
+	deadTotal := 0
+	for i := range rep.Subspaces {
+		s := &rep.Subspaces[i]
+		sum := 0
+		for _, c := range s.OccupancyHist {
+			sum += c
+		}
+		if sum != s.Entries {
+			t.Errorf("subspace %d occupancy histogram sums to %d, want %d entries", s.Index, sum, s.Entries)
+		}
+		if s.OccupancyHist[0] != s.DeadCodewords {
+			t.Errorf("subspace %d occupancy[0]=%d != dead=%d", s.Index, s.OccupancyHist[0], s.DeadCodewords)
+		}
+		if s.UtilizationEntropyBits < -1e-9 || (s.Bits > 0 && s.UtilizationEntropyBits > float64(s.Bits)+1e-9) {
+			t.Errorf("subspace %d entropy %v out of [0, %d]", s.Index, s.UtilizationEntropyBits, s.Bits)
+		}
+		if s.MaxCodewordShare < 0 || s.MaxCodewordShare > 1 {
+			t.Errorf("subspace %d max codeword share %v out of [0,1]", s.Index, s.MaxCodewordShare)
+		}
+		if !rep.Partial && (s.MSE < 0 || s.MSEShare < 0) {
+			t.Errorf("subspace %d negative distortion: mse=%v share=%v", s.Index, s.MSE, s.MSEShare)
+		}
+		deadTotal += s.DeadCodewords
+	}
+	if deadTotal != rep.DeadCodewordsTotal {
+		t.Errorf("DeadCodewordsTotal=%d, subspace sum %d", rep.DeadCodewordsTotal, deadTotal)
+	}
+	if rep.TI.Gini < 0 || rep.TI.Gini > 1 {
+		t.Errorf("gini %v out of [0,1]", rep.TI.Gini)
+	}
+}
+
+func TestComputePartialWithoutProjected(t *testing.T) {
+	in := handBuiltInput()
+	in.Projected = nil
+	rep := Compute(in)
+	if !rep.Partial {
+		t.Fatal("no projected vectors: report must be partial")
+	}
+	if rep.TotalMSE != 0 || rep.MSEShare != 0 {
+		t.Errorf("partial report carries distortion values: mse=%v share=%v", rep.TotalMSE, rep.MSEShare)
+	}
+	// Utilization and balance still fully populated.
+	if rep.Subspaces[0].UtilizationEntropyBits == 0 {
+		t.Error("partial report lost utilization entropy")
+	}
+	if rep.TI.Clusters != 2 {
+		t.Error("partial report lost cluster balance")
+	}
+	checkConsistency(t, rep)
+}
+
+func TestUtilizationCountsDeadCodewords(t *testing.T) {
+	in := handBuiltInput()
+	// Map every code of subspace 0 to codeword 1: codeword 0 goes dead.
+	for i := 0; i < in.Codes.N; i++ {
+		in.Codes.Row(i)[0] = 1
+	}
+	rep := Compute(in)
+	s0 := &rep.Subspaces[0]
+	if s0.DeadCodewords != 1 || rep.DeadCodewordsTotal != 1 {
+		t.Errorf("dead=%d total=%d, want 1", s0.DeadCodewords, rep.DeadCodewordsTotal)
+	}
+	if s0.UtilizationEntropyBits != 0 || s0.MaxCodewordShare != 1 {
+		t.Errorf("entropy=%v maxShare=%v, want degenerate usage", s0.UtilizationEntropyBits, s0.MaxCodewordShare)
+	}
+	checkConsistency(t, rep)
+}
+
+func TestClusterBalanceSkew(t *testing.T) {
+	b := clusterBalance([]int{0, 0, 10, 90})
+	if b.Clusters != 4 || b.EmptyClusters != 2 || b.MinSize != 0 || b.MaxSize != 90 {
+		t.Fatalf("balance = %+v", b)
+	}
+	if b.MeanSize != 25 || b.ImbalanceRatio != 3.6 {
+		t.Errorf("mean=%v imbalance=%v", b.MeanSize, b.ImbalanceRatio)
+	}
+	if b.Gini <= 0.5 || b.Gini > 1 {
+		t.Errorf("gini=%v, want strongly skewed", b.Gini)
+	}
+	if even := clusterBalance([]int{5, 5, 5, 5}); even.Gini != 0 {
+		t.Errorf("balanced gini=%v, want 0", even.Gini)
+	}
+}
+
+func TestOccupancyBuckets(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 1 << 25: OccupancyBuckets - 1}
+	for count, want := range cases {
+		if got := occupancyBucket(count); got != want {
+			t.Errorf("occupancyBucket(%d) = %d, want %d", count, got, want)
+		}
+	}
+}
+
+// TestComputeLargerRandom cross-checks the invariants on a bigger random
+// instance with wide (>256-entry) dictionaries.
+func TestComputeLargerRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, dims = 3000, 6
+	sub, _ := quantizer.FromLengths([]int{3, 3})
+	bits := []int{9, 2} // 512 entries: exercises the uint16-range codeword path
+	books := make([]*vec.Matrix, 2)
+	for s := range books {
+		books[s] = vec.NewMatrix(1<<bits[s], 3)
+		for i := range books[s].Data {
+			books[s].Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	cb := &quantizer.Codebooks{Sub: sub, Bits: bits, Books: books}
+	proj := vec.NewMatrix(n, dims)
+	for i := range proj.Data {
+		proj.Data[i] = float32(rng.NormFloat64())
+	}
+	codes, err := cb.Encode(proj, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{n / 2, n / 4, n / 4}
+	rep := Compute(Input{
+		N: n, Dim: dims, Bits: bits, VarianceShares: []float64{0.7, 0.3},
+		Codebooks: cb, Codes: codes, ClusterSizes: sizes, Projected: proj,
+	})
+	checkConsistency(t, rep)
+	// Random codebooks over random data: distortion must be positive and
+	// below total energy.
+	if rep.TotalMSE <= 0 || rep.MSEShare <= 0 || rep.MSEShare >= 1 {
+		t.Errorf("TotalMSE=%v MSEShare=%v", rep.TotalMSE, rep.MSEShare)
+	}
+	// 512 random centroids over 3000 points: some go unused, none in the
+	// 4-entry dictionary's league. Just pin that the wide dictionary's
+	// histogram shape holds.
+	if rep.Subspaces[0].Entries != 512 {
+		t.Errorf("entries=%d, want 512", rep.Subspaces[0].Entries)
+	}
+}
+
+func TestPublishAndHTTPHandler(t *testing.T) {
+	rep := Compute(handBuiltInput())
+	Publish("diag_test_index", func() *Report { return rep })
+	defer Publish("diag_test_index", nil)
+
+	r := httptest.NewRequest("GET", "/debug/vaq/report?index=diag_test_index", nil)
+	w := httptest.NewRecorder()
+	handleReport(w, r)
+	if w.Code != 200 {
+		t.Fatalf("status %d", w.Code)
+	}
+	var decoded map[string]*Report
+	if err := json.Unmarshal(w.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	got := decoded["diag_test_index"]
+	if got == nil || got.N != 4 || len(got.Subspaces) != 2 {
+		t.Fatalf("decoded report = %+v", got)
+	}
+
+	r = httptest.NewRequest("GET", "/debug/vaq/report?index=diag_test_index&format=text", nil)
+	w = httptest.NewRecorder()
+	handleReport(w, r)
+	body := w.Body.String()
+	for _, needle := range []string{"index:", "ti clusters:", "dead codewords:"} {
+		if !strings.Contains(body, needle) {
+			t.Errorf("text report missing %q:\n%s", needle, body)
+		}
+	}
+
+	r = httptest.NewRequest("GET", "/debug/vaq/report?index=nope", nil)
+	w = httptest.NewRecorder()
+	handleReport(w, r)
+	if w.Code != 404 {
+		t.Errorf("unknown index: status %d, want 404", w.Code)
+	}
+}
+
+func TestWriteTextPartialAndDrift(t *testing.T) {
+	in := handBuiltInput()
+	in.Projected = nil
+	rep := Compute(in)
+	rep.Drift = &DriftReport{Ratio: 2.5, AlertRatio: 1.5, Alert: true}
+	var sb strings.Builder
+	if err := WriteText(&sb, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "partial report") {
+		t.Errorf("partial marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ALERT") {
+		t.Errorf("drift alert missing:\n%s", out)
+	}
+}

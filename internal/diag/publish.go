@@ -1,0 +1,77 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// The process-wide report registry behind /debug/vaq/report, mirroring the
+// tracer registry in internal/trace: Publish rebinds an existing name
+// instead of erroring, so index reloads and tests stay simple. The
+// registry stores providers, not reports — a report is recomputed on every
+// scrape, so the endpoint always reflects the current index state
+// (including vectors threaded in by Add since the last look).
+var providers sync.Map // name -> func() *Report
+
+// Publish registers provider under name for the /debug/vaq/report handler
+// (installed on http.DefaultServeMux at package init, like net/http/pprof
+// does — metrics.ServeDebug serves that mux). Publishing a nil provider
+// removes the name.
+func Publish(name string, provider func() *Report) {
+	if provider == nil {
+		providers.Delete(name)
+		return
+	}
+	providers.Store(name, provider)
+}
+
+func init() {
+	http.HandleFunc("/debug/vaq/report", handleReport)
+}
+
+// handleReport serves the registered providers. Query parameters:
+//
+//	?index=X       only the index published as X (default: all)
+//	?format=text   human-readable dump; default is JSON, one object per
+//	               published index keyed by name
+func handleReport(w http.ResponseWriter, r *http.Request) {
+	wantName := r.URL.Query().Get("index")
+	var names []string
+	providers.Range(func(k, _ any) bool {
+		if wantName == "" || k.(string) == wantName {
+			names = append(names, k.(string))
+		}
+		return true
+	})
+	sort.Strings(names)
+	if wantName != "" && len(names) == 0 {
+		http.Error(w, fmt.Sprintf("no index published as %q", wantName), http.StatusNotFound)
+		return
+	}
+	reports := make(map[string]*Report, len(names))
+	for _, name := range names {
+		v, ok := providers.Load(name)
+		if !ok {
+			continue
+		}
+		reports[name] = v.(func() *Report)()
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, name := range names {
+			if rep := reports[name]; rep != nil {
+				fmt.Fprintf(w, "== index %q\n", name)
+				WriteText(w, rep) //nolint:errcheck // best-effort HTTP body
+				fmt.Fprintln(w)
+			}
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(reports) //nolint:errcheck // best-effort HTTP body
+}

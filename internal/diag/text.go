@@ -1,0 +1,56 @@
+package diag
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText renders the report for humans: a header with the overall
+// quality numbers, one row per subspace, and the cluster-balance and drift
+// summaries. The layout is what cmd/vaqdiag prints and what
+// /debug/vaq/report?format=text serves.
+func WriteText(w io.Writer, r *Report) error {
+	if _, err := fmt.Fprintf(w, "index: n=%d dim=%d projected_dim=%d subspaces=%d\n",
+		r.N, r.Dim, r.ProjectedDim, len(r.Subspaces)); err != nil {
+		return err
+	}
+	switch {
+	case r.Partial:
+		fmt.Fprintf(w, "distortion: unavailable (partial report: no projected vectors retained — rebuild or enable recall sampling)\n")
+	default:
+		fmt.Fprintf(w, "distortion (%s): total MSE %.6g over variance %.6g = %.2f%% of signal lost\n",
+			r.MSESource, r.TotalMSE, r.TotalVariance, 100*r.MSEShare)
+	}
+	fmt.Fprintf(w, "dead codewords: %d total\n\n", r.DeadCodewordsTotal)
+
+	fmt.Fprintf(w, "%-4s %-5s %-5s %-8s %-10s %-10s %-9s %-6s %-9s %-9s\n",
+		"sub", "dims", "bits", "entries", "var_share", "mse", "mse_share", "dead", "entropy", "max_share")
+	for i := range r.Subspaces {
+		s := &r.Subspaces[i]
+		mse, share := "-", "-"
+		if !r.Partial {
+			mse = fmt.Sprintf("%.4g", s.MSE)
+			share = fmt.Sprintf("%.4f", s.MSEShare)
+		}
+		if _, err := fmt.Fprintf(w, "%-4d %-5d %-5d %-8d %-10.5f %-10s %-9s %-6d %-9.2f %-9.4f\n",
+			s.Index, s.Dims, s.Bits, s.Entries, s.VarianceShare, mse, share,
+			s.DeadCodewords, s.UtilizationEntropyBits, s.MaxCodewordShare); err != nil {
+			return err
+		}
+	}
+
+	ti := r.TI
+	fmt.Fprintf(w, "\nti clusters: %d (min %d, max %d, mean %.1f, empty %d), gini %.3f, imbalance %.2fx\n",
+		ti.Clusters, ti.MinSize, ti.MaxSize, ti.MeanSize, ti.EmptyClusters, ti.Gini, ti.ImbalanceRatio)
+	if d := r.Drift; d != nil {
+		status := "ok"
+		if d.Alert {
+			status = "ALERT"
+		}
+		if _, err := fmt.Fprintf(w, "drift: ratio %.3f (alert threshold %g) — %s\n",
+			d.Ratio, d.AlertRatio, status); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 package metrics
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -58,6 +59,16 @@ type IndexMetrics struct {
 	recallSamples  atomic.Uint64
 	recallHits     atomic.Uint64
 	recallExpected atomic.Uint64
+	// Quantization-drift gauges (SetSubspaceMSE / SetDrift): the
+	// per-subspace EWMA of incoming-vector reconstruction MSE, the ratio of
+	// its total to the Build-time baseline, the current dead-codeword
+	// count, and whether the ratio sits above the configured alert
+	// threshold. Gauges, not counters: each Set overwrites. Float values
+	// are stored as math.Float64bits in atomic.Uint64.
+	subspaceMSE   []atomic.Uint64
+	driftRatio    atomic.Uint64
+	deadCodewords atomic.Uint64
+	driftAlert    atomic.Uint32
 }
 
 // New returns an empty registry without attribution histograms (their
@@ -67,15 +78,58 @@ func New() *IndexMetrics { return &IndexMetrics{} }
 
 // NewSized returns an empty registry whose pruning-attribution histograms
 // hold depths abandonment-depth counters (one per possible lookup count,
-// i.e. subspaces+1) and ClusterRankBuckets visit-rank counters.
-func NewSized(depths int) *IndexMetrics {
+// i.e. subspaces+1) and ClusterRankBuckets visit-rank counters, plus
+// subspaces per-subspace drift gauges.
+func NewSized(depths, subspaces int) *IndexMetrics {
 	if depths < 0 {
 		depths = 0
+	}
+	if subspaces < 0 {
+		subspaces = 0
 	}
 	return &IndexMetrics{
 		abandonDepths: make([]atomic.Uint64, depths),
 		tiSkipsByRank: make([]atomic.Uint64, ClusterRankBuckets),
+		subspaceMSE:   make([]atomic.Uint64, subspaces),
 	}
+}
+
+// SetSubspaceMSE overwrites the per-subspace drift gauges (EWMA of
+// incoming-vector reconstruction MSE). Values beyond the registry's
+// subspace shape are ignored, as are calls on a nil or unshaped registry.
+func (m *IndexMetrics) SetSubspaceMSE(mse []float64) {
+	if m == nil {
+		return
+	}
+	for i, v := range mse {
+		if i >= len(m.subspaceMSE) {
+			return
+		}
+		m.subspaceMSE[i].Store(math.Float64bits(v))
+	}
+}
+
+// SetDrift overwrites the drift-ratio gauge (EWMA total MSE over the
+// Build-time baseline; 1 = no drift) and the alert gauge.
+func (m *IndexMetrics) SetDrift(ratio float64, alert bool) {
+	if m == nil {
+		return
+	}
+	m.driftRatio.Store(math.Float64bits(ratio))
+	var a uint32
+	if alert {
+		a = 1
+	}
+	m.driftAlert.Store(a)
+}
+
+// SetDeadCodewords overwrites the dead-codeword gauge (dictionary entries
+// no code currently references, summed over subspaces).
+func (m *IndexMetrics) SetDeadCodewords(n uint64) {
+	if m == nil {
+		return
+	}
+	m.deadCodewords.Store(n)
 }
 
 // RecordSearch folds one completed query into the registry. Attribution
@@ -151,6 +205,12 @@ func (m *IndexMetrics) Reset() {
 	m.recallSamples.Store(0)
 	m.recallHits.Store(0)
 	m.recallExpected.Store(0)
+	for i := range m.subspaceMSE {
+		m.subspaceMSE[i].Store(0)
+	}
+	m.driftRatio.Store(0)
+	m.deadCodewords.Store(0)
+	m.driftAlert.Store(0)
 	m.latency.Reset()
 }
 
@@ -183,6 +243,15 @@ func (m *IndexMetrics) Snapshot() Snapshot {
 	s.RecallSamples = m.recallSamples.Load()
 	s.RecallHits = m.recallHits.Load()
 	s.RecallExpected = m.recallExpected.Load()
+	if len(m.subspaceMSE) > 0 {
+		s.SubspaceMSE = make([]float64, len(m.subspaceMSE))
+		for i := range m.subspaceMSE {
+			s.SubspaceMSE[i] = math.Float64frombits(m.subspaceMSE[i].Load())
+		}
+	}
+	s.DriftRatio = math.Float64frombits(m.driftRatio.Load())
+	s.DeadCodewords = m.deadCodewords.Load()
+	s.DriftAlert = m.driftAlert.Load() == 1
 	s.Latency = m.latency.Snapshot()
 	return s
 }
@@ -207,10 +276,21 @@ type Snapshot struct {
 	// RecallSamples/Hits/Expected are the shadow-exact recall estimator
 	// totals: over RecallSamples sampled queries, RecallHits of
 	// RecallExpected true neighbors appeared in the approximate answers.
-	RecallSamples  uint64            `json:"recall_samples,omitempty"`
-	RecallHits     uint64            `json:"recall_hits,omitempty"`
-	RecallExpected uint64            `json:"recall_expected,omitempty"`
-	Latency        HistogramSnapshot `json:"latency"`
+	RecallSamples  uint64 `json:"recall_samples,omitempty"`
+	RecallHits     uint64 `json:"recall_hits,omitempty"`
+	RecallExpected uint64 `json:"recall_expected,omitempty"`
+	// SubspaceMSE is the per-subspace EWMA drift gauge (reconstruction MSE
+	// of vectors folded in by Add, seeded with the Build-time baseline);
+	// DriftRatio its total over the baseline total (1 = no drift, 0 =
+	// unknown, e.g. a loaded index with no baseline); DeadCodewords the
+	// current count of unused dictionary entries; DriftAlert whether
+	// DriftRatio sits above the configured alert threshold. Gauges: Sub
+	// keeps the newer snapshot's values as-is.
+	SubspaceMSE   []float64         `json:"subspace_mse,omitempty"`
+	DriftRatio    float64           `json:"drift_ratio,omitempty"`
+	DeadCodewords uint64            `json:"dead_codewords,omitempty"`
+	DriftAlert    bool              `json:"drift_alert,omitempty"`
+	Latency       HistogramSnapshot `json:"latency"`
 }
 
 // Sub returns the counter-wise difference s - prev (histogram excluded:
@@ -293,4 +373,7 @@ type BuildReport struct {
 	// layout (cluster-contiguous blocked transposition; zero when the
 	// legacy row-major layout was requested).
 	Layout time.Duration `json:"layout"`
+	// Diagnostics is the Build-time IndexReport baseline computation
+	// (utilization pass plus exact distortion accounting).
+	Diagnostics time.Duration `json:"diagnostics"`
 }

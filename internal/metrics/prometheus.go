@@ -28,6 +28,7 @@ func handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", PrometheusContentType)
 	WritePrometheus(w, names...) //nolint:errcheck // best-effort HTTP body
+	WriteRuntimeMetrics(w)       //nolint:errcheck // best-effort HTTP body
 }
 
 // promFamily describes one exported counter family.
@@ -48,6 +49,26 @@ var promCounters = []promFamily{
 	{"vaq_recall_samples_total", "Queries shadow-verified against an exact scan.", func(s Snapshot) uint64 { return s.RecallSamples }},
 	{"vaq_recall_hits_total", "True neighbors found in sampled approximate answers.", func(s Snapshot) uint64 { return s.RecallHits }},
 	{"vaq_recall_expected_total", "True neighbors expected in sampled answers.", func(s Snapshot) uint64 { return s.RecallExpected }},
+}
+
+// promGauges are the scalar drift gauges; vaq_subspace_mse (vector, one
+// sample per subspace) is emitted alongside them in WritePrometheus.
+var promGauges = []struct {
+	name string
+	help string
+	val  func(s Snapshot) float64
+}{
+	{"vaq_drift_ratio", "EWMA incoming-vector MSE over the Build-time baseline (1 = no drift, 0 = no baseline).",
+		func(s Snapshot) float64 { return s.DriftRatio }},
+	{"vaq_dead_codewords", "Dictionary entries no code currently references, summed over subspaces.",
+		func(s Snapshot) float64 { return float64(s.DeadCodewords) }},
+	{"vaq_drift_alert", "1 while the drift ratio sits above Config.DriftAlertRatio.",
+		func(s Snapshot) float64 {
+			if s.DriftAlert {
+				return 1
+			}
+			return 0
+		}},
 }
 
 // WritePrometheus emits the published registries in Prometheus text
@@ -80,6 +101,29 @@ func WritePrometheus(w io.Writer, names ...string) error {
 		}
 		for _, name := range names {
 			if _, err := fmt.Fprintf(w, "%s{index=%q} %d\n", fam.name, name, fam.val(snaps[name])); err != nil {
+				return err
+			}
+		}
+	}
+	// Quantization-drift gauges (overwritten by the index on Build/Add, not
+	// accumulated — TYPE gauge so scrapers treat dips as real).
+	if err := writeTypedHeader(w, "vaq_subspace_mse",
+		"Per-subspace EWMA reconstruction MSE of vectors folded in by Add (seeded with the Build-time baseline).", "gauge"); err != nil {
+		return err
+	}
+	for _, name := range names {
+		for sub, v := range snaps[name].SubspaceMSE {
+			if _, err := fmt.Fprintf(w, "vaq_subspace_mse{index=%q,subspace=\"%d\"} %g\n", name, sub, v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, fam := range promGauges {
+		if err := writeTypedHeader(w, fam.name, fam.help, "gauge"); err != nil {
+			return err
+		}
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "%s{index=%q} %g\n", fam.name, name, fam.val(snaps[name])); err != nil {
 				return err
 			}
 		}

@@ -37,8 +37,11 @@ func firstRank(v uint32) []uint32 {
 // latency histogram, in the exact order and format a Prometheus scraper
 // parses.
 func TestWritePrometheusGolden(t *testing.T) {
-	m := NewSized(3)
+	m := NewSized(3, 2)
 	promTestRecord(m)
+	m.SetSubspaceMSE([]float64{0.5, 0.25})
+	m.SetDrift(1.5, true)
+	m.SetDeadCodewords(3)
 	Publish("prom_golden", m)
 
 	var b strings.Builder
@@ -52,6 +55,15 @@ func TestWritePrometheusGolden(t *testing.T) {
 	for i, fam := range promCounters {
 		fmt.Fprintf(&want, "# HELP %s %s\n# TYPE %s counter\n", fam.name, fam.help, fam.name)
 		fmt.Fprintf(&want, "%s{index=%q} %d\n", fam.name, "prom_golden", counterVals[i])
+	}
+	fmt.Fprintf(&want, "# HELP vaq_subspace_mse Per-subspace EWMA reconstruction MSE of vectors folded in by Add (seeded with the Build-time baseline).\n"+
+		"# TYPE vaq_subspace_mse gauge\n"+
+		"vaq_subspace_mse{index=\"prom_golden\",subspace=\"0\"} 0.5\n"+
+		"vaq_subspace_mse{index=\"prom_golden\",subspace=\"1\"} 0.25\n")
+	gaugeVals := []float64{1.5, 3, 1}
+	for i, fam := range promGauges {
+		fmt.Fprintf(&want, "# HELP %s %s\n# TYPE %s gauge\n", fam.name, fam.help, fam.name)
+		fmt.Fprintf(&want, "%s{index=%q} %g\n", fam.name, "prom_golden", gaugeVals[i])
 	}
 	want.WriteString("# HELP vaq_ea_abandon_depth_total Codes early-abandoned after exactly this many table lookups.\n" +
 		"# TYPE vaq_ea_abandon_depth_total counter\n" +
@@ -84,7 +96,7 @@ func TestWritePrometheusGolden(t *testing.T) {
 // filtering, 404 on unknown names, and counter monotonicity across scrapes
 // while traffic arrives.
 func TestPrometheusHandler(t *testing.T) {
-	m := NewSized(3)
+	m := NewSized(3, 2)
 	promTestRecord(m)
 	Publish("prom_handler", m)
 	srv, err := ServeDebug("127.0.0.1:0")
@@ -113,6 +125,9 @@ func TestPrometheusHandler(t *testing.T) {
 	}
 	if ct := resp.Header.Get("Content-Type"); ct != PrometheusContentType {
 		t.Errorf("content type %q, want %q", ct, PrometheusContentType)
+	}
+	if !strings.Contains(body, "vaq_runtime_goroutines") || !strings.Contains(body, "vaq_runtime_heap_bytes") {
+		t.Errorf("scrape missing runtime sampler families:\n%s", body)
 	}
 	queriesRe := regexp.MustCompile(`vaq_queries_total\{index="prom_handler"\} (\d+)`)
 	match := queriesRe.FindStringSubmatch(body)
@@ -145,7 +160,7 @@ func TestPrometheusHandler(t *testing.T) {
 }
 
 func TestRecordSearchAttributionFold(t *testing.T) {
-	m := NewSized(4)
+	m := NewSized(4, 3)
 	m.RecordSearch(SearchRecord{
 		CodesAbandonedEA: 3,
 		AbandonDepths:    []uint32{0, 2, 0, 1},

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	rtm "runtime/metrics"
+)
+
+// runtimeSamples maps the runtime/metrics names we sample onto exported
+// Prometheus families. Sampling happens at scrape time (no background
+// goroutine): runtime/metrics reads are cheap and a scrape is the only
+// consumer. Histogram-kind metrics (GC pauses) are folded into a _total
+// sum approximated by bucket midpoints plus an event count.
+var runtimeSamples = []struct {
+	metric string // runtime/metrics name
+	name   string // exported family name
+	help   string
+	typ    string // "gauge" or "counter"
+}{
+	{"/memory/classes/heap/objects:bytes", "vaq_runtime_heap_bytes",
+		"Bytes occupied by live heap objects plus dead objects not yet swept.", "gauge"},
+	{"/sched/goroutines:goroutines", "vaq_runtime_goroutines",
+		"Live goroutines.", "gauge"},
+	{"/gc/cycles/total:gc-cycles", "vaq_runtime_gc_cycles_total",
+		"Completed GC cycles.", "counter"},
+	{"/gc/pauses:seconds", "vaq_runtime_gc_pause_seconds_total",
+		"Approximate cumulative stop-the-world pause time (histogram bucket midpoints).", "counter"},
+}
+
+// WriteRuntimeMetrics appends process-level runtime health (heap bytes,
+// goroutines, GC cycles and pause time) to a Prometheus scrape. These are
+// per-process, not per-index, so they carry no index label. Metrics a
+// given Go runtime does not export are skipped silently.
+func WriteRuntimeMetrics(w io.Writer) error {
+	samples := make([]rtm.Sample, len(runtimeSamples))
+	for i, rs := range runtimeSamples {
+		samples[i].Name = rs.metric
+	}
+	rtm.Read(samples)
+	for i, rs := range runtimeSamples {
+		v := samples[i].Value
+		switch v.Kind() {
+		case rtm.KindUint64:
+			if err := writeTypedHeader(w, rs.name, rs.help, rs.typ); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", rs.name, v.Uint64()); err != nil {
+				return err
+			}
+		case rtm.KindFloat64:
+			if err := writeTypedHeader(w, rs.name, rs.help, rs.typ); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %g\n", rs.name, v.Float64()); err != nil {
+				return err
+			}
+		case rtm.KindFloat64Histogram:
+			sum, count := histogramApproxSum(v.Float64Histogram())
+			if err := writeTypedHeader(w, rs.name, rs.help, rs.typ); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %g\n", rs.name, sum); err != nil {
+				return err
+			}
+			events := rs.name + "_events"
+			if err := writeTypedHeader(w, events, rs.help+" (event count)", "counter"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", events, count); err != nil {
+				return err
+			}
+		default:
+			// KindBad: this runtime does not export the metric; skip.
+		}
+	}
+	return nil
+}
+
+// histogramApproxSum approximates the sum of a runtime/metrics histogram
+// by weighting each bucket's count with its midpoint (unbounded edge
+// buckets fall back to their finite boundary).
+func histogramApproxSum(h *rtm.Float64Histogram) (sum float64, count uint64) {
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		count += c
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		if math.IsInf(lo, -1) {
+			mid = hi
+		} else if math.IsInf(hi, +1) {
+			mid = lo
+		}
+		sum += mid * float64(c)
+	}
+	return sum, count
+}

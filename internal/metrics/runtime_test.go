@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWriteRuntimeMetrics checks the sampler emits every family with a
+// parseable, sane value: goroutines at least 1 (we are running on one),
+// heap bytes positive, GC counters non-negative.
+func TestWriteRuntimeMetrics(t *testing.T) {
+	runtime.GC() // make sure at least one cycle and pause exist
+	var b strings.Builder
+	if err := WriteRuntimeMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, fam := range []string{
+		"vaq_runtime_heap_bytes",
+		"vaq_runtime_goroutines",
+		"vaq_runtime_gc_cycles_total",
+		"vaq_runtime_gc_pause_seconds_total",
+	} {
+		re := regexp.MustCompile(`(?m)^` + fam + ` ([0-9.e+-]+)$`)
+		match := re.FindStringSubmatch(body)
+		if match == nil {
+			t.Errorf("missing family %s in:\n%s", fam, body)
+			continue
+		}
+		v, err := strconv.ParseFloat(match[1], 64)
+		if err != nil {
+			t.Errorf("%s value %q: %v", fam, match[1], err)
+			continue
+		}
+		if v < 0 {
+			t.Errorf("%s = %g, want >= 0", fam, v)
+		}
+		if fam == "vaq_runtime_goroutines" && v < 1 {
+			t.Errorf("goroutines = %g, want >= 1", v)
+		}
+		if fam == "vaq_runtime_heap_bytes" && v <= 0 {
+			t.Errorf("heap bytes = %g, want > 0", v)
+		}
+	}
+	if !strings.Contains(body, "vaq_runtime_gc_pause_seconds_total_events") {
+		t.Errorf("missing pause event count in:\n%s", body)
+	}
+}
+
+// TestDriftGaugeRoundTrip pins the gauge setters through Snapshot and
+// Reset, including nil-safety and shape clamping.
+func TestDriftGaugeRoundTrip(t *testing.T) {
+	m := NewSized(3, 2)
+	m.SetSubspaceMSE([]float64{1.5, 2.5, 99}) // third entry beyond shape: ignored
+	m.SetDrift(1.25, true)
+	m.SetDeadCodewords(7)
+	s := m.Snapshot()
+	if len(s.SubspaceMSE) != 2 || s.SubspaceMSE[0] != 1.5 || s.SubspaceMSE[1] != 2.5 {
+		t.Errorf("SubspaceMSE = %v", s.SubspaceMSE)
+	}
+	if s.DriftRatio != 1.25 || !s.DriftAlert || s.DeadCodewords != 7 {
+		t.Errorf("drift gauges: ratio=%v alert=%v dead=%d", s.DriftRatio, s.DriftAlert, s.DeadCodewords)
+	}
+	m.SetDrift(0.5, false)
+	if s := m.Snapshot(); s.DriftRatio != 0.5 || s.DriftAlert {
+		t.Errorf("gauge overwrite failed: %+v", s)
+	}
+	m.Reset()
+	s = m.Snapshot()
+	if s.SubspaceMSE[0] != 0 || s.DriftRatio != 0 || s.DriftAlert || s.DeadCodewords != 0 {
+		t.Errorf("Reset left drift gauges: %+v", s)
+	}
+
+	var nilM *IndexMetrics
+	nilM.SetSubspaceMSE([]float64{1}) // must not panic
+	nilM.SetDrift(1, true)
+	nilM.SetDeadCodewords(1)
+	unshaped := New()
+	unshaped.SetSubspaceMSE([]float64{1}) // ignored beyond (empty) shape
+	if s := unshaped.Snapshot(); len(s.SubspaceMSE) != 0 {
+		t.Errorf("unshaped registry grew gauges: %+v", s)
+	}
+}

@@ -45,6 +45,16 @@ type MetricsSnapshot struct {
 	LatencyP95  time.Duration `json:"latency_p95_ns"`
 	LatencyP99  time.Duration `json:"latency_p99_ns"`
 	LatencyMean time.Duration `json:"latency_mean_ns"`
+	// SubspaceMSE is the per-subspace EWMA reconstruction error of vectors
+	// folded in by Add (seeded with the Build baseline); DriftRatio is its
+	// total over the baseline total (1 = no drift); DriftAlert reports
+	// whether the ratio currently exceeds Config.DriftAlertRatio.
+	// DeadCodewords counts dictionary entries no live code references.
+	// Nil/zero for indexes loaded from disk (the baseline is runtime-only).
+	SubspaceMSE   []float64 `json:"subspace_mse,omitempty"`
+	DriftRatio    float64   `json:"drift_ratio,omitempty"`
+	DeadCodewords uint64    `json:"dead_codewords,omitempty"`
+	DriftAlert    bool      `json:"drift_alert,omitempty"`
 }
 
 func toSnapshot(s metrics.Snapshot) MetricsSnapshot {
@@ -66,6 +76,10 @@ func toSnapshot(s metrics.Snapshot) MetricsSnapshot {
 		LatencyP95:       s.Latency.Quantile(0.95),
 		LatencyP99:       s.Latency.Quantile(0.99),
 		LatencyMean:      s.Latency.Mean(),
+		SubspaceMSE:      s.SubspaceMSE,
+		DriftRatio:       s.DriftRatio,
+		DeadCodewords:    s.DeadCodewords,
+		DriftAlert:       s.DriftAlert,
 	}
 }
 
@@ -97,6 +111,11 @@ type BuildReport struct {
 	Encoding time.Duration `json:"encoding"`
 	// TIClustering is the triangle-inequality skip-structure build.
 	TIClustering time.Duration `json:"ti_clustering"`
+	// Layout is the derivation of the scan-optimized blocked code layout
+	// (zero when the row-major layout was requested).
+	Layout time.Duration `json:"layout"`
+	// Diagnostics is the Build-time IndexReport baseline computation.
+	Diagnostics time.Duration `json:"diagnostics"`
 }
 
 // BuildReport returns the per-phase timings captured when this index was
@@ -110,6 +129,8 @@ func (ix *Index) BuildReport() BuildReport {
 		Training:     r.Training,
 		Encoding:     r.Encoding,
 		TIClustering: r.TIClustering,
+		Layout:       r.Layout,
+		Diagnostics:  r.Diagnostics,
 	}
 }
 
@@ -119,13 +140,15 @@ func (ix *Index) BuildReport() BuildReport {
 // disabled (the published snapshot stays zero).
 func (ix *Index) PublishExpvar(name string) {
 	metrics.Publish(name, ix.inner.Metrics())
+	ix.inner.SetProfileLabel(name)
 }
 
 // ServeDebug starts an HTTP server on addr (e.g. "localhost:6060", or
 // ":0" for an ephemeral port) exposing expvar (/debug/vars), pprof
 // (/debug/pprof/), Prometheus text-format metrics (/debug/vaq/metrics,
-// fed by PublishExpvar) and query traces (/debug/vaq/traces, fed by
-// PublishTrace) from the default mux. The returned server's Addr field
+// fed by PublishExpvar), query traces (/debug/vaq/traces, fed by
+// PublishTrace) and index-quality reports (/debug/vaq/report, fed by
+// PublishDiagnostics) from the default mux. The returned server's Addr field
 // holds the actual listen address; shut it down with its Close method.
 // Combine with (*Index).PublishExpvar to watch an index live.
 func ServeDebug(addr string) (*http.Server, error) {

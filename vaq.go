@@ -171,6 +171,19 @@ type Config struct {
 	// WriteTo) via log/slog. nil discards (default). Runtime-only: not
 	// serialized.
 	Logger *slog.Logger
+	// DriftAlertRatio sets the quantization-drift alert threshold: when
+	// the EWMA reconstruction MSE of vectors folded in by Add exceeds this
+	// multiple of the Build-time baseline (e.g. 1.5 = alert at 50% excess
+	// distortion), a vaq.drift log event fires and the vaq_drift_alert
+	// gauge sets. 0 disables alerting; the drift gauges update either way.
+	// Runtime-only: not serialized.
+	DriftAlertRatio float64
+	// ProfileLabels tags query goroutines with runtime/pprof labels
+	// (vaq_phase = project | lut_fill | scan) so CPU profiles attribute
+	// samples to search phases; PublishDiagnostics sets the index label.
+	// Off by default; see also Index.EnableProfileLabels for indexes
+	// loaded from disk. Runtime-only: not serialized.
+	ProfileLabels bool
 }
 
 // SearchOptions tune a single query.
@@ -212,6 +225,8 @@ func (c Config) toCore() core.Config {
 		ScanLayout:            c.ScanLayout,
 		RecallSampleRate:      c.RecallSampleRate,
 		Logger:                c.Logger,
+		DriftAlertRatio:       c.DriftAlertRatio,
+		ProfileLabels:         c.ProfileLabels,
 	}
 }
 
