@@ -22,6 +22,7 @@ import (
 	"vaq/internal/core"
 	"vaq/internal/dataset"
 	"vaq/internal/experiments"
+	"vaq/internal/workload"
 )
 
 // benchScale keeps every figure bench to seconds per iteration.
@@ -224,6 +225,34 @@ func benchMetricsToggle(b *testing.B, disable bool) {
 
 func BenchmarkSearchMetricsOn(b *testing.B)  { benchMetricsToggle(b, false) }
 func BenchmarkSearchMetricsOff(b *testing.B) { benchMetricsToggle(b, true) }
+
+// BenchmarkSearchCaptureOn measures the workload-capture tax at the
+// production sampling rate (1/64): one atomic increment per query plus a
+// record copy on sampled ones. Compare against BenchmarkSearchMetricsOn
+// (same workload, capture off); the acceptance bar is <5% overhead.
+func BenchmarkSearchCaptureOn(b *testing.B) {
+	ds, err := dataset.Large("SALD", 8000, 64, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := core.Build(ds.Train, ds.Base, core.Config{
+		NumSubspaces: 16, Budget: 128, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix.EnableCapture(workload.Config{SampleRate: 1.0 / 64})
+	s := ix.NewSearcher()
+	queries := ds.Queries
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries.Row(i % queries.Rows)
+		if _, err := s.Search(q, 100, core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: 0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkEncodeLargeDict exercises the hierarchical k-means path for
 // dictionaries above 2^10 entries (DESIGN.md §5).

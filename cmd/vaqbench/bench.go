@@ -31,6 +31,11 @@ type benchParams struct {
 	Workers   int     `json:"workers"`
 	Passes    int     `json:"passes"`
 	Layout    string  `json:"layout"` // "blocked", "rowmajor", or "both"
+	// RecallRate enables the online recall estimator during the timed
+	// passes, so the summary's ObservedRecall is populated and -compare can
+	// diff answer quality. omitempty keeps the config fingerprint of
+	// recall-free runs identical to older summaries.
+	RecallRate float64 `json:"recall_sample,omitempty"`
 }
 
 // parseLayout maps the -layout flag value to a core.ScanLayout.
@@ -169,11 +174,12 @@ func runBenchOnce(ds *dataset.Dataset, p benchParams, withReport bool) (*benchSu
 		return nil, err
 	}
 	ix, err := core.Build(ds.Train, ds.Base, core.Config{
-		NumSubspaces: p.Subspaces,
-		Budget:       p.Budget,
-		MaxBits:      p.MaxBits,
-		Seed:         p.Seed,
-		ScanLayout:   layout,
+		NumSubspaces:     p.Subspaces,
+		Budget:           p.Budget,
+		MaxBits:          p.MaxBits,
+		Seed:             p.Seed,
+		ScanLayout:       layout,
+		RecallSampleRate: p.RecallRate,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("build: %w", err)

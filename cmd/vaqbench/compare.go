@@ -54,6 +54,19 @@ func runCompare(baselinePath, nextPath string, thresholdPct float64, force bool)
 		{"ti_prune_rate", base.Search.TIPruneRate, next.Search.TIPruneRate, fmtPct, true},
 		{"ea_abandon_rate", base.Search.EAAbandonRate, next.Search.EAAbandonRate, fmtPct, true},
 	}
+	// Answer-quality rows, diffed only when both summaries carry the data
+	// (recall needs -recall-sample runs; mse_share needs -report runs) — a
+	// QPS win that silently trades recall away must show up here.
+	if base.Metrics.RecallSamples > 0 && next.Metrics.RecallSamples > 0 {
+		rows = append(rows, comparedMetric{
+			"observed_recall", base.Metrics.ObservedRecall(), next.Metrics.ObservedRecall(), fmtPct, true,
+		})
+	}
+	if base.Report != nil && next.Report != nil {
+		rows = append(rows, comparedMetric{
+			"mse_share", base.Report.MSEShare, next.Report.MSEShare, fmtPct, false,
+		})
+	}
 
 	fmt.Printf("comparing %s -> %s (threshold %.1f%%)\n", baselinePath, nextPath, thresholdPct)
 	fmt.Printf("%-16s %14s %14s %9s\n", "metric", "baseline", "new", "delta")
@@ -83,8 +96,12 @@ func runCompare(baselinePath, nextPath string, thresholdPct float64, force bool)
 	return 0
 }
 
-// loadSummary reads one vaqbench -json document. Prune-rate metrics were
-// added with schema 2; older documents still compare on the latency rows.
+// loadSummary reads one vaqbench -json document. Three shapes are
+// accepted: a plain benchSummary, a -layout both layoutComparison (its
+// blocked arm is the one compared — the default production layout), and
+// pre-provenance summaries, whose fingerprint is synthesized from the
+// embedded params with the same scheme provenanceFor stamps today, so old
+// committed baselines stay comparable.
 func loadSummary(path string) (*benchSummary, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -94,8 +111,19 @@ func loadSummary(path string) (*benchSummary, error) {
 	if err := json.Unmarshal(b, &s); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	if s.Params.Dataset == "" {
+		// Not a flat summary — try the -layout both comparison document.
+		var cmp layoutComparison
+		if err := json.Unmarshal(b, &cmp); err == nil && cmp.Blocked != nil && cmp.Blocked.Params.Dataset != "" {
+			fmt.Fprintf(os.Stderr, "vaqbench: %s is a -layout both document; comparing its blocked arm\n", path)
+			s = *cmp.Blocked
+		}
+	}
+	if s.Params.Dataset == "" {
+		return nil, fmt.Errorf("%s: no benchmark params (not a vaqbench -json summary?)", path)
+	}
 	if s.Provenance.ConfigFingerprint == "" {
-		return nil, fmt.Errorf("%s: no config fingerprint (not a vaqbench -json summary?)", path)
+		s.Provenance = provenanceFor(s.Params)
 	}
 	return &s, nil
 }

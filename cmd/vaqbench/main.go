@@ -59,6 +59,7 @@ func main() {
 		passes      = flag.Int("passes", 3, "timed passes over the query set for -json")
 		layout      = flag.String("layout", "blocked", "scan layout for -json: blocked, rowmajor, or both (A/B comparison)")
 		report      = flag.Bool("report", false, "embed the index-quality IndexReport in the -json summary")
+		recallRate  = flag.Float64("recall-sample", 0, "fraction of -json queries shadow-checked against an exact scan (populates observed recall; 0 disables)")
 		compare     = flag.Bool("compare", false, "diff two -json summaries (args: baseline.json new.json); exit 1 on regression")
 		threshold   = flag.Float64("threshold", 5, "regression threshold for -compare, in percent")
 		force       = flag.Bool("force", false, "let -compare proceed despite mismatched config fingerprints")
@@ -93,7 +94,7 @@ func main() {
 			Dataset: *benchData, N: *n, NQ: *nq, Seed: *seed,
 			Subspaces: *subspaces, Budget: *budget, MaxBits: *maxBits, K: *k,
 			VisitFrac: *visit, Workers: *workers, Passes: *passes,
-			Layout: *layout,
+			Layout: *layout, RecallRate: *recallRate,
 		}
 		if p.N <= 0 {
 			p.N = 20000

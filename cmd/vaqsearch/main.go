@@ -19,7 +19,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"vaq/internal/core"
@@ -28,6 +32,7 @@ import (
 	"vaq/internal/eval"
 	"vaq/internal/metrics"
 	"vaq/internal/trace"
+	"vaq/internal/workload"
 )
 
 func main() {
@@ -46,7 +51,11 @@ func main() {
 		traceOn     = flag.Bool("trace", false, "record per-query spans and publish them at /debug/vaq/traces")
 		traceSlow   = flag.Duration("trace-slow", 10*time.Millisecond, "queries at or above this duration enter the slow-exemplar reservoir")
 		recallRate  = flag.Float64("recall-sample", 0, "fraction of queries shadow-checked against an exact scan (0 disables)")
-		hold        = flag.Duration("hold", 0, "keep the process (and -metrics-addr endpoints) alive this long after the workload")
+		hold        = flag.Duration("hold", 0, "keep the process (and -metrics-addr endpoints) alive this long after the workload (SIGINT/SIGTERM exits early)")
+		capturePath = flag.String("capture", "", "record sampled queries to this .vaqwl workload log (replay with cmd/vaqreplay)")
+		captureRate = flag.Float64("capture-rate", 1, "fraction of queries captured (deterministic stride; 1 = all)")
+		sloP99      = flag.Duration("slo-p99", 0, "latency SLO: 99% of windowed queries must finish within this duration (0 disables)")
+		sloRecall   = flag.Float64("slo-recall", 0, "recall SLO: minimum windowed observed recall (needs -recall-sample; 0 disables)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -79,8 +88,7 @@ func main() {
 	fmt.Printf("dataset %s: %d vectors, dim %d, %d queries\n",
 		ds.Name, ds.Base.Rows, ds.Dim(), ds.Queries.Rows)
 
-	start := time.Now()
-	ix, err := core.Build(ds.Train, ds.Base, core.Config{
+	cfg := core.Config{
 		NumSubspaces:     *subspaces,
 		Budget:           *budget,
 		MinBits:          *minBits,
@@ -89,7 +97,15 @@ func main() {
 		Seed:             *seed,
 		ScanLayout:       layout,
 		RecallSampleRate: *recallRate,
-	})
+	}
+	if *sloP99 > 0 || *sloRecall > 0 {
+		cfg.SLO = &metrics.SLO{LatencyTarget: *sloP99, MinRecall: *sloRecall}
+		// Surface the vaq.slo breach event on stderr (Warn level keeps the
+		// build/maintenance Info logs quiet).
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	}
+	start := time.Now()
+	ix, err := core.Build(ds.Train, ds.Base, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vaqsearch: build: %v\n", err)
 		os.Exit(1)
@@ -115,6 +131,40 @@ func main() {
 	if *traceOn {
 		tr = ix.EnableTracing(trace.Config{SlowThreshold: *traceSlow})
 		trace.Publish("vaqsearch_index", tr)
+	}
+
+	// Workload capture, flushed exactly once — on the normal exit path or
+	// from the signal handler, whichever comes first, so an interrupted
+	// -hold still leaves a replayable log behind.
+	var flushOnce sync.Once
+	flushCapture := func() {
+		if *capturePath == "" {
+			return
+		}
+		flushOnce.Do(func() {
+			cap := ix.Capture()
+			if cap == nil {
+				return
+			}
+			log := cap.Snapshot()
+			if err := log.Save(*capturePath); err != nil {
+				fmt.Fprintf(os.Stderr, "vaqsearch: capture: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "vaqsearch: captured %d of %d sampled queries (%d dropped) to %s (fingerprint %s)\n",
+				len(log.Records), cap.Sampled(), cap.Dropped(), *capturePath, log.Fingerprint)
+		})
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "vaqsearch: %s — flushing capture and exiting\n", sig)
+		flushCapture()
+		os.Exit(130)
+	}()
+	if *capturePath != "" {
+		ix.EnableCapture(workload.Config{SampleRate: *captureRate})
 	}
 
 	gt, err := eval.GroundTruth(ds.Base, ds.Queries, *k)
@@ -151,6 +201,15 @@ func main() {
 		fmt.Printf("online recall: %.4f over %d sampled queries\n",
 			snap.ObservedRecall(), snap.RecallSamples)
 	}
+	if slo := snap.SLO; slo != nil {
+		status := "ok"
+		if slo.LatencyExhausted || slo.RecallExhausted {
+			status = "BREACH"
+		}
+		fmt.Printf("slo: latency budget %.3f remaining (burn %.2f, %d/%d violations), recall budget %.3f — %s\n",
+			slo.LatencyBudgetRemaining, slo.BurnRate, slo.LatencyViolations,
+			slo.WindowQueries, slo.RecallBudgetRemaining, status)
+	}
 	if tr != nil {
 		if slow, seen := tr.Slowest(); len(slow) > 0 {
 			fmt.Printf("slowest traced query (%d over the %s threshold):\n", seen, *traceSlow)
@@ -160,8 +219,15 @@ func main() {
 				*traceSlow, tr.Count())
 		}
 	}
+	flushCapture()
 	if *hold > 0 {
 		fmt.Fprintf(os.Stderr, "vaqsearch: holding for %s (ctrl-c to exit)\n", *hold)
-		time.Sleep(*hold)
+		select {
+		case <-time.After(*hold):
+		case sig := <-sigCh:
+			// The handler goroutine may win the race for the signal; either
+			// path flushes once and exits.
+			fmt.Fprintf(os.Stderr, "vaqsearch: %s — exiting hold\n", sig)
+		}
 	}
 }

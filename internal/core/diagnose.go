@@ -78,6 +78,7 @@ func (ix *Index) Diagnose() *diag.Report {
 	if ix.baselineMSE != nil {
 		rep.Drift = ix.driftReportLocked()
 	}
+	rep.SLO = ix.metrics.SLOSnapshot()
 	return rep
 }
 
@@ -154,6 +155,21 @@ func (ix *Index) foldDriftLocked(batchSqErr []float64, batch int) {
 			slog.Int("dead_codewords", dead))
 	}
 	ix.driftAlerted = alert
+}
+
+// sloBreach is the metrics.BreachFunc Build installs for Config.SLO: one
+// vaq.slo slog event per budget-exhaustion edge (the metrics layer latches
+// the edge, so this fires exactly once per crossing and re-arms on
+// recovery). Called from the query path — one structured log line, nothing
+// else.
+func (ix *Index) sloBreach(kind string, remaining, burn float64) {
+	if ix.cfg.Logger == nil {
+		return
+	}
+	ix.cfg.Logger.Warn("vaq.slo",
+		slog.String("objective", kind),
+		slog.Float64("budget_remaining", remaining),
+		slog.Float64("burn_rate", burn))
 }
 
 // countDeadCodewords counts dictionary entries no code references, summed

@@ -136,6 +136,10 @@ type Searcher struct {
 	// projDur backdates the trace origin by the query-projection time,
 	// which happens before run opens the traced window. Consumed by run.
 	projDur time.Duration
+	// rawQ holds the caller's unprojected query for the duration of one
+	// Search call (nil for SearchProjected) so the workload capture can
+	// record the portable raw vector instead of the PCA-space one.
+	rawQ []float32
 	// depthScratch/rankScratch back stats.AbandonDepths/TISkipsByRank so
 	// batch workloads don't allocate attribution per query.
 	depthScratch []uint32
@@ -186,6 +190,7 @@ func (s *Searcher) Search(q []float32, k int, opt SearchOptions) ([]vec.Neighbor
 	if s.rec.Active() {
 		s.projDur = time.Since(projStart)
 	}
+	s.rawQ = q
 	return s.run(qz, k, opt), nil
 }
 
@@ -199,6 +204,7 @@ func (s *Searcher) SearchProjected(qz []float32, k int, opt SearchOptions) ([]ve
 		s.ix.metrics.RecordError()
 		return nil, fmt.Errorf("core: projected query dim %d, want %d", len(qz), s.ix.cb.Sub.Dim())
 	}
+	s.rawQ = nil
 	return s.run(qz, k, opt), nil
 }
 
@@ -210,8 +216,9 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 	defer ix.mu.RUnlock()
 	rec := s.rec
 	pc := ix.profCtx.Load()
+	wcap := ix.capture.Load()
 	var start time.Time
-	if ix.metrics != nil {
+	if ix.metrics != nil || wcap != nil {
 		start = time.Now()
 	}
 	if rec.Active() {
@@ -296,13 +303,24 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 			Lookups:     s.stats.Lookups,
 		})
 	}
-	if ix.metrics != nil {
-		ix.metrics.RecordSearch(s.stats.record(), time.Since(start))
+	var lat time.Duration
+	if ix.metrics != nil || wcap != nil {
+		lat = time.Since(start)
 	}
+	if ix.metrics != nil {
+		ix.metrics.RecordSearch(s.stats.record(), lat)
+	}
+	var traceSeq uint64
 	if rec.Active() {
-		rec.End(mode.String(), k, s.stats.recordCopy())
+		traceSeq = rec.End(mode.String(), k, s.stats.recordCopy())
 	}
 	res := s.topk.Results()
+	// The workload capture happens after the trace closes so the record
+	// can carry the exemplar's sequence id; the sampling stride only
+	// advances while a capture is attached.
+	if wcap != nil && wcap.ShouldSample() {
+		s.captureQuery(wcap, qz, k, opt, res, lat.Nanoseconds(), traceSeq)
+	}
 	// Shadow-exact recall sampling happens after the trace closes so the
 	// exemplar durations measure the approximate query, not the audit.
 	if ix.recallEvery > 0 && ix.recallCtr.Add(1)%ix.recallEvery == 0 {

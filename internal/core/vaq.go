@@ -18,6 +18,7 @@ import (
 	"vaq/internal/quantizer"
 	"vaq/internal/trace"
 	"vaq/internal/vec"
+	"vaq/internal/workload"
 )
 
 // Config holds all VAQ build parameters (Algorithm 5 inputs).
@@ -98,6 +99,15 @@ type Config struct {
 	// distortion). 0 disables alerting; the drift gauges update either
 	// way. Runtime-only, never serialized.
 	DriftAlertRatio float64
+	// SLO declares service-level objectives (tail-latency target, minimum
+	// observed recall) evaluated online over sliding windows of recent
+	// traffic; see metrics.SLO. Budgets are exported as gauges alongside
+	// the other metrics, and crossing into exhaustion emits one vaq.slo
+	// slog event per crossing (edge-triggered, re-arms on recovery). The
+	// recall objective needs RecallSampleRate > 0 to feed samples. Needs
+	// metrics (no effect under DisableMetrics). Runtime-only, never
+	// serialized.
+	SLO *metrics.SLO
 	// ProfileLabels tags query goroutines with runtime/pprof labels
 	// (vaq_phase = project | lut_fill | scan, plus an index label set via
 	// SetProfileLabel) so CPU profiles attribute samples to search phases.
@@ -151,6 +161,10 @@ type Index struct {
 	// recorder; atomic so EnableTracing is safe while queries are in
 	// flight (in-flight Searchers keep their current recorder).
 	tracer atomic.Pointer[trace.Tracer]
+	// capture, when set, receives a sampled fraction of queries (vector,
+	// options, results, latency) for workload replay; atomic for the same
+	// reason as tracer. Off = one pointer load per query.
+	capture atomic.Pointer[workload.Capture]
 	// retained holds the projected dataset rows for the shadow-exact
 	// recall estimator (nil unless RecallSampleRate > 0); recallEvery is
 	// the sampling stride and recallCtr the query counter driving it.
@@ -333,6 +347,9 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 	if cfg.RecallSampleRate > 0 {
 		ix.retained = dataZ
 		ix.recallEvery = sampleStride(cfg.RecallSampleRate)
+	}
+	if cfg.SLO != nil && reg != nil {
+		reg.ConfigureSLO(*cfg.SLO, ix.sloBreach)
 	}
 	ix.initDiagnostics(baseRep)
 	ix.SetProfileLabel("vaq")

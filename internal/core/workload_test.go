@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"log/slog"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"vaq/internal/metrics"
+	"vaq/internal/workload"
+)
+
+// TestWorkloadRoundTripDeterminism is the PR's acceptance pin: capture a
+// workload, replay it against the index that answered it, and every query
+// must come back identical — 100% overlap@k, zero distance drift — and the
+// log must re-serialize byte-for-byte.
+func TestWorkloadRoundTripDeterminism(t *testing.T) {
+	ix, x := observeTestIndex(t, Config{})
+	cap := ix.EnableCapture(workload.Config{SampleRate: 1})
+	if ix.Capture() != cap {
+		t.Fatal("Capture() does not return the enabled capture")
+	}
+	s := ix.NewSearcher()
+	const queries = 20
+	for i := 0; i < queries; i++ {
+		if _, err := s.Search(x.Row(i), 5, SearchOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cap.Len(); got != queries {
+		t.Fatalf("captured %d records at rate 1, want %d", got, queries)
+	}
+	log := cap.Snapshot()
+	if log.Fingerprint != ix.ConfigFingerprint() {
+		t.Fatalf("log fingerprint %q != index fingerprint %q", log.Fingerprint, ix.ConfigFingerprint())
+	}
+	if log.Dim != ix.Dim() {
+		t.Fatalf("log dim %d != index dim %d", log.Dim, ix.Dim())
+	}
+	for i := range log.Records {
+		if log.Records[i].Projected {
+			t.Fatalf("record %d captured projected, want raw (Search path)", i)
+		}
+	}
+
+	// Serialize → parse → re-serialize must be byte-identical.
+	var a, b bytes.Buffer
+	if _, err := log.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := workload.ReadLog(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("re-serialized log differs from the original bytes")
+	}
+
+	// Replay against the same index: exact reproduction.
+	rep, diffs, err := workload.Replay(back, ix.ReplayRunner(), workload.Options{
+		Thresholds: workload.Thresholds{MinOverlap: 1, MaxDistDrift: 0, DistDriftSet: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != queries {
+		t.Fatalf("replayed %d queries, want %d", len(diffs), queries)
+	}
+	if rep.MeanOverlap != 1 || rep.WorstOverlap != 1 {
+		t.Errorf("overlap: mean %v worst %v, want exactly 1", rep.MeanOverlap, rep.WorstOverlap)
+	}
+	if rep.MaxDistDrift != 0 {
+		t.Errorf("distance drift %v on a same-index replay, want 0", rep.MaxDistDrift)
+	}
+	if rep.ExactMatches != queries {
+		t.Errorf("exact matches %d, want %d", rep.ExactMatches, queries)
+	}
+	if !rep.Passed() {
+		t.Errorf("same-index replay failed thresholds: %v", rep.Violations)
+	}
+}
+
+// TestWorkloadReplayDivergentIndex replays a captured workload against a
+// rebuild with a much smaller bit budget: answers must diverge, and the
+// overlap threshold must convert that into a reported violation.
+func TestWorkloadReplayDivergentIndex(t *testing.T) {
+	ix, x := observeTestIndex(t, Config{})
+	ix.EnableCapture(workload.Config{SampleRate: 1})
+	s := ix.NewSearcher()
+	for i := 0; i < 30; i++ {
+		if _, err := s.Search(x.Row(i), 10, SearchOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := ix.Capture().Snapshot()
+
+	// 1 bit per subspace: 2-entry dictionaries cannot reproduce the
+	// 48-bit answers.
+	coarse, err := Build(x, x, Config{NumSubspaces: 8, Budget: 8, MaxBits: 1, Seed: 907, TIClusters: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.ConfigFingerprint() == log.Fingerprint {
+		t.Fatal("coarse rebuild has the same config fingerprint")
+	}
+	rep, _, err := workload.Replay(log, coarse.ReplayRunner(), workload.Options{
+		Thresholds: workload.Thresholds{MinOverlap: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanOverlap >= 1 {
+		t.Fatalf("coarse index reproduced the workload exactly (overlap %v)", rep.MeanOverlap)
+	}
+	if rep.Passed() || len(rep.Violations) == 0 {
+		t.Error("divergent replay passed the MinOverlap=1 gate")
+	}
+}
+
+// TestWorkloadCaptureSampling checks the deterministic stride: rate 1/4
+// over 40 queries captures every 4th, and DisableCapture stops recording
+// without losing what is already buffered.
+func TestWorkloadCaptureSampling(t *testing.T) {
+	ix, x := observeTestIndex(t, Config{})
+	cap := ix.EnableCapture(workload.Config{SampleRate: 0.25})
+	s := ix.NewSearcher()
+	for i := 0; i < 40; i++ {
+		if _, err := s.Search(x.Row(i), 5, SearchOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cap.Len(); got != 10 {
+		t.Fatalf("captured %d records at rate 1/4 over 40 queries, want 10", got)
+	}
+	ix.DisableCapture()
+	if ix.Capture() != nil {
+		t.Fatal("Capture() non-nil after DisableCapture")
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := s.Search(x.Row(i), 5, SearchOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cap.Len(); got != 10 {
+		t.Fatalf("detached capture grew to %d records", got)
+	}
+}
+
+// TestWorkloadCaptureProjected pins the projected-query path: searches
+// entering through SearchProjected record the projected vector and flag it,
+// and the replay runner routes them back through SearchProjected.
+func TestWorkloadCaptureProjected(t *testing.T) {
+	ix, x := observeTestIndex(t, Config{})
+	ix.EnableCapture(workload.Config{SampleRate: 1})
+	qz, err := ix.ProjectQuery(x.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ix.NewSearcher()
+	want, err := s.SearchProjected(qz, 5, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := ix.Capture().Snapshot()
+	if len(log.Records) != 1 || !log.Records[0].Projected {
+		t.Fatalf("projected search not captured as projected: %+v", log.Records)
+	}
+	rep, diffs, err := workload.Replay(log, ix.ReplayRunner(), workload.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanOverlap != 1 || diffs[0].Overlap != 1 {
+		t.Errorf("projected replay overlap %v, want 1", rep.MeanOverlap)
+	}
+	if rep.ExactMatches != 1 || len(log.Records[0].IDs) != len(want) {
+		t.Errorf("projected replay not exact: %+v", rep)
+	}
+}
+
+// TestSLOBreachEventLogged mirrors TestDriftAlertOnDistributionShift for
+// the SLO layer: with an impossible latency target every query violates,
+// and the vaq.slo event must fire exactly once per budget-exhaustion edge,
+// not once per violating query.
+func TestSLOBreachEventLogged(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	rng := rand.New(rand.NewSource(907))
+	x := skewedData(rng, 1600, 24, 1.2)
+	ix, err := Build(x, x, Config{
+		NumSubspaces: 8, Budget: 48, Seed: 907, TIClusters: 30,
+		Logger: logger,
+		SLO:    &metrics.SLO{LatencyTarget: time.Nanosecond, LatencyObjective: 0.9, Window: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ix.NewSearcher()
+	for i := 0; i < 25; i++ {
+		if _, err := s.Search(x.Row(i), 5, SearchOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := ix.Metrics().SLOSnapshot()
+	if snap == nil || !snap.LatencyExhausted {
+		t.Fatalf("latency budget not exhausted: %+v", snap)
+	}
+	if got := strings.Count(buf.String(), "vaq.slo"); got != 1 {
+		t.Errorf("vaq.slo logged %d times, want exactly once (edge-triggered)\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "objective=latency") {
+		t.Errorf("vaq.slo event missing objective attribute:\n%s", buf.String())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"time"
 
+	"vaq/internal/metrics"
 	"vaq/internal/quantizer"
 	"vaq/internal/vec"
 )
@@ -165,6 +166,9 @@ type Report struct {
 	// Drift is the online drift status (nil when the index has no Build
 	// baseline to compare against, e.g. after loading from disk).
 	Drift *DriftReport `json:"drift,omitempty"`
+	// SLO is the online error-budget evaluation (nil when the index has no
+	// configured objectives).
+	SLO *metrics.SLOSnapshot `json:"slo,omitempty"`
 }
 
 // Compute builds a Report from a read-only view of the index state. It

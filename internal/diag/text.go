@@ -52,5 +52,16 @@ func WriteText(w io.Writer, r *Report) error {
 			return err
 		}
 	}
+	if s := r.SLO; s != nil {
+		status := "ok"
+		if s.LatencyExhausted || s.RecallExhausted {
+			status = "BREACH"
+		}
+		if _, err := fmt.Fprintf(w, "slo: latency budget %.3f (burn %.2f, %d/%d violations), recall budget %.3f — %s\n",
+			s.LatencyBudgetRemaining, s.BurnRate, s.LatencyViolations, s.WindowQueries,
+			s.RecallBudgetRemaining, status); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -69,6 +69,10 @@ type IndexMetrics struct {
 	driftRatio    atomic.Uint64
 	deadCodewords atomic.Uint64
 	driftAlert    atomic.Uint32
+	// slo, when set (ConfigureSLO), evaluates declarative latency/recall
+	// objectives over sliding windows of the recorded traffic. Off = one
+	// pointer load per RecordSearch.
+	slo atomic.Pointer[sloState]
 }
 
 // New returns an empty registry without attribution histograms (their
@@ -161,6 +165,9 @@ func (m *IndexMetrics) RecordSearch(r SearchRecord, d time.Duration) {
 		}
 	}
 	m.latency.Observe(d)
+	if s := m.slo.Load(); s != nil {
+		s.observeLatency(d)
+	}
 }
 
 // RecordRecallSample folds one shadow-exact comparison into the online
@@ -173,6 +180,9 @@ func (m *IndexMetrics) RecordRecallSample(hits, expected int) {
 	m.recallSamples.Add(1)
 	m.recallHits.Add(uint64(hits))
 	m.recallExpected.Add(uint64(expected))
+	if s := m.slo.Load(); s != nil {
+		s.observeRecall(hits, expected)
+	}
 }
 
 // RecordError counts a query that failed validation or execution.
@@ -211,6 +221,7 @@ func (m *IndexMetrics) Reset() {
 	m.driftRatio.Store(0)
 	m.deadCodewords.Store(0)
 	m.driftAlert.Store(0)
+	m.slo.Load().reset()
 	m.latency.Reset()
 }
 
@@ -252,6 +263,7 @@ func (m *IndexMetrics) Snapshot() Snapshot {
 	s.DriftRatio = math.Float64frombits(m.driftRatio.Load())
 	s.DeadCodewords = m.deadCodewords.Load()
 	s.DriftAlert = m.driftAlert.Load() == 1
+	s.SLO = m.SLOSnapshot()
 	s.Latency = m.latency.Snapshot()
 	return s
 }
@@ -286,11 +298,14 @@ type Snapshot struct {
 	// current count of unused dictionary entries; DriftAlert whether
 	// DriftRatio sits above the configured alert threshold. Gauges: Sub
 	// keeps the newer snapshot's values as-is.
-	SubspaceMSE   []float64         `json:"subspace_mse,omitempty"`
-	DriftRatio    float64           `json:"drift_ratio,omitempty"`
-	DeadCodewords uint64            `json:"dead_codewords,omitempty"`
-	DriftAlert    bool              `json:"drift_alert,omitempty"`
-	Latency       HistogramSnapshot `json:"latency"`
+	SubspaceMSE   []float64 `json:"subspace_mse,omitempty"`
+	DriftRatio    float64   `json:"drift_ratio,omitempty"`
+	DeadCodewords uint64    `json:"dead_codewords,omitempty"`
+	DriftAlert    bool      `json:"drift_alert,omitempty"`
+	// SLO is the sliding-window objective evaluation (nil unless
+	// ConfigureSLO was called). A gauge block: Sub keeps the newer value.
+	SLO     *SLOSnapshot      `json:"slo,omitempty"`
+	Latency HistogramSnapshot `json:"latency"`
 }
 
 // Sub returns the counter-wise difference s - prev (histogram excluded:

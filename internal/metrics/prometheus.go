@@ -71,6 +71,21 @@ var promGauges = []struct {
 		}},
 }
 
+// promSLOGauges are the error-budget gauges, emitted only for indexes with
+// a configured SLO (ConfigureSLO).
+var promSLOGauges = []struct {
+	name string
+	help string
+	val  func(s *SLOSnapshot) float64
+}{
+	{"vaq_slo_latency_budget_remaining", "Unspent fraction of the allowed latency-target violations over the sliding window (< 0 = objective broken).",
+		func(s *SLOSnapshot) float64 { return s.LatencyBudgetRemaining }},
+	{"vaq_slo_recall_budget_remaining", "Normalized headroom of windowed observed recall above the MinRecall objective (< 0 = objective broken).",
+		func(s *SLOSnapshot) float64 { return s.RecallBudgetRemaining }},
+	{"vaq_slo_burn_rate", "Latency violation rate over the allowed rate (1 = spending exactly the budget, > 1 = burning it down).",
+		func(s *SLOSnapshot) float64 { return s.BurnRate }},
+}
+
 // WritePrometheus emits the published registries in Prometheus text
 // exposition format v0.0.4, each metric labeled with the expvar name it
 // was published under. With names given, only those indexes are emitted
@@ -125,6 +140,27 @@ func WritePrometheus(w io.Writer, names ...string) error {
 		for _, name := range names {
 			if _, err := fmt.Fprintf(w, "%s{index=%q} %g\n", fam.name, name, fam.val(snaps[name])); err != nil {
 				return err
+			}
+		}
+	}
+	// SLO error-budget gauges: only indexes with configured objectives emit
+	// rows, and the families appear only when at least one does, so
+	// SLO-free deployments scrape unchanged output.
+	var sloNames []string
+	for _, name := range names {
+		if snaps[name].SLO != nil {
+			sloNames = append(sloNames, name)
+		}
+	}
+	if len(sloNames) > 0 {
+		for _, fam := range promSLOGauges {
+			if err := writeTypedHeader(w, fam.name, fam.help, "gauge"); err != nil {
+				return err
+			}
+			for _, name := range sloNames {
+				if _, err := fmt.Fprintf(w, "%s{index=%q} %g\n", fam.name, name, fam.val(snaps[name].SLO)); err != nil {
+					return err
+				}
 			}
 		}
 	}

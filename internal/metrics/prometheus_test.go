@@ -38,6 +38,11 @@ func firstRank(v uint32) []uint32 {
 // parses.
 func TestWritePrometheusGolden(t *testing.T) {
 	m := NewSized(3, 2)
+	// One 2ms observation against a 1ms target: the only windowed query
+	// violates, spending the whole (floor-of-one) allowance — budget 0,
+	// burn rate (1/1)/0.01 = 100. The recall sample (4/5 = 0.8 observed,
+	// objective 0.5) leaves (0.8-0.5)/(1-0.5) = 0.6 of the recall budget.
+	m.ConfigureSLO(SLO{LatencyTarget: time.Millisecond, MinRecall: 0.5}, nil)
 	promTestRecord(m)
 	m.SetSubspaceMSE([]float64{0.5, 0.25})
 	m.SetDrift(1.5, true)
@@ -64,6 +69,15 @@ func TestWritePrometheusGolden(t *testing.T) {
 	for i, fam := range promGauges {
 		fmt.Fprintf(&want, "# HELP %s %s\n# TYPE %s gauge\n", fam.name, fam.help, fam.name)
 		fmt.Fprintf(&want, "%s{index=%q} %g\n", fam.name, "prom_golden", gaugeVals[i])
+	}
+	// Same float64 expressions the evaluator computes (via variables, so
+	// they round at runtime like the evaluator does and the %g formatting
+	// matches digit-for-digit).
+	observed, minRecall, objective := 0.8, 0.5, 0.99
+	sloVals := []float64{0, (observed - minRecall) / (1 - minRecall), 1 / (1 - objective)}
+	for i, fam := range promSLOGauges {
+		fmt.Fprintf(&want, "# HELP %s %s\n# TYPE %s gauge\n", fam.name, fam.help, fam.name)
+		fmt.Fprintf(&want, "%s{index=%q} %g\n", fam.name, "prom_golden", sloVals[i])
 	}
 	want.WriteString("# HELP vaq_ea_abandon_depth_total Codes early-abandoned after exactly this many table lookups.\n" +
 		"# TYPE vaq_ea_abandon_depth_total counter\n" +

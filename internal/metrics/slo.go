@@ -1,0 +1,304 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// SLO declares service-level objectives for one index, evaluated online
+// over sliding windows of recent traffic. The two objectives are
+// independent: LatencyTarget+LatencyObjective bound tail latency ("99% of
+// queries under 2ms"), MinRecall bounds observed answer quality (needs the
+// recall estimator, Config.RecallSampleRate, to feed samples). Each maps to
+// an error budget: the fraction of the window still allowed to misbehave
+// before the objective is broken. Budgets are exported as gauges
+// (vaq_slo_latency_budget_remaining, vaq_slo_recall_budget_remaining,
+// vaq_slo_burn_rate) and crossing into exhaustion fires one edge-triggered
+// breach callback (core turns it into the vaq.slo slog event).
+type SLO struct {
+	// LatencyTarget is the per-query latency objective (scan path, the
+	// same window the latency histogram observes). 0 disables the latency
+	// objective.
+	LatencyTarget time.Duration
+	// LatencyObjective is the fraction of windowed queries that must meet
+	// LatencyTarget (default 0.99 — a p99 target).
+	LatencyObjective float64
+	// MinRecall is the minimum acceptable windowed observed recall from
+	// the shadow-exact estimator. 0 disables the recall objective.
+	MinRecall float64
+	// Window is the latency sliding window in queries (default 4096).
+	Window int
+	// RecallWindow is the recall sliding window in samples (default 256).
+	RecallWindow int
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.LatencyObjective <= 0 || s.LatencyObjective >= 1 {
+		s.LatencyObjective = 0.99
+	}
+	if s.Window <= 0 {
+		s.Window = 4096
+	}
+	if s.RecallWindow <= 0 {
+		s.RecallWindow = 256
+	}
+	return s
+}
+
+// BreachFunc is called exactly once per budget-exhaustion edge: when a
+// budget crosses from spent-or-better (>= 0) to broken (< 0). kind is
+// "latency" or "recall"; remaining is the (negative) budget fraction and burn the
+// current burn rate. Called from the query path — keep it cheap and
+// non-blocking (core's implementation emits one slog event).
+type BreachFunc func(kind string, remaining, burn float64)
+
+// sloState is the lock-free sliding-window evaluator behind an SLO. Rings
+// are updated with Swap so the windowed totals stay consistent without
+// locks; a slot being overwritten gives its old value back, and the delta
+// adjusts the running total.
+type sloState struct {
+	cfg      SLO
+	onBreach BreachFunc
+	targetNs int64
+
+	seen     atomic.Uint64 // latency observations ever
+	latBad   atomic.Int64  // violations currently in the window
+	latSlots []atomic.Uint32
+
+	recSeen  atomic.Uint64   // recall samples ever
+	recHits  atomic.Int64    // hits currently in the window
+	recExp   atomic.Int64    // expected currently in the window
+	recSlots []atomic.Uint64 // hits<<32 | expected
+
+	latExhausted atomic.Bool
+	recExhausted atomic.Bool
+}
+
+// ConfigureSLO installs (or replaces) the objectives evaluated by this
+// registry. onBreach may be nil. A nil registry ignores the call.
+func (m *IndexMetrics) ConfigureSLO(cfg SLO, onBreach BreachFunc) {
+	if m == nil {
+		return
+	}
+	cfg = cfg.withDefaults()
+	s := &sloState{
+		cfg:      cfg,
+		onBreach: onBreach,
+		targetNs: cfg.LatencyTarget.Nanoseconds(),
+		latSlots: make([]atomic.Uint32, cfg.Window),
+		recSlots: make([]atomic.Uint64, cfg.RecallWindow),
+	}
+	m.slo.Store(s)
+}
+
+// SLOConfig returns the effective (defaulted) objectives, or nil when none
+// are configured.
+func (m *IndexMetrics) SLOConfig() *SLO {
+	if m == nil {
+		return nil
+	}
+	s := m.slo.Load()
+	if s == nil {
+		return nil
+	}
+	cfg := s.cfg
+	return &cfg
+}
+
+// observeLatency folds one query latency into the sliding window and
+// evaluates the latency budget edge.
+func (s *sloState) observeLatency(d time.Duration) {
+	if s.targetNs <= 0 {
+		return
+	}
+	idx := (s.seen.Add(1) - 1) % uint64(len(s.latSlots))
+	var v uint32
+	if d.Nanoseconds() > s.targetNs {
+		v = 1
+	}
+	old := s.latSlots[idx].Swap(v)
+	if delta := int64(v) - int64(old); delta != 0 {
+		s.latBad.Add(delta)
+	}
+	rem, burn := s.latencyBudget()
+	s.edge(&s.latExhausted, "latency", rem, burn)
+}
+
+// observeRecall folds one shadow-exact sample into the sliding window and
+// evaluates the recall budget edge.
+func (s *sloState) observeRecall(hits, expected int) {
+	if s.cfg.MinRecall <= 0 || expected <= 0 {
+		return
+	}
+	idx := (s.recSeen.Add(1) - 1) % uint64(len(s.recSlots))
+	packed := uint64(uint32(hits))<<32 | uint64(uint32(expected))
+	old := s.recSlots[idx].Swap(packed)
+	s.recHits.Add(int64(hits) - int64(old>>32))
+	s.recExp.Add(int64(expected) - int64(old&0xffffffff))
+	rem, _ := s.recallBudget()
+	s.edge(&s.recExhausted, "recall", rem, 0)
+}
+
+// edge latches budget exhaustion: the callback fires once when remaining
+// crosses below zero (0 = budget exactly spent, still inside the
+// objective) and re-arms when the budget recovers.
+func (s *sloState) edge(latch *atomic.Bool, kind string, remaining, burn float64) {
+	if remaining < 0 {
+		if latch.CompareAndSwap(false, true) && s.onBreach != nil {
+			s.onBreach(kind, remaining, burn)
+		}
+		return
+	}
+	latch.Store(false)
+}
+
+// latencyBudget computes the remaining latency error budget and the burn
+// rate over the current window. The budget is the fraction of allowed
+// violations not yet spent: with objective 0.99 over a 4096-query window,
+// ~41 violations are allowed; remaining = (allowed - bad) / allowed. Burn
+// rate is the observed violation rate over the allowed rate (1.0 = spending
+// exactly the budget, sustainable; >1 = the budget is burning down).
+func (s *sloState) latencyBudget() (remaining, burn float64) {
+	if s.targetNs <= 0 {
+		return 1, 0
+	}
+	window := s.seen.Load()
+	if window == 0 {
+		return 1, 0
+	}
+	if window > uint64(len(s.latSlots)) {
+		window = uint64(len(s.latSlots))
+	}
+	bad := float64(s.latBad.Load())
+	allowedRate := 1 - s.cfg.LatencyObjective
+	allowed := allowedRate * float64(window)
+	if allowed < 1 {
+		allowed = 1 // tiny windows: tolerate at least one violation
+	}
+	remaining = (allowed - bad) / allowed
+	burn = (bad / float64(window)) / allowedRate
+	return clampBudget(remaining), burn
+}
+
+// recallBudget computes the remaining recall error budget over the current
+// window: the observed recall's headroom above MinRecall, normalized by the
+// total headroom (1 - MinRecall). 1 = perfect recall, 0 = exactly at the
+// objective, negative = below it. No samples yet = full budget (no data is
+// not a breach).
+func (s *sloState) recallBudget() (remaining, observed float64) {
+	if s.cfg.MinRecall <= 0 {
+		return 1, 0
+	}
+	exp := s.recExp.Load()
+	if exp <= 0 {
+		return 1, 0
+	}
+	observed = float64(s.recHits.Load()) / float64(exp)
+	headroom := 1 - s.cfg.MinRecall
+	if headroom < 1e-9 {
+		headroom = 1e-9 // MinRecall == 1: any miss exhausts the budget
+	}
+	return clampBudget((observed - s.cfg.MinRecall) / headroom), observed
+}
+
+// clampBudget bounds a budget gauge to [-1, 1] so a deeply blown objective
+// doesn't swing dashboards to -inf.
+func clampBudget(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	if math.IsNaN(v) {
+		return 1
+	}
+	return v
+}
+
+// reset re-zeroes the sliding windows and re-arms the edge latches.
+func (s *sloState) reset() {
+	if s == nil {
+		return
+	}
+	s.seen.Store(0)
+	s.latBad.Store(0)
+	for i := range s.latSlots {
+		s.latSlots[i].Store(0)
+	}
+	s.recSeen.Store(0)
+	s.recHits.Store(0)
+	s.recExp.Store(0)
+	for i := range s.recSlots {
+		s.recSlots[i].Store(0)
+	}
+	s.latExhausted.Store(false)
+	s.recExhausted.Store(false)
+}
+
+// SLOSnapshot is a point-in-time view of the SLO evaluation: the declared
+// objectives plus the windowed budget gauges.
+type SLOSnapshot struct {
+	LatencyTarget    time.Duration `json:"latency_target_ns"`
+	LatencyObjective float64       `json:"latency_objective"`
+	MinRecall        float64       `json:"min_recall,omitempty"`
+	Window           int           `json:"window"`
+	RecallWindow     int           `json:"recall_window,omitempty"`
+	// WindowQueries / LatencyViolations describe the current latency
+	// window: observations in it and how many broke the target.
+	WindowQueries     uint64 `json:"window_queries"`
+	LatencyViolations uint64 `json:"latency_violations"`
+	// LatencyBudgetRemaining is the unspent fraction of the allowed
+	// violations (1 = untouched, <= 0 = objective broken); BurnRate the
+	// violation rate over the allowed rate (> 1 burns the budget down).
+	LatencyBudgetRemaining float64 `json:"latency_budget_remaining"`
+	BurnRate               float64 `json:"burn_rate"`
+	// WindowRecall is the observed recall over the recall window (0 when
+	// no samples); RecallBudgetRemaining its normalized headroom above
+	// MinRecall.
+	WindowRecallSamples   uint64  `json:"window_recall_samples,omitempty"`
+	WindowRecall          float64 `json:"window_recall,omitempty"`
+	RecallBudgetRemaining float64 `json:"recall_budget_remaining"`
+	// LatencyExhausted / RecallExhausted report the edge latches: true
+	// while the corresponding budget sits below zero.
+	LatencyExhausted bool `json:"latency_exhausted,omitempty"`
+	RecallExhausted  bool `json:"recall_exhausted,omitempty"`
+}
+
+// SLOSnapshot returns the current SLO evaluation, or nil when no objectives
+// are configured (including on a nil registry).
+func (m *IndexMetrics) SLOSnapshot() *SLOSnapshot {
+	if m == nil {
+		return nil
+	}
+	s := m.slo.Load()
+	if s == nil {
+		return nil
+	}
+	out := &SLOSnapshot{
+		LatencyTarget:    s.cfg.LatencyTarget,
+		LatencyObjective: s.cfg.LatencyObjective,
+		MinRecall:        s.cfg.MinRecall,
+		Window:           s.cfg.Window,
+		RecallWindow:     s.cfg.RecallWindow,
+	}
+	window := s.seen.Load()
+	if window > uint64(len(s.latSlots)) {
+		window = uint64(len(s.latSlots))
+	}
+	out.WindowQueries = window
+	if bad := s.latBad.Load(); bad > 0 {
+		out.LatencyViolations = uint64(bad)
+	}
+	out.LatencyBudgetRemaining, out.BurnRate = s.latencyBudget()
+	recWin := s.recSeen.Load()
+	if recWin > uint64(len(s.recSlots)) {
+		recWin = uint64(len(s.recSlots))
+	}
+	out.WindowRecallSamples = recWin
+	out.RecallBudgetRemaining, out.WindowRecall = s.recallBudget()
+	out.LatencyExhausted = s.latExhausted.Load()
+	out.RecallExhausted = s.recExhausted.Load()
+	return out
+}

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSLODefaults(t *testing.T) {
+	m := New()
+	m.ConfigureSLO(SLO{LatencyTarget: time.Millisecond}, nil)
+	cfg := m.SLOConfig()
+	if cfg.LatencyObjective != 0.99 || cfg.Window != 4096 || cfg.RecallWindow != 256 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	var nilM *IndexMetrics
+	nilM.ConfigureSLO(SLO{}, nil) // must not panic
+	if nilM.SLOConfig() != nil || nilM.SLOSnapshot() != nil {
+		t.Fatal("nil registry returned SLO state")
+	}
+	if New().SLOSnapshot() != nil {
+		t.Fatal("unconfigured registry returned an SLO snapshot")
+	}
+}
+
+func TestSLOLatencyBudget(t *testing.T) {
+	m := New()
+	// Window 100, objective 0.9: 10 violations allowed.
+	m.ConfigureSLO(SLO{LatencyTarget: time.Millisecond, LatencyObjective: 0.9, Window: 100}, nil)
+	for i := 0; i < 95; i++ {
+		m.RecordSearch(SearchRecord{}, 100*time.Microsecond)
+	}
+	for i := 0; i < 5; i++ {
+		m.RecordSearch(SearchRecord{}, 5*time.Millisecond)
+	}
+	s := m.SLOSnapshot()
+	if s.WindowQueries != 100 || s.LatencyViolations != 5 {
+		t.Fatalf("window state: %+v", s)
+	}
+	// allowed = 10, bad = 5 → remaining 0.5; burn = (5/100)/0.1 = 0.5.
+	if diff := s.LatencyBudgetRemaining - 0.5; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("budget remaining = %v, want 0.5", s.LatencyBudgetRemaining)
+	}
+	if diff := s.BurnRate - 0.5; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("burn rate = %v, want 0.5", s.BurnRate)
+	}
+	if s.LatencyExhausted {
+		t.Error("budget not exhausted yet")
+	}
+
+	// Slide the window: 100 fast queries push the violations out.
+	for i := 0; i < 100; i++ {
+		m.RecordSearch(SearchRecord{}, 100*time.Microsecond)
+	}
+	s = m.SLOSnapshot()
+	if s.LatencyViolations != 0 || s.LatencyBudgetRemaining != 1 {
+		t.Errorf("sliding window kept old violations: %+v", s)
+	}
+}
+
+func TestSLORecallBudget(t *testing.T) {
+	m := New()
+	m.ConfigureSLO(SLO{MinRecall: 0.8, RecallWindow: 10}, nil)
+	s := m.SLOSnapshot()
+	if s.RecallBudgetRemaining != 1 {
+		t.Fatalf("no samples must mean full budget, got %v", s.RecallBudgetRemaining)
+	}
+	for i := 0; i < 10; i++ {
+		m.RecordRecallSample(9, 10) // observed 0.9
+	}
+	s = m.SLOSnapshot()
+	if s.WindowRecall != 0.9 {
+		t.Fatalf("window recall = %v, want 0.9", s.WindowRecall)
+	}
+	// (0.9 - 0.8) / 0.2 = 0.5
+	if s.RecallBudgetRemaining != 0.5 {
+		t.Errorf("recall budget = %v, want 0.5", s.RecallBudgetRemaining)
+	}
+	// Ten bad samples slide the good ones out and blow the objective.
+	for i := 0; i < 10; i++ {
+		m.RecordRecallSample(5, 10)
+	}
+	s = m.SLOSnapshot()
+	if s.WindowRecall != 0.5 || s.RecallBudgetRemaining >= 0 || !s.RecallExhausted {
+		t.Errorf("blown recall objective not reflected: %+v", s)
+	}
+	if s.RecallBudgetRemaining != -1 {
+		t.Errorf("budget not clamped to -1: %v", s.RecallBudgetRemaining)
+	}
+}
+
+// TestSLOBreachEdgeTriggered pins the edge semantics: the callback fires
+// exactly once per crossing into exhaustion, re-arms on recovery, and fires
+// once again on the next crossing.
+func TestSLOBreachEdgeTriggered(t *testing.T) {
+	var breaches atomic.Int64
+	var lastKind atomic.Value
+	m := New()
+	// Window 10, objective 0.9 → 1 violation allowed; the 2nd exhausts.
+	m.ConfigureSLO(SLO{LatencyTarget: time.Millisecond, LatencyObjective: 0.9, Window: 10},
+		func(kind string, remaining, burn float64) {
+			breaches.Add(1)
+			lastKind.Store(kind)
+			if remaining >= 0 {
+				t.Errorf("breach with non-negative budget %v", remaining)
+			}
+		})
+	slow, fast := 5*time.Millisecond, 10*time.Microsecond
+	m.RecordSearch(SearchRecord{}, slow)
+	if breaches.Load() != 0 {
+		t.Fatal("breach fired inside the budget")
+	}
+	m.RecordSearch(SearchRecord{}, slow)
+	if breaches.Load() != 1 {
+		t.Fatalf("breaches = %d after exhaustion, want 1", breaches.Load())
+	}
+	// Staying exhausted must not re-fire.
+	m.RecordSearch(SearchRecord{}, slow)
+	m.RecordSearch(SearchRecord{}, slow)
+	if breaches.Load() != 1 {
+		t.Fatalf("level-triggered firing: %d breaches", breaches.Load())
+	}
+	if lastKind.Load().(string) != "latency" {
+		t.Fatalf("kind = %v", lastKind.Load())
+	}
+	// Recover: slide all violations out of the window, then exhaust again.
+	for i := 0; i < 10; i++ {
+		m.RecordSearch(SearchRecord{}, fast)
+	}
+	if s := m.SLOSnapshot(); s.LatencyExhausted {
+		t.Fatal("latch did not re-arm after recovery")
+	}
+	m.RecordSearch(SearchRecord{}, slow)
+	m.RecordSearch(SearchRecord{}, slow)
+	if breaches.Load() != 2 {
+		t.Fatalf("second crossing fired %d times total, want 2", breaches.Load())
+	}
+}
+
+func TestSLORecallBreachEdge(t *testing.T) {
+	var breaches atomic.Int64
+	m := New()
+	m.ConfigureSLO(SLO{MinRecall: 0.9, RecallWindow: 4},
+		func(kind string, remaining, burn float64) {
+			if kind == "recall" {
+				breaches.Add(1)
+			}
+		})
+	m.RecordRecallSample(10, 10)
+	m.RecordRecallSample(0, 10) // window observed 0.5 < 0.9 → edge
+	m.RecordRecallSample(0, 10) // still exhausted, no re-fire
+	if breaches.Load() != 1 {
+		t.Fatalf("recall breaches = %d, want 1", breaches.Load())
+	}
+}
+
+func TestSLOSnapshotInMetricsSnapshot(t *testing.T) {
+	m := New()
+	if s := m.Snapshot(); s.SLO != nil {
+		t.Fatal("unconfigured snapshot carries SLO")
+	}
+	m.ConfigureSLO(SLO{LatencyTarget: time.Millisecond}, nil)
+	m.RecordSearch(SearchRecord{}, 2*time.Millisecond)
+	s := m.Snapshot()
+	if s.SLO == nil || s.SLO.WindowQueries != 1 || s.SLO.LatencyViolations != 1 {
+		t.Fatalf("snapshot SLO block: %+v", s.SLO)
+	}
+	m.Reset()
+	s = m.Snapshot()
+	if s.SLO.WindowQueries != 0 || s.SLO.LatencyViolations != 0 || s.SLO.LatencyExhausted {
+		t.Fatalf("Reset left SLO state: %+v", s.SLO)
+	}
+}

@@ -136,14 +136,15 @@ func New(cfg Config) *Tracer {
 // Config reports the tracer's effective (defaulted) configuration.
 func (t *Tracer) Config() Config { return t.cfg }
 
-// add files one completed trace: always into the ring, and into the slow
-// reservoir when it crossed the threshold (Algorithm R, so every slow
-// query has equal probability of surviving as an exemplar).
-func (t *Tracer) add(qt *QueryTrace) {
+// add files one completed trace and returns its sequence id: always into
+// the ring, and into the slow reservoir when it crossed the threshold
+// (Algorithm R, so every slow query has equal probability of surviving as
+// an exemplar).
+func (t *Tracer) add(qt *QueryTrace) uint64 {
 	qt.Seq = t.seq.Add(1)
 	t.ring[int((qt.Seq-1)%uint64(len(t.ring)))].Store(qt)
 	if qt.Total < t.cfg.SlowThreshold {
-		return
+		return qt.Seq
 	}
 	t.mu.Lock()
 	t.slowSeen++
@@ -153,6 +154,7 @@ func (t *Tracer) add(qt *QueryTrace) {
 		t.slow[j] = qt
 	}
 	t.mu.Unlock()
+	return qt.Seq
 }
 
 // Recent returns the retained traces, oldest first. The ring is read
@@ -258,12 +260,14 @@ func (r *Recorder) Add(s Span) {
 	r.spans = append(r.spans, s)
 }
 
-// End completes the trace and files it with the tracer. The total is
-// measured against the (possibly backdated) origin, so it includes the
+// End completes the trace, files it with the tracer, and returns the
+// assigned trace sequence id (0 for a nil Recorder) so callers — the
+// workload capture — can correlate a log entry with its exemplar. The total
+// is measured against the (possibly backdated) origin, so it includes the
 // projection cost the metrics histogram deliberately excludes.
-func (r *Recorder) End(mode string, k int, stats metrics.SearchRecord) {
+func (r *Recorder) End(mode string, k int, stats metrics.SearchRecord) uint64 {
 	if r == nil {
-		return
+		return 0
 	}
 	qt := &QueryTrace{
 		Start:        r.t0,
@@ -274,5 +278,5 @@ func (r *Recorder) End(mode string, k int, stats metrics.SearchRecord) {
 		DroppedSpans: r.dropped,
 		Stats:        stats,
 	}
-	r.tr.add(qt)
+	return r.tr.add(qt)
 }

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// RunFunc re-executes one captured query against a target index and returns
+// the fresh result list. core.Index.ReplayRunner adapts a Searcher to this
+// signature; keeping it a function type keeps this package dependency-free.
+type RunFunc func(*Record) (ids []int32, dists []float32, err error)
+
+// Thresholds gate a replay. Zero values disable each gate, so the zero
+// Thresholds never fails a replay.
+type Thresholds struct {
+	// MinOverlap is the minimum acceptable MEAN overlap@k fraction in
+	// [0, 1] (e.g. 1.0 demands identical result sets on every query).
+	MinOverlap float64
+	// MaxDistDrift is the maximum acceptable per-query relative distance
+	// drift over IDs present in both result lists (negative disables; 0 is
+	// an active gate demanding bit-equal distances).
+	MaxDistDrift float64
+	// DistDriftSet marks MaxDistDrift as an active gate even at 0.
+	DistDriftSet bool
+	// MaxLatencyFactor is the maximum acceptable replay-p99 over
+	// recorded-p99 ratio (<= 0 disables). Only meaningful when replaying
+	// on hardware comparable to the capture host.
+	MaxLatencyFactor float64
+}
+
+// Options tune a replay run.
+type Options struct {
+	// Paced reproduces the recorded arrival spacing (sleep until each
+	// record's capture offset). Off = max speed, back to back.
+	Paced bool
+	// Thresholds gate the run; violations land in Report.Violations.
+	Thresholds Thresholds
+}
+
+// QueryDiff is the per-query comparison of a replayed answer against the
+// recorded ground truth.
+type QueryDiff struct {
+	Index     int           // record index in the log
+	Overlap   float64       // |recorded ∩ replayed| / |recorded|, 1.0 when both empty
+	DistDrift float64       // max relative |Δdist| over shared IDs
+	Recorded  time.Duration // recorded latency
+	Replayed  time.Duration // replay latency
+	Err       error         // non-nil when the replay call itself failed
+}
+
+// Report aggregates a replay run.
+type Report struct {
+	Queries                  int     // records replayed
+	Errors                   int     // records whose replay call errored
+	MeanOverlap              float64 // mean per-query overlap@k
+	WorstOverlap             float64 // minimum per-query overlap@k
+	WorstQuery               int     // record index of the worst overlap (-1 if none)
+	ExactMatches             int     // queries whose ID lists matched exactly, in order
+	MaxDistDrift             float64 // max per-query relative distance drift
+	MeanDistDrift            float64
+	RecordedP50, RecordedP99 time.Duration
+	ReplayP50, ReplayP99     time.Duration
+	// LatencyFactor is ReplayP99 / RecordedP99 (0 when either is unknown).
+	LatencyFactor float64
+	// Violations lists every threshold the run crossed; empty = pass.
+	Violations []string
+}
+
+// Passed reports whether the run satisfied every configured threshold.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// Replay re-runs every record of the log through run, diffing each answer
+// against the recorded ground truth, and returns the aggregate report plus
+// the per-query diffs (same order as the log). The error return covers only
+// malformed inputs; threshold violations are reported, not returned.
+func Replay(l *Log, run RunFunc, opt Options) (*Report, []QueryDiff, error) {
+	if l == nil || run == nil {
+		return nil, nil, fmt.Errorf("workload: nil log or run function")
+	}
+	diffs := make([]QueryDiff, 0, len(l.Records))
+	rep := &Report{Queries: len(l.Records), WorstOverlap: 1, WorstQuery: -1}
+	start := time.Now()
+	var recLat, repLat []time.Duration
+	var overlapSum, driftSum float64
+	for i := range l.Records {
+		r := &l.Records[i]
+		if opt.Paced {
+			if wait := time.Duration(r.OffsetNs) - time.Since(start); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		q0 := time.Now()
+		ids, dists, err := run(r)
+		lat := time.Since(q0)
+		d := QueryDiff{
+			Index:    i,
+			Recorded: time.Duration(r.LatencyNs),
+			Replayed: lat,
+			Err:      err,
+		}
+		if err != nil {
+			rep.Errors++
+			d.Overlap = 0
+		} else {
+			d.Overlap = overlap(r.IDs, ids)
+			d.DistDrift = distDrift(r.IDs, r.Dists, ids, dists)
+			if exactMatch(r.IDs, ids) {
+				rep.ExactMatches++
+			}
+			recLat = append(recLat, d.Recorded)
+			repLat = append(repLat, lat)
+		}
+		overlapSum += d.Overlap
+		driftSum += d.DistDrift
+		if d.DistDrift > rep.MaxDistDrift {
+			rep.MaxDistDrift = d.DistDrift
+		}
+		if d.Overlap < rep.WorstOverlap {
+			rep.WorstOverlap = d.Overlap
+			rep.WorstQuery = i
+		}
+		diffs = append(diffs, d)
+	}
+	if rep.Queries > 0 {
+		rep.MeanOverlap = overlapSum / float64(rep.Queries)
+		rep.MeanDistDrift = driftSum / float64(rep.Queries)
+	} else {
+		rep.MeanOverlap = 1
+		rep.WorstOverlap = 1
+	}
+	rep.RecordedP50 = percentile(recLat, 0.50)
+	rep.RecordedP99 = percentile(recLat, 0.99)
+	rep.ReplayP50 = percentile(repLat, 0.50)
+	rep.ReplayP99 = percentile(repLat, 0.99)
+	if rep.RecordedP99 > 0 && rep.ReplayP99 > 0 {
+		rep.LatencyFactor = float64(rep.ReplayP99) / float64(rep.RecordedP99)
+	}
+	rep.Violations = opt.Thresholds.check(rep)
+	return rep, diffs, nil
+}
+
+func (t Thresholds) check(rep *Report) []string {
+	var v []string
+	if rep.Errors > 0 {
+		v = append(v, fmt.Sprintf("%d of %d replayed queries errored", rep.Errors, rep.Queries))
+	}
+	if t.MinOverlap > 0 && rep.MeanOverlap < t.MinOverlap {
+		v = append(v, fmt.Sprintf("mean overlap@k %.4f below threshold %.4f (worst %.4f at query %d)",
+			rep.MeanOverlap, t.MinOverlap, rep.WorstOverlap, rep.WorstQuery))
+	}
+	if (t.DistDriftSet || t.MaxDistDrift > 0) && rep.MaxDistDrift > t.MaxDistDrift {
+		v = append(v, fmt.Sprintf("max distance drift %.6g above threshold %.6g", rep.MaxDistDrift, t.MaxDistDrift))
+	}
+	if t.MaxLatencyFactor > 0 && rep.LatencyFactor > t.MaxLatencyFactor {
+		v = append(v, fmt.Sprintf("replay p99 %.2fx recorded p99, above threshold %.2fx", rep.LatencyFactor, t.MaxLatencyFactor))
+	}
+	return v
+}
+
+// overlap is |recorded ∩ replayed| / |recorded| (set semantics; order is
+// judged by ExactMatches instead). Both empty → 1.
+func overlap(recorded, replayed []int32) float64 {
+	if len(recorded) == 0 {
+		return 1
+	}
+	set := make(map[int32]struct{}, len(recorded))
+	for _, id := range recorded {
+		set[id] = struct{}{}
+	}
+	hits := 0
+	for _, id := range replayed {
+		if _, ok := set[id]; ok {
+			hits++
+			delete(set, id) // duplicates count once
+		}
+	}
+	return float64(hits) / float64(len(recorded))
+}
+
+// distDrift is the maximum relative distance change over IDs present in
+// both result lists. IDs only one side returned contribute nothing here —
+// the overlap metric already charges for them.
+func distDrift(recIDs []int32, recD []float32, repIDs []int32, repD []float32) float64 {
+	old := make(map[int32]float32, len(recIDs))
+	for i, id := range recIDs {
+		old[id] = recD[i]
+	}
+	var worst float64
+	for i, id := range repIDs {
+		od, ok := old[id]
+		if !ok {
+			continue
+		}
+		diff := math.Abs(float64(repD[i]) - float64(od))
+		base := math.Abs(float64(od))
+		if base < 1e-12 {
+			if diff > 0 {
+				worst = math.Max(worst, diff) // absolute near zero
+			}
+			continue
+		}
+		worst = math.Max(worst, diff/base)
+	}
+	return worst
+}
+
+func exactMatch(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// percentile is the nearest-rank percentile of the given durations (0 when
+// empty). Sorts a copy.
+func percentile(d []time.Duration, q float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -1,0 +1,207 @@
+// Package workload captures sampled production queries into a replayable
+// log. Where internal/metrics aggregates what already happened and
+// internal/trace explains single queries, workload makes the traffic itself
+// portable: a Capture hooks into the query path (deterministic atomic-stride
+// sampling, lock-free append into a bounded buffer), a Log serializes the
+// sample to a versioned compact binary file (.vaqwl) tagged with the index's
+// config fingerprint, and Replay re-runs the log against any index — the
+// same one, or a rebuild under different parameters — diffing every answer
+// against the recorded ground truth (overlap@k, distance drift, latency
+// delta). Stdlib-only and dependency-free, so internal/core can import it.
+package workload
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Record is one captured query with the answer the serving index returned
+// at capture time — the ground truth a replay diffs against.
+type Record struct {
+	// OffsetNs is the query's start offset from the capture's start, used
+	// by paced replay to reproduce the recorded arrival spacing.
+	OffsetNs int64
+	// LatencyNs is the recorded scan latency (projection excluded, the
+	// same window the metrics histogram observes).
+	LatencyNs int64
+	// TraceSeq is the QueryTrace sequence number assigned by the tracer
+	// when tracing was on at capture time (0 = untraced), so a log entry
+	// can be correlated with its span-level exemplar.
+	TraceSeq uint64
+	// K, Mode, VisitFrac and Subspaces reproduce the SearchOptions the
+	// query ran under. Mode is the integer value of core.SearchMode; this
+	// package stays dependency-free, so it does not name the type.
+	K         int32
+	Mode      int32
+	VisitFrac float64
+	Subspaces int32
+	// Projected marks a query captured via SearchProjected: Query is then
+	// already in the index's PCA space and must be replayed the same way.
+	Projected bool
+	// Query is the query vector (raw unless Projected).
+	Query []float32
+	// IDs and Dists are the recorded result list, nearest first.
+	IDs   []int32
+	Dists []float32
+}
+
+// Config tunes a Capture.
+type Config struct {
+	// SampleRate is the fraction of queries captured; like the recall
+	// estimator, it is realized as a deterministic every-round(1/rate)-th
+	// stride, not a coin flip (<=0 or >=1 means every query).
+	SampleRate float64
+	// MaxRecords bounds the capture buffer (default 65536). Once full,
+	// further sampled queries are counted in Dropped and discarded — the
+	// hot path never blocks and never reallocates.
+	MaxRecords int
+	// Fingerprint tags the log with the capturing index's config
+	// fingerprint (core fills this in EnableCapture).
+	Fingerprint string
+	// Dim is the raw query dimensionality of the capturing index.
+	Dim int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRecords <= 0 {
+		c.MaxRecords = 65536
+	}
+	return c
+}
+
+// Capture is a lock-free bounded recorder of sampled queries. All methods
+// are safe for concurrent use from any number of Searchers, and every
+// recording method is nil-safe so the disabled cost at a call site is one
+// pointer check.
+type Capture struct {
+	cfg     Config
+	stride  uint64
+	start   time.Time
+	ctr     atomic.Uint64
+	next    atomic.Uint64
+	dropped atomic.Uint64
+	slots   []atomic.Pointer[Record]
+}
+
+// NewCapture returns an empty capture buffer. The capture clock (record
+// offsets) starts now.
+func NewCapture(cfg Config) *Capture {
+	cfg = cfg.withDefaults()
+	return &Capture{
+		cfg:    cfg,
+		stride: SampleStride(cfg.SampleRate),
+		start:  time.Now(),
+		slots:  make([]atomic.Pointer[Record], cfg.MaxRecords),
+	}
+}
+
+// SampleStride converts a sampling fraction into the deterministic
+// every-Nth stride (rate <= 0 or >= 1 → every query), mirroring the recall
+// estimator's scheme.
+func SampleStride(rate float64) uint64 {
+	if rate <= 0 || rate >= 1 {
+		return 1
+	}
+	s := uint64(1/rate + 0.5)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ShouldSample reports whether the current query is on the sampling stride.
+// One atomic add per query when capture is enabled.
+func (c *Capture) ShouldSample() bool {
+	if c == nil {
+		return false
+	}
+	return c.ctr.Add(1)%c.stride == 0
+}
+
+// Add files one record, stamping its offset on the capture clock. Past
+// MaxRecords the record is dropped and counted; the buffer never grows.
+func (c *Capture) Add(r *Record) {
+	if c == nil || r == nil {
+		return
+	}
+	r.OffsetNs = time.Since(c.start).Nanoseconds()
+	slot := c.next.Add(1) - 1
+	if slot >= uint64(len(c.slots)) {
+		c.dropped.Add(1)
+		return
+	}
+	c.slots[slot].Store(r)
+}
+
+// Len reports how many records have been stored so far.
+func (c *Capture) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := c.next.Load()
+	if n > uint64(len(c.slots)) {
+		n = uint64(len(c.slots))
+	}
+	// Stored slots may trail the reservation counter for an instant while
+	// a writer is between Add's reservation and Store; count only visible
+	// records so Len agrees with what Snapshot would return.
+	count := 0
+	for i := uint64(0); i < n; i++ {
+		if c.slots[i].Load() != nil {
+			count++
+		}
+	}
+	return count
+}
+
+// Sampled reports how many queries passed the sampling stride (stored +
+// dropped).
+func (c *Capture) Sampled() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.next.Load()
+}
+
+// Dropped reports how many sampled queries were discarded because the
+// buffer was full.
+func (c *Capture) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.dropped.Load()
+}
+
+// Stride reports the effective sampling stride (1 = every query).
+func (c *Capture) Stride() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.stride
+}
+
+// Snapshot assembles the captured records, in capture order, into a Log
+// ready for serialization. Concurrent Adds during the snapshot may or may
+// not be included (slots still mid-Store are skipped); the returned Log
+// aliases the stored records, which are never mutated after Add.
+func (c *Capture) Snapshot() *Log {
+	if c == nil {
+		return nil
+	}
+	n := c.next.Load()
+	if n > uint64(len(c.slots)) {
+		n = uint64(len(c.slots))
+	}
+	recs := make([]Record, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if r := c.slots[i].Load(); r != nil {
+			recs = append(recs, *r)
+		}
+	}
+	return &Log{
+		Version:     FormatVersion,
+		Fingerprint: c.cfg.Fingerprint,
+		Dim:         c.cfg.Dim,
+		Records:     recs,
+	}
+}

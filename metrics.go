@@ -7,6 +7,18 @@ import (
 	"vaq/internal/metrics"
 )
 
+// SLO declares service-level objectives for an index — a tail-latency
+// target (LatencyTarget met by LatencyObjective of windowed queries) and/or
+// a minimum windowed observed recall (MinRecall, fed by
+// Config.RecallSampleRate). Set it via Config.SLO; read the evaluation via
+// MetricsSnapshot.SLO. See the field docs in internal/metrics.SLO.
+type SLO = metrics.SLO
+
+// SLOSnapshot is the point-in-time SLO evaluation: the declared objectives
+// plus the windowed error-budget gauges (budget remaining, burn rate,
+// exhaustion latches). Negative budget = objective broken.
+type SLOSnapshot = metrics.SLOSnapshot
+
 // MetricsSnapshot is a point-in-time view of an index's query telemetry:
 // totals of the per-query SearchStats counters across every Searcher plus
 // latency percentiles from a fixed-bucket histogram. All fields are
@@ -55,6 +67,9 @@ type MetricsSnapshot struct {
 	DriftRatio    float64   `json:"drift_ratio,omitempty"`
 	DeadCodewords uint64    `json:"dead_codewords,omitempty"`
 	DriftAlert    bool      `json:"drift_alert,omitempty"`
+	// SLO is the error-budget evaluation of Config.SLO (nil when no
+	// objectives are configured).
+	SLO *SLOSnapshot `json:"slo,omitempty"`
 }
 
 func toSnapshot(s metrics.Snapshot) MetricsSnapshot {
@@ -80,6 +95,7 @@ func toSnapshot(s metrics.Snapshot) MetricsSnapshot {
 		DriftRatio:       s.DriftRatio,
 		DeadCodewords:    s.DeadCodewords,
 		DriftAlert:       s.DriftAlert,
+		SLO:              s.SLO,
 	}
 }
 

@@ -184,6 +184,18 @@ type Config struct {
 	// Off by default; see also Index.EnableProfileLabels for indexes
 	// loaded from disk. Runtime-only: not serialized.
 	ProfileLabels bool
+	// SLO declares service-level objectives — a tail-latency target and/or
+	// a minimum observed recall — evaluated online over sliding windows of
+	// recent traffic. Error budgets are exported through
+	// MetricsSnapshot.SLO, the Prometheus gauges
+	// (vaq_slo_latency_budget_remaining, vaq_slo_recall_budget_remaining,
+	// vaq_slo_burn_rate) and the index report; crossing into budget
+	// exhaustion emits one vaq.slo log event per crossing (edge-triggered,
+	// re-arms on recovery) via Logger. The recall objective needs
+	// RecallSampleRate > 0 to feed samples. nil disables (default).
+	// Requires metrics (no effect under DisableMetrics). Runtime-only:
+	// not serialized.
+	SLO *SLO
 }
 
 // SearchOptions tune a single query.
@@ -227,6 +239,7 @@ func (c Config) toCore() core.Config {
 		Logger:                c.Logger,
 		DriftAlertRatio:       c.DriftAlertRatio,
 		ProfileLabels:         c.ProfileLabels,
+		SLO:                   c.SLO,
 	}
 }
 
