@@ -125,10 +125,15 @@ func BenchmarkSearchTIEA10(b *testing.B) { benchSearchMode(b, core.ModeTIEA, 0.1
 // TestScanLayoutEquivalence in internal/core), so any delta is pure
 // memory-layout effect.
 
-var scanLayoutBenchCache = map[core.ScanLayout]*core.Index{}
+type scanBenchKey struct {
+	layout   core.ScanLayout
+	accuracy core.AccuracyMode
+}
+
+var scanLayoutBenchCache = map[scanBenchKey]*core.Index{}
 var scanLayoutBenchData *dataset.Dataset
 
-func scanLayoutBenchIndex(b *testing.B, layout core.ScanLayout) (*core.Index, *dataset.Dataset) {
+func scanLayoutBenchIndex(b *testing.B, layout core.ScanLayout, accuracy core.AccuracyMode) (*core.Index, *dataset.Dataset) {
 	b.Helper()
 	// 100k codes x 32 subspaces spill any private cache level: the pair
 	// then measures layout (miss-rate) effects, not just instruction mix.
@@ -140,23 +145,25 @@ func scanLayoutBenchIndex(b *testing.B, layout core.ScanLayout) (*core.Index, *d
 		scanLayoutBenchData = ds
 	}
 	ds := scanLayoutBenchData
-	if ix, ok := scanLayoutBenchCache[layout]; ok {
+	key := scanBenchKey{layout, accuracy}
+	if ix, ok := scanLayoutBenchCache[key]; ok {
 		return ix, ds
 	}
 	// Train on a sample: the pair compares scan throughput, and a smaller
 	// training set keeps the one-time build out of the measured budget.
 	ix, err := core.Build(ds.Train.SliceRows(0, 4000), ds.Base, core.Config{
-		NumSubspaces: 32, Budget: 256, Seed: 7, ScanLayout: layout,
+		NumSubspaces: 32, Budget: 256, Seed: 7,
+		ScanLayout: layout, AccuracyMode: accuracy,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	scanLayoutBenchCache[layout] = ix
+	scanLayoutBenchCache[key] = ix
 	return ix, ds
 }
 
-func benchScanLayout(b *testing.B, layout core.ScanLayout, mode core.SearchMode, frac float64) {
-	ix, ds := scanLayoutBenchIndex(b, layout)
+func benchScanLayout(b *testing.B, layout core.ScanLayout, accuracy core.AccuracyMode, mode core.SearchMode, frac float64) {
+	ix, ds := scanLayoutBenchIndex(b, layout, accuracy)
 	s := ix.NewSearcher()
 	// Pre-project the queries: rotation cost is identical under either
 	// layout, so the pair isolates LUT construction + scan.
@@ -179,16 +186,28 @@ func benchScanLayout(b *testing.B, layout core.ScanLayout, mode core.SearchMode,
 }
 
 func BenchmarkScanLayoutTIEABlocked(b *testing.B) {
-	benchScanLayout(b, core.LayoutBlocked, core.ModeTIEA, 0.25)
+	benchScanLayout(b, core.LayoutBlocked, core.AccuracyExact, core.ModeTIEA, 0.25)
 }
 func BenchmarkScanLayoutTIEARowMajor(b *testing.B) {
-	benchScanLayout(b, core.LayoutRowMajor, core.ModeTIEA, 0.25)
+	benchScanLayout(b, core.LayoutRowMajor, core.AccuracyExact, core.ModeTIEA, 0.25)
 }
 func BenchmarkScanLayoutHeapBlocked(b *testing.B) {
-	benchScanLayout(b, core.LayoutBlocked, core.ModeHeap, 0)
+	benchScanLayout(b, core.LayoutBlocked, core.AccuracyExact, core.ModeHeap, 0)
 }
 func BenchmarkScanLayoutHeapRowMajor(b *testing.B) {
-	benchScanLayout(b, core.LayoutRowMajor, core.ModeHeap, 0)
+	benchScanLayout(b, core.LayoutRowMajor, core.AccuracyExact, core.ModeHeap, 0)
+}
+
+// The Fast pair runs the integer kernel (uint8 LUTs, packed 4-bit codes
+// where dictionaries allow) on the same blocked index content. Unlike
+// the layout pairs these are NOT bit-identical to their exact twins —
+// TestFastKernelRecallAgainstExact bounds the answer drift — so compare
+// throughput only against ScanLayoutTIEABlocked/HeapBlocked.
+func BenchmarkScanLayoutTIEAFast(b *testing.B) {
+	benchScanLayout(b, core.LayoutBlocked, core.AccuracyFast, core.ModeTIEA, 0.25)
+}
+func BenchmarkScanLayoutHeapFast(b *testing.B) {
+	benchScanLayout(b, core.LayoutBlocked, core.AccuracyFast, core.ModeHeap, 0)
 }
 
 // BenchmarkSearchMetricsOn/Off isolate the hot-path cost of the

@@ -30,7 +30,11 @@ type benchParams struct {
 	VisitFrac float64 `json:"visit_frac"`
 	Workers   int     `json:"workers"`
 	Passes    int     `json:"passes"`
-	Layout    string  `json:"layout"` // "blocked", "rowmajor", or "both"
+	Layout    string  `json:"layout"` // "blocked", "rowmajor", "both", "int", or "all"
+	// Accuracy is the scan arithmetic: "" or "exact" for the float kernels,
+	// "fast" for the integer fast-scan kernel. omitempty keeps every
+	// exact-mode fingerprint identical to pre-int-kernel summaries.
+	Accuracy string `json:"accuracy,omitempty"`
 	// RecallRate enables the online recall estimator during the timed
 	// passes, so the summary's ObservedRecall is populated and -compare can
 	// diff answer quality. omitempty keeps the config fingerprint of
@@ -46,7 +50,27 @@ func parseLayout(name string) (core.ScanLayout, error) {
 	case "rowmajor":
 		return core.LayoutRowMajor, nil
 	}
-	return 0, fmt.Errorf("unknown layout %q (blocked, rowmajor or both)", name)
+	return 0, fmt.Errorf("unknown layout %q (blocked, rowmajor, both, int or all)", name)
+}
+
+// parseAccuracy maps the accuracy param to a core.AccuracyMode.
+func parseAccuracy(name string) (core.AccuracyMode, error) {
+	switch name {
+	case "", "exact":
+		return core.AccuracyExact, nil
+	case "fast":
+		return core.AccuracyFast, nil
+	}
+	return 0, fmt.Errorf("unknown accuracy %q (exact or fast)", name)
+}
+
+// accuracyName normalizes a params accuracy string for comparison ("" and
+// "exact" are the same mode).
+func accuracyName(a string) string {
+	if a == "" {
+		return "exact"
+	}
+	return a
 }
 
 // benchProvenance records where a summary came from, so numbers from
@@ -68,6 +92,8 @@ type benchProvenance struct {
 	ConfigFingerprint string `json:"config_fingerprint"`
 	// Layout is the scan layout this run measured.
 	Layout string `json:"layout"`
+	// Accuracy is the scan arithmetic this run measured ("" = exact).
+	Accuracy string `json:"accuracy,omitempty"`
 }
 
 // benchSchemaVersion tracks the benchSummary document shape.
@@ -86,6 +112,7 @@ func provenanceFor(p benchParams) benchProvenance {
 		NumCPU:            runtime.NumCPU(),
 		ConfigFingerprint: hex.EncodeToString(sum[:8]),
 		Layout:            p.Layout,
+		Accuracy:          p.Accuracy,
 	}
 }
 
@@ -115,13 +142,19 @@ type benchSummary struct {
 	Report *diag.Report `json:"report,omitempty"`
 }
 
-// layoutComparison is the JSON document emitted by -layout both: the same
-// workload measured once per scan layout, plus the headline ratio the perf
-// tracker watches (blocked TIEA throughput over row-major).
+// layoutComparison is the JSON document emitted by -layout both / all: the
+// same workload measured once per arm, plus the headline ratios the perf
+// tracker watches (blocked TIEA throughput over row-major, and — with the
+// -layout all third arm — the integer kernel's throughput over blocked
+// exact).
 type layoutComparison struct {
 	Blocked        *benchSummary `json:"blocked"`
 	RowMajor       *benchSummary `json:"rowmajor"`
 	TIEAQPSSpeedup float64       `json:"tiea_qps_speedup"`
+	// BlockedInt is the -layout all third arm: the blocked layout scanned
+	// by the integer fast kernel (accuracy "fast").
+	BlockedInt        *benchSummary `json:"blocked_int,omitempty"`
+	IntTIEAQPSSpeedup float64       `json:"int_tiea_qps_speedup,omitempty"`
 }
 
 // runJSONBench builds an index (or, with -layout both, one per scan
@@ -133,7 +166,10 @@ func runJSONBench(path string, p benchParams, withReport bool) error {
 	if err != nil {
 		return err
 	}
-	if p.Layout == "both" {
+	if p.Layout == "both" || p.Layout == "all" {
+		if accuracyName(p.Accuracy) != "exact" {
+			return fmt.Errorf("-layout %s runs its own accuracy arms; drop -accuracy", p.Layout)
+		}
 		pb, pr := p, p
 		pb.Layout, pr.Layout = "blocked", "rowmajor"
 		blocked, err := runBenchOnce(ds, pb, withReport)
@@ -151,7 +187,26 @@ func runJSONBench(path string, p benchParams, withReport bool) error {
 		}
 		line := fmt.Sprintf("layouts: blocked %.0f qps, rowmajor %.0f qps, speedup %.2fx",
 			cmp.Blocked.Search.QPS, cmp.RowMajor.Search.QPS, cmp.TIEAQPSSpeedup)
+		if p.Layout == "all" {
+			pi := p
+			pi.Layout, pi.Accuracy = "blocked", "fast"
+			blockedInt, err := runBenchOnce(ds, pi, withReport)
+			if err != nil {
+				return err
+			}
+			cmp.BlockedInt = blockedInt
+			cmp.IntTIEAQPSSpeedup = blockedInt.Search.QPS / blocked.Search.QPS
+			line += fmt.Sprintf(", int %.0f qps (%.2fx over blocked)",
+				blockedInt.Search.QPS, cmp.IntTIEAQPSSpeedup)
+			if r := blockedInt.Metrics.ObservedRecall(); blockedInt.Metrics.RecallSamples > 0 {
+				line += fmt.Sprintf(", int recall %.3f", r)
+			}
+		}
 		return writeJSONDoc(path, cmp, line)
+	}
+	if p.Layout == "int" {
+		// Shorthand for the integer arm alone: blocked layout, fast kernel.
+		p.Layout, p.Accuracy = "blocked", "fast"
 	}
 	sum, err := runBenchOnce(ds, p, withReport)
 	if err != nil {
@@ -173,12 +228,17 @@ func runBenchOnce(ds *dataset.Dataset, p benchParams, withReport bool) (*benchSu
 	if err != nil {
 		return nil, err
 	}
+	accuracy, err := parseAccuracy(p.Accuracy)
+	if err != nil {
+		return nil, err
+	}
 	ix, err := core.Build(ds.Train, ds.Base, core.Config{
 		NumSubspaces:     p.Subspaces,
 		Budget:           p.Budget,
 		MaxBits:          p.MaxBits,
 		Seed:             p.Seed,
 		ScanLayout:       layout,
+		AccuracyMode:     accuracy,
 		RecallSampleRate: p.RecallRate,
 	})
 	if err != nil {

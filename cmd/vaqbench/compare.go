@@ -37,6 +37,14 @@ func runCompare(baselinePath, nextPath string, thresholdPct float64, force bool)
 		fmt.Fprintf(os.Stderr, "vaqbench: %v\n", err)
 		return 2
 	}
+	if accuracyName(base.Params.Accuracy) != accuracyName(next.Params.Accuracy) {
+		// Not forceable: an exact and a fast run answer queries differently,
+		// so their perf deltas are meaningless and a CI gate comparing them
+		// would silently wave through a kernel swap.
+		fmt.Fprintf(os.Stderr, "vaqbench: accuracy modes differ (%s vs %s): summaries are never comparable\n",
+			accuracyName(base.Params.Accuracy), accuracyName(next.Params.Accuracy))
+		return 2
+	}
 	if base.Provenance.ConfigFingerprint != next.Provenance.ConfigFingerprint {
 		fmt.Fprintf(os.Stderr, "vaqbench: config fingerprints differ (%s vs %s): summaries are not comparable\n",
 			base.Provenance.ConfigFingerprint, next.Provenance.ConfigFingerprint)
@@ -97,8 +105,9 @@ func runCompare(baselinePath, nextPath string, thresholdPct float64, force bool)
 }
 
 // loadSummary reads one vaqbench -json document. Three shapes are
-// accepted: a plain benchSummary, a -layout both layoutComparison (its
-// blocked arm is the one compared — the default production layout), and
+// accepted: a plain benchSummary, a -layout both/all layoutComparison
+// (its blocked exact arm is the one compared — the default production
+// configuration), and
 // pre-provenance summaries, whose fingerprint is synthesized from the
 // embedded params with the same scheme provenanceFor stamps today, so old
 // committed baselines stay comparable.
@@ -115,7 +124,7 @@ func loadSummary(path string) (*benchSummary, error) {
 		// Not a flat summary — try the -layout both comparison document.
 		var cmp layoutComparison
 		if err := json.Unmarshal(b, &cmp); err == nil && cmp.Blocked != nil && cmp.Blocked.Params.Dataset != "" {
-			fmt.Fprintf(os.Stderr, "vaqbench: %s is a -layout both document; comparing its blocked arm\n", path)
+			fmt.Fprintf(os.Stderr, "vaqbench: %s is a layout-comparison document; comparing its blocked (exact) arm\n", path)
 			s = *cmp.Blocked
 		}
 	}

@@ -9,6 +9,7 @@
 //	vaqbench -exp tab2 -n 50000 -gallery 128
 //	vaqbench -json BENCH_sald.json -n 20000 -nq 200   # perf summary
 //	vaqbench -json BENCH_pr2.json -layout both        # scan-layout A/B
+//	vaqbench -json BENCH_pr6.json -layout all         # + integer-kernel arm
 //	vaqbench -json BENCH_sald.json -report            # + IndexReport quality block
 //	vaqbench -json - -metrics-addr localhost:6060     # live expvar/pprof
 //	vaqbench -compare BENCH_old.json BENCH_new.json -threshold 5
@@ -20,11 +21,14 @@
 // summary (build-phase timings, QPS, p50/p95/p99 latency, TI/EA prune
 // rates) for tracking the perf trajectory across PRs; -layout both runs
 // the workload once per scan layout and records the blocked-over-rowmajor
-// throughput ratio; -report additionally embeds the index-quality
-// IndexReport (distortion, utilization, TI balance) in the summary. The
-// -compare mode diffs two -json summaries metric by metric and exits 1
-// when QPS drops or a latency percentile rises beyond -threshold percent
-// (exit 2 when the summaries' config fingerprints do not match). With
+// throughput ratio, and -layout all adds a third arm measuring the integer
+// fast-scan kernel (blocked layout, -accuracy fast) against blocked exact;
+// -report additionally embeds the index-quality IndexReport (distortion,
+// utilization, TI balance) in the summary. The -compare mode diffs two
+// -json summaries metric by metric and exits 1 when QPS drops or a latency
+// percentile rises beyond -threshold percent (exit 2 when the summaries'
+// config fingerprints or accuracy modes do not match — the latter is never
+// forceable, exact and fast runs answer differently). With
 // -metrics-addr, either mode serves live metrics on /debug/vars and
 // profiles on /debug/pprof/.
 package main
@@ -57,7 +61,8 @@ func main() {
 		visit       = flag.Float64("visit", 0.25, "TI visit fraction for -json")
 		workers     = flag.Int("workers", 0, "query workers for -json (0 = GOMAXPROCS)")
 		passes      = flag.Int("passes", 3, "timed passes over the query set for -json")
-		layout      = flag.String("layout", "blocked", "scan layout for -json: blocked, rowmajor, or both (A/B comparison)")
+		layout      = flag.String("layout", "blocked", "scan layout for -json: blocked, rowmajor, both (exact A/B), int (blocked + integer kernel), or all (three-arm A/B)")
+		accuracy    = flag.String("accuracy", "", "scan arithmetic for -json: exact (default) or fast (integer kernel; single-layout runs only)")
 		report      = flag.Bool("report", false, "embed the index-quality IndexReport in the -json summary")
 		recallRate  = flag.Float64("recall-sample", 0, "fraction of -json queries shadow-checked against an exact scan (populates observed recall; 0 disables)")
 		compare     = flag.Bool("compare", false, "diff two -json summaries (args: baseline.json new.json); exit 1 on regression")
@@ -94,7 +99,7 @@ func main() {
 			Dataset: *benchData, N: *n, NQ: *nq, Seed: *seed,
 			Subspaces: *subspaces, Budget: *budget, MaxBits: *maxBits, K: *k,
 			VisitFrac: *visit, Workers: *workers, Passes: *passes,
-			Layout: *layout, RecallRate: *recallRate,
+			Layout: *layout, Accuracy: *accuracy, RecallRate: *recallRate,
 		}
 		if p.N <= 0 {
 			p.N = 20000

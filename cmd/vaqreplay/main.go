@@ -13,6 +13,7 @@
 //	vaqsearch -data sald.vaqd -subspaces 16 -budget 128 -capture run.vaqwl
 //	vaqreplay -log run.vaqwl -data sald.vaqd -subspaces 16 -budget 128 -min-overlap 1
 //	vaqreplay -log run.vaqwl -data sald.vaqd -subspaces 16 -budget 16   # candidate config
+//	vaqreplay -log run.vaqwl -data sald.vaqd ... -accuracy fast -min-overlap 0.95  # int-kernel recall gate
 //	vaqreplay -log run.vaqwl -data sald.vaqd ... -speed recorded        # paced replay
 //
 // Exit status: 0 when every configured threshold holds, 1 on a threshold
@@ -40,6 +41,7 @@ func main() {
 		maxBits   = flag.Int("maxbits", 13, "maximum bits per subspace")
 		nonUnif   = flag.Bool("nonuniform", false, "cluster dimensions into non-uniform subspaces")
 		layoutStr = flag.String("layout", "blocked", "scan layout: blocked or rowmajor")
+		accStr    = flag.String("accuracy", "exact", "scan arithmetic: exact or fast (integer kernel)")
 		seed      = flag.Int64("seed", 42, "build seed")
 		speed     = flag.String("speed", "max", "replay speed: max (back to back) or recorded (reproduce capture spacing)")
 		minOvl    = flag.Float64("min-overlap", 0, "minimum acceptable mean overlap@k in [0,1] (0 disables)")
@@ -60,6 +62,16 @@ func main() {
 		layout = core.LayoutRowMajor
 	default:
 		fmt.Fprintf(os.Stderr, "vaqreplay: unknown layout %q (blocked or rowmajor)\n", *layoutStr)
+		os.Exit(2)
+	}
+	var accuracy core.AccuracyMode
+	switch *accStr {
+	case "", "exact":
+		accuracy = core.AccuracyExact
+	case "fast":
+		accuracy = core.AccuracyFast
+	default:
+		fmt.Fprintf(os.Stderr, "vaqreplay: unknown accuracy %q (exact or fast)\n", *accStr)
 		os.Exit(2)
 	}
 	var paced bool
@@ -94,6 +106,7 @@ func main() {
 		NonUniform:   *nonUnif,
 		Seed:         *seed,
 		ScanLayout:   layout,
+		AccuracyMode: accuracy,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vaqreplay: build: %v\n", err)

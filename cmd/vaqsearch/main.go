@@ -46,6 +46,7 @@ func main() {
 		visit       = flag.Float64("visit", 0.25, "fraction of TI clusters visited")
 		nonUnif     = flag.Bool("nonuniform", false, "cluster dimensions into non-uniform subspaces")
 		layoutName  = flag.String("layout", "blocked", "scan layout: blocked (cache-optimized, default) or rowmajor (legacy)")
+		accStr      = flag.String("accuracy", "exact", "scan arithmetic: exact or fast (integer kernel, blocked layout only)")
 		seed        = flag.Int64("seed", 42, "build seed")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars), pprof (/debug/pprof/) and /debug/vaq/{metrics,traces} on this address")
 		traceOn     = flag.Bool("trace", false, "record per-query spans and publish them at /debug/vaq/traces")
@@ -72,6 +73,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vaqsearch: unknown layout %q (blocked or rowmajor)\n", *layoutName)
 		os.Exit(2)
 	}
+	var accuracy core.AccuracyMode
+	switch *accStr {
+	case "", "exact":
+		accuracy = core.AccuracyExact
+	case "fast":
+		accuracy = core.AccuracyFast
+	default:
+		fmt.Fprintf(os.Stderr, "vaqsearch: unknown accuracy %q (exact or fast)\n", *accStr)
+		os.Exit(2)
+	}
 	if *metricsAddr != "" {
 		srv, err := metrics.ServeDebug(*metricsAddr)
 		if err != nil {
@@ -96,6 +107,7 @@ func main() {
 		NonUniform:       *nonUnif,
 		Seed:             *seed,
 		ScanLayout:       layout,
+		AccuracyMode:     accuracy,
 		RecallSampleRate: *recallRate,
 	}
 	if *sloP99 > 0 || *sloRecall > 0 {

@@ -101,6 +101,12 @@ func (ix *Index) Add(vectors *vec.Matrix) (firstID int, err error) {
 	if ix.blocked != nil {
 		ix.blocked = buildBlockedStore(ix.cb, ix.codes, ix.ti)
 	}
+	if ix.fast != nil {
+		// The coarse scan dictionaries depend only on the (immutable)
+		// codebooks and seed, so the rebuild donates them via prev and only
+		// the block data is re-derived.
+		ix.fast = buildFastStore(ix.cb, ix.codes, ix.ti, ix.cfg.Seed, ix.fast)
+	}
 	if batchSqErr != nil {
 		ix.foldDriftLocked(batchSqErr, vectors.Rows)
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"runtime/pprof"
-	"sort"
 	"time"
 
 	"vaq/internal/metrics"
@@ -124,8 +123,16 @@ func (st *SearchStats) recordCopy() metrics.SearchRecord {
 // allocate per query. Not safe for concurrent use; create one per
 // goroutine via NewSearcher.
 type Searcher struct {
-	ix       *Index
-	lut      *quantizer.LUT
+	ix   *Index
+	lut  *quantizer.LUT
+	flut []float32 // float tables over the fast store's scan dictionaries
+	ilut intLUT    // uint8 quantization of flut; filled only for fast scans
+	// pushed records the candidates the integer scan accepted into the
+	// top-k — id plus the dequantized distance it was pushed with — the
+	// candidate set rerankFast rescores with exact float arithmetic. The
+	// stored distance lets the re-rank skip candidates whose quantized
+	// estimate already proves them outside the exact top-k.
+	pushed   []pushCand
 	clustD   []float32
 	clustIdx []int
 	topk     *vec.TopK
@@ -230,12 +237,32 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 		}
 		s.projDur = 0
 	}
-	// Build or refill the lookup table (Algorithm 4 lines 5-13).
+	mSub := ix.cb.Sub.M()
+	useSub := mSub
+	if opt.Subspaces > 0 && opt.Subspaces < mSub {
+		useSub = opt.Subspaces
+	}
+	mode := opt.Mode
+	if useSub < mSub && mode == ModeTIEA {
+		// Truncated distances invalidate the TI bound; degrade gracefully.
+		mode = ModeEA
+	}
+	// The integer kernels accumulate the full subspace range (truncated
+	// distances would need their own delta/scale) and ModeEA's contract is
+	// original-id scan order over the canonical codes — both fall back to
+	// the exact kernels.
+	fast := ix.fast != nil && useSub == mSub && mode != ModeEA
+	// Build or refill the lookup tables (Algorithm 4 lines 5-13). The fast
+	// path fills the (much smaller) tables over the integer store's scan
+	// dictionaries and quantizes those; the full-dictionary LUT is neither
+	// filled nor read — the exact re-rank goes back to the codebooks.
 	if pc != nil {
 		pprof.SetGoroutineLabels(pc.lut)
 	}
 	lutStart := rec.Clock()
-	if s.lut == nil {
+	if fast {
+		s.flut = ix.fast.fillFloatLUT(qz, s.flut)
+	} else if s.lut == nil {
 		s.lut = ix.cb.BuildLUT(qz)
 	} else {
 		ix.cb.FillLUT(qz, s.lut)
@@ -246,7 +273,6 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 	s.topk = vec.NewTopK(k)
 	s.stats = SearchStats{}
 
-	mSub := ix.cb.Sub.M()
 	if ix.metrics != nil {
 		// Attach the pruning-attribution scratch; the kernels increment it
 		// behind one nil check, so the metrics-off path pays nothing.
@@ -260,14 +286,13 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 		s.stats.AbandonDepths = s.depthScratch
 		s.stats.TISkipsByRank = s.rankScratch
 	}
-	useSub := mSub
-	if opt.Subspaces > 0 && opt.Subspaces < mSub {
-		useSub = opt.Subspaces
-	}
-	mode := opt.Mode
-	if useSub < mSub && mode == ModeTIEA {
-		// Truncated distances invalidate the TI bound; degrade gracefully.
-		mode = ModeEA
+	if fast {
+		quantStart := rec.Clock()
+		s.ilut.quantize(s.flut, ix.fast.offsets, mSub)
+		s.pushed = s.pushed[:0]
+		if rec.Active() {
+			rec.Add(trace.Span{Name: trace.SpanLUTQuant, Start: quantStart, Dur: rec.Clock() - quantStart})
+		}
 	}
 	if pc != nil {
 		pprof.SetGoroutineLabels(pc.scan)
@@ -275,7 +300,9 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 	scanStart := rec.Clock()
 	switch mode {
 	case ModeHeap:
-		if ix.blocked != nil {
+		if fast {
+			s.scanHeapFast()
+		} else if ix.blocked != nil {
 			s.scanHeapBlocked(useSub)
 		} else {
 			s.scanHeap(useSub)
@@ -287,7 +314,9 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 		// share this kernel.
 		s.scanEA(useSub)
 	default:
-		if ix.blocked != nil {
+		if fast {
+			s.scanTIEAFast(qz, opt.VisitFrac)
+		} else if ix.blocked != nil {
 			s.scanTIEABlocked(qz, opt.VisitFrac, useSub)
 		} else {
 			s.scanTIEA(qz, opt.VisitFrac, useSub)
@@ -302,6 +331,14 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 			AbandonedEA: s.stats.CodesAbandonedEA,
 			Lookups:     s.stats.Lookups,
 		})
+	}
+	if fast {
+		rerankStart := rec.Clock()
+		s.rerankFast(qz)
+		if rec.Active() {
+			rec.Add(trace.Span{Name: trace.SpanRerank, Start: rerankStart,
+				Dur: rec.Clock() - rerankStart, Count: len(s.pushed)})
+		}
 	}
 	var lat time.Duration
 	if ix.metrics != nil || wcap != nil {
@@ -560,7 +597,64 @@ func (s *Searcher) selectNearestClusters(visit int) {
 			idx[j], idx[j-1] = idx[j-1], idx[j]
 		}
 	}
-	sort.Slice(idx[:visit], func(a, b int) bool { return less(idx[a], idx[b]) })
+	sortClustersByDist(idx[:visit], d)
+}
+
+// sortClustersByDist sorts cluster indices ascending by (squared distance,
+// id) — the same strict total order selectNearestClusters partitions by,
+// so any correct sort yields the identical sequence. A concrete
+// median-of-three quicksort instead of sort.Slice: the visited prefix is
+// sorted on every query, and the reflection-based swapper was a measurable
+// slice of per-query ranking cost.
+func sortClustersByDist(idx []int, d []float32) {
+	for len(idx) > 12 {
+		mid := len(idx) / 2
+		hi := len(idx) - 1
+		if clusterDistLess(idx[mid], idx[0], d) {
+			idx[mid], idx[0] = idx[0], idx[mid]
+		}
+		if clusterDistLess(idx[hi], idx[0], d) {
+			idx[hi], idx[0] = idx[0], idx[hi]
+		}
+		if clusterDistLess(idx[hi], idx[mid], d) {
+			idx[hi], idx[mid] = idx[mid], idx[hi]
+		}
+		pivot := idx[mid]
+		i, j := 0, hi
+		for i <= j {
+			for clusterDistLess(idx[i], pivot, d) {
+				i++
+			}
+			for clusterDistLess(pivot, idx[j], d) {
+				j--
+			}
+			if i <= j {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller side, iterate on the larger.
+		if j+1 < len(idx)-i {
+			sortClustersByDist(idx[:j+1], d)
+			idx = idx[i:]
+		} else {
+			sortClustersByDist(idx[i:], d)
+			idx = idx[:j+1]
+		}
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && clusterDistLess(idx[j], idx[j-1], d); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+func clusterDistLess(a, b int, d []float32) bool {
+	if d[a] != d[b] {
+		return d[a] < d[b]
+	}
+	return a < b
 }
 
 // scanTIEA is the full cascade (Algorithm 4): order TI clusters by query

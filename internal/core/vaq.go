@@ -80,6 +80,14 @@ type Config struct {
 	// scan for A/B benchmarking). Both layouts return identical results
 	// and prune stats.
 	ScanLayout ScanLayout
+	// AccuracyMode selects the scan arithmetic (default AccuracyExact:
+	// the bit-identical float32 kernels). AccuracyFast derives an integer
+	// companion store from the blocked layout — uint8-quantized lookup
+	// tables, 4-bit codes packed two per byte where dictionaries fit 16
+	// entries — trading a small, measured recall cost for scan throughput.
+	// Requires LayoutBlocked. Runtime-only, never serialized: loaded
+	// indexes start exact and opt in via SetAccuracyMode.
+	AccuracyMode AccuracyMode
 	// RecallSampleRate enables the online recall estimator: roughly this
 	// fraction of queries (deterministically every round(1/rate)-th) is
 	// shadow-verified by an exact scan over the retained projected
@@ -153,6 +161,7 @@ type Index struct {
 	codes    *quantizer.Codes
 	ti       *tiIndex
 	blocked  *blockedStore // scan-optimized copy; nil under LayoutRowMajor
+	fast     *fastStore    // integer-kernel store; nil unless AccuracyFast
 	n        int
 	queryDim int
 	metrics  *metrics.IndexMetrics
@@ -209,6 +218,12 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 	}
 	if cfg.ScanLayout != LayoutBlocked && cfg.ScanLayout != LayoutRowMajor {
 		return nil, fmt.Errorf("core: unknown ScanLayout %d", cfg.ScanLayout)
+	}
+	if cfg.AccuracyMode != AccuracyExact && cfg.AccuracyMode != AccuracyFast {
+		return nil, fmt.Errorf("core: unknown AccuracyMode %d", cfg.AccuracyMode)
+	}
+	if cfg.AccuracyMode == AccuracyFast && cfg.ScanLayout != LayoutBlocked {
+		return nil, errors.New("core: AccuracyFast requires LayoutBlocked")
 	}
 	var report metrics.BuildReport
 	buildStart := time.Now()
@@ -307,9 +322,13 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 	// Step 7: derive the scan-optimized physical layout (cluster-
 	// contiguous, blocked-transposed, uint8 where dictionaries allow).
 	var blocked *blockedStore
+	var fast *fastStore
 	if cfg.ScanLayout == LayoutBlocked {
 		phase = time.Now()
 		blocked = buildBlockedStore(cb, codes, ti)
+		if cfg.AccuracyMode == AccuracyFast {
+			fast = buildFastStore(cb, codes, ti, cfg.Seed, nil)
+		}
 		report.Layout = time.Since(phase)
 	}
 	// Step 8: the diagnostics baseline — the Build-time IndexReport. The
@@ -339,6 +358,7 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 		codes:    codes,
 		ti:       ti,
 		blocked:  blocked,
+		fast:     fast,
 		n:        data.Rows,
 		queryDim: d,
 		metrics:  reg,
@@ -359,6 +379,7 @@ func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
 			slog.Int("subspaces", m), slog.Int("budget", cfg.Budget),
 			slog.Int("ti_clusters", len(ti.clusters)),
 			slog.String("layout", cfg.ScanLayout.String()),
+			slog.String("accuracy", cfg.AccuracyMode.String()),
 			slog.Duration("pca", report.PCA),
 			slog.Duration("allocation", report.Allocation),
 			slog.Duration("training", report.Training),
@@ -414,6 +435,35 @@ func (ix *Index) TIClusterCount() int { return len(ix.ti.clusters) }
 
 // Layout reports the physical scan layout the query kernels use.
 func (ix *Index) Layout() ScanLayout { return ix.cfg.ScanLayout }
+
+// Accuracy reports the scan arithmetic mode the query kernels use.
+func (ix *Index) Accuracy() AccuracyMode { return ix.cfg.AccuracyMode }
+
+// SetAccuracyMode switches the scan arithmetic at runtime — the opt-in
+// hook for loaded indexes, whose on-disk format carries no accuracy mode
+// (the integer store is derived, never serialized). Switching to
+// AccuracyFast builds the store from the canonical codes; switching back
+// to AccuracyExact drops it. Takes the write lock: in-flight queries
+// finish on the mode they started with.
+func (ix *Index) SetAccuracyMode(mode AccuracyMode) error {
+	if mode != AccuracyExact && mode != AccuracyFast {
+		return fmt.Errorf("core: unknown AccuracyMode %d", mode)
+	}
+	if mode == AccuracyFast && ix.cfg.ScanLayout != LayoutBlocked {
+		return errors.New("core: AccuracyFast requires LayoutBlocked")
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.cfg.AccuracyMode = mode
+	if mode == AccuracyFast {
+		if ix.fast == nil {
+			ix.fast = buildFastStore(ix.cb, ix.codes, ix.ti, ix.cfg.Seed, nil)
+		}
+	} else {
+		ix.fast = nil
+	}
+	return nil
+}
 
 // Metrics returns the index-wide query telemetry registry shared by every
 // Searcher of this index, or nil when Config.DisableMetrics was set. The

@@ -30,6 +30,10 @@ type fingerprintConfig struct {
 	EACheckEvery      int     `json:"ea_check_every"`
 	Seed              int64   `json:"seed"`
 	Layout            string  `json:"layout"`
+	// Accuracy is "" for exact mode (omitted, so every fingerprint minted
+	// before the integer kernel existed is unchanged) and "fast" when the
+	// integer kernel answers queries — a different-answers config.
+	Accuracy string `json:"accuracy,omitempty"`
 }
 
 // ConfigFingerprint is a stable short hash of the search-relevant build
@@ -53,6 +57,9 @@ func (ix *Index) ConfigFingerprint() string {
 		EACheckEvery:      ix.cfg.EACheckEvery,
 		Seed:              ix.cfg.Seed,
 		Layout:            ix.cfg.ScanLayout.String(),
+	}
+	if ix.cfg.AccuracyMode != AccuracyExact {
+		fp.Accuracy = ix.cfg.AccuracyMode.String()
 	}
 	blob, err := json.Marshal(fp)
 	if err != nil {

@@ -38,18 +38,23 @@ func (cb *Codebooks) BuildLUT(q []float32) *LUT {
 // float association, so tables are bit-identical regardless of length.
 func (cb *Codebooks) FillLUT(q []float32, lut *LUT) {
 	for s := 0; s < cb.Sub.M(); s++ {
-		qs := cb.Sub.Of(q, s)
-		book := cb.Books[s]
-		out := lut.Dist[lut.Offsets[s]:lut.Offsets[s+1]]
-		switch len(qs) {
-		case 4:
-			fillLUT4(qs, book.Data, out)
-		case 8:
-			fillLUT8(qs, book.Data, out)
-		default:
-			for c := 0; c < book.Rows; c++ {
-				out[c] = vec.SquaredL2(qs, book.Row(c))
-			}
+		FillTable(cb.Sub.Of(q, s), cb.Books[s], lut.Dist[lut.Offsets[s]:lut.Offsets[s+1]])
+	}
+}
+
+// FillTable computes one subspace's distance table for query subvector qs
+// against an arbitrary dictionary matrix — the single-subspace core of
+// FillLUT, exported so derived scan stores (coarsened dictionaries) can
+// build their own tables with the same float association.
+func FillTable(qs []float32, book *vec.Matrix, out []float32) {
+	switch len(qs) {
+	case 4:
+		fillLUT4(qs, book.Data, out)
+	case 8:
+		fillLUT8(qs, book.Data, out)
+	default:
+		for c := 0; c < book.Rows; c++ {
+			out[c] = vec.SquaredL2(qs, book.Row(c))
 		}
 	}
 }

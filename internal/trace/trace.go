@@ -23,10 +23,12 @@ import (
 const (
 	SpanProject     = "project"      // PCA rotation of the raw query
 	SpanLUTFill     = "lut_fill"     // per-subspace lookup-table build
+	SpanLUTQuant    = "lut_quant"    // uint8 LUT quantization (AccuracyFast)
 	SpanClusterRank = "cluster_rank" // TI centroid distances + quickselect
 	SpanClusterScan = "cluster_scan" // one visited TI cluster's member walk
 	SpanEAResume    = "ea_resume"    // aggregate post-first-chunk resumes
 	SpanScan        = "scan"         // whole-dataset scan (EA / heap modes)
+	SpanRerank      = "rerank"       // exact re-rank of int-scan candidates
 )
 
 // Span is one timed phase of a query. Start is the offset from the query's

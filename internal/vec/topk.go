@@ -64,6 +64,11 @@ func (t *TopK) Push(id int, dist float32) bool {
 // Reset empties the collector for reuse.
 func (t *TopK) Reset() { t.heap = t.heap[:0] }
 
+// Heap exposes the retained neighbors in internal heap order, without
+// copying or sorting. The caller must not mutate the slice, and any Push
+// or Reset invalidates it — it aliases the collector's backing array.
+func (t *TopK) Heap() []Neighbor { return t.heap }
+
 // Results returns the retained neighbors sorted ascending by distance
 // (ties broken by ID). The collector remains valid afterwards.
 func (t *TopK) Results() []Neighbor {

@@ -97,6 +97,23 @@ const (
 	LayoutRowMajor = core.LayoutRowMajor
 )
 
+// AccuracyMode selects the arithmetic the scan kernels run in.
+type AccuracyMode = core.AccuracyMode
+
+// Accuracy modes.
+const (
+	// AccuracyExact (default) keeps the bit-identical float32 kernels.
+	AccuracyExact = core.AccuracyExact
+	// AccuracyFast scans an integer companion store: per-query uint8
+	// lookup tables (learned scale/offset, saturating) over packed 4-bit /
+	// uint8 / uint16 codes, with early-abandon thresholds quantized into
+	// the integer domain. Faster, with a small recall cost that
+	// RecallSampleRate and workload replay can measure. Requires
+	// LayoutBlocked; ModeEA and truncated-Subspaces queries transparently
+	// fall back to the exact kernels.
+	AccuracyFast = core.AccuracyFast
+)
+
 // SearchMode selects the query-time pruning strategy.
 type SearchMode = core.SearchMode
 
@@ -158,6 +175,12 @@ type Config struct {
 	// (default LayoutBlocked; LayoutRowMajor keeps the legacy scan for
 	// A/B comparison). Both return identical results and prune stats.
 	ScanLayout ScanLayout
+	// AccuracyMode selects the scan arithmetic (default AccuracyExact).
+	// AccuracyFast runs the integer fast-scan kernel — uint8-quantized
+	// lookup tables over packed codes — trading a small, measurable recall
+	// cost for throughput. Requires ScanLayout == LayoutBlocked.
+	// Runtime-only: not serialized; loaded indexes start exact.
+	AccuracyMode AccuracyMode
 	// RecallSampleRate enables the online recall estimator: roughly this
 	// fraction of queries (deterministic stride sampling, so 0.01 means
 	// every 100th query) is additionally answered by an exact scan over the
@@ -235,6 +258,7 @@ func (c Config) toCore() core.Config {
 		KMeansIters:           c.KMeansIters,
 		DisableMetrics:        c.DisableMetrics,
 		ScanLayout:            c.ScanLayout,
+		AccuracyMode:          c.AccuracyMode,
 		RecallSampleRate:      c.RecallSampleRate,
 		Logger:                c.Logger,
 		DriftAlertRatio:       c.DriftAlertRatio,
@@ -337,6 +361,8 @@ type Stats struct {
 	TIClusters int
 	// Layout is the physical scan layout the query kernels use.
 	Layout ScanLayout
+	// Accuracy is the scan arithmetic mode the query kernels use.
+	Accuracy AccuracyMode
 }
 
 // Stats returns a description of the trained index — the adaptive bit
@@ -351,7 +377,21 @@ func (ix *Index) Stats() Stats {
 		CodeBytes:         ix.inner.CodeBytes(),
 		TIClusters:        ix.inner.TIClusterCount(),
 		Layout:            ix.inner.Layout(),
+		Accuracy:          ix.inner.Accuracy(),
 	}
+}
+
+// SetAccuracyMode switches the scan arithmetic at runtime — the opt-in
+// hook for indexes loaded from disk, whose serialized form carries no
+// accuracy mode (the integer store is derived, never stored). Switching
+// to AccuracyFast builds the integer store; switching back to
+// AccuracyExact drops it. In-flight queries finish on the mode they
+// started with.
+func (ix *Index) SetAccuracyMode(mode AccuracyMode) error {
+	if err := ix.inner.SetAccuracyMode(mode); err != nil {
+		return fmt.Errorf("vaq: %w", err)
+	}
+	return nil
 }
 
 // SearchStats instruments one query: how much work each pruning layer
