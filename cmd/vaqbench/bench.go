@@ -13,7 +13,10 @@ import (
 	"vaq/internal/core"
 	"vaq/internal/dataset"
 	"vaq/internal/diag"
+	"vaq/internal/eval"
 	"vaq/internal/metrics"
+	"vaq/internal/shard"
+	"vaq/internal/vec"
 )
 
 // benchParams configures the machine-readable search benchmark
@@ -40,6 +43,10 @@ type benchParams struct {
 	// diff answer quality. omitempty keeps the config fingerprint of
 	// recall-free runs identical to older summaries.
 	RecallRate float64 `json:"recall_sample,omitempty"`
+	// Shards marks a sharded scatter-gather arm (-shards): the dataset is
+	// partitioned across this many indexes sharing one trained model.
+	// omitempty keeps unsharded fingerprints identical to older summaries.
+	Shards int `json:"shards,omitempty"`
 }
 
 // parseLayout maps the -layout flag value to a core.ScanLayout.
@@ -94,10 +101,22 @@ type benchProvenance struct {
 	Layout string `json:"layout"`
 	// Accuracy is the scan arithmetic this run measured ("" = exact).
 	Accuracy string `json:"accuracy,omitempty"`
+	// SearchWorkers is the resolved worker-pool width this arm actually
+	// ran with (the -workers flag with 0 resolved to GOMAXPROCS; sharded
+	// arms run one outer stream and scatter internally). Recorded here —
+	// not in params — so the config fingerprint no longer bakes in the
+	// machine's GOMAXPROCS and stays comparable across machines.
+	SearchWorkers int `json:"search_workers,omitempty"`
+	// Shards is the shard count of a sharded arm (0 = unsharded).
+	Shards int `json:"shards,omitempty"`
 }
 
 // benchSchemaVersion tracks the benchSummary document shape.
-const benchSchemaVersion = 2
+// v3: params.workers stays as-given (0 = auto) instead of baking in the
+// machine's GOMAXPROCS; the resolved width moved to
+// provenance.search_workers, and sharded arms add params.shards,
+// provenance.shards and search.recall_at_k.
+const benchSchemaVersion = 3
 
 // provenanceFor stamps the environment and the params fingerprint.
 func provenanceFor(p benchParams) benchProvenance {
@@ -134,6 +153,11 @@ type benchSummary struct {
 		LatencyMeanNs int64   `json:"latency_mean_ns"`
 		TIPruneRate   float64 `json:"ti_prune_rate"`
 		EAAbandonRate float64 `json:"ea_abandon_rate"`
+		// RecallAtK is recall@k against brute-force ground truth in the
+		// raw space, measured on one extra untimed pass. Only computed
+		// when the run has sharded arms to compare against (-shards), so
+		// plain runs keep their old cost.
+		RecallAtK float64 `json:"recall_at_k,omitempty"`
 	} `json:"search"`
 	Metrics metrics.Snapshot `json:"metrics"`
 	// Report is the index-quality IndexReport (-report flag): quantization
@@ -155,28 +179,55 @@ type layoutComparison struct {
 	// by the integer fast kernel (accuracy "fast").
 	BlockedInt        *benchSummary `json:"blocked_int,omitempty"`
 	IntTIEAQPSSpeedup float64       `json:"int_tiea_qps_speedup,omitempty"`
+	// Sharded holds the scatter-gather arms (-shards): one per requested
+	// shard count and accuracy mode, each stamped with its QPS ratio over
+	// the blocked exact baseline arm.
+	Sharded []*shardedArm `json:"sharded,omitempty"`
+}
+
+// shardedArm is one sharded measurement plus its headline ratio.
+type shardedArm struct {
+	*benchSummary
+	// QPSSpeedupVsBlocked is this arm's throughput over the unsharded
+	// blocked arm of the same accuracy mode on the same workload, so the
+	// ratio isolates scatter-gather parallelism from kernel arithmetic.
+	QPSSpeedupVsBlocked float64 `json:"qps_speedup_vs_blocked"`
 }
 
 // runJSONBench builds an index (or, with -layout both, one per scan
 // layout) over a synthetic dataset, drives the query workload through a
 // worker pool of reusable Searchers, and writes the summary to path
-// ("-" for stdout).
-func runJSONBench(path string, p benchParams, withReport bool) error {
+// ("-" for stdout). With -shards, additional scatter-gather arms run
+// after the layout arms, each compared against blocked exact on both
+// throughput and brute-force recall@k.
+func runJSONBench(path string, p benchParams, withReport bool, shardCounts []int) error {
 	ds, err := dataset.Large(p.Dataset, p.N, p.NQ, p.Seed)
 	if err != nil {
 		return err
+	}
+	if len(shardCounts) > 0 && p.Layout != "all" {
+		return fmt.Errorf("-shards needs -layout all (the sharded arms compare against the blocked exact arm)")
 	}
 	if p.Layout == "both" || p.Layout == "all" {
 		if accuracyName(p.Accuracy) != "exact" {
 			return fmt.Errorf("-layout %s runs its own accuracy arms; drop -accuracy", p.Layout)
 		}
+		// Ground truth is only needed when sharded arms will compare
+		// recall; plain layout A/Bs keep their old cost.
+		var gt [][]int
+		if len(shardCounts) > 0 {
+			gt, err = eval.GroundTruth(ds.Base, ds.Queries, p.K)
+			if err != nil {
+				return err
+			}
+		}
 		pb, pr := p, p
 		pb.Layout, pr.Layout = "blocked", "rowmajor"
-		blocked, err := runBenchOnce(ds, pb, withReport)
+		blocked, err := runBenchOnce(ds, pb, withReport, gt)
 		if err != nil {
 			return err
 		}
-		rowmajor, err := runBenchOnce(ds, pr, withReport)
+		rowmajor, err := runBenchOnce(ds, pr, withReport, nil)
 		if err != nil {
 			return err
 		}
@@ -190,7 +241,7 @@ func runJSONBench(path string, p benchParams, withReport bool) error {
 		if p.Layout == "all" {
 			pi := p
 			pi.Layout, pi.Accuracy = "blocked", "fast"
-			blockedInt, err := runBenchOnce(ds, pi, withReport)
+			blockedInt, err := runBenchOnce(ds, pi, withReport, gt)
 			if err != nil {
 				return err
 			}
@@ -201,6 +252,27 @@ func runJSONBench(path string, p benchParams, withReport bool) error {
 			if r := blockedInt.Metrics.ObservedRecall(); blockedInt.Metrics.RecallSamples > 0 {
 				line += fmt.Sprintf(", int recall %.3f", r)
 			}
+			for _, s := range shardCounts {
+				for _, acc := range []string{"", "fast"} {
+					ps := p
+					ps.Layout, ps.Accuracy, ps.Shards = "blocked", acc, s
+					arm, err := runShardedOnce(ds, ps, withReport, gt)
+					if err != nil {
+						return err
+					}
+					base := blocked
+					if acc == "fast" {
+						base = blockedInt
+					}
+					cmp.Sharded = append(cmp.Sharded, &shardedArm{
+						benchSummary:        arm,
+						QPSSpeedupVsBlocked: arm.Search.QPS / base.Search.QPS,
+					})
+					line += fmt.Sprintf(", S=%d %s %.0f qps (%.2fx, recall %.3f)",
+						s, accuracyName(acc), arm.Search.QPS,
+						arm.Search.QPS/base.Search.QPS, arm.Search.RecallAtK)
+				}
+			}
 		}
 		return writeJSONDoc(path, cmp, line)
 	}
@@ -208,7 +280,7 @@ func runJSONBench(path string, p benchParams, withReport bool) error {
 		// Shorthand for the integer arm alone: blocked layout, fast kernel.
 		p.Layout, p.Accuracy = "blocked", "fast"
 	}
-	sum, err := runBenchOnce(ds, p, withReport)
+	sum, err := runBenchOnce(ds, p, withReport, nil)
 	if err != nil {
 		return err
 	}
@@ -222,8 +294,9 @@ func runJSONBench(path string, p benchParams, withReport bool) error {
 }
 
 // runBenchOnce builds one index at p's layout and measures the query
-// workload against it.
-func runBenchOnce(ds *dataset.Dataset, p benchParams, withReport bool) (*benchSummary, error) {
+// workload against it. A non-nil gt adds one untimed pass measuring
+// recall@k against brute-force ground truth.
+func runBenchOnce(ds *dataset.Dataset, p benchParams, withReport bool, gt [][]int) (*benchSummary, error) {
 	layout, err := parseLayout(p.Layout)
 	if err != nil {
 		return nil, err
@@ -246,8 +319,12 @@ func runBenchOnce(ds *dataset.Dataset, p benchParams, withReport bool) (*benchSu
 	}
 	metrics.Publish("vaqbench_index", ix.Metrics())
 
-	if p.Workers <= 0 {
-		p.Workers = runtime.GOMAXPROCS(0)
+	// Resolve the pool width without writing it back into p: params keep
+	// the flag as given (0 = auto) so the config fingerprint stays
+	// machine-independent; the resolved width lands in provenance.
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if p.Passes < 1 {
 		p.Passes = 1
@@ -261,18 +338,19 @@ func runBenchOnce(ds *dataset.Dataset, p benchParams, withReport bool) (*benchSu
 
 	// Warmup pass (dictionary LUT allocation, page faults), then reset so
 	// the summary reflects steady state only.
-	runPool(ix, qz, p.K, opt, p.Workers)
+	runPool(ix, qz, p.K, opt, workers)
 	ix.Metrics().Reset()
 
 	start := time.Now()
 	for pass := 0; pass < p.Passes; pass++ {
-		runPool(ix, qz, p.K, opt, p.Workers)
+		runPool(ix, qz, p.K, opt, workers)
 	}
 	wall := time.Since(start)
 
 	sum := &benchSummary{}
 	sum.Params = p
 	sum.Provenance = provenanceFor(p)
+	sum.Provenance.SearchWorkers = workers
 	sum.Build = ix.BuildReport()
 	sum.Metrics = ix.Metrics().Snapshot()
 	sum.Search.Queries = sum.Metrics.Queries
@@ -284,10 +362,133 @@ func runBenchOnce(ds *dataset.Dataset, p benchParams, withReport bool) (*benchSu
 	sum.Search.LatencyMeanNs = int64(sum.Metrics.Latency.Mean())
 	sum.Search.TIPruneRate = sum.Metrics.TIPruneRate()
 	sum.Search.EAAbandonRate = sum.Metrics.EAAbandonRate()
+	if gt != nil {
+		s := ix.NewSearcher()
+		sum.Search.RecallAtK, err = measureRecall(func(qi int) ([]vec.Neighbor, error) {
+			return s.SearchProjected(qz[qi], p.K, opt)
+		}, nq, gt, p.K)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if withReport {
 		sum.Report = ix.Diagnose()
 	}
 	return sum, nil
+}
+
+// runShardedOnce builds a sharded scatter-gather index sharing one
+// trained model across p.Shards partitions and measures the same query
+// workload as a single outer stream: every query's latency includes the
+// scatter, the per-shard scans (bounded internal worker pool, running
+// global k-th distance fed back as a cross-shard threshold) and the
+// deterministic merge.
+func runShardedOnce(ds *dataset.Dataset, p benchParams, withReport bool, gt [][]int) (*benchSummary, error) {
+	layout, err := parseLayout(p.Layout)
+	if err != nil {
+		return nil, err
+	}
+	accuracy, err := parseAccuracy(p.Accuracy)
+	if err != nil {
+		return nil, err
+	}
+	buildStart := time.Now()
+	x, err := shard.Build(ds.Train, ds.Base, core.Config{
+		NumSubspaces:     p.Subspaces,
+		Budget:           p.Budget,
+		MaxBits:          p.MaxBits,
+		Seed:             p.Seed,
+		ScanLayout:       layout,
+		AccuracyMode:     accuracy,
+		RecallSampleRate: p.RecallRate,
+	}, shard.Options{Shards: p.Shards})
+	if err != nil {
+		return nil, fmt.Errorf("sharded build (S=%d): %w", p.Shards, err)
+	}
+	buildWall := time.Since(buildStart)
+
+	if p.Passes < 1 {
+		p.Passes = 1
+	}
+	opt := core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: p.VisitFrac}
+	nq := ds.Queries.Rows
+	qz := make([][]float32, nq)
+	for qi := range qz {
+		z, err := x.Shard(0).ProjectQuery(ds.Queries.Row(qi))
+		if err != nil {
+			return nil, fmt.Errorf("project query %d: %w", qi, err)
+		}
+		qz[qi] = z
+	}
+
+	runShardedPass := func() error {
+		for qi := range qz {
+			if _, err := x.SearchProjected(qz[qi], p.K, opt); err != nil {
+				return fmt.Errorf("sharded query %d: %v", qi, err)
+			}
+		}
+		return nil
+	}
+	if err := runShardedPass(); err != nil { // warmup
+		return nil, err
+	}
+	x.Metrics().Reset()
+
+	start := time.Now()
+	for pass := 0; pass < p.Passes; pass++ {
+		if err := runShardedPass(); err != nil {
+			return nil, err
+		}
+	}
+	wall := time.Since(start)
+
+	sum := &benchSummary{}
+	sum.Params = p
+	sum.Provenance = provenanceFor(p)
+	// One outer stream: all parallelism is the internal scatter.
+	sum.Provenance.SearchWorkers = 1
+	sum.Provenance.Shards = x.Shards()
+	// Shard 0's per-phase timings with Total replaced by the observed
+	// end-to-end wall, so Total < sum-of-shard-encodes measures the
+	// parallel-build speedup.
+	sum.Build = x.BuildReports()[0]
+	sum.Build.Total = buildWall
+	sum.Metrics = x.Metrics().Snapshot()
+	sum.Search.Queries = sum.Metrics.Queries
+	sum.Search.WallSeconds = wall.Seconds()
+	sum.Search.QPS = float64(p.Passes*nq) / wall.Seconds()
+	sum.Search.LatencyP50Ns = int64(sum.Metrics.Latency.Quantile(0.50))
+	sum.Search.LatencyP95Ns = int64(sum.Metrics.Latency.Quantile(0.95))
+	sum.Search.LatencyP99Ns = int64(sum.Metrics.Latency.Quantile(0.99))
+	sum.Search.LatencyMeanNs = int64(sum.Metrics.Latency.Mean())
+	sum.Search.TIPruneRate = sum.Metrics.TIPruneRate()
+	sum.Search.EAAbandonRate = sum.Metrics.EAAbandonRate()
+	if gt != nil {
+		sum.Search.RecallAtK, err = measureRecall(func(qi int) ([]vec.Neighbor, error) {
+			return x.SearchProjected(qz[qi], p.K, opt)
+		}, nq, gt, p.K)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if withReport {
+		sum.Report = x.Diagnose()[0]
+	}
+	return sum, nil
+}
+
+// measureRecall runs every query once through search and scores the
+// returned ids against brute-force ground truth.
+func measureRecall(search func(qi int) ([]vec.Neighbor, error), nq int, gt [][]int, k int) (float64, error) {
+	results := make([][]int, nq)
+	for qi := 0; qi < nq; qi++ {
+		res, err := search(qi)
+		if err != nil {
+			return 0, fmt.Errorf("recall query %d: %w", qi, err)
+		}
+		results[qi] = eval.IDs(res)
+	}
+	return eval.Recall(results, gt, k), nil
 }
 
 // writeJSONDoc marshals doc to path ("-" for stdout) and prints the

@@ -10,6 +10,7 @@
 //	vaqbench -json BENCH_sald.json -n 20000 -nq 200   # perf summary
 //	vaqbench -json BENCH_pr2.json -layout both        # scan-layout A/B
 //	vaqbench -json BENCH_pr6.json -layout all         # + integer-kernel arm
+//	vaqbench -json BENCH_pr7.json -layout all -shards 4,8  # + sharded arms
 //	vaqbench -json BENCH_sald.json -report            # + IndexReport quality block
 //	vaqbench -json - -metrics-addr localhost:6060     # live expvar/pprof
 //	vaqbench -compare BENCH_old.json BENCH_new.json -threshold 5
@@ -37,11 +38,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"vaq/internal/experiments"
 	"vaq/internal/metrics"
 )
+
+// parseShardCounts parses the -shards comma list ("4,8") into shard
+// counts. Empty means no sharded arms.
+func parseShardCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -shards value %q (want positive integers, e.g. '4,8')", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -62,6 +82,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "query workers for -json (0 = GOMAXPROCS)")
 		passes      = flag.Int("passes", 3, "timed passes over the query set for -json")
 		layout      = flag.String("layout", "blocked", "scan layout for -json: blocked, rowmajor, both (exact A/B), int (blocked + integer kernel), or all (three-arm A/B)")
+		shards      = flag.String("shards", "", "comma-separated shard counts for extra scatter-gather arms in -json -layout all (e.g. '4,8'; each runs both accuracy modes and records recall@k vs brute force)")
 		accuracy    = flag.String("accuracy", "", "scan arithmetic for -json: exact (default) or fast (integer kernel; single-layout runs only)")
 		report      = flag.Bool("report", false, "embed the index-quality IndexReport in the -json summary")
 		recallRate  = flag.Float64("recall-sample", 0, "fraction of -json queries shadow-checked against an exact scan (populates observed recall; 0 disables)")
@@ -110,7 +131,12 @@ func main() {
 		if p.Seed == 0 {
 			p.Seed = 7
 		}
-		if err := runJSONBench(*jsonOut, p, *report); err != nil {
+		shardCounts, err := parseShardCounts(*shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqbench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runJSONBench(*jsonOut, p, *report, shardCounts); err != nil {
 			fmt.Fprintf(os.Stderr, "vaqbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -14,6 +14,7 @@
 //	vaqreplay -log run.vaqwl -data sald.vaqd -subspaces 16 -budget 128 -min-overlap 1
 //	vaqreplay -log run.vaqwl -data sald.vaqd -subspaces 16 -budget 16   # candidate config
 //	vaqreplay -log run.vaqwl -data sald.vaqd ... -accuracy fast -min-overlap 0.95  # int-kernel recall gate
+//	vaqreplay -log run.vaqwl -data sald.vaqd ... -shards 4 -min-overlap 0.97  # scatter-gather merge gate
 //	vaqreplay -log run.vaqwl -data sald.vaqd ... -speed recorded        # paced replay
 //
 // Exit status: 0 when every configured threshold holds, 1 on a threshold
@@ -28,6 +29,7 @@ import (
 
 	"vaq/internal/core"
 	"vaq/internal/dataset"
+	"vaq/internal/shard"
 	"vaq/internal/workload"
 )
 
@@ -43,6 +45,7 @@ func main() {
 		layoutStr = flag.String("layout", "blocked", "scan layout: blocked or rowmajor")
 		accStr    = flag.String("accuracy", "exact", "scan arithmetic: exact or fast (integer kernel)")
 		seed      = flag.Int64("seed", 42, "build seed")
+		shards    = flag.Int("shards", 1, "shard count: >1 rebuilds a sharded scatter-gather index, so the replay gates merge correctness")
 		speed     = flag.String("speed", "max", "replay speed: max (back to back) or recorded (reproduce capture spacing)")
 		minOvl    = flag.Float64("min-overlap", 0, "minimum acceptable mean overlap@k in [0,1] (0 disables)")
 		maxDrift  = flag.Float64("max-drift", -1, "maximum acceptable relative distance drift (negative disables; 0 demands bit-equal distances)")
@@ -97,8 +100,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vaqreplay: %v\n", err)
 		os.Exit(2)
 	}
-	start := time.Now()
-	ix, err := core.Build(ds.Train, ds.Base, core.Config{
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "vaqreplay: -shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
+	cfg := core.Config{
 		NumSubspaces: *subspaces,
 		Budget:       *budget,
 		MinBits:      *minBits,
@@ -107,14 +113,34 @@ func main() {
 		Seed:         *seed,
 		ScanLayout:   layout,
 		AccuracyMode: accuracy,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "vaqreplay: build: %v\n", err)
-		os.Exit(2)
 	}
-	fp := ix.ConfigFingerprint()
+	start := time.Now()
+	// The replay runner and fingerprint come from whichever index shape
+	// was requested; S=1 shares the unsharded fingerprint because it
+	// answers bit-identically.
+	var (
+		runner workload.RunFunc
+		fp     string
+		n, dim int
+	)
+	if *shards > 1 {
+		x, err := shard.Build(ds.Train, ds.Base, cfg, shard.Options{Shards: *shards})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqreplay: sharded build: %v\n", err)
+			os.Exit(2)
+		}
+		runner, fp, n, dim = x.ReplayRunner(), x.ConfigFingerprint(), x.Len(), x.Dim()
+		fmt.Printf("index: %d shards (scatter-gather replay)\n", x.Shards())
+	} else {
+		ix, err := core.Build(ds.Train, ds.Base, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqreplay: build: %v\n", err)
+			os.Exit(2)
+		}
+		runner, fp, n, dim = ix.ReplayRunner(), ix.ConfigFingerprint(), ix.Len(), ix.Dim()
+	}
 	fmt.Printf("index: %d vectors, dim %d, fingerprint %s, built in %.2fs\n",
-		ix.Len(), ix.Dim(), fp, time.Since(start).Seconds())
+		n, dim, fp, time.Since(start).Seconds())
 	if log.Fingerprint != "" && log.Fingerprint != fp {
 		fmt.Printf("note: config fingerprints differ (%s captured vs %s replaying) — diffing a candidate configuration\n",
 			log.Fingerprint, fp)
@@ -129,7 +155,7 @@ func main() {
 			MaxLatencyFactor: *maxLatFac,
 		},
 	}
-	rep, diffs, err := workload.Replay(log, ix.ReplayRunner(), opt)
+	rep, diffs, err := workload.Replay(log, runner, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vaqreplay: %v\n", err)
 		os.Exit(2)

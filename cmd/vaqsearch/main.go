@@ -6,6 +6,7 @@
 //
 //	datagen -name SALD -n 20000 -nq 50 -out sald.vaqd
 //	vaqsearch -data sald.vaqd -budget 256 -subspaces 32 -k 100 -visit 0.1
+//	vaqsearch -data sald.vaqd -shards 8                      # sharded scatter-gather
 //	vaqsearch -data sald.vaqd -metrics-addr localhost:6060   # live expvar/pprof
 //	vaqsearch -data sald.vaqd -metrics-addr :6060 -trace -recall-sample 0.1 -hold 5m
 //
@@ -31,6 +32,7 @@ import (
 	"vaq/internal/diag"
 	"vaq/internal/eval"
 	"vaq/internal/metrics"
+	"vaq/internal/shard"
 	"vaq/internal/trace"
 	"vaq/internal/workload"
 )
@@ -48,6 +50,7 @@ func main() {
 		layoutName  = flag.String("layout", "blocked", "scan layout: blocked (cache-optimized, default) or rowmajor (legacy)")
 		accStr      = flag.String("accuracy", "exact", "scan arithmetic: exact or fast (integer kernel, blocked layout only)")
 		seed        = flag.Int64("seed", 42, "build seed")
+		shards      = flag.Int("shards", 1, "shard count: >1 builds a sharded scatter-gather index (parallel encode, concurrent per-shard search, merged top-k)")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars), pprof (/debug/pprof/) and /debug/vaq/{metrics,traces} on this address")
 		traceOn     = flag.Bool("trace", false, "record per-query spans and publish them at /debug/vaq/traces")
 		traceSlow   = flag.Duration("trace-slow", 10*time.Millisecond, "queries at or above this duration enter the slow-exemplar reservoir")
@@ -115,6 +118,23 @@ func main() {
 		// Surface the vaq.slo breach event on stderr (Warn level keeps the
 		// build/maintenance Info logs quiet).
 		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "vaqsearch: -shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
+	if *shards > 1 {
+		// The sharded path shares the trained model across shards and
+		// merges per-shard top-k lists; tracing and capture are per-index
+		// features the scatter-gather does not thread through (capture a
+		// workload unsharded, then gate the sharded merge with vaqreplay
+		// -shards).
+		if *traceOn || *capturePath != "" {
+			fmt.Fprintln(os.Stderr, "vaqsearch: -trace and -capture need an unsharded index (drop -shards)")
+			os.Exit(2)
+		}
+		runSharded(ds, cfg, *shards, *k, *visit, *hold)
+		return
 	}
 	start := time.Now()
 	ix, err := core.Build(ds.Train, ds.Base, cfg)
@@ -241,5 +261,71 @@ func main() {
 			// path flushes once and exits.
 			fmt.Fprintf(os.Stderr, "vaqsearch: %s — exiting hold\n", sig)
 		}
+	}
+}
+
+// runSharded is the -shards >1 path: build a scatter-gather index sharing
+// one trained model, run the query workload as a single outer stream
+// (each query fans out to per-shard searchers internally), and report
+// accuracy plus the merged end-to-end telemetry. Per-shard registries and
+// diagnostics are published under vaqsearch_index/shard-i.
+func runSharded(ds *dataset.Dataset, cfg core.Config, shards, k int, visit float64, hold time.Duration) {
+	start := time.Now()
+	x, err := shard.Build(ds.Train, ds.Base, cfg, shard.Options{Shards: shards})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vaqsearch: sharded build: %v\n", err)
+		os.Exit(1)
+	}
+	rep := x.BuildReports()[0]
+	fmt.Printf("built %d shards in %.2fs (shard sizes %v): bits=%v\n",
+		x.Shards(), time.Since(start).Seconds(), x.ShardLens(), x.Shard(0).Bits())
+	fmt.Printf("shared training: pca=%s alloc=%s train=%s; shard-0 encode=%s ti=%s\n",
+		rep.PCA.Round(time.Millisecond), rep.Allocation.Round(time.Millisecond),
+		rep.Training.Round(time.Millisecond), rep.Encoding.Round(time.Millisecond),
+		rep.TIClustering.Round(time.Millisecond))
+	x.PublishExpvar("vaqsearch_index")
+	x.PublishDiagnostics("vaqsearch_index")
+
+	gt, err := eval.GroundTruth(ds.Base, ds.Queries, k)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vaqsearch: ground truth: %v\n", err)
+		os.Exit(1)
+	}
+	results := make([][]int, ds.Queries.Rows)
+	start = time.Now()
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		res, err := x.Search(ds.Queries.Row(qi), k, core.SearchOptions{
+			Mode: core.ModeTIEA, VisitFrac: visit,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqsearch: query %d: %v\n", qi, err)
+			os.Exit(1)
+		}
+		results[qi] = eval.IDs(res)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("recall@%d = %.4f, MAP@%d = %.4f, avg query %.3fms\n",
+		k, eval.Recall(results, gt, k),
+		k, eval.MAP(results, gt, k),
+		elapsed.Seconds()/float64(ds.Queries.Rows)*1000)
+	snap := x.Metrics().Snapshot()
+	fmt.Printf("merged metrics: %d queries, p50 %s, p95 %s, p99 %s, TI prune %.1f%%, EA abandon %.1f%%, %d lookups\n",
+		snap.Queries,
+		snap.Latency.Quantile(0.50).Round(time.Microsecond),
+		snap.Latency.Quantile(0.95).Round(time.Microsecond),
+		snap.Latency.Quantile(0.99).Round(time.Microsecond),
+		100*snap.TIPruneRate(), 100*snap.EAAbandonRate(), snap.Lookups)
+	if slo := snap.SLO; slo != nil {
+		status := "ok"
+		if slo.LatencyExhausted || slo.RecallExhausted {
+			status = "BREACH"
+		}
+		fmt.Printf("slo: latency budget %.3f remaining (burn %.2f, %d/%d violations) — %s\n",
+			slo.LatencyBudgetRemaining, slo.BurnRate, slo.LatencyViolations,
+			slo.WindowQueries, status)
+	}
+	if hold > 0 {
+		fmt.Fprintf(os.Stderr, "vaqsearch: holding for %s (ctrl-c to exit)\n", hold)
+		time.Sleep(hold)
 	}
 }

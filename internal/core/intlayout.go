@@ -694,7 +694,9 @@ func (s *Searcher) scanTIEAFast(qz []float32, visitFrac float64) {
 	}
 	var acc [blockLanes]uint32
 	// Heap state, refreshed only on accepted pushes (the only writes).
-	full := s.topk.Full()
+	// Pruning (not Full) so an injected cross-shard bound arms the
+	// integer threshold and the TI range query from the first block.
+	full := s.topk.Pruning()
 	tInt := intNoAbandon
 	if full {
 		tInt = il.thresholdInt(s.topk.Threshold())
@@ -824,7 +826,8 @@ func (s *Searcher) scanTIEAFast(qz []float32, visitFrac float64) {
 					dd := il.dequantize(d)
 					if s.topk.Push(int(perm[q+j]), dd) {
 						s.pushed = append(s.pushed, pushCand{id: perm[q+j], d: dd})
-						if full = s.topk.Full(); full {
+						if s.topk.Pruning() {
+							full = true
 							tInt = il.thresholdInt(s.topk.Threshold())
 						}
 					}

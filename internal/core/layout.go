@@ -380,7 +380,7 @@ func (s *Searcher) scanTIEABlocked(qz []float32, visitFrac float64, useSub int) 
 		cStart := int(bs.start[c])
 		s.stats.CodesConsidered += len(members)
 		for mi, e := range members {
-			if s.topk.Full() {
+			if s.topk.Pruning() {
 				bsfSq := s.topk.Threshold()
 				diff := dq - e.dist
 				if diff < 0 {
@@ -414,7 +414,7 @@ func (s *Searcher) scanTIEABlocked(qz []float32, visitFrac float64, useSub int) 
 				accQ = q
 			}
 			bsf := s.topk.Threshold()
-			notFull := !s.topk.Full()
+			notFull := !s.topk.Pruning()
 			d := acc[mi-blockStart]
 			if !notFull && chunk == check && d > bsf {
 				// First-boundary abandon straight off the precomputed

@@ -49,6 +49,15 @@ type SearchOptions struct {
 	// (0 = all). Used by the Figure 4 subspace-omission experiment; it
 	// forces a full scan (TI bounds are invalid on truncated distances).
 	Subspaces int
+	// InitialThreshold seeds the top-k collector with an external
+	// admission bound (a squared distance; 0 = none): candidates farther
+	// than it are pruned — by TI skipping, early abandoning and heap
+	// admission — even before k neighbors have been collected. The
+	// scatter-gather path feeds the running global k-th distance into
+	// per-shard searches so later shards inherit the earlier shards'
+	// pruning power. A bound equal to the true k-th distance keeps
+	// boundary ties (admission rejects strictly-greater only).
+	InitialThreshold float32
 }
 
 // Search returns the approximate k nearest neighbors of q with default
@@ -271,6 +280,9 @@ func (s *Searcher) run(qz []float32, k int, opt SearchOptions) []vec.Neighbor {
 		rec.Add(trace.Span{Name: trace.SpanLUTFill, Start: lutStart, Dur: rec.Clock() - lutStart})
 	}
 	s.topk = vec.NewTopK(k)
+	if opt.InitialThreshold > 0 {
+		s.topk.SetBound(opt.InitialThreshold)
+	}
 	s.stats = SearchStats{}
 
 	if ix.metrics != nil {
@@ -483,7 +495,7 @@ func (s *Searcher) scanEA(useSub int) {
 	for i := 0; i < codes.N; i++ {
 		row := codes.Data[i*m : i*m+useSub]
 		bsf := s.topk.Threshold()
-		notFull := !s.topk.Full()
+		notFull := !s.topk.Pruning()
 		d, lookups, abandoned := eaAccumulate(dist, offsets, row, useSub, check, bsf, notFull)
 		s.stats.Lookups += lookups
 		if abandoned {
@@ -689,7 +701,7 @@ func (s *Searcher) scanTIEA(qz []float32, visitFrac float64, useSub int) {
 		members := ti.clusters[c]
 		s.stats.CodesConsidered += len(members)
 		for mi, e := range members {
-			if s.topk.Full() {
+			if s.topk.Pruning() {
 				bsfSq := s.topk.Threshold()
 				// Triangle inequality in the prefix space: the
 				// query-to-member distance is at least |dq - ds|, and the
@@ -718,7 +730,7 @@ func (s *Searcher) scanTIEA(qz []float32, visitFrac float64, useSub int) {
 			// Early-abandon accumulation for the survivor.
 			row := codes.Data[e.id*m : e.id*m+useSub]
 			bsf := s.topk.Threshold()
-			notFull := !s.topk.Full()
+			notFull := !s.topk.Pruning()
 			d, lookups, abandoned := eaAccumulate(dist, offsets, row, useSub, check, bsf, notFull)
 			s.stats.Lookups += lookups
 			if abandoned {

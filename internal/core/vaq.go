@@ -5,14 +5,11 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
-	"math/rand"
 	"sync/atomic"
-	"time"
 
 	"sync"
 
 	"vaq/internal/diag"
-	"vaq/internal/linalg"
 	"vaq/internal/metrics"
 	"vaq/internal/pca"
 	"vaq/internal/quantizer"
@@ -202,194 +199,26 @@ type Index struct {
 // partial balancing, bit allocation (Algorithm 2), variable-size dictionary
 // encoding and TI clustering (Algorithm 3). train supplies the learning
 // sample; data is the set that gets encoded and searched (they may be the
-// same matrix).
+// same matrix). Build is Train followed by Trained.EncodeIndex; callers
+// that encode several partitions against one shared training sample (the
+// sharded build path) use those halves directly.
 func Build(train, data *vec.Matrix, cfg Config) (*Index, error) {
-	cfg = cfg.withDefaults()
 	if train == nil || data == nil || train.Rows == 0 || data.Rows == 0 {
 		return nil, errors.New("core: empty train or data matrix")
 	}
 	if train.Cols != data.Cols {
 		return nil, fmt.Errorf("core: train dim %d != data dim %d", train.Cols, data.Cols)
 	}
-	d := train.Cols
-	m := cfg.NumSubspaces
-	if m < 1 || m > d {
-		return nil, fmt.Errorf("core: NumSubspaces=%d invalid for %d dimensions", m, d)
-	}
-	if cfg.ScanLayout != LayoutBlocked && cfg.ScanLayout != LayoutRowMajor {
-		return nil, fmt.Errorf("core: unknown ScanLayout %d", cfg.ScanLayout)
-	}
-	if cfg.AccuracyMode != AccuracyExact && cfg.AccuracyMode != AccuracyFast {
-		return nil, fmt.Errorf("core: unknown AccuracyMode %d", cfg.AccuracyMode)
-	}
-	if cfg.AccuracyMode == AccuracyFast && cfg.ScanLayout != LayoutBlocked {
-		return nil, errors.New("core: AccuracyFast requires LayoutBlocked")
-	}
-	var report metrics.BuildReport
-	buildStart := time.Now()
-
-	// Step 1 (Algorithm 1): eigendecomposition, descending eigenvalues.
-	phase := time.Now()
-	model, err := pca.Fit(train, pca.Options{Center: cfg.CenterPCA, Method: linalg.EigAuto})
+	t, err := Train(train, cfg)
 	if err != nil {
 		return nil, err
 	}
-	report.PCA = time.Since(phase)
-	ratios := model.ExplainedVarianceRatio()
-
-	// Step 2 (§III-B): subspace lengths (uniform or variance-clustered).
-	lengths, err := buildSubspaceLengths(ratios, m, cfg.NonUniform)
-	if err != nil {
-		return nil, err
+	var dataZ *vec.Matrix
+	if data == train {
+		// Reuse the training projection instead of projecting data again.
+		dataZ = t.trainZ
 	}
-
-	// Step 3 (§III-C): partial balancing permutation of the PCs.
-	if !cfg.DisablePartialBalance {
-		perm := partialBalance(ratios, lengths)
-		if err := model.PermuteComponents(perm); err != nil {
-			return nil, err
-		}
-		ratios = applyPermutationFloat64(ratios, perm)
-	}
-	subVar := subspaceVariances(ratios, lengths)
-
-	// Step 4 (Algorithm 2): adaptive bit allocation.
-	phase = time.Now()
-	bits, err := allocateBits(cfg.Alloc, allocParams{
-		Weights:        subVar,
-		Budget:         cfg.Budget,
-		MinBits:        cfg.MinBits,
-		MaxBits:        cfg.MaxBits,
-		TargetVariance: cfg.TargetVariance,
-		Extra:          cfg.AllocConstraints,
-	})
-	if err != nil {
-		return nil, err
-	}
-	report.Allocation = time.Since(phase)
-
-	// Step 5 (Algorithm 3): project, train variable-size dictionaries,
-	// encode.
-	trainZ, err := model.Project(train)
-	if err != nil {
-		return nil, err
-	}
-	sub, err := quantizer.FromLengths(lengths)
-	if err != nil {
-		return nil, err
-	}
-	phase = time.Now()
-	cb, err := quantizer.TrainCodebooks(trainZ, sub, bits, quantizer.TrainConfig{
-		Seed:                  cfg.Seed,
-		MaxIter:               cfg.KMeansIters,
-		Parallel:              true,
-		HierarchicalThreshold: cfg.HierarchicalThreshold,
-	})
-	if err != nil {
-		return nil, err
-	}
-	report.Training = time.Since(phase)
-	dataZ := trainZ
-	if data != train {
-		dataZ, err = model.Project(data)
-		if err != nil {
-			return nil, err
-		}
-	}
-	phase = time.Now()
-	codes, err := cb.Encode(dataZ, true)
-	if err != nil {
-		return nil, err
-	}
-	report.Encoding = time.Since(phase)
-
-	// Step 6 (Algorithm 3 lines 24-48): TI cluster structure.
-	clusterCount := cfg.TIClusters
-	if clusterCount == 0 {
-		clusterCount = data.Rows / 64
-		if clusterCount > 1000 {
-			clusterCount = 1000
-		}
-		if clusterCount < 1 {
-			clusterCount = 1
-		}
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 104729))
-	phase = time.Now()
-	ti := buildTIIndex(cb, codes, clusterCount, cfg.TIPrefixSubspaces, rng)
-	report.TIClustering = time.Since(phase)
-
-	// Step 7: derive the scan-optimized physical layout (cluster-
-	// contiguous, blocked-transposed, uint8 where dictionaries allow).
-	var blocked *blockedStore
-	var fast *fastStore
-	if cfg.ScanLayout == LayoutBlocked {
-		phase = time.Now()
-		blocked = buildBlockedStore(cb, codes, ti)
-		if cfg.AccuracyMode == AccuracyFast {
-			fast = buildFastStore(cb, codes, ti, cfg.Seed, nil)
-		}
-		report.Layout = time.Since(phase)
-	}
-	// Step 8: the diagnostics baseline — the Build-time IndexReport. The
-	// projected dataset is still on hand here, so the distortion fields
-	// are exact; Diagnose carries them forward once dataZ is gone.
-	phase = time.Now()
-	baseRep := diag.Compute(diag.Input{
-		N: data.Rows, Dim: d, Bits: bits, VarianceShares: subVar,
-		Codebooks: cb, Codes: codes, ClusterSizes: ti.sizes(), Projected: dataZ,
-	})
-	report.Diagnostics = time.Since(phase)
-	report.Total = time.Since(buildStart)
-
-	var reg *metrics.IndexMetrics
-	if !cfg.DisableMetrics {
-		// Sized for attribution (a query abandons after 0..m lookups) and
-		// for the per-subspace drift gauges.
-		reg = metrics.NewSized(m+1, m)
-	}
-	ix := &Index{
-		cfg:      cfg,
-		model:    model,
-		ratios:   ratios,
-		subVar:   subVar,
-		bits:     bits,
-		cb:       cb,
-		codes:    codes,
-		ti:       ti,
-		blocked:  blocked,
-		fast:     fast,
-		n:        data.Rows,
-		queryDim: d,
-		metrics:  reg,
-		report:   report,
-	}
-	if cfg.RecallSampleRate > 0 {
-		ix.retained = dataZ
-		ix.recallEvery = sampleStride(cfg.RecallSampleRate)
-	}
-	if cfg.SLO != nil && reg != nil {
-		reg.ConfigureSLO(*cfg.SLO, ix.sloBreach)
-	}
-	ix.initDiagnostics(baseRep)
-	ix.SetProfileLabel("vaq")
-	if cfg.Logger != nil {
-		cfg.Logger.Info("vaq.build",
-			slog.Int("n", data.Rows), slog.Int("dim", d),
-			slog.Int("subspaces", m), slog.Int("budget", cfg.Budget),
-			slog.Int("ti_clusters", len(ti.clusters)),
-			slog.String("layout", cfg.ScanLayout.String()),
-			slog.String("accuracy", cfg.AccuracyMode.String()),
-			slog.Duration("pca", report.PCA),
-			slog.Duration("allocation", report.Allocation),
-			slog.Duration("training", report.Training),
-			slog.Duration("encoding", report.Encoding),
-			slog.Duration("ti_clustering", report.TIClustering),
-			slog.Duration("layout_build", report.Layout),
-			slog.Duration("diagnostics", report.Diagnostics),
-			slog.Duration("total", report.Total))
-	}
-	return ix, nil
+	return t.encodeIndex(data, dataZ)
 }
 
 // sampleStride converts a sampling fraction into the deterministic

@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"vaq/internal/vec"
+)
+
+// neighborLess is the strict total order shared with the single-index
+// kernel's Results(): primary ascending distance, ties broken by
+// ascending (global) id. Using the identical comparator is what makes
+// S=1 bit-identical to an unsharded index and keeps cross-shard ties
+// deterministic regardless of which shard finished first.
+func neighborLess(a, b vec.Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// mergeTopK performs the gather half of scatter-gather: a k-way merge of
+// per-shard result lists (each already sorted by neighborLess) into the
+// global top k. Lists may be shorter than k (small or drained shards),
+// empty, or nil; the output length is min(k, total candidates).
+//
+// S and k are both small, so the simple linear scan over list heads costs
+// O(k*S) and beats a heap of heads until S is far larger than any
+// realistic shard count.
+func mergeTopK(lists [][]vec.Neighbor, k int) []vec.Neighbor {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if k > total {
+		k = total
+	}
+	out := make([]vec.Neighbor, 0, k)
+	heads := make([]int, len(lists))
+	for len(out) < k {
+		best := -1
+		for si, l := range lists {
+			h := heads[si]
+			if h >= len(l) {
+				continue
+			}
+			if best == -1 || neighborLess(l[h], lists[best][heads[best]]) {
+				best = si
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, lists[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// fingerprintSharded derives the S>1 config fingerprint from the shared
+// single-shard fingerprint. Same shape as the core fingerprint: first 8
+// bytes of a sha256, hex.
+func fingerprintSharded(base string, shards int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s/shards=%d", base, shards)))
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,602 @@
+// Package shard partitions a dataset across S independent VAQ indexes and
+// presents them as one: training happens once on a shared sample (so every
+// shard quantizes against the same rotation, bit allocation and
+// dictionaries and their distances are directly comparable), encoding runs
+// per-shard in parallel, queries scatter to per-shard searchers on a
+// bounded worker pool and gather through a deterministic k-way merge, and
+// Add routes whole batches to one shard so concurrent ingest no longer
+// serializes on a single write lock.
+//
+// Vectors are striped round-robin at build time: global id g lives in
+// shard g mod S at local id g div S. Each shard keeps a local-to-global id
+// mapping (an immutable slice behind an atomic pointer — Add publishes a
+// grown copy), so per-shard results are mapped before merging. The merge
+// is ordered by (distance, global id), the same strict total order the
+// single-index kernel's Results() uses; with S=1 the shard index is
+// bit-identical to an unsharded build, serialized bytes included.
+//
+// While shards drain one by one, the running global k-th distance is fed
+// back into not-yet-started shards as SearchOptions.InitialThreshold, so
+// cross-shard pruning compounds the way the single index's own heap
+// threshold does within one scan.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vaq/internal/core"
+	"vaq/internal/diag"
+	"vaq/internal/metrics"
+	"vaq/internal/vec"
+	"vaq/internal/workload"
+)
+
+// Policy selects how Add routes incoming batches to shards.
+type Policy uint8
+
+const (
+	// PolicyRoundRobin rotates whole batches across shards (default).
+	PolicyRoundRobin Policy = iota
+	// PolicyLeastLoaded sends each batch to the currently smallest shard,
+	// rebalancing skew from uneven batch sizes.
+	PolicyLeastLoaded
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyRoundRobin:
+		return "round-robin"
+	case PolicyLeastLoaded:
+		return "least-loaded"
+	}
+	return "unknown"
+}
+
+// Options shape the sharded index around one core.Config.
+type Options struct {
+	// Shards is the partition count S (clamped to the dataset size; 1 is
+	// the degenerate single-index case).
+	Shards int
+	// Policy selects the Add routing policy (default PolicyRoundRobin).
+	Policy Policy
+	// Workers bounds the per-query scatter concurrency (0 = min(S,
+	// GOMAXPROCS)). Runtime-only: not serialized.
+	Workers int
+}
+
+// shardState is one partition: its index, the local-to-global id mapping
+// (copy-on-write behind an atomic pointer so queries never lock), a pool
+// of reusable searchers, and the per-shard Add lock.
+type shardState struct {
+	ix  *core.Index
+	ids atomic.Pointer[[]int32]
+	// unordered latches when concurrent Adds interleave batches on this
+	// shard so the mapping is no longer monotone; mapped result lists are
+	// then re-sorted before merging to keep the (dist, global id) order.
+	unordered atomic.Bool
+	pool      sync.Pool // *core.Searcher
+	addMu     sync.Mutex
+}
+
+func (st *shardState) getSearcher() *core.Searcher {
+	if s, ok := st.pool.Get().(*core.Searcher); ok {
+		return s
+	}
+	return st.ix.NewSearcher()
+}
+
+func (st *shardState) putSearcher(s *core.Searcher) { st.pool.Put(s) }
+
+// Index is a sharded VAQ index: S partitions sharing one trained model.
+type Index struct {
+	opts   Options
+	dim    int
+	states []*shardState
+	// nextID is the global id allocator: Build seeds it with the dataset
+	// size, Add reserves ranges with one atomic add (the lock-free half of
+	// the ingest path — only the chosen shard's encode takes a lock).
+	nextID atomic.Int64
+	// rr drives round-robin batch routing.
+	rr atomic.Uint64
+	// reg is the merged end-to-end registry: one RecordSearch per global
+	// query (per-shard pruning stats summed, latency measured around the
+	// whole scatter-gather). The per-shard registries stay live for
+	// per-shard publishing. nil under DisableMetrics.
+	reg    *metrics.IndexMetrics
+	logger *slog.Logger
+}
+
+// Build trains once on train (falling back to data) and encodes S
+// partitions of data in parallel. cfg.RecallSampleRate and cfg.SLO are
+// per-single-index features: the recall estimator is stripped from shard
+// configs (a shard-local recall estimate would not be a global recall@k),
+// and the SLO attaches to the merged registry where latency means
+// end-to-end query latency.
+func Build(train, data *vec.Matrix, cfg core.Config, opts Options) (*Index, error) {
+	if data == nil || data.Rows == 0 {
+		return nil, errors.New("shard: empty data matrix")
+	}
+	if train == nil {
+		train = data
+	}
+	if train.Cols != data.Cols {
+		return nil, fmt.Errorf("shard: train dim %d != data dim %d", train.Cols, data.Cols)
+	}
+	s := opts.Shards
+	if s < 1 {
+		return nil, fmt.Errorf("shard: Shards=%d invalid (need >= 1)", s)
+	}
+	if s > data.Rows {
+		s = data.Rows // never build an empty shard
+	}
+	if opts.Policy != PolicyRoundRobin && opts.Policy != PolicyLeastLoaded {
+		return nil, fmt.Errorf("shard: unknown policy %d", opts.Policy)
+	}
+	opts.Shards = s
+	shardCfg := cfg
+	shardCfg.RecallSampleRate = 0
+	shardCfg.SLO = nil
+
+	t, err := core.Train(train, shardCfg)
+	if err != nil {
+		return nil, err
+	}
+	parts := partition(data, s)
+	states := make([]*shardState, s)
+	errs := make([]error, s)
+	workers := s
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				si := int(next.Add(1)) - 1
+				if si >= s {
+					return
+				}
+				ix, err := t.EncodeIndex(parts[si])
+				if err != nil {
+					errs[si] = fmt.Errorf("shard %d: %w", si, err)
+					continue
+				}
+				st := &shardState{ix: ix}
+				ids := stripeIDs(si, s, parts[si].Rows)
+				st.ids.Store(&ids)
+				states[si] = st
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	x := &Index{opts: opts, dim: data.Cols, states: states, logger: cfg.Logger}
+	x.nextID.Store(int64(data.Rows))
+	if !cfg.DisableMetrics {
+		m := states[0].ix.Codebooks().Sub.M()
+		x.reg = metrics.NewSized(m+1, m)
+		if cfg.SLO != nil {
+			x.reg.ConfigureSLO(*cfg.SLO, x.sloBreach)
+		}
+	}
+	if cfg.Logger != nil {
+		cfg.Logger.Info("vaq.shard.build",
+			slog.Int("n", data.Rows), slog.Int("shards", s),
+			slog.Int("build_workers", workers),
+			slog.String("policy", opts.Policy.String()))
+	}
+	return x, nil
+}
+
+// partition stripes data rows round-robin into s matrices: global row g
+// goes to partition g mod s at local row g div s.
+func partition(data *vec.Matrix, s int) []*vec.Matrix {
+	parts := make([]*vec.Matrix, s)
+	for si := 0; si < s; si++ {
+		rows := (data.Rows - si + s - 1) / s
+		p := &vec.Matrix{Rows: rows, Cols: data.Cols}
+		p.Data = make([]float32, 0, rows*data.Cols)
+		for g := si; g < data.Rows; g += s {
+			p.Data = append(p.Data, data.Row(g)...)
+		}
+		parts[si] = p
+	}
+	return parts
+}
+
+// stripeIDs is the build-time local-to-global mapping of partition si:
+// local l holds global l*s + si.
+func stripeIDs(si, s, rows int) []int32 {
+	ids := make([]int32, rows)
+	for l := range ids {
+		ids[l] = int32(l*s + si)
+	}
+	return ids
+}
+
+// sloBreach surfaces merged-registry SLO budget exhaustion through the
+// structured logger, mirroring the single-index event.
+func (x *Index) sloBreach(kind string, remaining, burn float64) {
+	if x.logger == nil {
+		return
+	}
+	x.logger.Warn("vaq.slo",
+		slog.String("objective", kind),
+		slog.Float64("budget_remaining", remaining),
+		slog.Float64("burn_rate", burn),
+		slog.Int("shards", len(x.states)))
+}
+
+// Len reports the total number of encoded vectors across all shards.
+func (x *Index) Len() int { return int(x.nextID.Load()) }
+
+// Dim reports the expected query dimensionality.
+func (x *Index) Dim() int { return x.dim }
+
+// Shards reports the partition count S.
+func (x *Index) Shards() int { return len(x.states) }
+
+// Shard exposes one partition's underlying index (read-only use: tests,
+// diagnostics, the S=1 bit-identity gate).
+func (x *Index) Shard(i int) *core.Index { return x.states[i].ix }
+
+// ShardLens reports each shard's current vector count.
+func (x *Index) ShardLens() []int {
+	lens := make([]int, len(x.states))
+	for i, st := range x.states {
+		lens[i] = len(*st.ids.Load())
+	}
+	return lens
+}
+
+// Options returns the sharding options (with Shards clamped to the value
+// actually built).
+func (x *Index) Options() Options { return x.opts }
+
+// Metrics returns the merged telemetry registry: one record per global
+// query, pruning counters summed across the shards that served it, latency
+// measured end-to-end around scatter and merge. nil when metrics are
+// disabled. Per-shard registries remain reachable via Shard(i).Metrics().
+func (x *Index) Metrics() *metrics.IndexMetrics { return x.reg }
+
+// BuildReports returns each shard's per-phase build timings. The training
+// phases (PCA, allocation, dictionary training) are shared work counted
+// once but reported in every shard's view; the encode phases are genuinely
+// per-shard and ran in parallel.
+func (x *Index) BuildReports() []metrics.BuildReport {
+	reps := make([]metrics.BuildReport, len(x.states))
+	for i, st := range x.states {
+		reps[i] = st.ix.BuildReport()
+	}
+	return reps
+}
+
+// PublishExpvar registers the merged registry under name and every
+// per-shard registry under name/shard-i, all visible on /debug/vars and
+// the Prometheus endpoint.
+func (x *Index) PublishExpvar(name string) {
+	if x.reg != nil {
+		metrics.Publish(name, x.reg)
+	}
+	for i, st := range x.states {
+		sub := fmt.Sprintf("%s/shard-%d", name, i)
+		if m := st.ix.Metrics(); m != nil {
+			metrics.Publish(sub, m)
+		}
+		st.ix.SetProfileLabel(sub)
+	}
+}
+
+// PublishDiagnostics registers every shard's index-quality report provider
+// under name/shard-i (GET /debug/vaq/report?index=...).
+func (x *Index) PublishDiagnostics(name string) {
+	for i, st := range x.states {
+		diag.Publish(fmt.Sprintf("%s/shard-%d", name, i), st.ix.Diagnose)
+	}
+}
+
+// Diagnose computes every shard's index-quality report.
+func (x *Index) Diagnose() []*diag.Report {
+	reps := make([]*diag.Report, len(x.states))
+	for i, st := range x.states {
+		reps[i] = st.ix.Diagnose()
+	}
+	return reps
+}
+
+// workerCount resolves the per-query scatter concurrency.
+func (x *Index) workerCount() int {
+	w := x.opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if s := len(x.states); w > s {
+		w = s
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Search projects q once (all shards share the same trained rotation) and
+// scatters it. Distances are squared Euclidean in the quantized space.
+func (x *Index) Search(q []float32, k int, opt core.SearchOptions) ([]vec.Neighbor, error) {
+	if k < 1 {
+		x.reg.RecordError()
+		return nil, fmt.Errorf("shard: k must be >= 1, got %d", k)
+	}
+	qz, err := x.states[0].ix.ProjectQuery(q)
+	if err != nil {
+		x.reg.RecordError()
+		return nil, err
+	}
+	return x.searchProjected(qz, k, opt)
+}
+
+// SearchProjected runs one query already rotated into the shared PCA
+// space.
+func (x *Index) SearchProjected(qz []float32, k int, opt core.SearchOptions) ([]vec.Neighbor, error) {
+	if k < 1 {
+		x.reg.RecordError()
+		return nil, fmt.Errorf("shard: k must be >= 1, got %d", k)
+	}
+	return x.searchProjected(qz, k, opt)
+}
+
+// gatherState accumulates the scatter results under one mutex: the running
+// global top-k (whose k-th distance feeds back to later shards), the
+// summed per-shard pruning stats, and the per-shard result lists for the
+// final deterministic merge.
+type gatherState struct {
+	mu      sync.Mutex
+	tracker *vec.TopK
+	lists   [][]vec.Neighbor
+	errs    []error
+	stats   core.SearchStats
+	depths  []uint32
+	ranks   []uint32
+}
+
+// fold merges one shard's mapped results and stats, and returns the
+// tightened global bound (0 = none yet).
+func (g *gatherState) fold(si int, mapped []vec.Neighbor, st core.SearchStats) float32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.lists[si] = mapped
+	for _, nb := range mapped {
+		g.tracker.Push(nb.ID, nb.Dist)
+	}
+	g.stats.ClustersVisited += st.ClustersVisited
+	g.stats.CodesConsidered += st.CodesConsidered
+	g.stats.CodesSkippedTI += st.CodesSkippedTI
+	g.stats.CodesAbandonedEA += st.CodesAbandonedEA
+	g.stats.Lookups += st.Lookups
+	if g.depths != nil && st.AbandonDepths != nil {
+		for i, v := range st.AbandonDepths {
+			if i < len(g.depths) {
+				g.depths[i] += v
+			}
+		}
+		for i, v := range st.TISkipsByRank {
+			if i < len(g.ranks) {
+				g.ranks[i] += v
+			}
+		}
+	}
+	if g.tracker.Full() {
+		return g.tracker.Threshold()
+	}
+	return 0
+}
+
+func (x *Index) searchProjected(qz []float32, k int, opt core.SearchOptions) ([]vec.Neighbor, error) {
+	var start time.Time
+	if x.reg != nil {
+		start = time.Now()
+	}
+	s := len(x.states)
+	g := &gatherState{
+		tracker: vec.NewTopK(k),
+		lists:   make([][]vec.Neighbor, s),
+		errs:    make([]error, s),
+	}
+	if x.reg != nil {
+		g.depths = make([]uint32, x.states[0].ix.Codebooks().Sub.M()+1)
+		g.ranks = make([]uint32, metrics.ClusterRankBuckets)
+	}
+	// boundBits carries the running global k-th distance (float32 bits; 0
+	// = not yet full) from finished shards into not-yet-started ones.
+	var boundBits atomic.Uint32
+	var next atomic.Int64
+	workers := x.workerCount()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				si := int(next.Add(1)) - 1
+				if si >= s {
+					return
+				}
+				st := x.states[si]
+				o := opt
+				if b := boundBits.Load(); b != 0 {
+					bf := math.Float32frombits(b)
+					if o.InitialThreshold == 0 || bf < o.InitialThreshold {
+						o.InitialThreshold = bf
+					}
+				}
+				sr := st.getSearcher()
+				res, err := sr.SearchProjected(qz, k, o)
+				if err != nil {
+					st.putSearcher(sr)
+					g.errs[si] = fmt.Errorf("shard %d: %w", si, err)
+					continue
+				}
+				stats := sr.LastStats()
+				ids := *st.ids.Load()
+				mapped := make([]vec.Neighbor, len(res))
+				for i, nb := range res {
+					mapped[i] = vec.Neighbor{ID: int(ids[nb.ID]), Dist: nb.Dist}
+				}
+				if st.unordered.Load() {
+					sort.Slice(mapped, func(a, b int) bool {
+						return neighborLess(mapped[a], mapped[b])
+					})
+				}
+				bound := g.fold(si, mapped, stats)
+				st.putSearcher(sr)
+				if bound > 0 {
+					tightenBound(&boundBits, bound)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range g.errs {
+		if err != nil {
+			x.reg.RecordError()
+			return nil, err
+		}
+	}
+	res := mergeTopK(g.lists, k)
+	if x.reg != nil {
+		g.stats.AbandonDepths = g.depths
+		g.stats.TISkipsByRank = g.ranks
+		x.reg.RecordSearch(metrics.SearchRecord{
+			ClustersVisited:  g.stats.ClustersVisited,
+			CodesConsidered:  g.stats.CodesConsidered,
+			CodesSkippedTI:   g.stats.CodesSkippedTI,
+			CodesAbandonedEA: g.stats.CodesAbandonedEA,
+			Lookups:          g.stats.Lookups,
+			AbandonDepths:    g.stats.AbandonDepths,
+			TISkipsByRank:    g.stats.TISkipsByRank,
+		}, time.Since(start))
+	}
+	return res, nil
+}
+
+// tightenBound lowers the shared bound to b if b is tighter (CAS loop —
+// bounds only ever shrink).
+func tightenBound(bits *atomic.Uint32, b float32) {
+	nb := math.Float32bits(b)
+	for {
+		old := bits.Load()
+		if old != 0 && math.Float32frombits(old) <= b {
+			return
+		}
+		if bits.CompareAndSwap(old, nb) {
+			return
+		}
+	}
+}
+
+// Add encodes a batch into one shard chosen by the assignment policy. The
+// global id range [firstID, firstID+rows) is reserved with a single atomic
+// add, so concurrent Adds to different shards proceed fully in parallel
+// and only batches routed to the same shard serialize on its lock.
+func (x *Index) Add(vectors *vec.Matrix) (firstID int, err error) {
+	if vectors == nil || vectors.Rows == 0 {
+		return int(x.nextID.Load()), nil
+	}
+	if vectors.Cols != x.dim {
+		return 0, fmt.Errorf("shard: Add dimension %d, index dimension %d", vectors.Cols, x.dim)
+	}
+	rows := vectors.Rows
+	first := x.nextID.Add(int64(rows)) - int64(rows)
+	st := x.pickShard()
+	st.addMu.Lock()
+	defer st.addMu.Unlock()
+	if _, err := st.ix.Add(vectors); err != nil {
+		return 0, err
+	}
+	old := *st.ids.Load()
+	if len(old) > 0 && old[len(old)-1] > int32(first) {
+		// A concurrent batch with later global ids won the shard lock
+		// first: the mapping is no longer monotone, so result lists from
+		// this shard must be re-sorted before merging.
+		st.unordered.Store(true)
+	}
+	grown := make([]int32, len(old)+rows)
+	copy(grown, old)
+	for i := 0; i < rows; i++ {
+		grown[len(old)+i] = int32(first) + int32(i)
+	}
+	st.ids.Store(&grown)
+	return int(first), nil
+}
+
+// pickShard applies the assignment policy.
+func (x *Index) pickShard() *shardState {
+	switch x.opts.Policy {
+	case PolicyLeastLoaded:
+		best := x.states[0]
+		bestLen := len(*best.ids.Load())
+		for _, st := range x.states[1:] {
+			if l := len(*st.ids.Load()); l < bestLen {
+				best, bestLen = st, l
+			}
+		}
+		return best
+	default:
+		return x.states[x.rr.Add(1)%uint64(len(x.states))]
+	}
+}
+
+// ConfigFingerprint identifies the search-relevant configuration. S=1 is
+// the single index's own fingerprint (the degenerate case answers
+// bit-identically, so captured workloads replay as same-config); S>1
+// derives a sharded fingerprint from it.
+func (x *Index) ConfigFingerprint() string {
+	base := x.states[0].ix.ConfigFingerprint()
+	if len(x.states) == 1 {
+		return base
+	}
+	return fingerprintSharded(base, len(x.states))
+}
+
+// ReplayRunner adapts the sharded index to the workload replay engine, so
+// capture-replay gates cover the scatter-gather merge path.
+func (x *Index) ReplayRunner() workload.RunFunc {
+	return func(r *workload.Record) ([]int32, []float32, error) {
+		opt := core.SearchOptions{
+			Mode:      core.SearchMode(r.Mode),
+			VisitFrac: r.VisitFrac,
+			Subspaces: int(r.Subspaces),
+		}
+		var res []vec.Neighbor
+		var err error
+		if r.Projected {
+			res, err = x.SearchProjected(r.Query, int(r.K), opt)
+		} else {
+			res, err = x.Search(r.Query, int(r.K), opt)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		ids := make([]int32, len(res))
+		dists := make([]float32, len(res))
+		for i, nb := range res {
+			ids[i] = int32(nb.ID)
+			dists[i] = nb.Dist
+		}
+		return ids, dists, nil
+	}
+}

@@ -1,0 +1,545 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"vaq/internal/core"
+	"vaq/internal/vec"
+	"vaq/internal/workload"
+)
+
+func testData(tb testing.TB, n, d int, seed int64) *vec.Matrix {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := &vec.Matrix{Rows: n, Cols: d, Data: make([]float32, n*d)}
+	for i := range m.Data {
+		// Decaying per-dimension scale so the PCA spectrum is skewed the
+		// way the variance-aware allocation expects.
+		col := i % d
+		scale := float32(1.0) / (1.0 + 0.05*float32(col))
+		m.Data[i] = scale * float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func testConfig() core.Config {
+	return core.Config{NumSubspaces: 8, Budget: 48, Seed: 42}
+}
+
+func mustBuild(tb testing.TB, data *vec.Matrix, cfg core.Config, opts Options) *Index {
+	tb.Helper()
+	x, err := Build(data, data, cfg, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return x
+}
+
+// TestSingleShardBitIdentity is the degenerate-case pin: S=1 must answer
+// every query bit-identically to an unsharded core index, and serialize
+// the identical single-index byte stream inside its envelope.
+func TestSingleShardBitIdentity(t *testing.T) {
+	data := testData(t, 600, 32, 1)
+	cfg := testConfig()
+	single, err := core.Build(data, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mustBuild(t, data, cfg, Options{Shards: 1})
+	if x.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", x.Shards())
+	}
+	queries := testData(t, 30, 32, 2)
+	for _, opt := range []core.SearchOptions{
+		{},
+		{Mode: core.ModeHeap},
+		{Mode: core.ModeEA},
+		{Mode: core.ModeTIEA, VisitFrac: 1.0},
+		{Subspaces: 4},
+	} {
+		s := single.NewSearcher()
+		for qi := 0; qi < queries.Rows; qi++ {
+			q := queries.Row(qi)
+			want, err := s.Search(q, 10, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := x.Search(q, 10, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("opt %+v query %d: %d results, want %d", opt, qi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+					t.Fatalf("opt %+v query %d rank %d: got (%d, %v), want (%d, %v)",
+						opt, qi, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+				}
+			}
+		}
+	}
+	// The S=1 shard's inner stream must be byte-identical to the
+	// unsharded index's serialized form.
+	var a, b bytes.Buffer
+	if _, err := single.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Shard(0).WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("S=1 shard stream differs from unsharded stream (%d vs %d bytes)", b.Len(), a.Len())
+	}
+	if x.ConfigFingerprint() != single.ConfigFingerprint() {
+		t.Fatalf("S=1 fingerprint %q != unsharded %q", x.ConfigFingerprint(), single.ConfigFingerprint())
+	}
+}
+
+// TestShardedExhaustiveEquivalence pins the scatter-gather merge and the
+// cross-shard threshold feedback against ground truth: under exhaustive
+// settings (ModeHeap, and ModeTIEA at VisitFrac 1.0) the quantized
+// distances are exact ADC sums over codes identical to the unsharded
+// build, so a sharded search must return exactly the unsharded result
+// list — same ids, same distances, same order — for any shard count.
+func TestShardedExhaustiveEquivalence(t *testing.T) {
+	data := testData(t, 700, 32, 3)
+	cfg := testConfig()
+	single, err := core.Build(data, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := testData(t, 25, 32, 4)
+	for _, shards := range []int{2, 4, 7} {
+		x := mustBuild(t, data, cfg, Options{Shards: shards})
+		for _, opt := range []core.SearchOptions{
+			{Mode: core.ModeHeap},
+			{Mode: core.ModeTIEA, VisitFrac: 1.0},
+			{Mode: core.ModeEA},
+		} {
+			s := single.NewSearcher()
+			for qi := 0; qi < queries.Rows; qi++ {
+				q := queries.Row(qi)
+				want, err := s.Search(q, 20, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := x.Search(q, 20, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("S=%d opt %+v query %d: %d results, want %d", shards, opt, qi, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+						t.Fatalf("S=%d opt %+v query %d rank %d: got (%d, %v), want (%d, %v)",
+							shards, opt, qi, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeTopK covers the k-way merge edge cases directly.
+func TestMergeTopK(t *testing.T) {
+	nb := func(id int, d float32) vec.Neighbor { return vec.Neighbor{ID: id, Dist: d} }
+	cases := []struct {
+		name  string
+		lists [][]vec.Neighbor
+		k     int
+		want  []vec.Neighbor
+	}{
+		{
+			name: "k larger than any shard population",
+			lists: [][]vec.Neighbor{
+				{nb(0, 1), nb(2, 3)},
+				{nb(1, 2)},
+			},
+			k:    10,
+			want: []vec.Neighbor{nb(0, 1), nb(1, 2), nb(2, 3)},
+		},
+		{
+			name: "duplicate distances across shards break ties by id",
+			lists: [][]vec.Neighbor{
+				{nb(5, 1.5), nb(9, 2.5)},
+				{nb(2, 1.5), nb(7, 2.5)},
+				{nb(4, 1.5)},
+			},
+			k:    5,
+			want: []vec.Neighbor{nb(2, 1.5), nb(4, 1.5), nb(5, 1.5), nb(7, 2.5), nb(9, 2.5)},
+		},
+		{
+			name:  "empty and nil lists",
+			lists: [][]vec.Neighbor{nil, {}, {nb(3, 0.5)}, nil},
+			k:     4,
+			want:  []vec.Neighbor{nb(3, 0.5)},
+		},
+		{
+			name:  "all empty",
+			lists: [][]vec.Neighbor{nil, {}},
+			k:     3,
+			want:  []vec.Neighbor{},
+		},
+		{
+			name: "k truncates interleaved lists",
+			lists: [][]vec.Neighbor{
+				{nb(0, 1), nb(2, 3), nb(4, 5)},
+				{nb(1, 2), nb(3, 4), nb(5, 6)},
+			},
+			k:    4,
+			want: []vec.Neighbor{nb(0, 1), nb(1, 2), nb(2, 3), nb(3, 4)},
+		},
+	}
+	for _, tc := range cases {
+		got := mergeTopK(tc.lists, tc.k)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: %d results, want %d", tc.name, len(got), len(tc.want))
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s: rank %d = %+v, want %+v", tc.name, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestShardClamp pins S > n clamping: no empty shard is ever built.
+func TestShardClamp(t *testing.T) {
+	data := testData(t, 5, 16, 5)
+	cfg := core.Config{NumSubspaces: 4, Budget: 16, Seed: 1}
+	x := mustBuild(t, data, cfg, Options{Shards: 64})
+	if x.Shards() != 5 {
+		t.Fatalf("Shards() = %d, want clamp to n=5", x.Shards())
+	}
+	res, err := x.Search(data.Row(0), 5, core.SearchOptions{Mode: core.ModeHeap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("%d results, want all 5", len(res))
+	}
+	if res[0].ID != 0 {
+		t.Fatalf("nearest to row 0 is %d, want 0", res[0].ID)
+	}
+	// k beyond the total population returns everything, once.
+	res, err = x.Search(data.Row(0), 50, core.SearchOptions{Mode: core.ModeHeap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("k>n: %d results, want 5", len(res))
+	}
+	seen := map[int]bool{}
+	for _, r := range res {
+		if seen[r.ID] {
+			t.Fatalf("duplicate id %d in merged results", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+// TestAddRoutingAndSearch pins Add: global ids are contiguous, the
+// assignment policies route where they promise, and added vectors are
+// immediately findable through the merged search.
+func TestAddRoutingAndSearch(t *testing.T) {
+	data := testData(t, 200, 16, 6)
+	cfg := core.Config{NumSubspaces: 4, Budget: 20, Seed: 7}
+	x := mustBuild(t, data, cfg, Options{Shards: 4})
+	batch := testData(t, 3, 16, 7)
+	first, err := x.Add(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 200 {
+		t.Fatalf("first id = %d, want 200", first)
+	}
+	if x.Len() != 203 {
+		t.Fatalf("Len() = %d, want 203", x.Len())
+	}
+	// Each added vector must be its own (quantized) nearest neighbor.
+	for i := 0; i < batch.Rows; i++ {
+		res, err := x.Search(batch.Row(i), 1, core.SearchOptions{Mode: core.ModeHeap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || res[0].ID != first+i {
+			t.Fatalf("added vector %d not found: got %+v, want id %d", i, res, first+i)
+		}
+	}
+
+	// Least-loaded keeps shard sizes within one batch of each other.
+	y := mustBuild(t, data, cfg, Options{Shards: 4, Policy: PolicyLeastLoaded})
+	for i := 0; i < 8; i++ {
+		if _, err := y.Add(testData(t, 1, 16, int64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lens := y.ShardLens()
+	min, max := lens[0], lens[0]
+	for _, l := range lens[1:] {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("least-loaded shard sizes diverged: %v", lens)
+	}
+}
+
+// TestConcurrentAddSearch exercises the lock-free Add path under the race
+// detector: concurrent batched Adds across shards interleaved with
+// concurrent searches must stay consistent (every reserved id range lands
+// exactly once, results never reference unknown ids).
+func TestConcurrentAddSearch(t *testing.T) {
+	data := testData(t, 300, 16, 8)
+	cfg := core.Config{NumSubspaces: 4, Budget: 20, Seed: 9}
+	x := mustBuild(t, data, cfg, Options{Shards: 4})
+	const (
+		adders   = 4
+		batches  = 5
+		rows     = 3
+		searches = 40
+	)
+	var wg sync.WaitGroup
+	firsts := make([][]int, adders)
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				first, err := x.Add(testData(t, rows, 16, int64(1000+a*100+b)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				firsts[a] = append(firsts[a], first)
+			}
+		}(a)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		q := testData(t, 1, 16, 999).Row(0)
+		for i := 0; i < searches; i++ {
+			res, err := x.Search(q, 10, core.SearchOptions{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := x.Len()
+			for _, r := range res {
+				if r.ID < 0 || r.ID >= n+adders*batches*rows {
+					t.Errorf("result id %d out of range", r.ID)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	wantLen := 300 + adders*batches*rows
+	if x.Len() != wantLen {
+		t.Fatalf("Len() = %d, want %d", x.Len(), wantLen)
+	}
+	// Reserved id ranges are disjoint and cover [300, wantLen).
+	seen := map[int]bool{}
+	for _, fs := range firsts {
+		for _, f := range fs {
+			for i := 0; i < rows; i++ {
+				if seen[f+i] {
+					t.Fatalf("id %d assigned twice", f+i)
+				}
+				seen[f+i] = true
+			}
+		}
+	}
+	if len(seen) != adders*batches*rows {
+		t.Fatalf("%d ids assigned, want %d", len(seen), adders*batches*rows)
+	}
+	// After the dust settles every id must be retrievable exactly once.
+	res, err := x.Search(data.Row(0), wantLen, core.SearchOptions{Mode: core.ModeHeap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != wantLen {
+		t.Fatalf("full scan returned %d, want %d", len(res), wantLen)
+	}
+	all := map[int]bool{}
+	for _, r := range res {
+		if all[r.ID] {
+			t.Fatalf("duplicate id %d in full merged scan", r.ID)
+		}
+		all[r.ID] = true
+	}
+}
+
+// TestSerializeRoundTrip pins the VAQS container: save/load preserves
+// results, fingerprints, shapes, and survives post-Add non-monotone id
+// mappings.
+func TestSerializeRoundTrip(t *testing.T) {
+	data := testData(t, 400, 24, 10)
+	cfg := core.Config{NumSubspaces: 6, Budget: 30, Seed: 11}
+	x := mustBuild(t, data, cfg, Options{Shards: 3})
+	if _, err := x.Add(testData(t, 4, 24, 12)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.vaqs")
+	if err := x.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Shards() != x.Shards() || y.Len() != x.Len() || y.Dim() != x.Dim() {
+		t.Fatalf("loaded shape (%d, %d, %d) != original (%d, %d, %d)",
+			y.Shards(), y.Len(), y.Dim(), x.Shards(), x.Len(), x.Dim())
+	}
+	if y.ConfigFingerprint() != x.ConfigFingerprint() {
+		t.Fatalf("fingerprint changed across save/load: %q vs %q", y.ConfigFingerprint(), x.ConfigFingerprint())
+	}
+	queries := testData(t, 15, 24, 13)
+	for qi := 0; qi < queries.Rows; qi++ {
+		q := queries.Row(qi)
+		want, err := x.Search(q, 12, core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := y.Search(q, 12, core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d rank %d: %+v != %+v", qi, i, got[i], want[i])
+			}
+		}
+	}
+	// Truncated stream must fail loudly, not mis-parse.
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("reading a truncated container did not fail")
+	}
+}
+
+// TestShardedReplayOverlap is the scatter-gather merge gate: a workload
+// captured on an unsharded index replays through a sharded one with full
+// overlap at exhaustive settings.
+func TestShardedReplayOverlap(t *testing.T) {
+	data := testData(t, 500, 24, 14)
+	cfg := core.Config{NumSubspaces: 6, Budget: 30, Seed: 15}
+	single, err := core.Build(data, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := single.EnableCapture(workload.Config{SampleRate: 1})
+	s := single.NewSearcher()
+	queries := testData(t, 20, 24, 16)
+	for qi := 0; qi < queries.Rows; qi++ {
+		if _, err := s.Search(queries.Row(qi), 10, core.SearchOptions{VisitFrac: 1.0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := cap.Snapshot()
+	x := mustBuild(t, data, cfg, Options{Shards: 4})
+	rep, _, err := workload.Replay(log, x.ReplayRunner(), workload.Options{
+		Thresholds: workload.Thresholds{MinOverlap: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("sharded replay failed: %+v", rep.Violations)
+	}
+	if rep.MeanOverlap != 1.0 {
+		t.Fatalf("mean overlap %v, want 1.0", rep.MeanOverlap)
+	}
+}
+
+// TestMergedMetrics pins the merged registry semantics: one query across
+// S shards records once, with per-shard pruning work summed.
+func TestMergedMetrics(t *testing.T) {
+	data := testData(t, 400, 16, 17)
+	cfg := core.Config{NumSubspaces: 4, Budget: 20, Seed: 18}
+	x := mustBuild(t, data, cfg, Options{Shards: 4})
+	const queries = 10
+	q := testData(t, queries, 16, 19)
+	for qi := 0; qi < queries; qi++ {
+		if _, err := x.Search(q.Row(qi), 5, core.SearchOptions{Mode: core.ModeHeap}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := x.Metrics().Snapshot()
+	if snap.Queries != queries {
+		t.Fatalf("merged registry has %d queries, want %d (one per global query)", snap.Queries, queries)
+	}
+	// ModeHeap considers every code in every shard: the merged counter
+	// must equal the full dataset per query.
+	if want := uint64(queries * 400); snap.CodesConsidered != want {
+		t.Fatalf("merged CodesConsidered = %d, want %d", snap.CodesConsidered, want)
+	}
+	var perShard uint64
+	for i := 0; i < x.Shards(); i++ {
+		perShard += x.Shard(i).Metrics().Snapshot().Queries
+	}
+	if want := uint64(queries * x.Shards()); perShard != want {
+		t.Fatalf("per-shard registries total %d queries, want %d", perShard, want)
+	}
+	// Validation errors are counted on the merged registry.
+	if _, err := x.Search(q.Row(0), 0, core.SearchOptions{}); err == nil {
+		t.Fatal("k=0 did not error")
+	}
+	if got := x.Metrics().Snapshot().Errors; got != 1 {
+		t.Fatalf("merged Errors = %d, want 1", got)
+	}
+}
+
+// TestInitialThresholdSafety drives the threshold feedback hard: an
+// externally injected bound equal to the true kth distance must not evict
+// boundary ties, and a sharded search under heavy feedback still matches
+// ground truth (covered per-mode in TestShardedExhaustiveEquivalence;
+// here the injection plumbing is pinned directly).
+func TestInitialThresholdSafety(t *testing.T) {
+	data := testData(t, 300, 16, 20)
+	cfg := core.Config{NumSubspaces: 4, Budget: 20, Seed: 21}
+	single, err := core.Build(data, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testData(t, 1, 16, 22).Row(0)
+	s := single.NewSearcher()
+	want, err := s.Search(q, 10, core.SearchOptions{Mode: core.ModeHeap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kth := want[len(want)-1].Dist
+	for _, mode := range []core.SearchMode{core.ModeHeap, core.ModeEA, core.ModeTIEA} {
+		opt := core.SearchOptions{Mode: mode, VisitFrac: 1.0, InitialThreshold: kth}
+		got, err := s.Search(q, 10, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("mode %v with bound=kth returned %d results, want %d", mode, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("mode %v with bound=kth rank %d: %+v != %+v", mode, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -14,10 +14,16 @@ type Neighbor struct {
 // The root holds the current worst (largest-distance) retained neighbor, so
 // Threshold is an O(1) best-so-far bound for pruning.
 //
+// An external bound (SetBound) caps admission before the heap fills: a
+// scatter-gather merge can feed the running global k-th distance into each
+// partition's collector, so candidates provably outside the merged top-k
+// are pruned with the same machinery as heap-full early abandoning.
+//
 // The zero value is unusable; construct with NewTopK.
 type TopK struct {
-	k    int
-	heap []Neighbor
+	k     int
+	bound float32
+	heap  []Neighbor
 }
 
 // NewTopK returns a collector for the k nearest neighbors. k must be >= 1.
@@ -25,7 +31,7 @@ func NewTopK(k int) *TopK {
 	if k < 1 {
 		panic("vec: TopK requires k >= 1")
 	}
-	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
+	return &TopK{k: k, bound: maxFloat32, heap: make([]Neighbor, 0, k)}
 }
 
 // Len reports how many neighbors are currently retained (<= k).
@@ -34,21 +40,42 @@ func (t *TopK) Len() int { return len(t.heap) }
 // Full reports whether k neighbors have been collected.
 func (t *TopK) Full() bool { return len(t.heap) == t.k }
 
-// Threshold returns the distance of the worst retained neighbor, or +Inf
-// behaviourally (math.MaxFloat32) while fewer than k neighbors are held.
+// SetBound installs an external admission bound: candidates with
+// dist > b are rejected even while the heap is not yet full, and Threshold
+// reports min(b, previous bound) until k retained neighbors beat it. A
+// bound only ever tightens; Reset keeps it (reuse NewTopK for a clean
+// collector). Boundary ties (dist == b) are still admitted so an external
+// k-th distance never evicts its own tie cohort.
+func (t *TopK) SetBound(b float32) {
+	if b < t.bound {
+		t.bound = b
+	}
+}
+
+// Pruning reports whether Threshold is an actionable pruning bound: the
+// heap is full, or an external bound was installed via SetBound.
+func (t *TopK) Pruning() bool { return len(t.heap) == t.k || t.bound < maxFloat32 }
+
+// Threshold returns the distance of the worst retained neighbor, or the
+// external bound (+Inf behaviourally, math.MaxFloat32, when none was set)
+// while fewer than k neighbors are held.
 func (t *TopK) Threshold() float32 {
 	if len(t.heap) < t.k {
-		return maxFloat32
+		return t.bound
 	}
 	return t.heap[0].Dist
 }
 
 const maxFloat32 = float32(3.4028234663852886e+38)
 
-// Push offers a candidate. It is accepted if the heap is not yet full or the
-// candidate beats the current worst. Returns true if accepted.
+// Push offers a candidate. It is accepted if the heap is not yet full (and
+// the candidate does not exceed the external bound) or the candidate beats
+// the current worst. Returns true if accepted.
 func (t *TopK) Push(id int, dist float32) bool {
 	if len(t.heap) < t.k {
+		if dist > t.bound {
+			return false
+		}
 		t.heap = append(t.heap, Neighbor{ID: id, Dist: dist})
 		t.siftUp(len(t.heap) - 1)
 		return true

@@ -1,0 +1,178 @@
+package vaq
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// TestShardedPublicAPI walks the ShardedIndex surface end to end: build,
+// search parity with the unsharded index under exhaustive settings,
+// batch search, Add, persistence, metrics and replay.
+func TestShardedPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := genData(rng, 900, 32)
+	cfg := Config{NumSubspaces: 8, Budget: 48, Seed: 3, Shards: 4}
+	sx, err := BuildSharded(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", sx.Shards())
+	}
+	if sx.Len() != 900 || sx.Dim() != 32 {
+		t.Fatalf("shape (%d, %d), want (900, 32)", sx.Len(), sx.Dim())
+	}
+	ux, err := Build(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := SearchOptions{Mode: ModeTIEA, VisitFrac: 1.0}
+	for qi := 0; qi < 20; qi++ {
+		q := data[qi*7]
+		want, err := ux.SearchWith(q, 10, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sx.SearchWith(q, 10, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d rank %d: %+v != %+v", qi, i, got[i], want[i])
+			}
+		}
+	}
+
+	queries := genData(rng, 12, 32)
+	batch, err := sx.SearchBatch(queries, 5, SearchOptions{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 12 {
+		t.Fatalf("batch returned %d slots, want 12", len(batch))
+	}
+	for i, res := range batch {
+		if len(res) != 5 {
+			t.Fatalf("batch query %d returned %d results, want 5", i, len(res))
+		}
+	}
+
+	first, err := sx.Add(genData(rng, 3, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 900 || sx.Len() != 903 {
+		t.Fatalf("Add: first=%d Len=%d, want 900/903", first, sx.Len())
+	}
+
+	snap := sx.Metrics()
+	if snap.Queries == 0 {
+		t.Fatal("merged metrics recorded no queries")
+	}
+
+	path := filepath.Join(t.TempDir(), "ix.vaqs")
+	if err := sx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	lx, err := LoadSharded(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lx.Shards() != sx.Shards() || lx.Len() != sx.Len() {
+		t.Fatalf("loaded shape (%d, %d) != (%d, %d)", lx.Shards(), lx.Len(), sx.Shards(), sx.Len())
+	}
+	if lx.ConfigFingerprint() != sx.ConfigFingerprint() {
+		t.Fatal("fingerprint changed across save/load")
+	}
+	var buf bytes.Buffer
+	if _, err := sx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSharded(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedReplayFromUnshardedCapture pins the public capture→replay
+// bridge: a workload captured on an unsharded index replays through the
+// sharded scatter-gather with full overlap at exhaustive settings.
+func TestShardedReplayFromUnshardedCapture(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := genData(rng, 600, 24)
+	cfg := Config{NumSubspaces: 6, Budget: 36, Seed: 5}
+	ux, err := Build(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := ux.EnableCapture(CaptureConfig{SampleRate: 1})
+	for qi := 0; qi < 15; qi++ {
+		if _, err := ux.SearchWith(data[qi*11], 8, SearchOptions{VisitFrac: 1.0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := cap.Snapshot()
+	cfg.Shards = 4
+	sx, err := BuildSharded(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := sx.ReplayWorkload(log, ReplayOptions{
+		Thresholds: ReplayThresholds{MinOverlap: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("sharded replay failed: %v", rep.Violations)
+	}
+	if rep.MeanOverlap != 1.0 {
+		t.Fatalf("mean overlap %v, want 1.0", rep.MeanOverlap)
+	}
+}
+
+// TestShardedS1MatchesUnsharded pins the public degenerate case: Shards=1
+// (and the Shards=0 default) answers identically to Build.
+func TestShardedS1MatchesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := genData(rng, 500, 24)
+	cfg := Config{NumSubspaces: 6, Budget: 36, Seed: 7}
+	ux, err := Build(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{0, 1} {
+		cfg.Shards = shards
+		sx, err := BuildSharded(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sx.Shards() != 1 {
+			t.Fatalf("Shards=%d built %d shards, want 1", shards, sx.Shards())
+		}
+		if sx.ConfigFingerprint() != ux.ConfigFingerprint() {
+			t.Fatalf("Shards=%d fingerprint %q != unsharded %q", shards, sx.ConfigFingerprint(), ux.ConfigFingerprint())
+		}
+		for qi := 0; qi < 10; qi++ {
+			q := data[qi*13]
+			want, err := ux.Search(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sx.Search(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("Shards=%d query %d rank %d: %+v != %+v", shards, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

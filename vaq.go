@@ -207,6 +207,19 @@ type Config struct {
 	// Off by default; see also Index.EnableProfileLabels for indexes
 	// loaded from disk. Runtime-only: not serialized.
 	ProfileLabels bool
+	// Shards partitions the dataset across this many independent indexes
+	// that share one trained model (rotation, bit allocation and
+	// dictionaries are learned once on the training sample, so per-shard
+	// distances are directly comparable). Consumed by BuildSharded: shards
+	// encode in parallel at build time, queries scatter across them on a
+	// worker pool and gather through a deterministic top-k merge, and Add
+	// routes whole batches to one shard so concurrent ingest stops
+	// serializing on a single write lock. 0 or 1 means one shard (S=1
+	// answers bit-identically to an unsharded Build). Ignored by Build.
+	Shards int
+	// ShardPolicy selects how Add routes batches to shards (default
+	// ShardRoundRobin). Only meaningful with Shards > 1.
+	ShardPolicy ShardPolicy
 	// SLO declares service-level objectives — a tail-latency target and/or
 	// a minimum observed recall — evaluated online over sliding windows of
 	// recent traffic. Error budgets are exported through
