@@ -143,11 +143,9 @@ func ReadLogged(r io.Reader, logger *slog.Logger) (*Index, error) {
 		if idLen > maxReasonableIDSlices {
 			return nil, fmt.Errorf("shard %d: implausible id count %d", si, idLen)
 		}
-		ids := make([]int32, idLen)
-		if idLen > 0 {
-			if err := rd(ids); err != nil {
-				return nil, fmt.Errorf("shard %d: reading id mapping: %w", si, err)
-			}
+		ids, err := readIDs(r, idLen)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: reading id mapping: %w", si, err)
 		}
 		var blen uint64
 		if err := rd(&blen); err != nil {
@@ -182,6 +180,33 @@ func ReadLogged(r io.Reader, logger *slog.Logger) (*Index, error) {
 	m := x.states[0].ix.Codebooks().Sub.M()
 	x.reg = metrics.NewSized(m+1, m)
 	return x, nil
+}
+
+// readIDs reads n little-endian int32 ids in bounded chunks, so a corrupt
+// or hostile length field cannot force a huge up-front allocation: memory
+// grows only as fast as the stream actually delivers bytes, and a short
+// stream fails at the first missing chunk.
+func readIDs(r io.Reader, n uint64) ([]int32, error) {
+	const chunk = 1 << 20 // entries per read (4 MiB of trust at a time)
+	c := n
+	if c > chunk {
+		c = chunk
+	}
+	ids := make([]int32, 0, c)
+	buf := make([]int32, c)
+	for n > 0 {
+		c = n
+		if c > chunk {
+			c = chunk
+		}
+		b := buf[:c]
+		if err := binary.Read(r, binary.LittleEndian, b); err != nil {
+			return nil, err
+		}
+		ids = append(ids, b...)
+		n -= c
+	}
+	return ids, nil
 }
 
 // monotone reports whether the id mapping is strictly increasing (the

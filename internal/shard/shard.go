@@ -124,6 +124,10 @@ func Build(train, data *vec.Matrix, cfg core.Config, opts Options) (*Index, erro
 	if data == nil || data.Rows == 0 {
 		return nil, errors.New("shard: empty data matrix")
 	}
+	if int64(data.Rows) > math.MaxInt32+1 {
+		// The local-to-global mapping stores ids as int32.
+		return nil, fmt.Errorf("shard: %d rows exceed the int32 global id space", data.Rows)
+	}
 	if train == nil {
 		train = data
 	}
@@ -374,8 +378,10 @@ type gatherState struct {
 }
 
 // fold merges one shard's mapped results and stats, and returns the
-// tightened global bound (0 = none yet).
-func (g *gatherState) fold(si int, mapped []vec.Neighbor, st core.SearchStats) float32 {
+// tightened global bound; ok is false until the global tracker has k
+// entries (an explicit flag, so a genuine k-th distance of exactly 0.0
+// still propagates as a cross-shard bound).
+func (g *gatherState) fold(si int, mapped []vec.Neighbor, st core.SearchStats) (bound float32, ok bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.lists[si] = mapped
@@ -400,9 +406,9 @@ func (g *gatherState) fold(si int, mapped []vec.Neighbor, st core.SearchStats) f
 		}
 	}
 	if g.tracker.Full() {
-		return g.tracker.Threshold()
+		return g.tracker.Threshold(), true
 	}
-	return 0
+	return 0, false
 }
 
 func (x *Index) searchProjected(qz []float32, k int, opt core.SearchOptions) ([]vec.Neighbor, error) {
@@ -420,9 +426,10 @@ func (x *Index) searchProjected(qz []float32, k int, opt core.SearchOptions) ([]
 		g.depths = make([]uint32, x.states[0].ix.Codebooks().Sub.M()+1)
 		g.ranks = make([]uint32, metrics.ClusterRankBuckets)
 	}
-	// boundBits carries the running global k-th distance (float32 bits; 0
-	// = not yet full) from finished shards into not-yet-started ones.
-	var boundBits atomic.Uint32
+	// bound carries the running global k-th distance from finished shards
+	// into not-yet-started ones: boundSet | float32 bits, so "no bound
+	// yet" (0) is distinct from a genuine bound of 0.0.
+	var bound atomic.Uint64
 	var next atomic.Int64
 	workers := x.workerCount()
 	var wg sync.WaitGroup
@@ -437,8 +444,16 @@ func (x *Index) searchProjected(qz []float32, k int, opt core.SearchOptions) ([]
 				}
 				st := x.states[si]
 				o := opt
-				if b := boundBits.Load(); b != 0 {
-					bf := math.Float32frombits(b)
+				if v := bound.Load(); v != 0 {
+					bf := math.Float32frombits(uint32(v))
+					if bf == 0 {
+						// core treats InitialThreshold==0 as unset; the
+						// smallest positive float still admits dist==0
+						// ties (admission rejects strictly greater only)
+						// while pruning everything else, which is exactly
+						// what a 0.0 k-th distance allows.
+						bf = math.SmallestNonzeroFloat32
+					}
 					if o.InitialThreshold == 0 || bf < o.InitialThreshold {
 						o.InitialThreshold = bf
 					}
@@ -461,10 +476,10 @@ func (x *Index) searchProjected(qz []float32, k int, opt core.SearchOptions) ([]
 						return neighborLess(mapped[a], mapped[b])
 					})
 				}
-				bound := g.fold(si, mapped, stats)
+				b, full := g.fold(si, mapped, stats)
 				st.putSearcher(sr)
-				if bound > 0 {
-					tightenBound(&boundBits, bound)
+				if full {
+					tightenBound(&bound, b)
 				}
 			}
 		}()
@@ -493,24 +508,29 @@ func (x *Index) searchProjected(qz []float32, k int, opt core.SearchOptions) ([]
 	return res, nil
 }
 
+// boundSet flags a published cross-shard bound: the low 32 bits hold the
+// float32 distance, so a bound of exactly 0.0 is still distinguishable
+// from the unset state (the whole word being 0).
+const boundSet = uint64(1) << 32
+
 // tightenBound lowers the shared bound to b if b is tighter (CAS loop —
 // bounds only ever shrink).
-func tightenBound(bits *atomic.Uint32, b float32) {
-	nb := math.Float32bits(b)
+func tightenBound(state *atomic.Uint64, b float32) {
+	nv := boundSet | uint64(math.Float32bits(b))
 	for {
-		old := bits.Load()
-		if old != 0 && math.Float32frombits(old) <= b {
+		old := state.Load()
+		if old != 0 && math.Float32frombits(uint32(old)) <= b {
 			return
 		}
-		if bits.CompareAndSwap(old, nb) {
+		if state.CompareAndSwap(old, nv) {
 			return
 		}
 	}
 }
 
 // Add encodes a batch into one shard chosen by the assignment policy. The
-// global id range [firstID, firstID+rows) is reserved with a single atomic
-// add, so concurrent Adds to different shards proceed fully in parallel
+// global id range [firstID, firstID+rows) is reserved with a lock-free
+// CAS, so concurrent Adds to different shards proceed fully in parallel
 // and only batches routed to the same shard serialize on its lock.
 func (x *Index) Add(vectors *vec.Matrix) (firstID int, err error) {
 	if vectors == nil || vectors.Rows == 0 {
@@ -520,13 +540,22 @@ func (x *Index) Add(vectors *vec.Matrix) (firstID int, err error) {
 		return 0, fmt.Errorf("shard: Add dimension %d, index dimension %d", vectors.Cols, x.dim)
 	}
 	rows := vectors.Rows
-	first := x.nextID.Add(int64(rows)) - int64(rows)
+	var first int64
+	for {
+		cur := x.nextID.Load()
+		// The mapping stores global ids as int32: refuse the reservation
+		// rather than silently wrapping negative past 2^31 vectors.
+		if cur+int64(rows) > math.MaxInt32+1 {
+			return 0, fmt.Errorf("shard: Add of %d rows at %d existing would exceed the int32 global id space", rows, cur)
+		}
+		if x.nextID.CompareAndSwap(cur, cur+int64(rows)) {
+			first = cur
+			break
+		}
+	}
 	st := x.pickShard()
 	st.addMu.Lock()
 	defer st.addMu.Unlock()
-	if _, err := st.ix.Add(vectors); err != nil {
-		return 0, err
-	}
 	old := *st.ids.Load()
 	if len(old) > 0 && old[len(old)-1] > int32(first) {
 		// A concurrent batch with later global ids won the shard lock
@@ -539,9 +568,30 @@ func (x *Index) Add(vectors *vec.Matrix) (firstID int, err error) {
 	for i := 0; i < rows; i++ {
 		grown[len(old)+i] = int32(first) + int32(i)
 	}
+	// Publish the grown mapping BEFORE encoding. st.ix.Add releases the
+	// core write lock before returning control here, so a search racing
+	// this call can already see the new codes; if the mapping were still
+	// the old length, ids[nb.ID] would be out of range. The trailing
+	// entries are unreachable until the codes exist, so pre-publishing is
+	// safe — and core.Add fails only before any code becomes visible
+	// (dimension check and projection precede its critical section), so
+	// rolling back to the old mapping on error is equally safe.
 	st.ids.Store(&grown)
+	if _, err := st.ix.Add(vectors); err != nil {
+		st.ids.Store(&old)
+		return 0, err
+	}
+	if testHookPostEncode != nil {
+		testHookPostEncode(st)
+	}
 	return int(first), nil
 }
+
+// testHookPostEncode, when non-nil, runs under the shard's Add lock at
+// the first point where the batch's codes are visible to searches. Tests
+// use it to pin the publication invariant: any search that can see a
+// shard's codes must also see a mapping covering their local ids.
+var testHookPostEncode func(*shardState)
 
 // pickShard applies the assignment policy.
 func (x *Index) pickShard() *shardState {

@@ -2,9 +2,12 @@ package shard
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"math/rand"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"vaq/internal/core"
@@ -378,6 +381,171 @@ func TestConcurrentAddSearch(t *testing.T) {
 			t.Fatalf("duplicate id %d in full merged scan", r.ID)
 		}
 		all[r.ID] = true
+	}
+}
+
+// TestSearchDuringAddMappingRace hammers the window between core.Add
+// releasing the shard's write lock and the local-to-global mapping being
+// published: a racing full scan that sees the new codes must also see a
+// mapping long enough to cover their local ids, or ids[nb.ID] panics.
+// S=1 pins every search to the shard being mutated to maximize pressure.
+func TestSearchDuringAddMappingRace(t *testing.T) {
+	data := testData(t, 64, 8, 30)
+	cfg := core.Config{NumSubspaces: 2, Budget: 8, Seed: 31}
+	x := mustBuild(t, data, cfg, Options{Shards: 1})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		q := testData(t, 1, 8, 32).Row(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, err := x.Search(q, 1024, core.SearchOptions{Mode: core.ModeHeap})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := x.Len()
+			for _, r := range res {
+				if r.ID < 0 || r.ID >= n {
+					t.Errorf("result id %d out of range (len %d)", r.ID, n)
+					return
+				}
+			}
+		}
+	}()
+	for b := 0; b < 80; b++ {
+		if _, err := x.Add(testData(t, 2, 8, int64(100+b))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestMappingCoversCodesInvariant pins Add's publication order
+// deterministically: at the first moment a batch's codes are visible to
+// searches, the local-to-global mapping must already cover their local
+// ids (the hammer test above can only hit the mis-ordered window by
+// scheduling luck; this hook checks it on every Add).
+func TestMappingCoversCodesInvariant(t *testing.T) {
+	data := testData(t, 48, 8, 33)
+	cfg := core.Config{NumSubspaces: 2, Budget: 8, Seed: 34}
+	x := mustBuild(t, data, cfg, Options{Shards: 2})
+	defer func() { testHookPostEncode = nil }()
+	testHookPostEncode = func(st *shardState) {
+		if ids := *st.ids.Load(); len(ids) < st.ix.Len() {
+			t.Errorf("codes visible before mapping: %d ids < %d codes", len(ids), st.ix.Len())
+		}
+	}
+	for b := 0; b < 10; b++ {
+		if _, err := x.Add(testData(t, 3, 8, int64(200+b))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTightenBoundZero pins the cross-shard bound encoding: a genuine
+// k-th distance of exactly 0.0 must be representable and distinct from
+// the "no bound yet" state, and bounds must only ever shrink.
+func TestTightenBoundZero(t *testing.T) {
+	var b atomic.Uint64
+	tightenBound(&b, 2.5)
+	if v := b.Load(); v == 0 || math.Float32frombits(uint32(v)) != 2.5 {
+		t.Fatalf("bound after tighten(2.5): %#x", b.Load())
+	}
+	tightenBound(&b, 0)
+	if v := b.Load(); v == 0 {
+		t.Fatal("a 0.0 bound collapsed into the unset state")
+	} else if got := math.Float32frombits(uint32(v)); got != 0 {
+		t.Fatalf("bound after tighten(0) decodes to %v, want 0", got)
+	}
+	tightenBound(&b, 1.0)
+	if got := math.Float32frombits(uint32(b.Load())); got != 0 {
+		t.Fatalf("looser bound overwrote tighter: %v", got)
+	}
+}
+
+// TestDuplicateHeavyBoundTies: with every vector identical, each shard's
+// k-th distance equals the global one, so the fed-back bound sits exactly
+// on every candidate. Admission rejects strictly-greater only, so all
+// modes must still return k results in (dist, global id) order.
+func TestDuplicateHeavyBoundTies(t *testing.T) {
+	base := testData(t, 1, 16, 40)
+	data := &vec.Matrix{Rows: 256, Cols: 16, Data: make([]float32, 0, 256*16)}
+	for i := 0; i < 256; i++ {
+		data.Data = append(data.Data, base.Row(0)...)
+	}
+	cfg := core.Config{NumSubspaces: 4, Budget: 20, Seed: 41}
+	x := mustBuild(t, data, cfg, Options{Shards: 4})
+	for _, mode := range []core.SearchMode{core.ModeHeap, core.ModeEA, core.ModeTIEA} {
+		res, err := x.Search(base.Row(0), 32, core.SearchOptions{Mode: mode, VisitFrac: 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 32 {
+			t.Fatalf("mode %v: %d results, want 32", mode, len(res))
+		}
+		for i, r := range res {
+			if r.ID != i {
+				t.Fatalf("mode %v rank %d: id %d, want %d (id-stable tie-break)", mode, i, r.ID, i)
+			}
+			if r.Dist != res[0].Dist {
+				t.Fatalf("mode %v rank %d: dist %v != %v among duplicates", mode, i, r.Dist, res[0].Dist)
+			}
+		}
+	}
+}
+
+// TestAddOverflowGuard: reserving ids past the int32 mapping space must
+// fail loudly instead of wrapping negative, without consuming ids.
+func TestAddOverflowGuard(t *testing.T) {
+	data := testData(t, 32, 8, 50)
+	cfg := core.Config{NumSubspaces: 2, Budget: 8, Seed: 51}
+	x := mustBuild(t, data, cfg, Options{Shards: 2})
+	x.nextID.Store(math.MaxInt32 - 1)
+	if _, err := x.Add(testData(t, 4, 8, 52)); err == nil {
+		t.Fatal("Add past the int32 global id space did not error")
+	}
+	if got := x.nextID.Load(); got != math.MaxInt32-1 {
+		t.Fatalf("failed Add moved nextID to %d", got)
+	}
+	// The last batch that still fits ([MaxInt32-1, MaxInt32]) is accepted.
+	first, err := x.Add(testData(t, 2, 8, 53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != math.MaxInt32-1 {
+		t.Fatalf("first id %d, want %d", first, math.MaxInt32-1)
+	}
+	if _, err := x.Add(testData(t, 1, 8, 54)); err == nil {
+		t.Fatal("Add of one more row past MaxInt32 did not error")
+	}
+}
+
+// TestHostileIDCountRead: a container claiming a huge id mapping backed by
+// almost no bytes must error out of the chunked reader instead of
+// allocating the claimed length up front.
+func TestHostileIDCountRead(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(shardMagic)
+	for _, v := range []uint64{shardFormatVersion, 1, 0, 100} {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Claim 2^30 ids (4 GiB) but provide only 64 bytes of payload.
+	if err := binary.Write(&buf, binary.LittleEndian, uint64(1<<30)); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(make([]byte, 64))
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("hostile id count did not error")
 	}
 }
 
