@@ -109,6 +109,11 @@ type benchProvenance struct {
 	SearchWorkers int `json:"search_workers,omitempty"`
 	// Shards is the shard count of a sharded arm (0 = unsharded).
 	Shards int `json:"shards,omitempty"`
+	// Caveats flag conditions that make this arm's numbers
+	// non-representative — e.g. a sharded arm measured with one CPU, where
+	// the scatter serializes and QPS ratios vs the unsharded arm say
+	// nothing about real multi-core speedup.
+	Caveats []string `json:"caveats,omitempty"`
 }
 
 // benchSchemaVersion tracks the benchSummary document shape.
@@ -164,6 +169,11 @@ type benchSummary struct {
 	// distortion, codeword utilization and TI balance alongside the perf
 	// numbers, so a perf tracker can correlate throughput with quality.
 	Report *diag.Report `json:"report,omitempty"`
+	// ShardBreakdown is the per-shard block of a sharded arm (nil on
+	// unsharded arms): each shard's size, query counters and latency
+	// summary plus the merged critical-path/hit attribution — the same
+	// document /debug/vaq/shards serves live.
+	ShardBreakdown *shard.ShardsReport `json:"shard_breakdown,omitempty"`
 }
 
 // layoutComparison is the JSON document emitted by -layout both / all: the
@@ -185,9 +195,13 @@ type layoutComparison struct {
 	Sharded []*shardedArm `json:"sharded,omitempty"`
 }
 
-// shardedArm is one sharded measurement plus its headline ratio.
+// shardedArm is one sharded measurement plus its headline ratio. The
+// summary is embedded by value, not pointer: encoding/json can marshal an
+// embedded pointer to an unexported struct but refuses to unmarshal one
+// ("cannot set embedded pointer to unexported struct"), which would make
+// -compare reject every committed document with sharded arms.
 type shardedArm struct {
-	*benchSummary
+	benchSummary
 	// QPSSpeedupVsBlocked is this arm's throughput over the unsharded
 	// blocked arm of the same accuracy mode on the same workload, so the
 	// ratio isolates scatter-gather parallelism from kernel arithmetic.
@@ -265,13 +279,16 @@ func runJSONBench(path string, p benchParams, withReport bool, shardCounts []int
 						base = blockedInt
 					}
 					cmp.Sharded = append(cmp.Sharded, &shardedArm{
-						benchSummary:        arm,
+						benchSummary:        *arm,
 						QPSSpeedupVsBlocked: arm.Search.QPS / base.Search.QPS,
 					})
 					line += fmt.Sprintf(", S=%d %s %.0f qps (%.2fx, recall %.3f)",
 						s, accuracyName(acc), arm.Search.QPS,
 						arm.Search.QPS/base.Search.QPS, arm.Search.RecallAtK)
 				}
+			}
+			if len(cmp.Sharded) > 0 && len(cmp.Sharded[0].Provenance.Caveats) > 0 {
+				line += " [caveat: single-core run, sharded ratios not representative]"
 			}
 		}
 		return writeJSONDoc(path, cmp, line)
@@ -433,6 +450,11 @@ func runShardedOnce(ds *dataset.Dataset, p benchParams, withReport bool, gt [][]
 		return nil, err
 	}
 	x.Metrics().Reset()
+	for i := 0; i < x.Shards(); i++ {
+		// The per-shard registries feed the shard breakdown block; reset
+		// them with the merged one so both reflect steady state only.
+		x.Shard(i).Metrics().Reset()
+	}
 
 	start := time.Now()
 	for pass := 0; pass < p.Passes; pass++ {
@@ -448,6 +470,12 @@ func runShardedOnce(ds *dataset.Dataset, p benchParams, withReport bool, gt [][]
 	// One outer stream: all parallelism is the internal scatter.
 	sum.Provenance.SearchWorkers = 1
 	sum.Provenance.Shards = x.Shards()
+	if runtime.NumCPU() == 1 || runtime.GOMAXPROCS(0) == 1 {
+		sum.Provenance.Caveats = append(sum.Provenance.Caveats,
+			"single-core run: the per-query scatter serializes, so sharded QPS "+
+				"ratios vs unsharded arms measure coordination overhead, not "+
+				"scatter-gather speedup")
+	}
 	// Shard 0's per-phase timings with Total replaced by the observed
 	// end-to-end wall, so Total < sum-of-shard-encodes measures the
 	// parallel-build speedup.
@@ -474,6 +502,7 @@ func runShardedOnce(ds *dataset.Dataset, p benchParams, withReport bool, gt [][]
 	if withReport {
 		sum.Report = x.Diagnose()[0]
 	}
+	sum.ShardBreakdown = x.Report()
 	return sum, nil
 }
 

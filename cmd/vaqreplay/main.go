@@ -94,6 +94,13 @@ func main() {
 	}
 	fmt.Printf("log %s: %d queries, dim %d, fingerprint %s\n",
 		*logPath, len(log.Records), log.Dim, log.Fingerprint)
+	if log.Shards > 0 {
+		fmt.Printf("log provenance: captured on a %d-shard scatter-gather index\n", log.Shards)
+		if *shards != log.Shards {
+			fmt.Printf("note: replaying with -shards %d against a %d-shard capture — diffing across scatter shapes\n",
+				*shards, log.Shards)
+		}
+	}
 
 	ds, err := dataset.Load(*dataPath)
 	if err != nil {

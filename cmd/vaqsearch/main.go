@@ -14,7 +14,10 @@
 // (Prometheus text), /debug/vaq/report (the index-quality IndexReport,
 // recomputed per scrape; ?format=text for a human-readable dump) and,
 // with -trace, /debug/vaq/traces (per-query spans; ?format=chrome for a
-// chrome://tracing export).
+// chrome://tracing export). With -shards > 1 the per-shard breakdown —
+// merged scatter telemetry plus one block per shard — is additionally
+// served at /debug/vaq/shards, and -trace files one parent trace per
+// query with a wait/scan span pair per shard.
 package main
 
 import (
@@ -60,6 +63,7 @@ func main() {
 		captureRate = flag.Float64("capture-rate", 1, "fraction of queries captured (deterministic stride; 1 = all)")
 		sloP99      = flag.Duration("slo-p99", 0, "latency SLO: 99% of windowed queries must finish within this duration (0 disables)")
 		sloRecall   = flag.Float64("slo-recall", 0, "recall SLO: minimum windowed observed recall (needs -recall-sample; 0 disables)")
+		skewAlert   = flag.Float64("skew-alert", 0, "shard-skew alert threshold: fire vaq.skew when the windowed mean skew ratio reaches this (needs -shards > 1; 0 disables)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -115,8 +119,10 @@ func main() {
 	}
 	if *sloP99 > 0 || *sloRecall > 0 {
 		cfg.SLO = &metrics.SLO{LatencyTarget: *sloP99, MinRecall: *sloRecall}
-		// Surface the vaq.slo breach event on stderr (Warn level keeps the
-		// build/maintenance Info logs quiet).
+	}
+	if cfg.SLO != nil || *skewAlert > 0 {
+		// Surface the vaq.slo / vaq.skew breach events on stderr (Warn level
+		// keeps the build/maintenance Info logs quiet).
 		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
 	}
 	if *shards < 1 {
@@ -124,16 +130,17 @@ func main() {
 		os.Exit(2)
 	}
 	if *shards > 1 {
-		// The sharded path shares the trained model across shards and
-		// merges per-shard top-k lists; tracing and capture are per-index
-		// features the scatter-gather does not thread through (capture a
-		// workload unsharded, then gate the sharded merge with vaqreplay
-		// -shards).
-		if *traceOn || *capturePath != "" {
-			fmt.Fprintln(os.Stderr, "vaqsearch: -trace and -capture need an unsharded index (drop -shards)")
-			os.Exit(2)
-		}
-		runSharded(ds, cfg, *shards, *k, *visit, *hold)
+		runSharded(ds, cfg, shardedRun{
+			shards:      *shards,
+			k:           *k,
+			visit:       *visit,
+			hold:        *hold,
+			traceOn:     *traceOn,
+			traceSlow:   *traceSlow,
+			capturePath: *capturePath,
+			captureRate: *captureRate,
+			skewAlert:   *skewAlert,
+		})
 		return
 	}
 	start := time.Now()
@@ -264,14 +271,33 @@ func main() {
 	}
 }
 
+// shardedRun bundles the -shards >1 run parameters.
+type shardedRun struct {
+	shards      int
+	k           int
+	visit       float64
+	hold        time.Duration
+	traceOn     bool
+	traceSlow   time.Duration
+	capturePath string
+	captureRate float64
+	skewAlert   float64
+}
+
 // runSharded is the -shards >1 path: build a scatter-gather index sharing
 // one trained model, run the query workload as a single outer stream
 // (each query fans out to per-shard searchers internally), and report
-// accuracy plus the merged end-to-end telemetry. Per-shard registries and
-// diagnostics are published under vaqsearch_index/shard-i.
-func runSharded(ds *dataset.Dataset, cfg core.Config, shards, k int, visit float64, hold time.Duration) {
+// accuracy plus the merged end-to-end telemetry, the slowest-shard
+// attribution, and (with -trace / -capture) the sharded parent traces and
+// a replayable workload log. Per-shard registries and diagnostics are
+// published under vaqsearch_index/shard-i; the per-shard breakdown lives
+// at /debug/vaq/shards.
+func runSharded(ds *dataset.Dataset, cfg core.Config, run shardedRun) {
 	start := time.Now()
-	x, err := shard.Build(ds.Train, ds.Base, cfg, shard.Options{Shards: shards})
+	x, err := shard.Build(ds.Train, ds.Base, cfg, shard.Options{
+		Shards:         run.shards,
+		SkewAlertRatio: run.skewAlert,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vaqsearch: sharded build: %v\n", err)
 		os.Exit(1)
@@ -285,8 +311,48 @@ func runSharded(ds *dataset.Dataset, cfg core.Config, shards, k int, visit float
 		rep.TIClustering.Round(time.Millisecond))
 	x.PublishExpvar("vaqsearch_index")
 	x.PublishDiagnostics("vaqsearch_index")
+	var tr *trace.Tracer
+	if run.traceOn {
+		tr = x.EnableTracing(trace.Config{SlowThreshold: run.traceSlow})
+		trace.Publish("vaqsearch_index", tr)
+	}
 
-	gt, err := eval.GroundTruth(ds.Base, ds.Queries, k)
+	// Workload capture, flushed exactly once — on the normal exit path or
+	// from the signal handler, whichever comes first, so an interrupted
+	// -hold still leaves a replayable log behind.
+	var flushOnce sync.Once
+	flushCapture := func() {
+		if run.capturePath == "" {
+			return
+		}
+		flushOnce.Do(func() {
+			cap := x.Capture()
+			if cap == nil {
+				return
+			}
+			log := cap.Snapshot()
+			if err := log.Save(run.capturePath); err != nil {
+				fmt.Fprintf(os.Stderr, "vaqsearch: capture: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "vaqsearch: captured %d of %d sampled queries (%d dropped) to %s (fingerprint %s, %d shards)\n",
+				len(log.Records), cap.Sampled(), cap.Dropped(), run.capturePath,
+				log.Fingerprint, log.Shards)
+		})
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "vaqsearch: %s — flushing capture and exiting\n", sig)
+		flushCapture()
+		os.Exit(130)
+	}()
+	if run.capturePath != "" {
+		x.EnableCapture(workload.Config{SampleRate: run.captureRate})
+	}
+
+	gt, err := eval.GroundTruth(ds.Base, ds.Queries, run.k)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vaqsearch: ground truth: %v\n", err)
 		os.Exit(1)
@@ -294,8 +360,8 @@ func runSharded(ds *dataset.Dataset, cfg core.Config, shards, k int, visit float
 	results := make([][]int, ds.Queries.Rows)
 	start = time.Now()
 	for qi := 0; qi < ds.Queries.Rows; qi++ {
-		res, err := x.Search(ds.Queries.Row(qi), k, core.SearchOptions{
-			Mode: core.ModeTIEA, VisitFrac: visit,
+		res, err := x.Search(ds.Queries.Row(qi), run.k, core.SearchOptions{
+			Mode: core.ModeTIEA, VisitFrac: run.visit,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vaqsearch: query %d: %v\n", qi, err)
@@ -305,8 +371,8 @@ func runSharded(ds *dataset.Dataset, cfg core.Config, shards, k int, visit float
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("recall@%d = %.4f, MAP@%d = %.4f, avg query %.3fms\n",
-		k, eval.Recall(results, gt, k),
-		k, eval.MAP(results, gt, k),
+		run.k, eval.Recall(results, gt, run.k),
+		run.k, eval.MAP(results, gt, run.k),
 		elapsed.Seconds()/float64(ds.Queries.Rows)*1000)
 	snap := x.Metrics().Snapshot()
 	fmt.Printf("merged metrics: %d queries, p50 %s, p95 %s, p99 %s, TI prune %.1f%%, EA abandon %.1f%%, %d lookups\n",
@@ -315,6 +381,26 @@ func runSharded(ds *dataset.Dataset, cfg core.Config, shards, k int, visit float
 		snap.Latency.Quantile(0.95).Round(time.Microsecond),
 		snap.Latency.Quantile(0.99).Round(time.Microsecond),
 		100*snap.TIPruneRate(), 100*snap.EAAbandonRate(), snap.Lookups)
+	if sh := snap.Sharded; sh != nil {
+		slowest, total := 0, uint64(0)
+		for i, c := range sh.CriticalPath {
+			total += c
+			if c > sh.CriticalPath[slowest] {
+				slowest = i
+			}
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(sh.CriticalPath[slowest]) / float64(total)
+		}
+		fmt.Printf("shards: slowest shard %d (critical path of %.0f%% of queries), skew ratio %.2f, load imbalance %.2f, straggler delta p99 %s\n",
+			slowest, pct, sh.SkewRatio, sh.LoadImbalance,
+			sh.StragglerDelta.Quantile(0.99).Round(time.Microsecond))
+		if sh.SkewAlertRatio > 0 && sh.SkewAlert {
+			fmt.Printf("shards: SKEW ALERT — windowed skew ratio %.2f at or above threshold %.2f\n",
+				sh.SkewRatio, sh.SkewAlertRatio)
+		}
+	}
 	if slo := snap.SLO; slo != nil {
 		status := "ok"
 		if slo.LatencyExhausted || slo.RecallExhausted {
@@ -324,8 +410,22 @@ func runSharded(ds *dataset.Dataset, cfg core.Config, shards, k int, visit float
 			slo.LatencyBudgetRemaining, slo.BurnRate, slo.LatencyViolations,
 			slo.WindowQueries, status)
 	}
-	if hold > 0 {
-		fmt.Fprintf(os.Stderr, "vaqsearch: holding for %s (ctrl-c to exit)\n", hold)
-		time.Sleep(hold)
+	if tr != nil {
+		if slow, seen := tr.Slowest(); len(slow) > 0 {
+			fmt.Printf("slowest traced query (%d over the %s threshold):\n", seen, run.traceSlow)
+			trace.WriteText(os.Stdout, slow[:1])
+		} else {
+			fmt.Printf("no query exceeded the %s slow threshold (%d traced)\n",
+				run.traceSlow, tr.Count())
+		}
+	}
+	flushCapture()
+	if run.hold > 0 {
+		fmt.Fprintf(os.Stderr, "vaqsearch: holding for %s (ctrl-c to exit)\n", run.hold)
+		select {
+		case <-time.After(run.hold):
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "vaqsearch: %s — exiting hold\n", sig)
+		}
 	}
 }

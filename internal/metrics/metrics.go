@@ -73,6 +73,10 @@ type IndexMetrics struct {
 	// objectives over sliding windows of the recorded traffic. Off = one
 	// pointer load per RecordSearch.
 	slo atomic.Pointer[sloState]
+	// sharded, when set (ConfigureSharded), holds the scatter-gather
+	// straggler/skew telemetry a merged sharded registry feeds through
+	// RecordScatter. Off = one pointer load per call.
+	sharded atomic.Pointer[shardedState]
 }
 
 // New returns an empty registry without attribution histograms (their
@@ -222,6 +226,7 @@ func (m *IndexMetrics) Reset() {
 	m.deadCodewords.Store(0)
 	m.driftAlert.Store(0)
 	m.slo.Load().reset()
+	m.sharded.Load().reset()
 	m.latency.Reset()
 }
 
@@ -264,6 +269,7 @@ func (m *IndexMetrics) Snapshot() Snapshot {
 	s.DeadCodewords = m.deadCodewords.Load()
 	s.DriftAlert = m.driftAlert.Load() == 1
 	s.SLO = m.SLOSnapshot()
+	s.Sharded = m.ShardedSnapshot()
 	s.Latency = m.latency.Snapshot()
 	return s
 }
@@ -304,7 +310,11 @@ type Snapshot struct {
 	DriftAlert    bool      `json:"drift_alert,omitempty"`
 	// SLO is the sliding-window objective evaluation (nil unless
 	// ConfigureSLO was called). A gauge block: Sub keeps the newer value.
-	SLO     *SLOSnapshot      `json:"slo,omitempty"`
+	SLO *SLOSnapshot `json:"slo,omitempty"`
+	// Sharded is the scatter-gather straggler/skew telemetry (nil unless
+	// ConfigureSharded was called — i.e. for all single-index registries).
+	// Sub keeps the newer value.
+	Sharded *ShardedSnapshot  `json:"sharded,omitempty"`
 	Latency HistogramSnapshot `json:"latency"`
 }
 

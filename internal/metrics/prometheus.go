@@ -84,6 +84,33 @@ var promSLOGauges = []struct {
 		func(s *SLOSnapshot) float64 { return s.RecallBudgetRemaining }},
 	{"vaq_slo_burn_rate", "Latency violation rate over the allowed rate (1 = spending exactly the budget, > 1 = burning it down).",
 		func(s *SLOSnapshot) float64 { return s.BurnRate }},
+	{"vaq_slo_breach", "1 while an SLO error budget sits exhausted (the edge-triggered breach latch, scrape-visible).",
+		func(s *SLOSnapshot) float64 {
+			if s.LatencyExhausted || s.RecallExhausted {
+				return 1
+			}
+			return 0
+		}},
+}
+
+// promShardedGauges are the scatter-gather skew gauges, emitted only for
+// merged sharded registries (ConfigureSharded).
+var promShardedGauges = []struct {
+	name string
+	help string
+	val  func(s *ShardedSnapshot) float64
+}{
+	{"vaq_shard_skew_ratio", "Windowed mean of per-query slowest-shard latency over mean shard latency (1 = balanced scatter).",
+		func(s *ShardedSnapshot) float64 { return s.SkewRatio }},
+	{"vaq_shard_load_imbalance", "Busiest shard's windowed latency total over the mean shard's (persistent skew).",
+		func(s *ShardedSnapshot) float64 { return s.LoadImbalance }},
+	{"vaq_skew_alert", "1 while the windowed skew ratio sits at or above the configured alert threshold.",
+		func(s *ShardedSnapshot) float64 {
+			if s.SkewAlert {
+				return 1
+			}
+			return 0
+		}},
 }
 
 // WritePrometheus emits the published registries in Prometheus text
@@ -164,6 +191,59 @@ func WritePrometheus(w io.Writer, names ...string) error {
 			}
 		}
 	}
+	// Scatter-gather straggler/skew telemetry: only merged sharded
+	// registries (ConfigureSharded) emit rows, and the families appear only
+	// when at least one does, so unsharded deployments scrape unchanged
+	// output.
+	var shardedNames []string
+	for _, name := range names {
+		if snaps[name].Sharded != nil {
+			shardedNames = append(shardedNames, name)
+		}
+	}
+	if len(shardedNames) > 0 {
+		if err := writeFamilyHeader(w, "vaq_shard_critical_path_total",
+			"Queries where this shard was the slowest of the scatter (the critical path)."); err != nil {
+			return err
+		}
+		for _, name := range shardedNames {
+			for shard, v := range snaps[name].Sharded.CriticalPath {
+				if _, err := fmt.Fprintf(w, "vaq_shard_critical_path_total{index=%q,shard=\"%d\"} %d\n", name, shard, v); err != nil {
+					return err
+				}
+			}
+		}
+		if err := writeFamilyHeader(w, "vaq_shard_hits_total",
+			"Final top-k results this shard contributed to merged answers."); err != nil {
+			return err
+		}
+		for _, name := range shardedNames {
+			for shard, v := range snaps[name].Sharded.Hits {
+				if _, err := fmt.Fprintf(w, "vaq_shard_hits_total{index=%q,shard=\"%d\"} %d\n", name, shard, v); err != nil {
+					return err
+				}
+			}
+		}
+		for _, fam := range promShardedGauges {
+			if err := writeTypedHeader(w, fam.name, fam.help, "gauge"); err != nil {
+				return err
+			}
+			for _, name := range shardedNames {
+				if _, err := fmt.Fprintf(w, "%s{index=%q} %g\n", fam.name, name, fam.val(snaps[name].Sharded)); err != nil {
+					return err
+				}
+			}
+		}
+		if err := writeTypedHeader(w, "vaq_shard_straggler_delta_seconds",
+			"Per-query latency gap between the slowest shard and the runner-up.", "histogram"); err != nil {
+			return err
+		}
+		for _, name := range shardedNames {
+			if err := writeHistogram(w, "vaq_shard_straggler_delta_seconds", name, snaps[name].Sharded.StragglerDelta); err != nil {
+				return err
+			}
+		}
+	}
 	// Attribution histograms: plain counter families with a position label
 	// (they are distributions over subspace depth / cluster rank, not over
 	// an observed value, so buckets-as-counters is the honest encoding).
@@ -200,26 +280,32 @@ func WritePrometheus(w io.Writer, names ...string) error {
 		return err
 	}
 	for _, name := range names {
-		lat := snaps[name].Latency
-		var cum uint64
-		for i, c := range lat.Buckets {
-			cum += c
-			le := BucketUpperBound(i).Seconds()
-			if _, err := fmt.Fprintf(w, "vaq_query_latency_seconds_bucket{index=%q,le=\"%g\"} %d\n", name, le, cum); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintf(w, "vaq_query_latency_seconds_bucket{index=%q,le=\"+Inf\"} %d\n", name, lat.Count); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "vaq_query_latency_seconds_sum{index=%q} %g\n", name, float64(lat.SumNs)/1e9); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "vaq_query_latency_seconds_count{index=%q} %d\n", name, lat.Count); err != nil {
+		if err := writeHistogram(w, "vaq_query_latency_seconds", name, snaps[name].Latency); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeHistogram emits one HistogramSnapshot in native Prometheus
+// histogram form (cumulative buckets, sum, count) under fam{index=name}.
+func writeHistogram(w io.Writer, fam, name string, h HistogramSnapshot) error {
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		le := BucketUpperBound(i).Seconds()
+		if _, err := fmt.Fprintf(w, "%s_bucket{index=%q,le=\"%g\"} %d\n", fam, name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{index=%q,le=\"+Inf\"} %d\n", fam, name, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum{index=%q} %g\n", fam, name, float64(h.SumNs)/1e9); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count{index=%q} %d\n", fam, name, h.Count)
+	return err
 }
 
 func writeFamilyHeader(w io.Writer, name, help string) error {

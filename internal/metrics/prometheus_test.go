@@ -74,7 +74,9 @@ func TestWritePrometheusGolden(t *testing.T) {
 	// they round at runtime like the evaluator does and the %g formatting
 	// matches digit-for-digit).
 	observed, minRecall, objective := 0.8, 0.5, 0.99
-	sloVals := []float64{0, (observed - minRecall) / (1 - minRecall), 1 / (1 - objective)}
+	// The last entry is vaq_slo_breach: budget remaining is exactly 0 (spent
+	// but not broken), so the exhaustion latch stays clear.
+	sloVals := []float64{0, (observed - minRecall) / (1 - minRecall), 1 / (1 - objective), 0}
 	for i, fam := range promSLOGauges {
 		fmt.Fprintf(&want, "# HELP %s %s\n# TYPE %s gauge\n", fam.name, fam.help, fam.name)
 		fmt.Fprintf(&want, "%s{index=%q} %g\n", fam.name, "prom_golden", sloVals[i])

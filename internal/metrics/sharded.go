@@ -1,0 +1,296 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// ShardedConfig shapes the scatter-gather telemetry extension of a merged
+// registry (ConfigureSharded): per-query slowest-shard attribution, shard
+// skew-ratio and load-imbalance gauges over a sliding window, per-shard
+// hit attribution, and an edge-triggered skew alert.
+type ShardedConfig struct {
+	// Shards is the shard count S (required, >= 1).
+	Shards int
+	// Window is the sliding window in queries over which the skew-ratio
+	// and load-imbalance gauges are evaluated (default 1024).
+	Window int
+	// SkewAlertRatio fires the skew alert when the windowed mean skew
+	// ratio (slowest shard latency over mean shard latency, per query)
+	// crosses this threshold. 0 disables the alert; useful values are
+	// > 1 (a perfectly balanced scatter has ratio 1).
+	SkewAlertRatio float64
+}
+
+func (c ShardedConfig) withDefaults() ShardedConfig {
+	if c.Window <= 0 {
+		c.Window = 1024
+	}
+	return c
+}
+
+// SkewBreachFunc is called exactly once per skew-alert edge: when the
+// windowed mean skew ratio crosses from below SkewAlertRatio to at or
+// above it. Called from the query path — keep it cheap and non-blocking
+// (internal/shard's implementation emits one vaq.skew slog event). The
+// latch re-arms when the windowed ratio recovers below the threshold.
+type SkewBreachFunc func(skewRatio, loadImbalance float64, criticalShard int)
+
+// ScatterRecord carries one sharded query's per-shard evidence into the
+// registry: each shard's wall time inside the scatter and how many of the
+// final merged top-k results it contributed.
+type ScatterRecord struct {
+	// ShardLatencyNs[i] is shard i's search wall time within the scatter.
+	ShardLatencyNs []int64
+	// Hits[i] is the number of final top-k results shard i contributed
+	// (nil when the caller did not attribute hits).
+	Hits []int
+}
+
+// shardedState is the lock-free scatter telemetry behind a merged
+// registry. The sliding windows are rings updated with Swap, mirroring
+// sloState: the overwritten slot's value adjusts a running total, so the
+// windowed aggregates stay consistent without locks.
+type shardedState struct {
+	cfg     ShardedConfig
+	onAlert SkewBreachFunc
+
+	// criticalPath[i] counts queries where shard i was the slowest
+	// (critical path of the scatter); hits[i] totals final top-k results
+	// shard i contributed.
+	criticalPath []atomic.Uint64
+	hits         []atomic.Uint64
+	// stragglerDelta is the distribution of (slowest - second slowest)
+	// shard latency per query: the wall time a query would save if its
+	// straggler kept up with the runner-up.
+	stragglerDelta Histogram
+
+	// seen counts scatters ever recorded; the rings below are indexed by
+	// (seen-1) mod Window.
+	seen atomic.Uint64
+	// skewSlots holds per-query skew ratios scaled by skewScale (so the
+	// running sum stays an integer add); skewSum is the windowed total.
+	skewSlots []atomic.Uint64
+	skewSum   atomic.Int64
+	// latSlots is a W x S ring of per-shard latencies (slot q*S+i);
+	// latSums[i] is shard i's windowed latency total, feeding the
+	// load-imbalance gauge.
+	latSlots []atomic.Int64
+	latSums  []atomic.Int64
+
+	alerted atomic.Bool
+}
+
+// skewScale fixes the precision of the windowed skew-ratio mean: ratios
+// are stored in units of 1/1024.
+const skewScale = 1024
+
+// ConfigureSharded installs (or replaces) the scatter-gather telemetry
+// extension on this registry. onAlert may be nil. A nil registry ignores
+// the call.
+func (m *IndexMetrics) ConfigureSharded(cfg ShardedConfig, onAlert SkewBreachFunc) {
+	if m == nil || cfg.Shards < 1 {
+		return
+	}
+	cfg = cfg.withDefaults()
+	s := &shardedState{
+		cfg:          cfg,
+		onAlert:      onAlert,
+		criticalPath: make([]atomic.Uint64, cfg.Shards),
+		hits:         make([]atomic.Uint64, cfg.Shards),
+		skewSlots:    make([]atomic.Uint64, cfg.Window),
+		latSlots:     make([]atomic.Int64, cfg.Window*cfg.Shards),
+		latSums:      make([]atomic.Int64, cfg.Shards),
+	}
+	m.sharded.Store(s)
+}
+
+// RecordScatter folds one sharded query's per-shard evidence into the
+// telemetry: slowest-shard attribution, the straggler-delta histogram,
+// the windowed skew and load aggregates, hit attribution, and the skew
+// alert edge. Ignored unless ConfigureSharded matched the record's shape.
+func (m *IndexMetrics) RecordScatter(r ScatterRecord) {
+	if m == nil {
+		return
+	}
+	s := m.sharded.Load()
+	if s == nil || len(r.ShardLatencyNs) != s.cfg.Shards {
+		return
+	}
+	// Critical path: the slowest shard (ties break to the lowest index so
+	// the attribution is deterministic), runner-up for the delta.
+	slowest, runnerUp := 0, int64(-1)
+	var total int64
+	for i, ns := range r.ShardLatencyNs {
+		total += ns
+		if ns > r.ShardLatencyNs[slowest] {
+			slowest = i
+		}
+	}
+	for i, ns := range r.ShardLatencyNs {
+		if i != slowest && ns > runnerUp {
+			runnerUp = ns
+		}
+	}
+	s.criticalPath[slowest].Add(1)
+	if runnerUp >= 0 {
+		s.stragglerDelta.Observe(time.Duration(r.ShardLatencyNs[slowest] - runnerUp))
+	}
+	if len(r.Hits) == s.cfg.Shards {
+		for i, h := range r.Hits {
+			if h > 0 {
+				s.hits[i].Add(uint64(h))
+			}
+		}
+	}
+	// Per-query skew ratio: slowest over mean shard latency (1 for a
+	// perfectly balanced scatter, or when latencies are too small to
+	// resolve).
+	ratio := 1.0
+	if total > 0 {
+		ratio = float64(r.ShardLatencyNs[slowest]) * float64(s.cfg.Shards) / float64(total)
+	}
+	q := (s.seen.Add(1) - 1) % uint64(s.cfg.Window)
+	scaled := uint64(ratio*skewScale + 0.5)
+	if old := s.skewSlots[q].Swap(scaled); old != scaled {
+		s.skewSum.Add(int64(scaled) - int64(old))
+	}
+	base := int(q) * s.cfg.Shards
+	for i, ns := range r.ShardLatencyNs {
+		if old := s.latSlots[base+i].Swap(ns); old != ns {
+			s.latSums[i].Add(ns - old)
+		}
+	}
+	// Edge-triggered skew alert over the windowed mean, mirroring the
+	// SLO budget latch: fire once on crossing, re-arm on recovery.
+	if s.cfg.SkewAlertRatio > 0 {
+		skew, imbalance := s.windowed()
+		if skew >= s.cfg.SkewAlertRatio {
+			if s.alerted.CompareAndSwap(false, true) && s.onAlert != nil {
+				s.onAlert(skew, imbalance, slowest)
+			}
+		} else {
+			s.alerted.Store(false)
+		}
+	}
+}
+
+// windowed computes the windowed mean skew ratio and the load-imbalance
+// ratio (the busiest shard's windowed latency total over the mean).
+func (s *shardedState) windowed() (skew, imbalance float64) {
+	n := s.seen.Load()
+	if n > uint64(s.cfg.Window) {
+		n = uint64(s.cfg.Window)
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	skew = float64(s.skewSum.Load()) / skewScale / float64(n)
+	var maxSum, totalSum int64
+	for i := range s.latSums {
+		v := s.latSums[i].Load()
+		totalSum += v
+		if v > maxSum {
+			maxSum = v
+		}
+	}
+	if totalSum > 0 {
+		imbalance = float64(maxSum) * float64(s.cfg.Shards) / float64(totalSum)
+	}
+	return skew, imbalance
+}
+
+// reset re-zeroes the scatter telemetry and re-arms the skew-alert latch.
+func (s *shardedState) reset() {
+	if s == nil {
+		return
+	}
+	for i := range s.criticalPath {
+		s.criticalPath[i].Store(0)
+	}
+	for i := range s.hits {
+		s.hits[i].Store(0)
+	}
+	s.stragglerDelta.Reset()
+	s.seen.Store(0)
+	for i := range s.skewSlots {
+		s.skewSlots[i].Store(0)
+	}
+	s.skewSum.Store(0)
+	for i := range s.latSlots {
+		s.latSlots[i].Store(0)
+	}
+	for i := range s.latSums {
+		s.latSums[i].Store(0)
+	}
+	s.alerted.Store(false)
+}
+
+// ShardedSnapshot is a point-in-time view of the scatter-gather
+// telemetry: cumulative attribution counters plus the windowed skew and
+// imbalance gauges.
+type ShardedSnapshot struct {
+	Shards int `json:"shards"`
+	Window int `json:"window"`
+	// WindowQueries is the number of scatters currently inside the
+	// sliding window (<= Window).
+	WindowQueries uint64 `json:"window_queries"`
+	// CriticalPath[i] counts queries where shard i was the slowest —
+	// the scatter's critical path. Their sum is the total scatter count.
+	CriticalPath []uint64 `json:"critical_path"`
+	// Hits[i] totals final top-k results shard i contributed.
+	Hits []uint64 `json:"hits,omitempty"`
+	// SkewRatio is the windowed mean of per-query (slowest shard latency
+	// / mean shard latency): 1 = perfectly balanced, S = one shard does
+	// all the work. LoadImbalance is the busiest shard's windowed latency
+	// total over the mean shard's — persistent skew as opposed to
+	// per-query jitter.
+	SkewRatio     float64 `json:"skew_ratio"`
+	LoadImbalance float64 `json:"load_imbalance"`
+	// SkewAlertRatio echoes the configured threshold (0 = alert off);
+	// SkewAlert reports the latch: true while the windowed skew ratio
+	// sits at or above it.
+	SkewAlertRatio float64 `json:"skew_alert_ratio,omitempty"`
+	SkewAlert      bool    `json:"skew_alert,omitempty"`
+	// StragglerDelta is the distribution of (slowest - second slowest)
+	// shard latency per query.
+	StragglerDelta HistogramSnapshot `json:"straggler_delta"`
+}
+
+// ShardedSnapshot returns the current scatter telemetry, or nil when
+// ConfigureSharded was never called (including on a nil registry).
+func (m *IndexMetrics) ShardedSnapshot() *ShardedSnapshot {
+	if m == nil {
+		return nil
+	}
+	s := m.sharded.Load()
+	if s == nil {
+		return nil
+	}
+	out := &ShardedSnapshot{
+		Shards:         s.cfg.Shards,
+		Window:         s.cfg.Window,
+		SkewAlertRatio: s.cfg.SkewAlertRatio,
+		SkewAlert:      s.alerted.Load(),
+		CriticalPath:   make([]uint64, s.cfg.Shards),
+		Hits:           make([]uint64, s.cfg.Shards),
+		StragglerDelta: s.stragglerDelta.Snapshot(),
+	}
+	for i := range out.CriticalPath {
+		out.CriticalPath[i] = s.criticalPath[i].Load()
+	}
+	for i := range out.Hits {
+		out.Hits[i] = s.hits[i].Load()
+	}
+	n := s.seen.Load()
+	if n > uint64(s.cfg.Window) {
+		n = uint64(s.cfg.Window)
+	}
+	out.WindowQueries = n
+	out.SkewRatio, out.LoadImbalance = s.windowed()
+	if math.IsNaN(out.SkewRatio) {
+		out.SkewRatio = 0
+	}
+	return out
+}

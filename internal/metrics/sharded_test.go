@@ -1,0 +1,304 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scatter builds a ScatterRecord from millisecond latencies.
+func scatter(ms ...int64) ScatterRecord {
+	ns := make([]int64, len(ms))
+	for i, v := range ms {
+		ns[i] = v * int64(time.Millisecond)
+	}
+	return ScatterRecord{ShardLatencyNs: ns}
+}
+
+func TestRecordScatterAttribution(t *testing.T) {
+	m := NewSized(3, 2)
+	m.ConfigureSharded(ShardedConfig{Shards: 3, Window: 4}, nil)
+
+	r := scatter(1, 5, 2)
+	r.Hits = []int{7, 2, 1}
+	m.RecordScatter(r)
+	m.RecordScatter(scatter(4, 1, 1))
+	m.RecordScatter(scatter(4, 1, 1))
+
+	s := m.ShardedSnapshot()
+	if s == nil {
+		t.Fatal("ShardedSnapshot nil after ConfigureSharded")
+	}
+	if s.Shards != 3 || s.Window != 4 || s.WindowQueries != 3 {
+		t.Fatalf("shape: shards=%d window=%d windowQueries=%d", s.Shards, s.Window, s.WindowQueries)
+	}
+	if got := s.CriticalPath; got[0] != 2 || got[1] != 1 || got[2] != 0 {
+		t.Errorf("critical path %v, want [2 1 0]", got)
+	}
+	if got := s.Hits; got[0] != 7 || got[1] != 2 || got[2] != 1 {
+		t.Errorf("hits %v, want [7 2 1]", got)
+	}
+	// Straggler deltas: 3ms, 3ms, 3ms — one observation per scatter.
+	if s.StragglerDelta.Count != 3 {
+		t.Errorf("straggler delta count %d, want 3", s.StragglerDelta.Count)
+	}
+	if mean := s.StragglerDelta.Mean(); mean < 2*time.Millisecond || mean > 5*time.Millisecond {
+		t.Errorf("straggler delta mean %s, want ~3ms", mean)
+	}
+	// Per-query skew ratios: 5*3/8, 4*3/6, 4*3/6 → mean (1.875+2+2)/3.
+	wantSkew := (5.0*3/8 + 2 + 2) / 3
+	if math.Abs(s.SkewRatio-wantSkew) > 0.01 {
+		t.Errorf("skew ratio %.4f, want %.4f", s.SkewRatio, wantSkew)
+	}
+	// Windowed shard totals: [9, 7, 4]ms → imbalance 9*3/20.
+	wantImb := 9.0 * 3 / 20
+	if math.Abs(s.LoadImbalance-wantImb) > 1e-9 {
+		t.Errorf("load imbalance %.4f, want %.4f", s.LoadImbalance, wantImb)
+	}
+}
+
+// TestRecordScatterTieBreak pins the deterministic lowest-index tie break
+// for critical-path attribution.
+func TestRecordScatterTieBreak(t *testing.T) {
+	m := NewSized(3, 2)
+	m.ConfigureSharded(ShardedConfig{Shards: 2}, nil)
+	m.RecordScatter(scatter(3, 3))
+	s := m.ShardedSnapshot()
+	if s.CriticalPath[0] != 1 || s.CriticalPath[1] != 0 {
+		t.Errorf("tie break: critical path %v, want [1 0]", s.CriticalPath)
+	}
+}
+
+// TestRecordScatterShapeMismatch: records whose latency vector does not
+// match the configured shard count are dropped, not misattributed.
+func TestRecordScatterShapeMismatch(t *testing.T) {
+	m := NewSized(3, 2)
+	m.ConfigureSharded(ShardedConfig{Shards: 3}, nil)
+	m.RecordScatter(scatter(1, 2))
+	if s := m.ShardedSnapshot(); s.WindowQueries != 0 {
+		t.Errorf("mismatched record was folded: %d window queries", s.WindowQueries)
+	}
+	// Unconfigured and nil registries ignore the call entirely.
+	NewSized(3, 2).RecordScatter(scatter(1, 2))
+	var nilM *IndexMetrics
+	nilM.RecordScatter(scatter(1))
+	if nilM.ShardedSnapshot() != nil {
+		t.Error("nil registry returned a sharded snapshot")
+	}
+}
+
+// TestSkewAlertEdgeTriggered drives the windowed skew ratio across the
+// threshold and back twice: the callback must fire exactly once per
+// crossing, and the latch must be scrape-visible in between.
+func TestSkewAlertEdgeTriggered(t *testing.T) {
+	m := NewSized(3, 2)
+	fired := 0
+	var lastSkew float64
+	var lastShard int
+	m.ConfigureSharded(ShardedConfig{Shards: 2, Window: 2, SkewAlertRatio: 1.5},
+		func(skew, imbalance float64, criticalShard int) {
+			fired++
+			lastSkew, lastShard = skew, criticalShard
+		})
+
+	balanced := scatter(1, 1) // ratio 1
+	skewed := scatter(9, 1)   // ratio 1.8
+
+	m.RecordScatter(balanced)
+	if fired != 0 {
+		t.Fatalf("alert fired on a balanced scatter")
+	}
+	// Window [1, 1.8]: mean 1.4 < 1.5 — still armed.
+	m.RecordScatter(skewed)
+	if fired != 0 {
+		t.Fatalf("alert fired below threshold (windowed mean 1.4)")
+	}
+	// Window [1.8, 1.8]: mean 1.8 >= 1.5 — one edge.
+	m.RecordScatter(skewed)
+	if fired != 1 {
+		t.Fatalf("alert fired %d times, want 1", fired)
+	}
+	if lastSkew < 1.5 || lastShard != 0 {
+		t.Errorf("callback got skew=%.2f shard=%d", lastSkew, lastShard)
+	}
+	if !m.ShardedSnapshot().SkewAlert {
+		t.Error("SkewAlert latch not visible while breached")
+	}
+	// Still breached: no re-fire.
+	m.RecordScatter(skewed)
+	if fired != 1 {
+		t.Fatalf("alert re-fired while latched (%d)", fired)
+	}
+	// Recover the window: latch re-arms.
+	m.RecordScatter(balanced)
+	m.RecordScatter(balanced)
+	if m.ShardedSnapshot().SkewAlert {
+		t.Error("SkewAlert latch still set after recovery")
+	}
+	// Second breach: a fresh edge.
+	m.RecordScatter(skewed)
+	m.RecordScatter(skewed)
+	if fired != 2 {
+		t.Fatalf("alert fired %d times after second breach, want 2", fired)
+	}
+}
+
+// TestShardedReset: Reset on the registry zeroes the scatter telemetry and
+// re-arms the alert latch.
+func TestShardedReset(t *testing.T) {
+	m := NewSized(3, 2)
+	m.ConfigureSharded(ShardedConfig{Shards: 2, SkewAlertRatio: 1.1}, nil)
+	r := scatter(9, 1)
+	r.Hits = []int{3, 1}
+	m.RecordScatter(r)
+	if s := m.ShardedSnapshot(); !s.SkewAlert || s.WindowQueries != 1 {
+		t.Fatalf("precondition: alert=%v windowQueries=%d", s.SkewAlert, s.WindowQueries)
+	}
+	m.Reset()
+	s := m.ShardedSnapshot()
+	if s == nil {
+		t.Fatal("Reset dropped the sharded configuration")
+	}
+	if s.WindowQueries != 0 || s.SkewRatio != 0 || s.LoadImbalance != 0 || s.SkewAlert {
+		t.Errorf("Reset left residue: %+v", s)
+	}
+	for i, v := range s.CriticalPath {
+		if v != 0 {
+			t.Errorf("critical path[%d] = %d after Reset", i, v)
+		}
+	}
+	for i, v := range s.Hits {
+		if v != 0 {
+			t.Errorf("hits[%d] = %d after Reset", i, v)
+		}
+	}
+	if s.StragglerDelta.Count != 0 {
+		t.Errorf("straggler delta count %d after Reset", s.StragglerDelta.Count)
+	}
+}
+
+// TestShardedSnapshotInSnapshot: the merged Snapshot document carries the
+// scatter telemetry (and omits it for unsharded registries).
+func TestShardedSnapshotInSnapshot(t *testing.T) {
+	m := NewSized(3, 2)
+	if m.Snapshot().Sharded != nil {
+		t.Error("unsharded registry has a Sharded block")
+	}
+	m.ConfigureSharded(ShardedConfig{Shards: 2}, nil)
+	m.RecordScatter(scatter(2, 1))
+	snap := m.Snapshot()
+	if snap.Sharded == nil || snap.Sharded.CriticalPath[0] != 1 {
+		t.Fatalf("Snapshot.Sharded = %+v", snap.Sharded)
+	}
+}
+
+// TestWritePrometheusSharded covers the scatter families: per-shard
+// counter vectors, the skew gauges, the alert gauge, and the straggler
+// histogram — emitted only for sharded registries.
+func TestWritePrometheusSharded(t *testing.T) {
+	m := NewSized(3, 2)
+	m.ConfigureSharded(ShardedConfig{Shards: 2, SkewAlertRatio: 1.1}, nil)
+	r := scatter(9, 1)
+	r.Hits = []int{3, 1}
+	m.RecordScatter(r)
+	Publish("prom_sharded", m)
+	defer Publish("prom_sharded", nil)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, "prom_sharded"); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		`vaq_shard_critical_path_total{index="prom_sharded",shard="0"} 1`,
+		`vaq_shard_critical_path_total{index="prom_sharded",shard="1"} 0`,
+		`vaq_shard_hits_total{index="prom_sharded",shard="0"} 3`,
+		`vaq_shard_hits_total{index="prom_sharded",shard="1"} 1`,
+		`vaq_skew_alert{index="prom_sharded"} 1`,
+		`vaq_shard_straggler_delta_seconds_count{index="prom_sharded"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scrape missing %q\n%s", want, got)
+		}
+	}
+	// The skew gauges are ring-quantized (1/1024 steps), so compare
+	// numerically instead of by exact text.
+	for _, fam := range []string{"vaq_shard_skew_ratio", "vaq_shard_load_imbalance"} {
+		v, ok := scrapeGauge(got, fam+`{index="prom_sharded"}`)
+		if !ok {
+			t.Errorf("scrape missing %s", fam)
+		} else if math.Abs(v-1.8) > 0.01 {
+			t.Errorf("%s = %g, want ~1.8", fam, v)
+		}
+	}
+
+	// Unsharded registries must not emit the families at all.
+	u := NewSized(3, 2)
+	promTestRecord(u)
+	Publish("prom_unsharded", u)
+	defer Publish("prom_unsharded", nil)
+	b.Reset()
+	if err := WritePrometheus(&b, "prom_unsharded"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "vaq_shard_") || strings.Contains(b.String(), "vaq_skew_alert") {
+		t.Error("unsharded scrape contains scatter families")
+	}
+}
+
+// scrapeGauge extracts the sample value of the line starting with prefix.
+func scrapeGauge(body, prefix string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+// TestSLOBreachGaugeEdge pins the vaq_slo_breach gauge through a full
+// breach/recover cycle: 0 while healthy, 1 while the budget sits
+// exhausted, back to 0 after the window recovers.
+func TestSLOBreachGaugeEdge(t *testing.T) {
+	m := NewSized(3, 2)
+	m.ConfigureSLO(SLO{LatencyTarget: time.Millisecond, LatencyObjective: 0.5, Window: 4}, nil)
+	Publish("prom_breach", m)
+	defer Publish("prom_breach", nil)
+
+	gauge := func() string {
+		var b strings.Builder
+		if err := WritePrometheus(&b, "prom_breach"); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(b.String(), "\n") {
+			if strings.HasPrefix(line, `vaq_slo_breach{index="prom_breach"}`) {
+				return line[strings.LastIndex(line, " ")+1:]
+			}
+		}
+		t.Fatal("scrape missing vaq_slo_breach")
+		return ""
+	}
+
+	fast, slow := 100*time.Microsecond, 10*time.Millisecond
+	m.RecordSearch(SearchRecord{}, fast)
+	if g := gauge(); g != "0" {
+		t.Fatalf("healthy gauge = %s, want 0", g)
+	}
+	// 3 of 4 windowed queries violate a 50%% objective: budget < 0.
+	for i := 0; i < 3; i++ {
+		m.RecordSearch(SearchRecord{}, slow)
+	}
+	if g := gauge(); g != "1" {
+		t.Fatalf("breached gauge = %s, want 1", g)
+	}
+	// Refill the window with fast queries: budget recovers, gauge drops.
+	for i := 0; i < 4; i++ {
+		m.RecordSearch(SearchRecord{}, fast)
+	}
+	if g := gauge(); g != "0" {
+		t.Fatalf("recovered gauge = %s, want 0", g)
+	}
+}

@@ -1,0 +1,176 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"vaq/internal/metrics"
+)
+
+// The process-wide sharded-index registry behind /debug/vaq/shards,
+// mirroring the report registry in internal/diag: Publish rebinds an
+// existing name instead of erroring, and the registry stores the index,
+// not a report — every scrape recomputes against live counters.
+var published sync.Map // name -> *Index
+
+// Publish registers x under name for the /debug/vaq/shards handler
+// (installed on http.DefaultServeMux at package init, like net/http/pprof
+// does — metrics.ServeDebug serves that mux). Publishing a nil index
+// removes the name. Index.PublishExpvar calls this automatically.
+func Publish(name string, x *Index) {
+	if x == nil {
+		published.Delete(name)
+		return
+	}
+	published.Store(name, x)
+}
+
+func init() {
+	http.HandleFunc("/debug/vaq/shards", handleShards)
+}
+
+// ShardReport is one shard's block inside a ShardsReport: its size plus
+// the headline per-shard query counters and the merged registry's
+// attribution for it.
+type ShardReport struct {
+	Shard int `json:"shard"`
+	// Len is the shard's current vector count.
+	Len int `json:"len"`
+	// Queries and the pruning counters come from the shard's own registry
+	// (the name/shard-i one): work done inside this shard only.
+	Queries          uint64 `json:"queries"`
+	CodesConsidered  uint64 `json:"codes_considered"`
+	CodesSkippedTI   uint64 `json:"codes_skipped_ti"`
+	CodesAbandonedEA uint64 `json:"codes_abandoned_ea"`
+	// MeanLatencyMs / P99LatencyMs summarize the shard-local scan latency.
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	P99LatencyMs  float64 `json:"p99_latency_ms"`
+	// CriticalPath and Hits are the merged registry's attribution: how
+	// often this shard was the scatter's slowest, and how many final top-k
+	// results it served.
+	CriticalPath uint64 `json:"critical_path"`
+	Hits         uint64 `json:"hits"`
+}
+
+// ShardsReport is the /debug/vaq/shards payload for one published sharded
+// index: the scatter shape, the merged scatter telemetry, and one block
+// per shard.
+type ShardsReport struct {
+	Shards  int    `json:"shards"`
+	Len     int    `json:"len"`
+	Policy  string `json:"policy"`
+	Workers int    `json:"workers"`
+	// Merged is the merged registry's scatter telemetry (nil when metrics
+	// are disabled).
+	Merged   *metrics.ShardedSnapshot `json:"merged,omitempty"`
+	PerShard []ShardReport            `json:"per_shard"`
+}
+
+// Report assembles the current ShardsReport for this index.
+func (x *Index) Report() *ShardsReport {
+	rep := &ShardsReport{
+		Shards:  len(x.states),
+		Len:     x.Len(),
+		Policy:  x.opts.Policy.String(),
+		Workers: x.workerCount(),
+		Merged:  x.reg.ShardedSnapshot(),
+	}
+	lens := x.ShardLens()
+	rep.PerShard = make([]ShardReport, len(x.states))
+	for i, st := range x.states {
+		sr := ShardReport{Shard: i, Len: lens[i]}
+		if m := st.ix.Metrics(); m != nil {
+			snap := m.Snapshot()
+			sr.Queries = snap.Queries
+			sr.CodesConsidered = snap.CodesConsidered
+			sr.CodesSkippedTI = snap.CodesSkippedTI
+			sr.CodesAbandonedEA = snap.CodesAbandonedEA
+			sr.MeanLatencyMs = snap.Latency.Mean().Seconds() * 1e3
+			sr.P99LatencyMs = snap.Latency.Quantile(0.99).Seconds() * 1e3
+		}
+		if rep.Merged != nil && i < len(rep.Merged.CriticalPath) {
+			sr.CriticalPath = rep.Merged.CriticalPath[i]
+			if i < len(rep.Merged.Hits) {
+				sr.Hits = rep.Merged.Hits[i]
+			}
+		}
+		rep.PerShard[i] = sr
+	}
+	return rep
+}
+
+// handleShards serves the registered sharded indexes. Query parameters:
+//
+//	?index=X       only the index published as X (default: all)
+//	?format=text   human-readable dump; default is JSON, one object per
+//	               published index keyed by name
+func handleShards(w http.ResponseWriter, r *http.Request) {
+	wantName := r.URL.Query().Get("index")
+	var names []string
+	published.Range(func(k, _ any) bool {
+		if wantName == "" || k.(string) == wantName {
+			names = append(names, k.(string))
+		}
+		return true
+	})
+	sort.Strings(names)
+	if wantName != "" && len(names) == 0 {
+		http.Error(w, fmt.Sprintf("no sharded index published as %q", wantName), http.StatusNotFound)
+		return
+	}
+	reports := make(map[string]*ShardsReport, len(names))
+	for _, name := range names {
+		v, ok := published.Load(name)
+		if !ok {
+			continue
+		}
+		reports[name] = v.(*Index).Report()
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, name := range names {
+			if rep := reports[name]; rep != nil {
+				fmt.Fprintf(w, "== sharded index %q\n", name)
+				writeShardsText(w, rep) //nolint:errcheck // best-effort HTTP body
+				fmt.Fprintln(w)
+			}
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(reports) //nolint:errcheck // best-effort HTTP body
+}
+
+// writeShardsText emits one report as the human-readable dump behind
+// ?format=text.
+func writeShardsText(w http.ResponseWriter, rep *ShardsReport) error {
+	_, err := fmt.Fprintf(w, "shards=%d len=%d policy=%s workers=%d\n",
+		rep.Shards, rep.Len, rep.Policy, rep.Workers)
+	if err != nil {
+		return err
+	}
+	if m := rep.Merged; m != nil {
+		fmt.Fprintf(w, "window=%d/%d skew_ratio=%.3f load_imbalance=%.3f",
+			m.WindowQueries, m.Window, m.SkewRatio, m.LoadImbalance)
+		if m.SkewAlertRatio > 0 {
+			fmt.Fprintf(w, " skew_alert=%v (threshold %.2f)", m.SkewAlert, m.SkewAlertRatio)
+		}
+		fmt.Fprintf(w, "\nstraggler_delta p50=%s p99=%s mean=%s\n",
+			m.StragglerDelta.Quantile(0.50), m.StragglerDelta.Quantile(0.99),
+			m.StragglerDelta.Mean())
+	}
+	for _, sr := range rep.PerShard {
+		if _, err := fmt.Fprintf(w,
+			"  shard %-3d len=%-8d queries=%-8d considered=%-10d critical_path=%-6d hits=%-6d mean=%.3fms p99=%.3fms\n",
+			sr.Shard, sr.Len, sr.Queries, sr.CodesConsidered,
+			sr.CriticalPath, sr.Hits, sr.MeanLatencyMs, sr.P99LatencyMs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

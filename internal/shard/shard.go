@@ -35,6 +35,7 @@ import (
 	"vaq/internal/core"
 	"vaq/internal/diag"
 	"vaq/internal/metrics"
+	"vaq/internal/trace"
 	"vaq/internal/vec"
 	"vaq/internal/workload"
 )
@@ -70,6 +71,12 @@ type Options struct {
 	// Workers bounds the per-query scatter concurrency (0 = min(S,
 	// GOMAXPROCS)). Runtime-only: not serialized.
 	Workers int
+	// SkewAlertRatio fires the edge-triggered vaq.skew alert when the
+	// windowed mean shard skew ratio (slowest shard latency over mean
+	// shard latency per query) reaches this threshold. 0 disables the
+	// alert; the skew telemetry itself is always on when metrics are.
+	// Runtime-only: not serialized.
+	SkewAlertRatio float64
 }
 
 // shardState is one partition: its index, the local-to-global id mapping
@@ -112,6 +119,14 @@ type Index struct {
 	// per-shard publishing. nil under DisableMetrics.
 	reg    *metrics.IndexMetrics
 	logger *slog.Logger
+	// tracer, when set (EnableTracing/AttachTracer), files one parent
+	// QueryTrace per sharded query with per-shard wait/scan child spans
+	// and bound-feedback events. capture, when set (EnableCapture),
+	// samples merged queries into a replayable workload log. Both are
+	// atomic so they can be toggled while queries are in flight; off,
+	// each costs the hot path one pointer load.
+	tracer  atomic.Pointer[trace.Tracer]
+	capture atomic.Pointer[workload.Capture]
 }
 
 // Build trains once on train (falling back to data) and encodes S
@@ -197,6 +212,10 @@ func Build(train, data *vec.Matrix, cfg core.Config, opts Options) (*Index, erro
 		if cfg.SLO != nil {
 			x.reg.ConfigureSLO(*cfg.SLO, x.sloBreach)
 		}
+		x.reg.ConfigureSharded(metrics.ShardedConfig{
+			Shards:         s,
+			SkewAlertRatio: opts.SkewAlertRatio,
+		}, x.skewBreach)
 	}
 	if cfg.Logger != nil {
 		cfg.Logger.Info("vaq.shard.build",
@@ -246,6 +265,65 @@ func (x *Index) sloBreach(kind string, remaining, burn float64) {
 		slog.Int("shards", len(x.states)))
 }
 
+// skewBreach surfaces the merged registry's windowed shard-skew alert
+// through the structured logger, mirroring the drift and SLO events.
+func (x *Index) skewBreach(skew, imbalance float64, criticalShard int) {
+	if x.logger == nil {
+		return
+	}
+	x.logger.Warn("vaq.skew",
+		slog.Float64("skew_ratio", skew),
+		slog.Float64("load_imbalance", imbalance),
+		slog.Int("critical_shard", criticalShard),
+		slog.Int("shards", len(x.states)))
+}
+
+// EnableTracing installs a fresh per-query tracer built from cfg and
+// returns it. From the next query on, every sharded search files one
+// parent QueryTrace: a wait and a scan span per shard (the scan span
+// carries that shard's TI/EA/lookup attribution), one bound-feedback
+// event per cross-shard bound tightening, and a trailing merge span.
+// Disabled, tracing costs the scatter path one pointer check.
+func (x *Index) EnableTracing(cfg trace.Config) *trace.Tracer {
+	t := trace.New(cfg)
+	x.tracer.Store(t)
+	return t
+}
+
+// DisableTracing detaches the tracer; in-flight queries may still file
+// one last trace.
+func (x *Index) DisableTracing() { x.tracer.Store(nil) }
+
+// Tracer returns the active tracer, or nil when tracing is disabled.
+func (x *Index) Tracer() *trace.Tracer { return x.tracer.Load() }
+
+// AttachTracer points the scatter path at an existing tracer (nil
+// detaches), so a caller can aggregate several indexes into one ring.
+func (x *Index) AttachTracer(t *trace.Tracer) { x.tracer.Store(t) }
+
+// EnableCapture installs a workload capture buffer on the merged query
+// path and returns it. Sampled queries record the merged global result
+// list — the scatter-gather ground truth — with the sharded config
+// fingerprint and shard count in the log's provenance, so a replay can
+// gate merge correctness across different shard counts. Off by default;
+// off, the scatter path pays one pointer load.
+func (x *Index) EnableCapture(cfg workload.Config) *workload.Capture {
+	cfg.Fingerprint = x.ConfigFingerprint()
+	cfg.Dim = x.dim
+	cfg.Shards = len(x.states)
+	c := workload.NewCapture(cfg)
+	x.capture.Store(c)
+	return c
+}
+
+// DisableCapture detaches the capture buffer; records already stored stay
+// readable through the Capture returned by EnableCapture.
+func (x *Index) DisableCapture() { x.capture.Store(nil) }
+
+// Capture returns the active workload capture, or nil when capture is
+// off.
+func (x *Index) Capture() *workload.Capture { return x.capture.Load() }
+
 // Len reports the total number of encoded vectors across all shards.
 func (x *Index) Len() int { return int(x.nextID.Load()) }
 
@@ -292,8 +370,10 @@ func (x *Index) BuildReports() []metrics.BuildReport {
 
 // PublishExpvar registers the merged registry under name and every
 // per-shard registry under name/shard-i, all visible on /debug/vars and
-// the Prometheus endpoint.
+// the Prometheus endpoint, plus the per-shard breakdown report on
+// /debug/vaq/shards.
 func (x *Index) PublishExpvar(name string) {
+	Publish(name, x)
 	if x.reg != nil {
 		metrics.Publish(name, x.reg)
 	}
@@ -350,7 +430,7 @@ func (x *Index) Search(q []float32, k int, opt core.SearchOptions) ([]vec.Neighb
 		x.reg.RecordError()
 		return nil, err
 	}
-	return x.searchProjected(qz, k, opt)
+	return x.searchProjected(qz, q, k, opt)
 }
 
 // SearchProjected runs one query already rotated into the shared PCA
@@ -360,7 +440,7 @@ func (x *Index) SearchProjected(qz []float32, k int, opt core.SearchOptions) ([]
 		x.reg.RecordError()
 		return nil, fmt.Errorf("shard: k must be >= 1, got %d", k)
 	}
-	return x.searchProjected(qz, k, opt)
+	return x.searchProjected(qz, nil, k, opt)
 }
 
 // gatherState accumulates the scatter results under one mutex: the running
@@ -375,6 +455,11 @@ type gatherState struct {
 	stats   core.SearchStats
 	depths  []uint32
 	ranks   []uint32
+	// events are the bound-feedback events (tracing only), appended under
+	// mu; boundEpoch mirrors len(events) so shards can snapshot "how many
+	// bounds were live when I started" with one atomic load.
+	events     []boundEvent
+	boundEpoch atomic.Uint32
 }
 
 // fold merges one shard's mapped results and stats, and returns the
@@ -411,9 +496,48 @@ func (g *gatherState) fold(si int, mapped []vec.Neighbor, st core.SearchStats) (
 	return 0, false
 }
 
-func (x *Index) searchProjected(qz []float32, k int, opt core.SearchOptions) ([]vec.Neighbor, error) {
+// shardTiming is one shard's scatter evidence, written only by the worker
+// that ran the shard (the scatter's wg.Wait publishes it to the gather
+// side): queue wait, completion offset, the shard's own pruning stats, and
+// the bound-event epoch the shard observed when it started.
+type shardTiming struct {
+	pickup time.Duration // scatter start → worker pickup
+	done   time.Duration // scatter start → shard search finished
+	stats  core.SearchStats
+	epoch  uint32 // bound events already published when this shard started
+}
+
+// boundEvent records one cross-shard bound tightening for the parent
+// trace: which shard published it, when, the bound value, and — filled in
+// after the scatter — the downstream shards that started under it and the
+// prunes they performed while it (or a successor) was in force.
+type boundEvent struct {
+	at           time.Duration
+	shard        int
+	bound        float32
+	downShards   int
+	downSkips    int
+	downAbandons int
+}
+
+// recordBoundEvent appends one bound-feedback event under the gather lock
+// and bumps the epoch counter so shards starting later can attribute their
+// prunes to it.
+func (g *gatherState) recordBoundEvent(si int, b float32, at time.Duration) {
+	g.mu.Lock()
+	g.events = append(g.events, boundEvent{at: at, shard: si, bound: b})
+	g.boundEpoch.Store(uint32(len(g.events)))
+	g.mu.Unlock()
+}
+
+func (x *Index) searchProjected(qz, rawQ []float32, k int, opt core.SearchOptions) ([]vec.Neighbor, error) {
+	tr := x.tracer.Load()
+	wcap := x.capture.Load()
+	// Any observer needs the per-shard clocks; with all three off the
+	// scatter path takes no timestamps at all.
+	observed := x.reg != nil || tr != nil || wcap != nil
 	var start time.Time
-	if x.reg != nil {
+	if observed {
 		start = time.Now()
 	}
 	s := len(x.states)
@@ -426,6 +550,11 @@ func (x *Index) searchProjected(qz []float32, k int, opt core.SearchOptions) ([]
 		g.depths = make([]uint32, x.states[0].ix.Codebooks().Sub.M()+1)
 		g.ranks = make([]uint32, metrics.ClusterRankBuckets)
 	}
+	var times []shardTiming
+	if observed {
+		times = make([]shardTiming, s)
+	}
+	traceOn := tr != nil
 	// bound carries the running global k-th distance from finished shards
 	// into not-yet-started ones: boundSet | float32 bits, so "no bound
 	// yet" (0) is distinct from a genuine bound of 0.0.
@@ -443,6 +572,14 @@ func (x *Index) searchProjected(qz []float32, k int, opt core.SearchOptions) ([]
 					return
 				}
 				st := x.states[si]
+				var tm *shardTiming
+				if times != nil {
+					tm = &times[si]
+					tm.pickup = time.Since(start)
+					if traceOn {
+						tm.epoch = g.boundEpoch.Load()
+					}
+				}
 				o := opt
 				if v := bound.Load(); v != 0 {
 					bf := math.Float32frombits(uint32(v))
@@ -478,8 +615,12 @@ func (x *Index) searchProjected(qz []float32, k int, opt core.SearchOptions) ([]
 				}
 				b, full := g.fold(si, mapped, stats)
 				st.putSearcher(sr)
-				if full {
-					tightenBound(&bound, b)
+				if tm != nil {
+					tm.done = time.Since(start)
+					tm.stats = stats
+				}
+				if full && tightenBound(&bound, b) && traceOn {
+					g.recordBoundEvent(si, b, time.Since(start))
 				}
 			}
 		}()
@@ -491,7 +632,19 @@ func (x *Index) searchProjected(qz []float32, k int, opt core.SearchOptions) ([]
 			return nil, err
 		}
 	}
+	var mergeStart time.Duration
+	if observed {
+		mergeStart = time.Since(start)
+	}
 	res := mergeTopK(g.lists, k)
+	var mergeEnd time.Duration
+	if observed {
+		mergeEnd = time.Since(start)
+	}
+	var hits []int
+	if x.reg != nil || traceOn {
+		hits = shardHits(g.lists, res, s)
+	}
 	if x.reg != nil {
 		g.stats.AbandonDepths = g.depths
 		g.stats.TISkipsByRank = g.ranks
@@ -504,8 +657,138 @@ func (x *Index) searchProjected(qz []float32, k int, opt core.SearchOptions) ([]
 			AbandonDepths:    g.stats.AbandonDepths,
 			TISkipsByRank:    g.stats.TISkipsByRank,
 		}, time.Since(start))
+		lat := make([]int64, s)
+		for si := range times {
+			lat[si] = (times[si].done - times[si].pickup).Nanoseconds()
+		}
+		x.reg.RecordScatter(metrics.ScatterRecord{ShardLatencyNs: lat, Hits: hits})
+	}
+	var traceSeq uint64
+	if traceOn {
+		traceSeq = x.fileTrace(tr, start, times, g, mergeStart, mergeEnd, k, opt, hits)
+	}
+	if wcap.ShouldSample() {
+		x.captureQuery(wcap, qz, rawQ, k, opt, res, time.Since(start), traceSeq)
 	}
 	return res, nil
+}
+
+// shardHits attributes each final top-k result to the shard that served
+// it (global ids live in exactly one shard, so the merged id set
+// intersected with each shard's list partitions the answer).
+func shardHits(lists [][]vec.Neighbor, res []vec.Neighbor, s int) []int {
+	final := make(map[int]struct{}, len(res))
+	for _, nb := range res {
+		final[nb.ID] = struct{}{}
+	}
+	hits := make([]int, s)
+	for si, list := range lists {
+		for _, nb := range list {
+			if _, ok := final[nb.ID]; ok {
+				hits[si]++
+			}
+		}
+	}
+	return hits
+}
+
+// fileTrace assembles the parent QueryTrace for one sharded query: per
+// shard a wait span and a scan span carrying that shard's pruning
+// attribution, one bound-feedback event per cross-shard tightening
+// (credited with the prunes of every shard that started under it), and the
+// trailing merge span. Runs single-threaded after the scatter barrier, so
+// it reads the per-shard timing slots without synchronization.
+func (x *Index) fileTrace(tr *trace.Tracer, start time.Time, times []shardTiming,
+	g *gatherState, mergeStart, mergeEnd time.Duration, k int, opt core.SearchOptions, hits []int) uint64 {
+	// Credit each shard's prunes to the newest bound event it saw at start:
+	// those skips ran under that bound (or a tighter successor).
+	for si := range times {
+		tm := &times[si]
+		if tm.epoch == 0 || int(tm.epoch) > len(g.events) {
+			continue
+		}
+		ev := &g.events[tm.epoch-1]
+		ev.downShards++
+		ev.downSkips += tm.stats.CodesSkippedTI
+		ev.downAbandons += tm.stats.CodesAbandonedEA
+	}
+	rec := tr.NewRecorder()
+	rec.Begin(time.Since(start))
+	for si := range times {
+		tm := &times[si]
+		rec.Add(trace.Span{
+			Name:  trace.SpanShardWait,
+			Start: 0,
+			Dur:   tm.pickup,
+			Shard: si,
+		})
+		scan := trace.Span{
+			Name:        trace.SpanShardScan,
+			Start:       tm.pickup,
+			Dur:         tm.done - tm.pickup,
+			Shard:       si,
+			Count:       tm.stats.CodesConsidered,
+			SkippedTI:   tm.stats.CodesSkippedTI,
+			AbandonedEA: tm.stats.CodesAbandonedEA,
+			Lookups:     tm.stats.Lookups,
+		}
+		if hits != nil {
+			scan.Hits = hits[si]
+		}
+		rec.Add(scan)
+	}
+	for _, ev := range g.events {
+		rec.Add(trace.Span{
+			Name:        trace.SpanBoundFeedback,
+			Start:       ev.at,
+			Shard:       ev.shard,
+			Bound:       float64(ev.bound),
+			Count:       ev.downShards,
+			SkippedTI:   ev.downSkips,
+			AbandonedEA: ev.downAbandons,
+		})
+	}
+	rec.Add(trace.Span{
+		Name:  trace.SpanShardMerge,
+		Start: mergeStart,
+		Dur:   mergeEnd - mergeStart,
+	})
+	return rec.End(opt.Mode.String(), k, metrics.SearchRecord{
+		ClustersVisited:  g.stats.ClustersVisited,
+		CodesConsidered:  g.stats.CodesConsidered,
+		CodesSkippedTI:   g.stats.CodesSkippedTI,
+		CodesAbandonedEA: g.stats.CodesAbandonedEA,
+		Lookups:          g.stats.Lookups,
+	})
+}
+
+// captureQuery files one sampled sharded query into the workload capture:
+// the merged global result list is the recorded ground truth, so a replay
+// gates the whole scatter-gather (including the merge) and stays
+// comparable across rebuilds with different shard counts.
+func (x *Index) captureQuery(c *workload.Capture, qz, rawQ []float32, k int,
+	opt core.SearchOptions, res []vec.Neighbor, lat time.Duration, traceSeq uint64) {
+	q, projected := rawQ, false
+	if q == nil {
+		q, projected = qz, true
+	}
+	r := &workload.Record{
+		LatencyNs: lat.Nanoseconds(),
+		TraceSeq:  traceSeq,
+		K:         int32(k),
+		Mode:      int32(opt.Mode),
+		VisitFrac: opt.VisitFrac,
+		Subspaces: int32(opt.Subspaces),
+		Projected: projected,
+		Query:     append([]float32(nil), q...),
+		IDs:       make([]int32, len(res)),
+		Dists:     make([]float32, len(res)),
+	}
+	for i, nb := range res {
+		r.IDs[i] = int32(nb.ID)
+		r.Dists[i] = nb.Dist
+	}
+	c.Add(r)
 }
 
 // boundSet flags a published cross-shard bound: the low 32 bits hold the
@@ -514,16 +797,16 @@ func (x *Index) searchProjected(qz []float32, k int, opt core.SearchOptions) ([]
 const boundSet = uint64(1) << 32
 
 // tightenBound lowers the shared bound to b if b is tighter (CAS loop —
-// bounds only ever shrink).
-func tightenBound(state *atomic.Uint64, b float32) {
+// bounds only ever shrink) and reports whether it actually lowered it.
+func tightenBound(state *atomic.Uint64, b float32) bool {
 	nv := boundSet | uint64(math.Float32bits(b))
 	for {
 		old := state.Load()
 		if old != 0 && math.Float32frombits(uint32(old)) <= b {
-			return
+			return false
 		}
 		if state.CompareAndSwap(old, nv) {
-			return
+			return true
 		}
 	}
 }

@@ -106,7 +106,9 @@ type chromeEvent struct {
 // (the chrome://tracing / Perfetto interchange format). Each query is one
 // "thread": a top-level event spanning the whole query plus one event per
 // recorded span, timestamped on the shared wall clock so concurrent
-// queries line up.
+// queries line up. Sharded parent traces fan out further: every shard's
+// wait/scan spans land on their own derived tid, so a scatter renders as
+// one flame per shard under the parent query event.
 func WriteChromeTrace(w io.Writer, qts []*QueryTrace) error {
 	events := make([]chromeEvent, 0, len(qts)*4)
 	for _, qt := range qts {
@@ -126,13 +128,32 @@ func WriteChromeTrace(w io.Writer, qts []*QueryTrace) error {
 				Name: s.Name, Ph: "X", Ts: base + us(s.Start), Dur: us(s.Dur),
 				Pid: 1, Tid: qt.Seq,
 			}
-			if s.Name == SpanClusterScan {
+			switch {
+			case s.Name == SpanClusterScan:
 				ev.Args = map[string]any{
 					"cluster": s.Cluster, "rank": s.Rank, "members": s.Count,
 					"skipped_ti": s.SkippedTI, "abandoned_ea": s.AbandonedEA,
 					"lookups": s.Lookups,
 				}
-			} else if s.Count > 0 {
+			case s.Name == SpanShardScan:
+				ev.Tid = shardTid(qt.Seq, s.Shard)
+				ev.Args = map[string]any{
+					"shard": s.Shard, "codes_considered": s.Count,
+					"skipped_ti": s.SkippedTI, "abandoned_ea": s.AbandonedEA,
+					"lookups": s.Lookups, "hits": s.Hits,
+				}
+			case s.Name == SpanShardWait:
+				ev.Tid = shardTid(qt.Seq, s.Shard)
+				ev.Args = map[string]any{"shard": s.Shard}
+			case s.Name == SpanBoundFeedback:
+				ev.Tid = shardTid(qt.Seq, s.Shard)
+				ev.Args = map[string]any{
+					"shard": s.Shard, "bound": s.Bound,
+					"downstream_shards":      s.Count,
+					"downstream_ti_skips":    s.SkippedTI,
+					"downstream_ea_abandons": s.AbandonedEA,
+				}
+			case s.Count > 0:
 				ev.Args = map[string]any{"count": s.Count}
 			}
 			events = append(events, ev)
@@ -140,6 +161,12 @@ func WriteChromeTrace(w io.Writer, qts []*QueryTrace) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
+}
+
+// shardTid derives a per-shard thread id under a sharded parent trace, so
+// concurrent shard spans never stack on one lane.
+func shardTid(seq uint64, shard int) uint64 {
+	return seq<<10 | uint64(shard+1)
 }
 
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
@@ -156,11 +183,19 @@ func WriteText(w io.Writer, qts []*QueryTrace) error {
 			return err
 		}
 		for _, s := range qt.Spans {
-			fmt.Fprintf(w, "  %-13s +%-12s %-12s", s.Name, s.Start, s.Dur)
+			fmt.Fprintf(w, "  %-14s +%-12s %-12s", s.Name, s.Start, s.Dur)
 			switch {
 			case s.Name == SpanClusterScan:
 				fmt.Fprintf(w, " cluster=%d rank=%d members=%d skipped=%d abandoned=%d lookups=%d",
 					s.Cluster, s.Rank, s.Count, s.SkippedTI, s.AbandonedEA, s.Lookups)
+			case s.Name == SpanShardScan:
+				fmt.Fprintf(w, " shard=%d considered=%d skipped=%d abandoned=%d lookups=%d hits=%d",
+					s.Shard, s.Count, s.SkippedTI, s.AbandonedEA, s.Lookups, s.Hits)
+			case s.Name == SpanShardWait:
+				fmt.Fprintf(w, " shard=%d", s.Shard)
+			case s.Name == SpanBoundFeedback:
+				fmt.Fprintf(w, " shard=%d bound=%g downstream_shards=%d downstream_skips=%d downstream_abandons=%d",
+					s.Shard, s.Bound, s.Count, s.SkippedTI, s.AbandonedEA)
 			case s.Count > 0:
 				fmt.Fprintf(w, " count=%d", s.Count)
 			}

@@ -31,6 +31,28 @@ const (
 	SpanRerank      = "rerank"       // exact re-rank of int-scan candidates
 )
 
+// Span names used by the sharded scatter-gather path (internal/shard). A
+// sharded query files one parent QueryTrace whose spans carry a Shard id:
+// per shard a wait span (dispatch/queue delay on the bounded worker pool)
+// and a scan span (the shard's whole search, pruning attribution inline),
+// plus instantaneous bound-feedback events and one trailing merge span.
+const (
+	SpanShardWait     = "shard_wait"     // scatter start → worker pickup
+	SpanShardScan     = "shard_scan"     // one shard's complete search
+	SpanShardMerge    = "shard_merge"    // deterministic k-way merge
+	SpanBoundFeedback = "bound_feedback" // a shard tightened the global k-th bound
+)
+
+// ShardSpan reports whether name is one of the scatter-gather span names
+// whose Shard field is meaningful.
+func ShardSpan(name string) bool {
+	switch name {
+	case SpanShardWait, SpanShardScan, SpanBoundFeedback:
+		return true
+	}
+	return false
+}
+
 // Span is one timed phase of a query. Start is the offset from the query's
 // start; aggregate spans (SpanEAResume) carry the summed duration of many
 // short stretches and the stretch count in Count.
@@ -46,10 +68,23 @@ type Span struct {
 	// walked (SpanClusterScan).
 	Count int `json:"count,omitempty"`
 	// SkippedTI, AbandonedEA and Lookups are the pruning work attributed
-	// to this span (SpanClusterScan and the whole-scan spans).
+	// to this span (SpanClusterScan, the whole-scan spans, and
+	// SpanShardScan — where they are the shard's whole-search attribution;
+	// on SpanBoundFeedback, AbandonedEA/SkippedTI instead credit the prunes
+	// the published bound enabled in shards that started after it).
 	SkippedTI   int `json:"skipped_ti,omitempty"`
 	AbandonedEA int `json:"abandoned_ea,omitempty"`
 	Lookups     int `json:"lookups,omitempty"`
+	// Shard identifies which scatter-gather shard this span describes.
+	// Meaningful only on the shard span names (ShardSpan); like Cluster,
+	// the zero value on other spans carries no information.
+	Shard int `json:"shard,omitempty"`
+	// Hits is how many of the query's final merged top-k results this
+	// shard served (SpanShardScan only).
+	Hits int `json:"hits,omitempty"`
+	// Bound is the global k-th distance a SpanBoundFeedback event
+	// published (0 elsewhere).
+	Bound float64 `json:"bound,omitempty"`
 }
 
 // QueryTrace is one completed query: its spans, total wall time, and the

@@ -196,6 +196,128 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 }
 
+// TestWriteChromeTraceShardSpans pins the scatter-gather flame layout: the
+// parent query event stays on tid=seq, every shard's wait+scan pair lands
+// on its own derived tid (seq<<10|shard+1), and the bound-feedback and
+// merge events ride the parent lane with full pruning attribution.
+func TestWriteChromeTraceShardSpans(t *testing.T) {
+	qt := &QueryTrace{
+		Seq: 3, Start: time.Unix(1, 0), Total: time.Millisecond, Mode: "ti+ea", K: 5,
+		Spans: []Span{
+			{Name: SpanShardWait, Start: 0, Dur: 10 * time.Microsecond, Shard: 0},
+			{Name: SpanShardScan, Start: 10 * time.Microsecond, Dur: 400 * time.Microsecond,
+				Shard: 0, Count: 20, SkippedTI: 5, AbandonedEA: 2, Lookups: 64, Hits: 4},
+			{Name: SpanShardWait, Start: 0, Dur: 15 * time.Microsecond, Shard: 1},
+			{Name: SpanShardScan, Start: 15 * time.Microsecond, Dur: 300 * time.Microsecond,
+				Shard: 1, Count: 10, Lookups: 32, Hits: 1},
+			{Name: SpanBoundFeedback, Start: 200 * time.Microsecond, Shard: 0,
+				Bound: 1.25, Count: 1, SkippedTI: 7, AbandonedEA: 3},
+			{Name: SpanShardMerge, Start: 420 * time.Microsecond, Dur: 30 * time.Microsecond},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []*QueryTrace{qt}); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 7 { // query + 6 spans
+		t.Fatalf("%d events, want 7", len(events))
+	}
+	byName := func(name string, shard float64) map[string]any {
+		for _, ev := range events {
+			if ev["name"] != name {
+				continue
+			}
+			if args, ok := ev["args"].(map[string]any); ok {
+				if s, ok := args["shard"].(float64); ok && s != shard {
+					continue
+				}
+			}
+			return ev
+		}
+		t.Fatalf("event %s shard %v missing", name, shard)
+		return nil
+	}
+
+	parentTid := events[0]["tid"].(float64)
+	if parentTid != 3 {
+		t.Fatalf("parent tid = %v, want seq 3", parentTid)
+	}
+	for shard := 0; shard < 2; shard++ {
+		wantTid := float64(3<<10 | shard + 1)
+		wait := byName(SpanShardWait, float64(shard))
+		scan := byName(SpanShardScan, float64(shard))
+		if wait["tid"].(float64) != wantTid || scan["tid"].(float64) != wantTid {
+			t.Errorf("shard %d lanes: wait tid %v scan tid %v, want %v",
+				shard, wait["tid"], scan["tid"], wantTid)
+		}
+	}
+	scan0 := byName(SpanShardScan, 0)["args"].(map[string]any)
+	if scan0["codes_considered"].(float64) != 20 || scan0["skipped_ti"].(float64) != 5 ||
+		scan0["abandoned_ea"].(float64) != 2 || scan0["lookups"].(float64) != 64 ||
+		scan0["hits"].(float64) != 4 {
+		t.Errorf("shard 0 scan attribution wrong: %v", scan0)
+	}
+	// The feedback event rides the lane of the shard that tightened the
+	// bound, so the flame shows who helped whom.
+	fb := byName(SpanBoundFeedback, 0)
+	if fb["tid"].(float64) != float64(3<<10|1) {
+		t.Errorf("bound_feedback tid %v, want shard 0's lane %d", fb["tid"], 3<<10|1)
+	}
+	fbArgs := fb["args"].(map[string]any)
+	if fbArgs["bound"].(float64) != 1.25 || fbArgs["downstream_shards"].(float64) != 1 ||
+		fbArgs["downstream_ti_skips"].(float64) != 7 || fbArgs["downstream_ea_abandons"].(float64) != 3 {
+		t.Errorf("bound_feedback args wrong: %v", fbArgs)
+	}
+	if merge := byName(SpanShardMerge, -1); merge["tid"].(float64) != parentTid {
+		t.Errorf("shard_merge tid %v, want parent %v", merge["tid"], parentTid)
+	}
+}
+
+func TestWriteTextShardSpans(t *testing.T) {
+	qt := mkTrace(2 * time.Millisecond)
+	qt.Seq = 4
+	qt.Spans = []Span{
+		{Name: SpanShardWait, Dur: time.Microsecond, Shard: 1},
+		{Name: SpanShardScan, Start: time.Microsecond, Dur: 500 * time.Microsecond,
+			Shard: 1, Count: 12, SkippedTI: 3, AbandonedEA: 1, Lookups: 48, Hits: 2},
+		{Name: SpanBoundFeedback, Start: 100 * time.Microsecond, Shard: 1,
+			Bound: 0.5, Count: 2, SkippedTI: 9, AbandonedEA: 4},
+		{Name: SpanShardMerge, Start: 510 * time.Microsecond, Dur: 20 * time.Microsecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, []*QueryTrace{qt}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		SpanShardWait, SpanShardMerge,
+		"shard=1 considered=12 skipped=3 abandoned=1 lookups=48 hits=2",
+		"shard=1 bound=0.5 downstream_shards=2 downstream_skips=9 downstream_abandons=4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShardSpanHelper(t *testing.T) {
+	for _, name := range []string{SpanShardWait, SpanShardScan, SpanBoundFeedback} {
+		if !ShardSpan(name) {
+			t.Errorf("ShardSpan(%q) = false", name)
+		}
+	}
+	// shard_merge runs on the gather side: its Shard field is meaningless.
+	for _, name := range []string{SpanShardMerge, SpanScan, SpanClusterScan, SpanLUTFill} {
+		if ShardSpan(name) {
+			t.Errorf("ShardSpan(%q) = true", name)
+		}
+	}
+}
+
 func TestWriteText(t *testing.T) {
 	qt := mkTrace(3 * time.Millisecond)
 	qt.Seq = 2

@@ -22,25 +22,32 @@ type Log struct {
 	Fingerprint string
 	// Dim is the raw query dimensionality of the capturing index.
 	Dim int
+	// Shards is the shard count of the capturing index: 1 for a sharded
+	// build with one shard, >1 for a scatter-gather capture, 0 for an
+	// unsharded capture (or any log read from the version-1 format, which
+	// predates the field).
+	Shards int
 	// Records are the captured queries, capture order.
 	Records []Record
 }
 
-// On-disk .vaqwl format (version 1), everything little-endian:
+// On-disk .vaqwl format (version 2), everything little-endian:
 //
 //	magic "VAQW" | u32 version | u16 fplen + fingerprint bytes | u32 dim
-//	u32 count, then per record:
+//	u32 shards (version >= 2 only) | u32 count, then per record:
 //	  u64 offset_ns | u64 latency_ns | u64 trace_seq
 //	  u32 k | u32 mode | f64 visit_frac | u32 subspaces | u8 projected
 //	  u32 qlen + f32[qlen] query
 //	  u32 nres + i32[nres] ids + f32[nres] dists
 //
-// The encoding is a pure function of the Log contents (no timestamps, no
-// padding entropy), so read→write round-trips byte-identically — the
-// property the round-trip determinism test pins.
+// Version 1 (no shards field) is still read; WriteTo re-emits a log in
+// the version it was read from, so the encoding stays a pure function of
+// the Log contents (no timestamps, no padding entropy) and read→write
+// round-trips byte-identically — the property the round-trip determinism
+// test pins. Freshly captured logs are version 2.
 const (
 	// FormatVersion is the current .vaqwl on-disk version.
-	FormatVersion = 1
+	FormatVersion = 2
 
 	logMagic = "VAQW"
 
@@ -58,11 +65,21 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 	if len(l.Records) > maxRecords {
 		return 0, fmt.Errorf("workload: too many records (%d)", len(l.Records))
 	}
+	version := l.Version
+	if version == 0 {
+		version = FormatVersion
+	}
+	if version > FormatVersion {
+		return 0, fmt.Errorf("workload: cannot write log version %d (have %d)", version, FormatVersion)
+	}
 	cw.bytes([]byte(logMagic))
-	cw.u32(FormatVersion)
+	cw.u32(version)
 	cw.u16(uint16(len(l.Fingerprint)))
 	cw.bytes([]byte(l.Fingerprint))
 	cw.u32(uint32(l.Dim))
+	if version >= 2 {
+		cw.u32(uint32(l.Shards))
+	}
 	cw.u32(uint32(len(l.Records)))
 	for i := range l.Records {
 		r := &l.Records[i]
@@ -111,7 +128,7 @@ func ReadLog(rd io.Reader) (*Log, error) {
 		return nil, fmt.Errorf("workload: bad magic %q (not a .vaqwl log)", magic)
 	}
 	version := cr.u32()
-	if cr.err == nil && version != FormatVersion {
+	if cr.err == nil && (version < 1 || version > FormatVersion) {
 		return nil, fmt.Errorf("workload: unsupported log version %d (have %d)", version, FormatVersion)
 	}
 	fplen := int(cr.u16())
@@ -120,6 +137,10 @@ func ReadLog(rd io.Reader) (*Log, error) {
 	}
 	fp := cr.bytes(fplen)
 	dim := int(cr.u32())
+	shards := 0
+	if version >= 2 {
+		shards = int(cr.u32())
+	}
 	count := int(cr.u32())
 	if cr.err == nil && count > maxRecords {
 		return nil, fmt.Errorf("workload: record count %d too large", count)
@@ -131,6 +152,7 @@ func ReadLog(rd io.Reader) (*Log, error) {
 		Version:     version,
 		Fingerprint: string(fp),
 		Dim:         dim,
+		Shards:      shards,
 		Records:     make([]Record, count),
 	}
 	for i := range l.Records {

@@ -60,6 +60,11 @@ type Config struct {
 	Fingerprint string
 	// Dim is the raw query dimensionality of the capturing index.
 	Dim int
+	// Shards is the capturing index's shard count (internal/shard fills
+	// this in EnableCapture; 0 = unsharded), stored in the log's
+	// provenance so a replay knows which scatter shape produced the
+	// recorded answers.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +207,7 @@ func (c *Capture) Snapshot() *Log {
 		Version:     FormatVersion,
 		Fingerprint: c.cfg.Fingerprint,
 		Dim:         c.cfg.Dim,
+		Shards:      c.cfg.Shards,
 		Records:     recs,
 	}
 }

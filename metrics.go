@@ -19,6 +19,13 @@ type SLO = metrics.SLO
 // exhaustion latches). Negative budget = objective broken.
 type SLOSnapshot = metrics.SLOSnapshot
 
+// ShardedSnapshot is the scatter-gather telemetry of a ShardedIndex:
+// per-shard critical-path and final-top-k hit attribution, the windowed
+// skew-ratio and load-imbalance gauges, the straggler-delta histogram,
+// and the skew-alert latch. See the field docs in
+// internal/metrics.ShardedSnapshot.
+type ShardedSnapshot = metrics.ShardedSnapshot
+
 // MetricsSnapshot is a point-in-time view of an index's query telemetry:
 // totals of the per-query SearchStats counters across every Searcher plus
 // latency percentiles from a fixed-bucket histogram. All fields are
@@ -70,6 +77,9 @@ type MetricsSnapshot struct {
 	// SLO is the error-budget evaluation of Config.SLO (nil when no
 	// objectives are configured).
 	SLO *SLOSnapshot `json:"slo,omitempty"`
+	// Sharded is the scatter-gather telemetry of a ShardedIndex (nil on
+	// unsharded indexes and when metrics are disabled).
+	Sharded *ShardedSnapshot `json:"sharded,omitempty"`
 }
 
 func toSnapshot(s metrics.Snapshot) MetricsSnapshot {
@@ -96,6 +106,7 @@ func toSnapshot(s metrics.Snapshot) MetricsSnapshot {
 		DeadCodewords:    s.DeadCodewords,
 		DriftAlert:       s.DriftAlert,
 		SLO:              s.SLO,
+		Sharded:          s.Sharded,
 	}
 }
 

@@ -77,8 +77,9 @@ func buildShardedMatrices(train, data *vec.Matrix, cfg Config) (*ShardedIndex, e
 		s = 1
 	}
 	inner, err := shard.Build(train, data, cfg.toCore(), shard.Options{
-		Shards: s,
-		Policy: cfg.ShardPolicy,
+		Shards:         s,
+		Policy:         cfg.ShardPolicy,
+		SkewAlertRatio: cfg.ShardSkewAlertRatio,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("vaq: %w", err)
@@ -209,6 +210,48 @@ func (ix *ShardedIndex) PublishDiagnostics(name string) { ix.inner.PublishDiagno
 // fingerprint (the degenerate case answers bit-identically); with more it
 // derives a sharded fingerprint from it.
 func (ix *ShardedIndex) ConfigFingerprint() string { return ix.inner.ConfigFingerprint() }
+
+// EnableTracing installs a fresh per-query tracer on the sharded index
+// and returns it. From the next query on, every search files one parent
+// QueryTrace whose spans carry a Shard id: per shard a SpanShardWait
+// (queue delay on the scatter worker pool) and a SpanShardScan (the
+// shard's whole search with its TI/EA/lookup attribution and final top-k
+// hits inline), one SpanBoundFeedback per cross-shard bound tightening
+// (crediting the prunes it enabled downstream), and a trailing
+// SpanShardMerge. Disabled, tracing costs the scatter path one pointer
+// check per query.
+func (ix *ShardedIndex) EnableTracing(cfg TraceConfig) *Tracer {
+	return ix.inner.EnableTracing(cfg)
+}
+
+// DisableTracing detaches the sharded index's tracer; queries already in
+// flight may still file one last trace.
+func (ix *ShardedIndex) DisableTracing() { ix.inner.DisableTracing() }
+
+// Tracer returns the active tracer, or nil when tracing is disabled.
+func (ix *ShardedIndex) Tracer() *Tracer { return ix.inner.Tracer() }
+
+// AttachTracer points the sharded query path at an existing tracer (nil
+// detaches), so several indexes can aggregate into one ring.
+func (ix *ShardedIndex) AttachTracer(t *Tracer) { ix.inner.AttachTracer(t) }
+
+// EnableCapture installs a workload capture buffer on the merged query
+// path and returns it. Sampled queries record the merged global result
+// list — the scatter-gather ground truth — and the log's provenance
+// carries the sharded config fingerprint and the shard count, so a replay
+// can gate merge correctness across rebuilds with different Shards
+// values. Off by default; off, the scatter path pays one pointer load.
+func (ix *ShardedIndex) EnableCapture(cfg CaptureConfig) *WorkloadCapture {
+	return ix.inner.EnableCapture(cfg)
+}
+
+// DisableCapture detaches the capture buffer; records already stored stay
+// readable through the WorkloadCapture EnableCapture returned.
+func (ix *ShardedIndex) DisableCapture() { ix.inner.DisableCapture() }
+
+// Capture returns the active workload capture, or nil when capture is
+// off.
+func (ix *ShardedIndex) Capture() *WorkloadCapture { return ix.inner.Capture() }
 
 // ReplayWorkload re-runs a captured workload log through the sharded
 // scatter-gather path and diffs the merged answers against the recorded

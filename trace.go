@@ -32,6 +32,17 @@ const (
 	SpanScan        = trace.SpanScan
 )
 
+// Names of the spans a sharded scatter-gather query records
+// (ShardedIndex.EnableTracing): per shard a wait and a scan span, one
+// bound-feedback event per cross-shard bound tightening, and a trailing
+// merge span. Their TraceSpan.Shard field identifies the shard.
+const (
+	SpanShardWait     = trace.SpanShardWait
+	SpanShardScan     = trace.SpanShardScan
+	SpanShardMerge    = trace.SpanShardMerge
+	SpanBoundFeedback = trace.SpanBoundFeedback
+)
+
 // EnableTracing installs a fresh per-query tracer on the index and returns
 // it. Searchers created afterwards — including the throwaway ones behind
 // Search/SearchWith and SearchBatch workers — record one QueryTrace per

@@ -220,6 +220,16 @@ type Config struct {
 	// ShardPolicy selects how Add routes batches to shards (default
 	// ShardRoundRobin). Only meaningful with Shards > 1.
 	ShardPolicy ShardPolicy
+	// ShardSkewAlertRatio sets the shard-skew alert threshold on a sharded
+	// index: when the windowed mean skew ratio — each query's slowest
+	// shard latency over its mean shard latency (1 = perfectly balanced,
+	// Shards = one shard does all the work) — reaches this value, a
+	// vaq.skew log event fires once and the vaq_skew_alert gauge sets
+	// until the window recovers, mirroring the drift and SLO alerts.
+	// 0 disables the alert; the skew telemetry itself is always on when
+	// metrics are. Only meaningful with Shards > 1. Runtime-only: not
+	// serialized.
+	ShardSkewAlertRatio float64
 	// SLO declares service-level objectives — a tail-latency target and/or
 	// a minimum observed recall — evaluated online over sliding windows of
 	// recent traffic. Error budgets are exported through
