@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"vaq/internal/bundle"
 	"vaq/internal/core"
 	"vaq/internal/dataset"
 	"vaq/internal/diag"
@@ -114,6 +115,11 @@ type benchProvenance struct {
 	// the scatter serializes and QPS ratios vs the unsharded arm say
 	// nothing about real multi-core speedup.
 	Caveats []string `json:"caveats,omitempty"`
+	// FlightRecorder marks an arm measured with an armed (but idle) flight
+	// recorder (-flight-recorder). Runtime-only — it lives here, not in
+	// params, so the config fingerprint stays comparable with unarmed runs;
+	// the point of the flag is showing armed-idle is within noise.
+	FlightRecorder bool `json:"flight_recorder,omitempty"`
 }
 
 // benchSchemaVersion tracks the benchSummary document shape.
@@ -137,7 +143,37 @@ func provenanceFor(p benchParams) benchProvenance {
 		ConfigFingerprint: hex.EncodeToString(sum[:8]),
 		Layout:            p.Layout,
 		Accuracy:          p.Accuracy,
+		FlightRecorder:    armFlightRecorder,
 	}
+}
+
+// armFlightRecorder is the -flight-recorder flag: arm an idle recorder on
+// every benchmark arm. Deliberately not part of benchParams (it cannot
+// change what a query returns), so summaries with and without it share a
+// config fingerprint and stay -compare-able.
+var armFlightRecorder bool
+
+// armFlight arms a flight recorder writing into a throwaway temp
+// directory on one benchmark arm's index; the returned cleanup disarms it
+// and removes the directory. No alerts are configured in bench arms, so
+// the recorder stays idle — the measurement is pure armed overhead
+// (snapshot ticker plus workload-ring sampling on the query path).
+func armFlight(ix interface {
+	EnableFlightRecorder(string, bundle.Config) (*bundle.Recorder, error)
+	DisableFlightRecorder() error
+}, name string) (func(), error) {
+	dir, err := os.MkdirTemp("", "vaqbench-bundles-")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ix.EnableFlightRecorder(name, bundle.Config{Dir: dir}); err != nil {
+		os.RemoveAll(dir) //nolint:errcheck // best-effort temp cleanup
+		return nil, err
+	}
+	return func() {
+		ix.DisableFlightRecorder() //nolint:errcheck // idle recorder: nothing pending
+		os.RemoveAll(dir)          //nolint:errcheck // best-effort temp cleanup
+	}, nil
 }
 
 // benchSummary is the JSON document vaqbench -json emits: everything a
@@ -335,6 +371,13 @@ func runBenchOnce(ds *dataset.Dataset, p benchParams, withReport bool, gt [][]in
 		return nil, fmt.Errorf("build: %w", err)
 	}
 	metrics.Publish("vaqbench_index", ix.Metrics())
+	if armFlightRecorder {
+		cleanup, err := armFlight(ix, "vaqbench_index")
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+	}
 
 	// Resolve the pool width without writing it back into p: params keep
 	// the flag as given (0 = auto) so the config fingerprint stays
@@ -423,6 +466,13 @@ func runShardedOnce(ds *dataset.Dataset, p benchParams, withReport bool, gt [][]
 		return nil, fmt.Errorf("sharded build (S=%d): %w", p.Shards, err)
 	}
 	buildWall := time.Since(buildStart)
+	if armFlightRecorder {
+		cleanup, err := armFlight(x, "vaqbench_index")
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+	}
 
 	if p.Passes < 1 {
 		p.Passes = 1

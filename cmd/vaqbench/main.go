@@ -90,6 +90,7 @@ func main() {
 		threshold   = flag.Float64("threshold", 5, "regression threshold for -compare, in percent")
 		force       = flag.Bool("force", false, "let -compare proceed despite mismatched config fingerprints")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
+		flightRec   = flag.Bool("flight-recorder", false, "arm an (idle) flight recorder on every -json arm, measuring the armed-but-quiet overhead; runtime-only, so the config fingerprint is unchanged")
 	)
 	flag.Parse()
 
@@ -136,6 +137,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vaqbench: %v\n", err)
 			os.Exit(2)
 		}
+		armFlightRecorder = *flightRec
 		if err := runJSONBench(*jsonOut, p, *report, shardCounts); err != nil {
 			fmt.Fprintf(os.Stderr, "vaqbench: %v\n", err)
 			os.Exit(1)

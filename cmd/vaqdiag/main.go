@@ -10,6 +10,16 @@
 //	vaqdiag -data sald.vaqd -json                # machine-readable report
 //	vaqdiag -index index.vaq                     # report on a serialized index
 //	vaqdiag -data sald.vaqd -json -validate      # CI: exit 1 on inconsistency
+//	vaqdiag -bundle bundles/bundle-000001-vaq.skew   # inspect one incident bundle
+//	vaqdiag -bundle bundles -json                # validate every bundle under a dir
+//
+// -bundle switches the command into incident-bundle mode: the argument is
+// either one bundle directory (holding a manifest.json) or a directory of
+// bundles (as written by the flight recorder under -bundle-dir), and every
+// selected bundle is integrity-checked end to end — manifest version,
+// per-file sizes and sha256s, JSON well-formedness, workload-log decode
+// and record count. Exit 1 when any bundle fails; -json emits the
+// validated manifests.
 //
 // An index loaded with -index reports utilization and balance only: the
 // distortion baseline is runtime-only state, so its report is Partial.
@@ -25,7 +35,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 
+	"vaq/internal/bundle"
 	"vaq/internal/core"
 	"vaq/internal/dataset"
 	"vaq/internal/diag"
@@ -40,10 +52,14 @@ func main() {
 		minBits   = flag.Int("minbits", 1, "minimum bits per subspace (with -data)")
 		maxBits   = flag.Int("maxbits", 13, "maximum bits per subspace (with -data)")
 		seed      = flag.Int64("seed", 42, "build seed (with -data)")
+		bundleArg = flag.String("bundle", "", "incident bundle directory (or a directory of them, as written by vaqsearch -bundle-dir): validate and print instead of diagnosing an index")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of text")
 		validate  = flag.Bool("validate", false, "check the report's internal invariants; exit 1 on any failure")
 	)
 	flag.Parse()
+	if *bundleArg != "" {
+		os.Exit(runBundle(*bundleArg, *jsonOut))
+	}
 	if (*dataPath == "") == (*indexPath == "") {
 		fmt.Fprintln(os.Stderr, "vaqdiag: exactly one of -data or -index is required")
 		os.Exit(2)
@@ -100,6 +116,59 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "vaqdiag: report valid")
 	}
+}
+
+// runBundle is the -bundle mode: validate one incident bundle, or every
+// bundle under a directory of them, and print each (text or JSON). Returns
+// the process exit code: 0 all valid, 1 any invalid or none found.
+func runBundle(path string, jsonOut bool) int {
+	// A directory holding a manifest.json is one bundle; anything else is
+	// treated as a root of bundle directories.
+	var dirs []string
+	if _, err := os.Stat(filepath.Join(path, bundle.ManifestName)); err == nil {
+		dirs = []string{path}
+	} else {
+		mans, err := bundle.List(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqdiag: %v\n", err)
+			return 1
+		}
+		for _, m := range mans {
+			dirs = append(dirs, m.Dir)
+		}
+		if len(dirs) == 0 {
+			fmt.Fprintf(os.Stderr, "vaqdiag: no incident bundles under %s\n", path)
+			return 1
+		}
+	}
+	var valid []*bundle.Manifest
+	bad := 0
+	for _, dir := range dirs {
+		man, err := bundle.Validate(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqdiag: INVALID: %v\n", err)
+			bad++
+			continue
+		}
+		valid = append(valid, man)
+		if !jsonOut {
+			man.Fprint(os.Stdout)
+		}
+	}
+	if jsonOut {
+		b, err := json.MarshalIndent(valid, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqdiag: %v\n", err)
+			return 1
+		}
+		os.Stdout.Write(append(b, '\n'))
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "vaqdiag: %d of %d bundle(s) invalid\n", bad, len(dirs))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "vaqdiag: %d bundle(s) valid\n", len(valid))
+	return 0
 }
 
 // validateReport cross-checks the invariants every well-formed IndexReport

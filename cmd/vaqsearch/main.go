@@ -18,6 +18,14 @@
 // merged scatter telemetry plus one block per shard — is additionally
 // served at /debug/vaq/shards, and -trace files one parent trace per
 // query with a wait/scan span pair per shard.
+//
+// With -bundle-dir the flight recorder is armed: every alert breach edge
+// (vaq.drift, vaq.skew, vaq.slo.*) freezes the recent context — metrics,
+// alert history, traces, a replayable .vaqwl of recent queries, the
+// IndexReport — into an incident bundle under that directory (inspect with
+// vaqdiag -bundle; /debug/vaq/bundle lists bundles and ?trigger=1 writes a
+// manual one). Bundles pending at SIGINT/SIGTERM are flushed before exit,
+// like the capture log.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"vaq/internal/bundle"
 	"vaq/internal/core"
 	"vaq/internal/dataset"
 	"vaq/internal/diag"
@@ -61,6 +70,7 @@ func main() {
 		hold        = flag.Duration("hold", 0, "keep the process (and -metrics-addr endpoints) alive this long after the workload (SIGINT/SIGTERM exits early)")
 		capturePath = flag.String("capture", "", "record sampled queries to this .vaqwl workload log (replay with cmd/vaqreplay)")
 		captureRate = flag.Float64("capture-rate", 1, "fraction of queries captured (deterministic stride; 1 = all)")
+		bundleDir   = flag.String("bundle-dir", "", "arm the flight recorder: write an incident bundle under this directory on every alert breach edge (inspect with vaqdiag -bundle, replay with vaqreplay)")
 		sloP99      = flag.Duration("slo-p99", 0, "latency SLO: 99% of windowed queries must finish within this duration (0 disables)")
 		sloRecall   = flag.Float64("slo-recall", 0, "recall SLO: minimum windowed observed recall (needs -recall-sample; 0 disables)")
 		skewAlert   = flag.Float64("skew-alert", 0, "shard-skew alert threshold: fire vaq.skew when the windowed mean skew ratio reaches this (needs -shards > 1; 0 disables)")
@@ -140,6 +150,7 @@ func main() {
 			capturePath: *capturePath,
 			captureRate: *captureRate,
 			skewAlert:   *skewAlert,
+			bundleDir:   *bundleDir,
 		})
 		return
 	}
@@ -194,16 +205,47 @@ func main() {
 				len(log.Records), cap.Sampled(), cap.Dropped(), *capturePath, log.Fingerprint)
 		})
 	}
+	// Flight-recorder shutdown, also exactly once: Close drains pending
+	// alert-triggered bundles, so an interrupted -hold still leaves every
+	// incident on disk — the same contract as the capture flush.
+	var bundleOnce sync.Once
+	flushBundle := func() {
+		if *bundleDir == "" {
+			return
+		}
+		bundleOnce.Do(func() {
+			rec := ix.FlightRecorder()
+			if rec == nil {
+				return
+			}
+			if err := rec.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "vaqsearch: bundle: %v\n", err)
+			}
+			st := rec.Status()
+			fmt.Fprintf(os.Stderr, "vaqsearch: flight recorder wrote %d incident bundle(s) under %s\n",
+				st.BundlesWritten, st.Dir)
+		})
+	}
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		sig := <-sigCh
-		fmt.Fprintf(os.Stderr, "vaqsearch: %s — flushing capture and exiting\n", sig)
+		fmt.Fprintf(os.Stderr, "vaqsearch: %s — flushing capture and bundles, exiting\n", sig)
 		flushCapture()
+		flushBundle()
 		os.Exit(130)
 	}()
 	if *capturePath != "" {
 		ix.EnableCapture(workload.Config{SampleRate: *captureRate})
+	}
+	if *bundleDir != "" {
+		rec, err := ix.EnableFlightRecorder("vaqsearch_index", bundle.Config{Dir: *bundleDir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqsearch: flight recorder: %v\n", err)
+			os.Exit(1)
+		}
+		bundle.Publish("vaqsearch_index", rec)
+		fmt.Fprintf(os.Stderr, "vaqsearch: flight recorder armed — incident bundles under %s\n", *bundleDir)
 	}
 
 	gt, err := eval.GroundTruth(ds.Base, ds.Queries, *k)
@@ -269,6 +311,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vaqsearch: %s — exiting hold\n", sig)
 		}
 	}
+	flushBundle()
 }
 
 // shardedRun bundles the -shards >1 run parameters.
@@ -282,6 +325,7 @@ type shardedRun struct {
 	capturePath string
 	captureRate float64
 	skewAlert   float64
+	bundleDir   string
 }
 
 // runSharded is the -shards >1 path: build a scatter-gather index sharing
@@ -340,16 +384,46 @@ func runSharded(ds *dataset.Dataset, cfg core.Config, run shardedRun) {
 				log.Fingerprint, log.Shards)
 		})
 	}
+	// Flight-recorder shutdown, also exactly once (same contract as the
+	// unsharded path: Close drains pending alert-triggered bundles).
+	var bundleOnce sync.Once
+	flushBundle := func() {
+		if run.bundleDir == "" {
+			return
+		}
+		bundleOnce.Do(func() {
+			rec := x.FlightRecorder()
+			if rec == nil {
+				return
+			}
+			if err := rec.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "vaqsearch: bundle: %v\n", err)
+			}
+			st := rec.Status()
+			fmt.Fprintf(os.Stderr, "vaqsearch: flight recorder wrote %d incident bundle(s) under %s\n",
+				st.BundlesWritten, st.Dir)
+		})
+	}
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		sig := <-sigCh
-		fmt.Fprintf(os.Stderr, "vaqsearch: %s — flushing capture and exiting\n", sig)
+		fmt.Fprintf(os.Stderr, "vaqsearch: %s — flushing capture and bundles, exiting\n", sig)
 		flushCapture()
+		flushBundle()
 		os.Exit(130)
 	}()
 	if run.capturePath != "" {
 		x.EnableCapture(workload.Config{SampleRate: run.captureRate})
+	}
+	if run.bundleDir != "" {
+		rec, err := x.EnableFlightRecorder("vaqsearch_index", bundle.Config{Dir: run.bundleDir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqsearch: flight recorder: %v\n", err)
+			os.Exit(1)
+		}
+		bundle.Publish("vaqsearch_index", rec)
+		fmt.Fprintf(os.Stderr, "vaqsearch: flight recorder armed — incident bundles under %s\n", run.bundleDir)
 	}
 
 	gt, err := eval.GroundTruth(ds.Base, ds.Queries, run.k)
@@ -428,4 +502,5 @@ func runSharded(ds *dataset.Dataset, cfg core.Config, run shardedRun) {
 			fmt.Fprintf(os.Stderr, "vaqsearch: %s — exiting hold\n", sig)
 		}
 	}
+	flushBundle()
 }

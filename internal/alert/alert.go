@@ -1,0 +1,371 @@
+// Package alert is the unified alert bus behind the stack's edge-triggered
+// anomaly detectors (vaq.drift, vaq.skew, vaq.slo.*). Before it existed,
+// each detector carried its own copy of the same CAS latch — fire once when
+// a windowed condition crosses its threshold, re-arm when it recovers — and
+// the only consumer was a slog line. The bus factors that latch into one
+// Source type and makes the edges consumable: named sources register on a
+// per-index Bus that keeps their firing state and a bounded event history,
+// fans breach/recovery edges out to registered callbacks (the flight
+// recorder's trigger) and channel subscribers (the future drift-triggered
+// rebuild loop), and snapshots cleanly into incident bundles.
+//
+// The package is stdlib-only and imports nothing from this repository, so
+// every layer (internal/metrics, internal/core, internal/bundle, the public
+// API) can depend on it without cycles. All types are nil-safe: a nil
+// *Source or nil *Bus records nothing, which keeps the disabled cost at a
+// call site to one pointer check — the same contract internal/metrics
+// established.
+package alert
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one latch edge: a source crossing into firing (a breach) or back
+// out (a recovery). Seq is a bus-wide monotonic sequence number, so event
+// order is total even across sources.
+type Event struct {
+	// Source is the emitting source's registered name (e.g. "vaq.skew").
+	Source string `json:"source"`
+	// Firing is true for a breach edge, false for a recovery edge.
+	Firing bool `json:"firing"`
+	// Seq orders events bus-wide, starting at 1.
+	Seq uint64 `json:"seq"`
+	// Time is the edge's wall-clock timestamp.
+	Time time.Time `json:"time"`
+}
+
+// Source is the shared edge-triggered latch: Set folds one evaluation of a
+// boolean condition into it, and exactly the false→true transition reports
+// as a breach edge. The three detectors that previously each hand-rolled
+// this (SLO budget exhaustion, windowed shard skew, quantization drift) now
+// hold a Source instead of a raw atomic.Bool. Set is called from the query
+// path, so the steady-state cost is one atomic load-compare (the CAS only
+// runs on edges, which are rare by construction).
+type Source struct {
+	name string
+	bus  *Bus // nil for a standalone (bus-less) source
+	// firing is the latch; fires/recoveries count edges ever.
+	firing     atomic.Bool
+	fires      atomic.Uint64
+	recoveries atomic.Uint64
+	// lastSeq/lastNs describe the newest edge (bus seq 0 for standalone
+	// sources; lastNs is UnixNano, 0 = never fired).
+	lastSeq atomic.Uint64
+	lastNs  atomic.Int64
+}
+
+// NewSource returns a standalone latch not attached to any bus — the shape
+// used when metrics are disabled but the detector (and its slog event) must
+// keep working. Bus-attached sources come from Bus.Source.
+func NewSource(name string) *Source { return &Source{name: name} }
+
+// Name reports the source's registered name.
+func (s *Source) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Firing reports the latch state: true from a breach edge until the
+// condition recovers (or Reset re-arms it).
+func (s *Source) Firing() bool { return s != nil && s.firing.Load() }
+
+// Fires reports how many breach edges the source has ever emitted.
+func (s *Source) Fires() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.fires.Load()
+}
+
+// Recoveries counts recovery edges ever observed (Reset re-arms are not
+// recoveries and are not counted).
+func (s *Source) Recoveries() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.recoveries.Load()
+}
+
+// Set folds one evaluation of the source's condition into the latch and
+// reports whether this call was the breach edge (false→true) — the caller's
+// cue to run its once-per-crossing work (the slog event). While the
+// condition holds, repeated Set(true) calls return false; Set(false) re-arms
+// the latch, emitting a recovery edge to the bus. Safe for concurrent use:
+// the CAS guarantees exactly one caller wins each edge.
+func (s *Source) Set(firing bool) bool {
+	if s == nil {
+		return false
+	}
+	if firing {
+		if s.firing.CompareAndSwap(false, true) {
+			s.fires.Add(1)
+			s.publish(true)
+			return true
+		}
+		return false
+	}
+	if s.firing.CompareAndSwap(true, false) {
+		s.recoveries.Add(1)
+		s.publish(false)
+	}
+	return false
+}
+
+// Reset re-arms the latch without emitting a recovery edge — the
+// metrics.Reset semantics: the evaluation window was zeroed, not observed
+// to recover. The next Set(true) fires again.
+func (s *Source) Reset() {
+	if s == nil {
+		return
+	}
+	s.firing.Store(false)
+}
+
+// publish stamps the edge and hands it to the bus (if any).
+func (s *Source) publish(firing bool) {
+	now := time.Now()
+	s.lastNs.Store(now.UnixNano())
+	if s.bus == nil {
+		return
+	}
+	seq := s.bus.publish(s.name, firing, now)
+	s.lastSeq.Store(seq)
+}
+
+// Status is one source's point-in-time state, JSON-shaped for incident
+// bundles and the /debug/vaq/bundle listing.
+type Status struct {
+	Name       string    `json:"name"`
+	Firing     bool      `json:"firing"`
+	Fires      uint64    `json:"fires"`
+	Recoveries uint64    `json:"recoveries"`
+	LastEvent  time.Time `json:"last_event,omitempty"`
+}
+
+// Status snapshots the source.
+func (s *Source) Status() Status {
+	if s == nil {
+		return Status{}
+	}
+	st := Status{
+		Name:       s.name,
+		Firing:     s.firing.Load(),
+		Fires:      s.fires.Load(),
+		Recoveries: s.recoveries.Load(),
+	}
+	if ns := s.lastNs.Load(); ns != 0 {
+		st.LastEvent = time.Unix(0, ns)
+	}
+	return st
+}
+
+// historySize bounds the bus's event ring. Edges are rare (each needs a
+// recovery before the next breach), so 64 spans far more incident context
+// than any bundle needs.
+const historySize = 64
+
+// Bus is a registry of named alert sources plus the fan-out machinery:
+// a bounded event history, edge callbacks, and channel subscriptions.
+// One bus per index registry (metrics.IndexMetrics.Alerts). All methods
+// are safe for concurrent use and nil-safe.
+type Bus struct {
+	mu      sync.Mutex
+	sources map[string]*Source
+	order   []string
+	subs    map[int]chan Event
+	edgeFns map[int]func(Event)
+	nextID  int
+
+	seq     atomic.Uint64
+	history [historySize]atomic.Pointer[Event]
+	dropped atomic.Uint64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{
+		sources: make(map[string]*Source),
+		subs:    make(map[int]chan Event),
+		edgeFns: make(map[int]func(Event)),
+	}
+}
+
+// Source returns the named source, registering it on first use — the
+// register-or-get idiom lets detectors reconfigure (ConfigureSLO replacing
+// its state) without losing the source's firing history. A nil bus returns
+// a nil source, whose methods all no-op.
+func (b *Bus) Source(name string) *Source {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s, ok := b.sources[name]; ok {
+		return s
+	}
+	s := &Source{name: name, bus: b}
+	b.sources[name] = s
+	b.order = append(b.order, name)
+	return s
+}
+
+// Lookup returns the named source, or nil when it was never registered.
+func (b *Bus) Lookup(name string) *Source {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sources[name]
+}
+
+// Sources returns every registered source in registration order.
+func (b *Bus) Sources() []*Source {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*Source, len(b.order))
+	for i, name := range b.order {
+		out[i] = b.sources[name]
+	}
+	return out
+}
+
+// Snapshot returns every source's status in registration order.
+func (b *Bus) Snapshot() []Status {
+	srcs := b.Sources()
+	if srcs == nil {
+		return nil
+	}
+	out := make([]Status, len(srcs))
+	for i, s := range srcs {
+		out[i] = s.Status()
+	}
+	return out
+}
+
+// ResetAll re-arms every registered latch without emitting recovery edges —
+// the metrics.Reset hook: after the windows are zeroed, a persisting
+// condition fires (and triggers) again.
+func (b *Bus) ResetAll() {
+	if b == nil {
+		return
+	}
+	for _, s := range b.Sources() {
+		s.Reset()
+	}
+}
+
+// Subscribe returns a channel receiving every subsequent event and a cancel
+// function. The channel is buffered at buf (minimum 1) and sends never
+// block: when a subscriber falls behind, events are dropped for it (counted
+// bus-wide in DroppedEvents). The rebuild-loop shape: consumers poll state
+// via Snapshot after a wake-up rather than relying on lossless delivery.
+func (b *Bus) Subscribe(buf int) (<-chan Event, func()) {
+	if b == nil {
+		return nil, func() {}
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Event, buf)
+	b.mu.Lock()
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = ch
+	b.mu.Unlock()
+	return ch, func() {
+		b.mu.Lock()
+		delete(b.subs, id)
+		b.mu.Unlock()
+	}
+}
+
+// OnEdge registers a callback invoked on every subsequent event (breach and
+// recovery edges both; check Event.Firing) and returns a cancel function.
+// Callbacks run on the goroutine that observed the edge — the query path —
+// so they must be cheap and non-blocking (the flight recorder's callback is
+// one non-blocking channel send).
+func (b *Bus) OnEdge(fn func(Event)) func() {
+	if b == nil || fn == nil {
+		return func() {}
+	}
+	b.mu.Lock()
+	id := b.nextID
+	b.nextID++
+	b.edgeFns[id] = fn
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		delete(b.edgeFns, id)
+		b.mu.Unlock()
+	}
+}
+
+// History returns the retained events, oldest first (at most historySize;
+// older events fall off the ring).
+func (b *Bus) History() []Event {
+	if b == nil {
+		return nil
+	}
+	seq := b.seq.Load()
+	n := seq
+	if n > historySize {
+		n = historySize
+	}
+	out := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		// Oldest retained seq is seq-n+1; ring slot is (s-1) % historySize.
+		s := seq - n + 1 + i
+		ev := b.history[(s-1)%historySize].Load()
+		if ev != nil && ev.Seq == s {
+			out = append(out, *ev)
+		}
+	}
+	return out
+}
+
+// DroppedEvents reports how many events could not be delivered to some
+// subscriber channel (history and callbacks are never dropped).
+func (b *Bus) DroppedEvents() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.dropped.Load()
+}
+
+// publish files one edge: history ring, subscriber channels (non-blocking),
+// edge callbacks (outside the bus lock). Returns the assigned sequence
+// number.
+func (b *Bus) publish(source string, firing bool, at time.Time) uint64 {
+	seq := b.seq.Add(1)
+	ev := Event{Source: source, Firing: firing, Seq: seq, Time: at}
+	b.history[(seq-1)%historySize].Store(&ev)
+	b.mu.Lock()
+	var fns []func(Event)
+	for _, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+			b.dropped.Add(1)
+		}
+	}
+	if len(b.edgeFns) > 0 {
+		fns = make([]func(Event), 0, len(b.edgeFns))
+		for _, fn := range b.edgeFns {
+			fns = append(fns, fn)
+		}
+	}
+	b.mu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
+	return seq
+}

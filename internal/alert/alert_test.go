@@ -1,0 +1,240 @@
+package alert
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSourceEdgeLatch(t *testing.T) {
+	s := NewSource("vaq.test")
+	if s.Firing() {
+		t.Fatal("new source firing")
+	}
+	if !s.Set(true) {
+		t.Fatal("first Set(true) must report the breach edge")
+	}
+	if !s.Firing() {
+		t.Fatal("source not firing after breach")
+	}
+	for i := 0; i < 5; i++ {
+		if s.Set(true) {
+			t.Fatal("latched source re-fired")
+		}
+	}
+	if s.Set(false) {
+		t.Fatal("recovery reported as a breach edge")
+	}
+	if s.Firing() {
+		t.Fatal("source still firing after recovery")
+	}
+	if !s.Set(true) {
+		t.Fatal("re-armed source must fire again")
+	}
+	if got := s.Fires(); got != 2 {
+		t.Fatalf("Fires = %d, want 2", got)
+	}
+}
+
+func TestSourceResetRearmsWithoutRecoveryEvent(t *testing.T) {
+	b := NewBus()
+	s := b.Source("vaq.test")
+	s.Set(true)
+	s.Reset()
+	if s.Firing() {
+		t.Fatal("Reset did not re-arm")
+	}
+	if got := len(b.History()); got != 1 {
+		t.Fatalf("history after Reset has %d events, want 1 (no recovery edge)", got)
+	}
+	if !s.Set(true) {
+		t.Fatal("source must fire again after Reset")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Source
+	if s.Set(true) || s.Firing() || s.Fires() != 0 || s.Name() != "" {
+		t.Fatal("nil source must no-op")
+	}
+	s.Reset()
+	if st := s.Status(); st.Name != "" {
+		t.Fatal("nil source status not zero")
+	}
+	var b *Bus
+	if b.Source("x") != nil || b.Lookup("x") != nil || b.Sources() != nil || b.Snapshot() != nil {
+		t.Fatal("nil bus must return nils")
+	}
+	b.ResetAll()
+	if b.History() != nil || b.DroppedEvents() != 0 {
+		t.Fatal("nil bus history/drops not empty")
+	}
+	ch, cancel := b.Subscribe(4)
+	if ch != nil {
+		t.Fatal("nil bus Subscribe returned a channel")
+	}
+	cancel()
+	b.OnEdge(func(Event) {})()
+}
+
+func TestBusRegisterOrGet(t *testing.T) {
+	b := NewBus()
+	a1 := b.Source("vaq.a")
+	a2 := b.Source("vaq.a")
+	if a1 != a2 {
+		t.Fatal("Source must register-or-get, not duplicate")
+	}
+	b.Source("vaq.b")
+	srcs := b.Sources()
+	if len(srcs) != 2 || srcs[0].Name() != "vaq.a" || srcs[1].Name() != "vaq.b" {
+		t.Fatalf("Sources order wrong: %v", srcs)
+	}
+	if b.Lookup("vaq.b") == nil || b.Lookup("vaq.missing") != nil {
+		t.Fatal("Lookup wrong")
+	}
+}
+
+func TestBusHistoryAndSeq(t *testing.T) {
+	b := NewBus()
+	s := b.Source("vaq.test")
+	for i := 0; i < 3; i++ {
+		s.Set(true)
+		s.Set(false)
+	}
+	h := b.History()
+	if len(h) != 6 {
+		t.Fatalf("history has %d events, want 6", len(h))
+	}
+	for i, ev := range h {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if wantFiring := i%2 == 0; ev.Firing != wantFiring {
+			t.Fatalf("event %d firing=%v, want %v", i, ev.Firing, wantFiring)
+		}
+		if ev.Source != "vaq.test" {
+			t.Fatalf("event %d source %q", i, ev.Source)
+		}
+	}
+}
+
+func TestBusHistoryRingWraps(t *testing.T) {
+	b := NewBus()
+	s := b.Source("vaq.test")
+	total := historySize*2 + 10
+	for i := 0; i < total/2; i++ {
+		s.Set(true)
+		s.Set(false)
+	}
+	h := b.History()
+	if len(h) != historySize {
+		t.Fatalf("wrapped history has %d events, want %d", len(h), historySize)
+	}
+	want := uint64(total - historySize + 1)
+	for i, ev := range h {
+		if ev.Seq != want+uint64(i) {
+			t.Fatalf("wrapped event %d has seq %d, want %d", i, ev.Seq, want+uint64(i))
+		}
+	}
+}
+
+func TestSubscribeAndCancel(t *testing.T) {
+	b := NewBus()
+	s := b.Source("vaq.test")
+	ch, cancel := b.Subscribe(4)
+	s.Set(true)
+	ev := <-ch
+	if !ev.Firing || ev.Source != "vaq.test" {
+		t.Fatalf("subscriber got %+v", ev)
+	}
+	s.Set(false)
+	if ev := <-ch; ev.Firing {
+		t.Fatalf("expected recovery event, got %+v", ev)
+	}
+	cancel()
+	s.Set(true)
+	select {
+	case ev := <-ch:
+		t.Fatalf("cancelled subscriber got %+v", ev)
+	default:
+	}
+}
+
+func TestSubscribeNonBlockingDrops(t *testing.T) {
+	b := NewBus()
+	s := b.Source("vaq.test")
+	_, cancel := b.Subscribe(1)
+	defer cancel()
+	// Fill the buffer, then force drops: the publisher must never block.
+	s.Set(true)
+	s.Set(false)
+	s.Set(true)
+	if b.DroppedEvents() == 0 {
+		t.Fatal("expected dropped events on a full subscriber")
+	}
+}
+
+func TestOnEdgeCallback(t *testing.T) {
+	b := NewBus()
+	s := b.Source("vaq.test")
+	var mu sync.Mutex
+	var got []Event
+	cancel := b.OnEdge(func(ev Event) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	})
+	s.Set(true)
+	s.Set(false)
+	cancel()
+	s.Set(true)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || !got[0].Firing || got[1].Firing {
+		t.Fatalf("callback got %+v", got)
+	}
+}
+
+func TestConcurrentSetFiresExactlyOnce(t *testing.T) {
+	b := NewBus()
+	s := b.Source("vaq.test")
+	var edges atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if s.Set(true) {
+					edges.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := edges.Load(); got != 1 {
+		t.Fatalf("concurrent Set produced %d breach edges, want 1", got)
+	}
+	if s.Fires() != 1 {
+		t.Fatalf("Fires = %d, want 1", s.Fires())
+	}
+}
+
+func TestStatusCounts(t *testing.T) {
+	b := NewBus()
+	s := b.Source("vaq.test")
+	s.Set(true)
+	s.Set(false)
+	s.Set(true)
+	st := s.Status()
+	if st.Name != "vaq.test" || !st.Firing || st.Fires != 2 || st.Recoveries != 1 {
+		t.Fatalf("status %+v", st)
+	}
+	if st.LastEvent.IsZero() {
+		t.Fatal("status missing last event time")
+	}
+	snap := b.Snapshot()
+	if len(snap) != 1 || snap[0].Fires != 2 {
+		t.Fatalf("bus snapshot %+v", snap)
+	}
+}

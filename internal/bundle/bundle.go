@@ -1,0 +1,647 @@
+// Package bundle is the flight recorder behind the alert bus: while armed
+// it continuously keeps a low-overhead ring of recent context (windowed
+// metric snapshots here; query traces and sampled queries live in the
+// tracer and workload rings the index already maintains), and on any alert
+// breach edge — or a manual trigger — freezes that context into a
+// versioned incident bundle on disk. A bundle is one directory holding the
+// metrics snapshot (JSON and a Prometheus scrape), the recent/slow query
+// traces as a Chrome trace, the recent workload as a replayable .vaqwl log,
+// the per-index quality reports, runtime/heap stats, and a manifest tying
+// it together with config-fingerprint provenance and per-file sha256s.
+// The manifest is written last, so its presence marks a complete bundle —
+// the contract pollers and the vaqdiag validator rely on.
+//
+// The recorder never writes on the query path: alert edges arrive through
+// a non-blocking channel send and the bundle is assembled on the
+// recorder's own goroutine, after a short post-trigger delay that lets the
+// queries around the incident land in the workload ring first.
+package bundle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vaq/internal/alert"
+	"vaq/internal/diag"
+	"vaq/internal/metrics"
+	"vaq/internal/trace"
+	"vaq/internal/workload"
+)
+
+// FormatVersion identifies the incident-bundle layout (manifest fields,
+// canonical file set). Readers reject bundles from a future version.
+const FormatVersion = 1
+
+// ManifestName is the bundle's completion marker and integrity record; it
+// is always written last.
+const ManifestName = "manifest.json"
+
+// Config tunes a Recorder. Dir is required; everything else defaults.
+type Config struct {
+	// Dir is the directory incident bundles are written under (one
+	// subdirectory per bundle). Created on first use. A Recorder assumes
+	// it owns Dir's bundle-* entries.
+	Dir string
+	// SnapshotInterval is the cadence of the windowed metric-snapshot ring
+	// (default 2s).
+	SnapshotInterval time.Duration
+	// SnapshotWindow is how many windowed snapshots the ring keeps
+	// (default 32 — about a minute of context at the default interval).
+	SnapshotWindow int
+	// TriggerDelay is how long the recorder waits after an alert edge
+	// before freezing the bundle, so the queries around the incident reach
+	// the workload and trace rings first (default 1s; pending triggers are
+	// flushed without the remaining delay on Close).
+	TriggerDelay time.Duration
+	// MaxBundles caps alert-triggered bundles per Recorder lifetime
+	// (default 64) so a flapping alert cannot fill the disk; skipped
+	// triggers are counted in Status. Manual Trigger calls are not capped.
+	MaxBundles int
+	// WorkloadSampleRate and WorkloadRing shape the workload ring the
+	// index wiring (EnableFlightRecorder) installs when no capture is
+	// already attached: a ring over the newest WorkloadRing records,
+	// sampling at WorkloadSampleRate (defaults 4096 and 0.25). Ignored by
+	// the Recorder itself, which only consumes the assembled Log.
+	WorkloadSampleRate float64
+	// WorkloadRing is the ring capacity (see WorkloadSampleRate).
+	WorkloadRing int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 2 * time.Second
+	}
+	if c.SnapshotWindow <= 0 {
+		c.SnapshotWindow = 32
+	}
+	if c.TriggerDelay <= 0 {
+		c.TriggerDelay = time.Second
+	}
+	if c.MaxBundles <= 0 {
+		c.MaxBundles = 64
+	}
+	if c.WorkloadSampleRate <= 0 {
+		c.WorkloadSampleRate = 0.25
+	}
+	if c.WorkloadRing <= 0 {
+		c.WorkloadRing = 4096
+	}
+	return c
+}
+
+// Info identifies the index a Recorder watches — provenance stamped into
+// every manifest.
+type Info struct {
+	// Name is the index's published name (e.g. "vaqsearch_index").
+	Name string
+	// Fingerprint is the index's search-relevant config fingerprint.
+	Fingerprint string
+	// Shards is the shard count (0 = unsharded).
+	Shards int
+}
+
+// Hooks are the context providers a Recorder freezes into bundles. Metrics
+// is required; the function hooks may be nil or return nil when that
+// context is unavailable.
+type Hooks struct {
+	// Metrics is the index's telemetry registry (required).
+	Metrics *metrics.IndexMetrics
+	// Alerts is the bus whose breach edges trigger bundles (required for
+	// automatic triggering; Trigger still works without it).
+	Alerts *alert.Bus
+	// Tracer returns the active query tracer (nil = no trace context).
+	Tracer func() *trace.Tracer
+	// Workload returns a snapshot of the recent sampled queries (nil = no
+	// workload context).
+	Workload func() *workload.Log
+	// Reports returns the index-quality reports (one per shard; nil = no
+	// report context).
+	Reports func() []*diag.Report
+}
+
+// windowSnap is one entry of the windowed metric-snapshot ring.
+type windowSnap struct {
+	At       time.Time        `json:"at"`
+	Snapshot metrics.Snapshot `json:"snapshot"`
+}
+
+// Recorder is an armed flight recorder: a background goroutine keeping the
+// metric-snapshot ring and writing bundles on alert edges, plus a
+// synchronous manual-trigger path. Obtain one via New (or the index-level
+// EnableFlightRecorder wiring), stop it with Close.
+type Recorder struct {
+	cfg   Config
+	info  Info
+	hooks Hooks
+
+	armedAt    time.Time
+	cancelEdge func()
+	trig       chan alert.Event
+	stop       chan struct{}
+	done       chan struct{}
+	stopOnce   sync.Once
+
+	// writeMu serializes bundle writes (background vs manual trigger);
+	// snapMu guards the snapshot ring.
+	writeMu sync.Mutex
+	snapMu  sync.Mutex
+	snaps   []windowSnap
+
+	seq     atomic.Uint64
+	written atomic.Uint64
+	missed  atomic.Uint64 // edges dropped on a full trigger channel
+	skipped atomic.Uint64 // edges skipped past MaxBundles
+	errMu   sync.Mutex
+	lastErr error
+}
+
+// New arms a flight recorder: registers the edge trigger on hooks.Alerts,
+// seeds the snapshot ring, and starts the background goroutine. The caller
+// must Close it to flush pending triggers and release the goroutine.
+func New(cfg Config, info Info, hooks Hooks) (*Recorder, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("bundle: Config.Dir is required")
+	}
+	if hooks.Metrics == nil {
+		return nil, errors.New("bundle: Hooks.Metrics is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bundle: %w", err)
+	}
+	r := &Recorder{
+		cfg:     cfg.withDefaults(),
+		info:    info,
+		hooks:   hooks,
+		armedAt: time.Now(),
+		trig:    make(chan alert.Event, 16),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	r.snapshotNow()
+	if hooks.Alerts != nil {
+		// Breach edges only; recovery edges re-arm the latch but record no
+		// incident. The send must never block: it runs on the query path.
+		r.cancelEdge = hooks.Alerts.OnEdge(func(ev alert.Event) {
+			if !ev.Firing {
+				return
+			}
+			select {
+			case r.trig <- ev:
+			default:
+				r.missed.Add(1)
+			}
+		})
+	}
+	go r.run()
+	return r, nil
+}
+
+// run is the recorder goroutine: windowed snapshots on the ticker, bundle
+// writes on alert triggers, drain-and-exit on stop.
+func (r *Recorder) run() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.cfg.SnapshotInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			// Flush pending triggers without the post-trigger delay: on
+			// shutdown the context rings stop filling anyway.
+			for {
+				select {
+				case ev := <-r.trig:
+					r.handleEdge(ev, false)
+				default:
+					return
+				}
+			}
+		case ev := <-r.trig:
+			r.handleEdge(ev, true)
+		case <-ticker.C:
+			r.snapshotNow()
+		}
+	}
+}
+
+// handleEdge writes one alert-triggered bundle, honoring the MaxBundles
+// cap and (when delay is true) the remaining post-trigger delay.
+func (r *Recorder) handleEdge(ev alert.Event, delay bool) {
+	if r.written.Load() >= uint64(r.cfg.MaxBundles) {
+		r.skipped.Add(1)
+		return
+	}
+	if delay {
+		if remaining := r.cfg.TriggerDelay - time.Since(ev.Time); remaining > 0 {
+			select {
+			case <-time.After(remaining):
+			case <-r.stop:
+			}
+		}
+	}
+	if _, err := r.writeBundle(Trigger{
+		Source:   ev.Source,
+		Reason:   "alert",
+		AlertSeq: ev.Seq,
+		Time:     ev.Time,
+	}); err != nil {
+		r.setErr(err)
+	}
+}
+
+// snapshotNow appends one windowed metric snapshot, dropping the oldest
+// past SnapshotWindow.
+func (r *Recorder) snapshotNow() {
+	s := windowSnap{At: time.Now(), Snapshot: r.hooks.Metrics.Snapshot()}
+	r.snapMu.Lock()
+	r.snaps = append(r.snaps, s)
+	if len(r.snaps) > r.cfg.SnapshotWindow {
+		r.snaps = r.snaps[len(r.snaps)-r.cfg.SnapshotWindow:]
+	}
+	r.snapMu.Unlock()
+}
+
+// windowSnaps copies the current snapshot ring, oldest first.
+func (r *Recorder) windowSnaps() []windowSnap {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	return append([]windowSnap(nil), r.snaps...)
+}
+
+// Trigger synchronously writes one manual bundle (reason defaults to
+// "manual") and returns its manifest. Safe to call concurrently with the
+// automatic path and from HTTP handlers — never from the query path, since
+// assembling a bundle takes the index read lock (Diagnose).
+func (r *Recorder) Trigger(reason string) (*Manifest, error) {
+	if r == nil {
+		return nil, errors.New("bundle: no recorder armed")
+	}
+	if reason == "" {
+		reason = "manual"
+	}
+	return r.writeBundle(Trigger{Source: "manual", Reason: reason, Time: time.Now()})
+}
+
+// Close detaches the edge trigger, flushes pending alert bundles, stops
+// the background goroutine, and returns the last write error (nil when
+// every bundle landed). Idempotent.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.stopOnce.Do(func() {
+		if r.cancelEdge != nil {
+			r.cancelEdge()
+		}
+		close(r.stop)
+	})
+	<-r.done
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.lastErr
+}
+
+func (r *Recorder) setErr(err error) {
+	r.errMu.Lock()
+	r.lastErr = err
+	r.errMu.Unlock()
+}
+
+// Status is the recorder's point-in-time state, served by the
+// /debug/vaq/bundle endpoint and printed by vaqdiag.
+type Status struct {
+	Index           string         `json:"index"`
+	Dir             string         `json:"dir"`
+	Fingerprint     string         `json:"fingerprint,omitempty"`
+	Shards          int            `json:"shards,omitempty"`
+	ArmedAt         time.Time      `json:"armed_at"`
+	BundlesWritten  uint64         `json:"bundles_written"`
+	TriggersMissed  uint64         `json:"triggers_missed,omitempty"`
+	TriggersSkipped uint64         `json:"triggers_skipped,omitempty"`
+	LastError       string         `json:"last_error,omitempty"`
+	Alerts          []alert.Status `json:"alerts,omitempty"`
+}
+
+// Status snapshots the recorder.
+func (r *Recorder) Status() Status {
+	if r == nil {
+		return Status{}
+	}
+	st := Status{
+		Index:           r.info.Name,
+		Dir:             r.cfg.Dir,
+		Fingerprint:     r.info.Fingerprint,
+		Shards:          r.info.Shards,
+		ArmedAt:         r.armedAt,
+		BundlesWritten:  r.written.Load(),
+		TriggersMissed:  r.missed.Load(),
+		TriggersSkipped: r.skipped.Load(),
+		Alerts:          r.hooks.Alerts.Snapshot(),
+	}
+	r.errMu.Lock()
+	if r.lastErr != nil {
+		st.LastError = r.lastErr.Error()
+	}
+	r.errMu.Unlock()
+	return st
+}
+
+// Dir reports the recorder's bundle directory.
+func (r *Recorder) Dir() string {
+	if r == nil {
+		return ""
+	}
+	return r.cfg.Dir
+}
+
+// Trigger describes what froze a bundle: the alert source name (or
+// "manual"), the bus sequence number of the breach edge, and its time.
+type Trigger struct {
+	Source   string    `json:"source"`
+	Reason   string    `json:"reason,omitempty"`
+	AlertSeq uint64    `json:"alert_seq,omitempty"`
+	Time     time.Time `json:"time"`
+}
+
+// File is one bundle member's integrity record.
+type File struct {
+	Name   string `json:"name"`
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest is the bundle's completion marker: format version, index
+// provenance, the trigger, and the integrity records of every other file
+// in the bundle, in canonical write order. Field order here is the
+// canonical serialization order (like the .vaqwl codec, the manifest is
+// versioned and its layout is part of the format).
+type Manifest struct {
+	FormatVersion   int       `json:"format_version"`
+	Index           string    `json:"index"`
+	Fingerprint     string    `json:"fingerprint,omitempty"`
+	Shards          int       `json:"shards,omitempty"`
+	Seq             uint64    `json:"seq"`
+	Trigger         Trigger   `json:"trigger"`
+	CreatedAt       time.Time `json:"created_at"`
+	GoVersion       string    `json:"go_version"`
+	WorkloadRecords int       `json:"workload_records"`
+	Files           []File    `json:"files"`
+
+	// Dir is where the manifest was loaded from (filled by List/Validate,
+	// never serialized).
+	Dir string `json:"-"`
+}
+
+// runtimeInfo is the runtime.json payload: enough process state to read an
+// incident without the process.
+type runtimeInfo struct {
+	GoVersion   string    `json:"go_version"`
+	GOOS        string    `json:"goos"`
+	GOARCH      string    `json:"goarch"`
+	NumCPU      int       `json:"num_cpu"`
+	GOMAXPROCS  int       `json:"gomaxprocs"`
+	Goroutines  int       `json:"goroutines"`
+	HeapAlloc   uint64    `json:"heap_alloc"`
+	HeapSys     uint64    `json:"heap_sys"`
+	HeapObjects uint64    `json:"heap_objects"`
+	TotalAlloc  uint64    `json:"total_alloc"`
+	NumGC       uint32    `json:"num_gc"`
+	PauseTotal  uint64    `json:"pause_total_ns"`
+	CapturedAt  time.Time `json:"captured_at"`
+}
+
+// alertsFile is the alerts.json payload.
+type alertsFile struct {
+	Sources []alert.Status `json:"sources"`
+	History []alert.Event  `json:"history,omitempty"`
+	Dropped uint64         `json:"dropped_events,omitempty"`
+}
+
+// sanitizeSource maps an alert source name onto a directory-name-safe
+// token.
+func sanitizeSource(s string) string {
+	if s == "" {
+		return "manual"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '-'
+	}, s)
+}
+
+// writeBundle freezes the current context into one bundle directory and
+// returns its manifest. Serialized on writeMu so automatic and manual
+// triggers never interleave inside a directory.
+func (r *Recorder) writeBundle(trig Trigger) (*Manifest, error) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+
+	// Claim a fresh directory; skip over leftovers from a previous process
+	// writing into the same Dir.
+	var dir string
+	var seq uint64
+	for {
+		seq = r.seq.Add(1)
+		dir = filepath.Join(r.cfg.Dir, fmt.Sprintf("bundle-%06d-%s", seq, sanitizeSource(trig.Source)))
+		if _, err := os.Stat(dir); os.IsNotExist(err) {
+			break
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bundle: %w", err)
+	}
+
+	man := &Manifest{
+		FormatVersion: FormatVersion,
+		Index:         r.info.Name,
+		Fingerprint:   r.info.Fingerprint,
+		Shards:        r.info.Shards,
+		Seq:           seq,
+		Trigger:       trig,
+		CreatedAt:     time.Now(),
+		GoVersion:     runtime.Version(),
+		Dir:           dir,
+	}
+
+	add := func(name string, fn func(io.Writer) error) error {
+		f, err := writeHashedFile(dir, name, fn)
+		if err != nil {
+			return fmt.Errorf("bundle: %s: %w", name, err)
+		}
+		man.Files = append(man.Files, f)
+		return nil
+	}
+
+	// Canonical member order (documented in DESIGN.md): metrics.json,
+	// metrics_window.json, metrics.prom, alerts.json, traces.json,
+	// workload.vaqwl, report.json, runtime.json — optional members are
+	// skipped, never written empty.
+	if err := add("metrics.json", func(w io.Writer) error {
+		return writeJSON(w, r.hooks.Metrics.Snapshot())
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("metrics_window.json", func(w io.Writer) error {
+		return writeJSON(w, r.windowSnaps())
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("metrics.prom", func(w io.Writer) error {
+		if err := metrics.WritePrometheusFor(w, r.info.Name, r.hooks.Metrics); err != nil {
+			return err
+		}
+		return metrics.WriteRuntimeMetrics(w)
+	}); err != nil {
+		return nil, err
+	}
+	if r.hooks.Alerts != nil {
+		if err := add("alerts.json", func(w io.Writer) error {
+			return writeJSON(w, alertsFile{
+				Sources: r.hooks.Alerts.Snapshot(),
+				History: r.hooks.Alerts.History(),
+				Dropped: r.hooks.Alerts.DroppedEvents(),
+			})
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if r.hooks.Tracer != nil {
+		if tr := r.hooks.Tracer(); tr != nil {
+			qts := recentAndSlowest(tr)
+			if len(qts) > 0 {
+				if err := add("traces.json", func(w io.Writer) error {
+					return trace.WriteChromeTrace(w, qts)
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if r.hooks.Workload != nil {
+		if log := r.hooks.Workload(); log != nil {
+			man.WorkloadRecords = len(log.Records)
+			if err := add("workload.vaqwl", func(w io.Writer) error {
+				_, err := log.WriteTo(w)
+				return err
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.hooks.Reports != nil {
+		if reps := r.hooks.Reports(); len(reps) > 0 {
+			if err := add("report.json", func(w io.Writer) error {
+				return writeJSON(w, reps)
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := add("runtime.json", func(w io.Writer) error {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return writeJSON(w, runtimeInfo{
+			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			NumCPU:      runtime.NumCPU(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Goroutines:  runtime.NumGoroutine(),
+			HeapAlloc:   ms.HeapAlloc,
+			HeapSys:     ms.HeapSys,
+			HeapObjects: ms.HeapObjects,
+			TotalAlloc:  ms.TotalAlloc,
+			NumGC:       ms.NumGC,
+			PauseTotal:  ms.PauseTotalNs,
+			CapturedAt:  time.Now(),
+		})
+	}); err != nil {
+		return nil, err
+	}
+
+	// The manifest lands last: its presence marks the bundle complete.
+	if _, err := writeHashedFile(dir, ManifestName, func(w io.Writer) error {
+		return writeJSON(w, man)
+	}); err != nil {
+		return nil, fmt.Errorf("bundle: %s: %w", ManifestName, err)
+	}
+	r.written.Add(1)
+	return man, nil
+}
+
+// recentAndSlowest merges the tracer's recent ring with its slowest-query
+// ring, deduplicated, in trace-sequence order.
+func recentAndSlowest(tr *trace.Tracer) []*trace.QueryTrace {
+	recent := tr.Recent()
+	slow, _ := tr.Slowest()
+	seen := make(map[*trace.QueryTrace]struct{}, len(recent)+len(slow))
+	out := make([]*trace.QueryTrace, 0, len(recent)+len(slow))
+	for _, qt := range recent {
+		if _, ok := seen[qt]; !ok {
+			seen[qt] = struct{}{}
+			out = append(out, qt)
+		}
+	}
+	for _, qt := range slow {
+		if _, ok := seen[qt]; !ok {
+			seen[qt] = struct{}{}
+			out = append(out, qt)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// writeJSON writes indented JSON — bundles are read by humans first.
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// writeHashedFile writes one bundle member, returning its integrity
+// record.
+func writeHashedFile(dir, name string, fn func(io.Writer) error) (File, error) {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return File{}, err
+	}
+	h := sha256.New()
+	cw := &countWriter{w: io.MultiWriter(f, h)}
+	werr := fn(cw)
+	cerr := f.Close()
+	if werr != nil {
+		return File{}, werr
+	}
+	if cerr != nil {
+		return File{}, cerr
+	}
+	return File{Name: name, Bytes: cw.n, SHA256: hex.EncodeToString(h.Sum(nil))}, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

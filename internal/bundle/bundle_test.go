@@ -1,0 +1,331 @@
+package bundle
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vaq/internal/diag"
+	"vaq/internal/metrics"
+	"vaq/internal/workload"
+)
+
+// testRecorder arms a recorder over a fresh metrics registry, alert bus,
+// and a small pre-filled workload ring.
+func testRecorder(t *testing.T, cfg Config) (*Recorder, *metrics.IndexMetrics) {
+	t.Helper()
+	m := metrics.NewSized(5, 4)
+	m.RecordSearch(metrics.SearchRecord{CodesConsidered: 64, Lookups: 10}, 120*time.Microsecond)
+	cap := workload.NewCapture(workload.Config{
+		MaxRecords: 8, Ring: true, Fingerprint: "cafe0123", Dim: 2,
+	})
+	for i := 0; i < 12; i++ {
+		cap.Add(&workload.Record{
+			K: 10, Query: []float32{float32(i), 1},
+			IDs: []int32{int32(i)}, Dists: []float32{0.5},
+		})
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	rec, err := New(cfg, Info{Name: "test_index", Fingerprint: "cafe0123", Shards: 0}, Hooks{
+		Metrics:  m,
+		Alerts:   m.Alerts(),
+		Workload: cap.Snapshot,
+		Reports: func() []*diag.Report {
+			return []*diag.Report{{N: 100, Dim: 2, Subspaces: make([]diag.SubspaceReport, 1)}}
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { rec.Close() }) //nolint:errcheck // already-closed is fine
+	return rec, m
+}
+
+func TestManualTriggerWritesValidBundle(t *testing.T) {
+	rec, _ := testRecorder(t, Config{})
+	man, err := rec.Trigger("unit-test")
+	if err != nil {
+		t.Fatalf("Trigger: %v", err)
+	}
+	if man.FormatVersion != FormatVersion {
+		t.Fatalf("manifest version = %d, want %d", man.FormatVersion, FormatVersion)
+	}
+	if man.Trigger.Source != "manual" || man.Trigger.Reason != "unit-test" {
+		t.Fatalf("trigger = %+v", man.Trigger)
+	}
+	if man.WorkloadRecords != 8 {
+		t.Fatalf("WorkloadRecords = %d, want 8 (ring capacity)", man.WorkloadRecords)
+	}
+	// The canonical member set for a recorder with workload + report hooks
+	// but no tracer.
+	want := []string{"metrics.json", "metrics_window.json", "metrics.prom",
+		"alerts.json", "workload.vaqwl", "report.json", "runtime.json"}
+	if len(man.Files) != len(want) {
+		t.Fatalf("members = %v", man.Files)
+	}
+	for i, f := range man.Files {
+		if f.Name != want[i] {
+			t.Fatalf("member %d = %q, want %q (canonical order)", i, f.Name, want[i])
+		}
+		if f.Bytes <= 0 || len(f.SHA256) != 64 {
+			t.Fatalf("member %q integrity record incomplete: %+v", f.Name, f)
+		}
+	}
+	got, err := Validate(man.Dir)
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got.Seq != man.Seq || got.Fingerprint != "cafe0123" {
+		t.Fatalf("Validate returned %+v", got)
+	}
+}
+
+func TestAlertEdgeWritesExactlyOneBundle(t *testing.T) {
+	rec, m := testRecorder(t, Config{TriggerDelay: time.Millisecond})
+	src := m.Alerts().Source("vaq.skew")
+	// Repeated breaches while latched must not re-trigger.
+	for i := 0; i < 5; i++ {
+		src.Set(true)
+	}
+	waitFor(t, func() bool { return rec.Status().BundlesWritten == 1 })
+	// Recovery re-arms; the next breach is a second incident.
+	src.Set(false)
+	src.Set(true)
+	waitFor(t, func() bool { return rec.Status().BundlesWritten == 2 })
+
+	mans, err := List(rec.Dir())
+	if err != nil || len(mans) != 2 {
+		t.Fatalf("List = %v, %v (want 2 bundles)", mans, err)
+	}
+	for _, man := range mans {
+		if man.Trigger.Source != "vaq.skew" || man.Trigger.Reason != "alert" {
+			t.Fatalf("trigger = %+v", man.Trigger)
+		}
+		if _, err := Validate(man.Dir); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+	}
+	if mans[0].Seq >= mans[1].Seq {
+		t.Fatalf("List order: seqs %d, %d", mans[0].Seq, mans[1].Seq)
+	}
+}
+
+func TestRecoveryEdgeDoesNotTrigger(t *testing.T) {
+	rec, m := testRecorder(t, Config{TriggerDelay: time.Millisecond})
+	src := m.Alerts().Source("vaq.slo.latency")
+	src.Set(true)
+	waitFor(t, func() bool { return rec.Status().BundlesWritten == 1 })
+	src.Set(false)
+	time.Sleep(20 * time.Millisecond)
+	if got := rec.Status().BundlesWritten; got != 1 {
+		t.Fatalf("recovery edge wrote a bundle: %d written", got)
+	}
+}
+
+func TestMaxBundlesCapsAlertTriggers(t *testing.T) {
+	rec, m := testRecorder(t, Config{TriggerDelay: time.Millisecond, MaxBundles: 2})
+	src := m.Alerts().Source("vaq.skew")
+	for i := 0; i < 4; i++ {
+		src.Set(true)
+		waitFor(t, func() bool {
+			st := rec.Status()
+			return st.BundlesWritten+st.TriggersSkipped == uint64(i+1)
+		})
+		src.Set(false)
+	}
+	st := rec.Status()
+	if st.BundlesWritten != 2 || st.TriggersSkipped != 2 {
+		t.Fatalf("written %d skipped %d, want 2/2", st.BundlesWritten, st.TriggersSkipped)
+	}
+	// Manual triggers bypass the cap.
+	if _, err := rec.Trigger(""); err != nil {
+		t.Fatalf("manual Trigger past cap: %v", err)
+	}
+}
+
+func TestCloseFlushesPendingTriggers(t *testing.T) {
+	// A long TriggerDelay would hold the bundle for 10s; Close must flush
+	// it immediately instead.
+	rec, m := testRecorder(t, Config{TriggerDelay: 10 * time.Second})
+	m.Alerts().Source("vaq.skew").Set(true)
+	start := time.Now()
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("Close took %v, should flush without the trigger delay", d)
+	}
+	mans, err := List(rec.Dir())
+	if err != nil || len(mans) != 1 {
+		t.Fatalf("List after Close = %v, %v (want the flushed bundle)", mans, err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	rec, _ := testRecorder(t, Config{})
+	man, err := rec.Trigger("corrupt-me")
+	if err != nil {
+		t.Fatalf("Trigger: %v", err)
+	}
+	path := filepath.Join(man.Dir, "metrics.json")
+	if err := os.WriteFile(path, []byte(`{"tampered":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(man.Dir); err == nil || !strings.Contains(err.Error(), "metrics.json") {
+		t.Fatalf("Validate on tampered bundle = %v, want metrics.json error", err)
+	}
+}
+
+func TestValidateRejectsFutureVersion(t *testing.T) {
+	rec, _ := testRecorder(t, Config{})
+	man, err := rec.Trigger("")
+	if err != nil {
+		t.Fatalf("Trigger: %v", err)
+	}
+	raw, _ := os.ReadFile(filepath.Join(man.Dir, ManifestName))
+	var loose map[string]any
+	if err := json.Unmarshal(raw, &loose); err != nil {
+		t.Fatal(err)
+	}
+	loose["format_version"] = FormatVersion + 1
+	raw, _ = json.Marshal(loose)
+	if err := os.WriteFile(filepath.Join(man.Dir, ManifestName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(man.Dir); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("Validate on future version = %v, want version error", err)
+	}
+}
+
+func TestListSkipsIncompleteBundles(t *testing.T) {
+	rec, _ := testRecorder(t, Config{})
+	if _, err := rec.Trigger(""); err != nil {
+		t.Fatal(err)
+	}
+	// A bundle mid-write has members but no manifest yet.
+	incomplete := filepath.Join(rec.Dir(), "bundle-999999-vaq.skew")
+	if err := os.MkdirAll(incomplete, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(incomplete, "metrics.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mans, err := List(rec.Dir())
+	if err != nil || len(mans) != 1 {
+		t.Fatalf("List = %d manifests, %v (want 1, incomplete skipped)", len(mans), err)
+	}
+}
+
+func TestConcurrentTriggerAndSnapshot(t *testing.T) {
+	rec, m := testRecorder(t, Config{TriggerDelay: time.Millisecond, SnapshotInterval: time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := rec.Trigger("race"); err != nil {
+					t.Errorf("Trigger: %v", err)
+				}
+				m.RecordSearch(metrics.SearchRecord{CodesConsidered: 32}, time.Duration(g+1)*time.Microsecond)
+				m.Alerts().Source("vaq.skew").Set(i%2 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	mans, err := List(rec.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mans) < 20 {
+		t.Fatalf("only %d bundles after 20 manual triggers", len(mans))
+	}
+	seen := map[uint64]bool{}
+	for _, man := range mans {
+		if seen[man.Seq] {
+			t.Fatalf("duplicate bundle seq %d", man.Seq)
+		}
+		seen[man.Seq] = true
+		if _, err := Validate(man.Dir); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+	}
+}
+
+func TestSanitizeSource(t *testing.T) {
+	for in, want := range map[string]string{
+		"vaq.skew":        "vaq.skew",
+		"vaq.slo.latency": "vaq.slo.latency",
+		"":                "manual",
+		"weird/../name":   "weird-..-name",
+		"a b\tc":          "a-b-c",
+	} {
+		if got := sanitizeSource(in); got != want {
+			t.Errorf("sanitizeSource(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPublishEndpoint(t *testing.T) {
+	rec, _ := testRecorder(t, Config{})
+	Publish("ep_index", rec)
+	defer Publish("ep_index", nil)
+
+	// ?trigger=1 writes a manual bundle and the response lists it.
+	req := httptest.NewRequest("GET", "/debug/vaq/bundle?index=ep_index&trigger=1&reason=ep-test", nil)
+	w := httptest.NewRecorder()
+	handleBundle(w, req)
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var views map[string]indexView
+	if err := json.Unmarshal(w.Body.Bytes(), &views); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	view, ok := views["ep_index"]
+	if !ok {
+		t.Fatalf("response missing ep_index: %v", views)
+	}
+	if view.Status.Index != "test_index" || view.Status.BundlesWritten != 1 {
+		t.Fatalf("status = %+v", view.Status)
+	}
+	if len(view.Bundles) != 1 || view.Bundles[0].Trigger.Reason != "ep-test" {
+		t.Fatalf("bundles = %+v", view.Bundles)
+	}
+
+	// Unknown names 404; removed names too.
+	w = httptest.NewRecorder()
+	handleBundle(w, httptest.NewRequest("GET", "/debug/vaq/bundle?index=nope", nil))
+	if w.Code != 404 {
+		t.Fatalf("unknown index: status %d", w.Code)
+	}
+	Publish("ep_index", nil)
+	w = httptest.NewRecorder()
+	handleBundle(w, httptest.NewRequest("GET", "/debug/vaq/bundle?index=ep_index", nil))
+	if w.Code != 404 {
+		t.Fatalf("removed index: status %d", w.Code)
+	}
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

@@ -1,0 +1,86 @@
+package bundle
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// The process-wide recorder registry behind /debug/vaq/bundle, mirroring
+// the report registry in internal/diag: Publish rebinds an existing name
+// instead of erroring, so index reloads and tests stay simple.
+var recorders sync.Map // name -> *Recorder
+
+// Publish registers rec under name for the /debug/vaq/bundle handler
+// (installed on http.DefaultServeMux at package init — metrics.ServeDebug
+// serves that mux). Publishing a nil recorder removes the name.
+func Publish(name string, rec *Recorder) {
+	if rec == nil {
+		recorders.Delete(name)
+		return
+	}
+	recorders.Store(name, rec)
+}
+
+func init() {
+	http.HandleFunc("/debug/vaq/bundle", handleBundle)
+}
+
+// indexView is one published recorder's slice of the endpoint response:
+// its live status plus the manifests of the bundles under its directory.
+type indexView struct {
+	Status  Status      `json:"status"`
+	Bundles []*Manifest `json:"bundles"`
+}
+
+// handleBundle serves the registered flight recorders. Query parameters:
+//
+//	?index=X     only the recorder published as X (default: all)
+//	?trigger=1   write a manual bundle on each selected recorder first
+//	             (?reason=... names it); the response then includes it
+func handleBundle(w http.ResponseWriter, r *http.Request) {
+	wantName := r.URL.Query().Get("index")
+	var names []string
+	recorders.Range(func(k, _ any) bool {
+		if wantName == "" || k.(string) == wantName {
+			names = append(names, k.(string))
+		}
+		return true
+	})
+	sort.Strings(names)
+	if wantName != "" && len(names) == 0 {
+		http.Error(w, fmt.Sprintf("no flight recorder published as %q", wantName), http.StatusNotFound)
+		return
+	}
+	trigger := r.URL.Query().Get("trigger") != ""
+	reason := r.URL.Query().Get("reason")
+	if reason == "" {
+		reason = "http"
+	}
+	views := make(map[string]indexView, len(names))
+	for _, name := range names {
+		v, ok := recorders.Load(name)
+		if !ok {
+			continue
+		}
+		rec := v.(*Recorder)
+		if trigger {
+			if _, err := rec.Trigger(reason); err != nil {
+				http.Error(w, fmt.Sprintf("trigger %q: %v", name, err), http.StatusInternalServerError)
+				return
+			}
+		}
+		mans, err := List(rec.Dir())
+		if err != nil {
+			http.Error(w, fmt.Sprintf("list %q: %v", name, err), http.StatusInternalServerError)
+			return
+		}
+		views[name] = indexView{Status: rec.Status(), Bundles: mans}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(views) //nolint:errcheck // best-effort HTTP body
+}

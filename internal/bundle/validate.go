@@ -1,0 +1,135 @@
+package bundle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vaq/internal/workload"
+)
+
+// Validate checks one bundle directory end to end: the manifest parses and
+// its format version is known, every listed member exists with the
+// recorded byte count and sha256, every .json member is well-formed JSON,
+// and the workload log (when present) decodes and carries exactly the
+// record count the manifest claims. Returns the manifest (Dir filled) on
+// success; the first failure is returned as an error naming the member.
+func Validate(dir string) (*Manifest, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man.FormatVersion > FormatVersion {
+		return nil, fmt.Errorf("bundle %s: format version %d is newer than supported %d",
+			dir, man.FormatVersion, FormatVersion)
+	}
+	if man.FormatVersion < 1 {
+		return nil, fmt.Errorf("bundle %s: bad format version %d", dir, man.FormatVersion)
+	}
+	for _, f := range man.Files {
+		if f.Name == ManifestName || strings.ContainsAny(f.Name, "/\\") {
+			return nil, fmt.Errorf("bundle %s: illegal member name %q", dir, f.Name)
+		}
+		path := filepath.Join(dir, f.Name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("bundle %s: %w", dir, err)
+		}
+		if int64(len(data)) != f.Bytes {
+			return nil, fmt.Errorf("bundle %s: %s: %d bytes, manifest says %d",
+				dir, f.Name, len(data), f.Bytes)
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != f.SHA256 {
+			return nil, fmt.Errorf("bundle %s: %s: sha256 mismatch (got %s, manifest says %s)",
+				dir, f.Name, got, f.SHA256)
+		}
+		if strings.HasSuffix(f.Name, ".json") && !json.Valid(data) {
+			return nil, fmt.Errorf("bundle %s: %s: invalid JSON", dir, f.Name)
+		}
+		if f.Name == "workload.vaqwl" {
+			log, err := workload.LoadLog(path)
+			if err != nil {
+				return nil, fmt.Errorf("bundle %s: %s: %w", dir, f.Name, err)
+			}
+			if len(log.Records) != man.WorkloadRecords {
+				return nil, fmt.Errorf("bundle %s: %s: %d records, manifest says %d",
+					dir, f.Name, len(log.Records), man.WorkloadRecords)
+			}
+			if man.Fingerprint != "" && log.Fingerprint != man.Fingerprint {
+				return nil, fmt.Errorf("bundle %s: %s: fingerprint %s, manifest says %s",
+					dir, f.Name, log.Fingerprint, man.Fingerprint)
+			}
+		}
+	}
+	return man, nil
+}
+
+// readManifest loads and parses dir's manifest without member checks.
+func readManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("bundle %s: %w", dir, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("bundle %s: %s: %w", dir, ManifestName, err)
+	}
+	man.Dir = dir
+	return &man, nil
+}
+
+// List loads the manifests of every complete bundle directly under root
+// (directories holding a manifest.json; incomplete or foreign directories
+// are skipped), ordered by sequence then creation time. Manifests are read
+// but not integrity-checked — use Validate per bundle for that.
+func List(root string) ([]*Manifest, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []*Manifest
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		man, err := readManifest(filepath.Join(root, e.Name()))
+		if err != nil {
+			continue
+		}
+		out = append(out, man)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Seq != out[b].Seq {
+			return out[a].Seq < out[b].Seq
+		}
+		return out[a].CreatedAt.Before(out[b].CreatedAt)
+	})
+	return out, nil
+}
+
+// Fprint writes a human-readable one-bundle summary, the vaqdiag -bundle
+// text rendering.
+func (m *Manifest) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "bundle %s\n", m.Dir)
+	fmt.Fprintf(w, "  format v%d  seq %d  created %s\n",
+		m.FormatVersion, m.Seq, m.CreatedAt.Format("2006-01-02T15:04:05Z07:00"))
+	fmt.Fprintf(w, "  index %q  fingerprint %s  shards %d  %s\n",
+		m.Index, m.Fingerprint, m.Shards, m.GoVersion)
+	fmt.Fprintf(w, "  trigger %s (%s) alert_seq %d at %s\n",
+		m.Trigger.Source, m.Trigger.Reason, m.Trigger.AlertSeq,
+		m.Trigger.Time.Format("15:04:05.000"))
+	fmt.Fprintf(w, "  workload records %d\n", m.WorkloadRecords)
+	for _, f := range m.Files {
+		fmt.Fprintf(w, "  %-20s %8d bytes  sha256 %s\n", f.Name, f.Bytes, f.SHA256[:16])
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vaq/internal/alert"
+	"vaq/internal/metrics"
+)
+
+// TestAlertLatchBreachRecoverRearm drives each of the three production
+// alert latches — vaq.drift (quantization drift on Add), vaq.skew
+// (windowed shard skew), vaq.slo.latency (latency error budget) — through
+// the full latch lifecycle on the shared alert bus: breach fires exactly
+// one edge no matter how many observations stay in breach, recovery
+// re-arms it (counted), a registry Reset re-arms it WITHOUT counting a
+// recovery, and a re-breach after either re-arm fires a fresh edge. Before
+// the shared alert.Source each implementation hand-rolled its own CAS
+// latch; this table is the regression net across all three.
+func TestAlertLatchBreachRecoverRearm(t *testing.T) {
+	cases := []struct {
+		name   string
+		source string
+		// setup returns the bus plus the three drivers: breach pushes
+		// real traffic until the latch fires (and keeps breaching when
+		// called while latched), recover pushes traffic until it clears,
+		// reset re-arms through the registry Reset path.
+		setup func(t *testing.T) (bus *alert.Bus, breach, recover, reset func())
+	}{
+		{
+			name:   "drift",
+			source: "vaq.drift",
+			setup: func(t *testing.T) (*alert.Bus, func(), func(), func()) {
+				rng := rand.New(rand.NewSource(907))
+				x := skewedData(rng, 1600, 24, 1.2)
+				ix, err := Build(x, x, Config{
+					NumSubspaces: 8, Budget: 48, Seed: 907, TIClusters: 30,
+					DriftAlertRatio: 1.5,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				bus := ix.Metrics().Alerts()
+				src := bus.Source("vaq.drift")
+				breach := func() {
+					for i := 0; i < 16 && !src.Firing(); i++ {
+						shifted := skewedData(rng, 400, 24, 1.2)
+						for j := range shifted.Data {
+							shifted.Data[j] = shifted.Data[j]*10 + 5
+						}
+						if _, err := ix.Add(shifted); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if !src.Firing() {
+						// Already-latched calls land here too; one more
+						// in-breach batch proves re-observation is edge-free.
+						t.Fatal("drift latch did not fire after 16 shifted batches")
+					}
+				}
+				recover := func() {
+					// In-distribution batches decay the EWMA back toward the
+					// baseline (alpha ~0.28 per 400-vector batch).
+					for i := 0; i < 50 && src.Firing(); i++ {
+						if _, err := ix.Add(skewedData(rng, 400, 24, 1.2)); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if src.Firing() {
+						t.Fatal("drift latch did not recover after 50 in-distribution batches")
+					}
+				}
+				return bus, breach, recover, func() { ix.Metrics().Reset() }
+			},
+		},
+		{
+			name:   "skew",
+			source: "vaq.skew",
+			setup: func(t *testing.T) (*alert.Bus, func(), func(), func()) {
+				m := metrics.NewSized(3, 2)
+				m.ConfigureSharded(metrics.ShardedConfig{
+					Shards: 2, Window: 2, SkewAlertRatio: 1.5,
+				}, nil)
+				bus := m.Alerts()
+				src := bus.Source("vaq.skew")
+				breach := func() {
+					// Ratio 1900*2/2000 = 1.9 per query fills the 2-wide
+					// window above the 1.5 threshold.
+					for i := 0; i < 4 && !src.Firing(); i++ {
+						m.RecordScatter(metrics.ScatterRecord{ShardLatencyNs: []int64{100, 1900}})
+					}
+					if !src.Firing() {
+						t.Fatal("skew latch did not fire")
+					}
+				}
+				recover := func() {
+					for i := 0; i < 4 && src.Firing(); i++ {
+						m.RecordScatter(metrics.ScatterRecord{ShardLatencyNs: []int64{1000, 1000}})
+					}
+					if src.Firing() {
+						t.Fatal("skew latch did not recover on balanced scatters")
+					}
+				}
+				return bus, breach, recover, func() { m.Reset() }
+			},
+		},
+		{
+			name:   "slo-latency",
+			source: "vaq.slo.latency",
+			setup: func(t *testing.T) (*alert.Bus, func(), func(), func()) {
+				m := metrics.New()
+				m.ConfigureSLO(metrics.SLO{LatencyTarget: time.Millisecond, Window: 8}, nil)
+				bus := m.Alerts()
+				src := bus.Source("vaq.slo.latency")
+				breach := func() {
+					// Tiny windows allow one violation; the second exhausts
+					// the budget.
+					for i := 0; i < 4 && !src.Firing(); i++ {
+						m.RecordSearch(metrics.SearchRecord{}, 2*time.Millisecond)
+					}
+					if !src.Firing() {
+						t.Fatal("slo latch did not fire")
+					}
+				}
+				recover := func() {
+					// Fast queries overwrite the violation slots in the
+					// 8-wide ring, restoring the budget.
+					for i := 0; i < 16 && src.Firing(); i++ {
+						m.RecordSearch(metrics.SearchRecord{}, time.Microsecond)
+					}
+					if src.Firing() {
+						t.Fatal("slo latch did not recover on fast queries")
+					}
+				}
+				return bus, breach, recover, func() { m.Reset() }
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bus, breach, recover, reset := tc.setup(t)
+			src := bus.Lookup(tc.source)
+			if src == nil {
+				t.Fatalf("source %q not registered on the bus", tc.source)
+			}
+			if src.Firing() {
+				t.Fatal("latch firing before any traffic")
+			}
+
+			breach()
+			if got := src.Fires(); got != 1 {
+				t.Fatalf("after breach: %d fires, want 1", got)
+			}
+			breach() // still in breach: re-observation must not re-fire
+			if got := src.Fires(); got != 1 {
+				t.Fatalf("latched breach re-fired: %d fires, want 1", got)
+			}
+
+			recover()
+			if got := src.Recoveries(); got != 1 {
+				t.Fatalf("after recovery: %d recoveries, want 1", got)
+			}
+			breach() // recovery re-armed the latch
+			if got := src.Fires(); got != 2 {
+				t.Fatalf("breach after recovery: %d fires, want 2", got)
+			}
+
+			reset() // registry Reset re-arms while firing...
+			if src.Firing() {
+				t.Fatal("latch still firing after registry Reset")
+			}
+			if got := src.Recoveries(); got != 1 {
+				t.Fatalf("registry Reset counted a recovery: %d, want 1", got)
+			}
+			breach() // ...and the next breach is a fresh edge
+			if got := src.Fires(); got != 3 {
+				t.Fatalf("breach after Reset: %d fires, want 3", got)
+			}
+
+			// Every edge above went through the shared bus: 3 breaches + 1
+			// recovery from this source (Reset publishes nothing).
+			var fired, recovered int
+			for _, ev := range bus.History() {
+				if ev.Source != tc.source {
+					continue
+				}
+				if ev.Firing {
+					fired++
+				} else {
+					recovered++
+				}
+			}
+			if fired != 3 || recovered != 1 {
+				t.Fatalf("bus history: %d breach / %d recovery events, want 3/1", fired, recovered)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"vaq/internal/alert"
 	"vaq/internal/diag"
 	"vaq/internal/quantizer"
 )
@@ -132,29 +133,47 @@ func (ix *Index) initDiagnostics(rep *diag.Report) {
 	ix.metrics.SetDeadCodewords(uint64(rep.DeadCodewordsTotal))
 }
 
+// driftSourceLocked returns the vaq.drift alert latch, creating it on
+// first use: on the metrics alert bus when the index has a registry (so
+// drift edges reach bus subscribers like the flight recorder), standalone
+// otherwise (the latch — and its slog event — must keep working under
+// DisableMetrics). Callers hold ix.mu.Lock; only foldDriftLocked touches
+// ix.driftSrc, so the lazy write is single-threaded.
+func (ix *Index) driftSourceLocked() *alert.Source {
+	if ix.driftSrc == nil {
+		if b := ix.metrics.Alerts(); b != nil {
+			ix.driftSrc = b.Source("vaq.drift")
+		} else {
+			ix.driftSrc = alert.NewSource("vaq.drift")
+		}
+	}
+	return ix.driftSrc
+}
+
 // foldDriftLocked folds one Add batch's per-subspace squared
 // reconstruction error into the EWMA drift estimator, refreshes the
 // registry gauges, and emits the vaq.drift slog event when the ratio
-// first crosses Config.DriftAlertRatio. Callers hold ix.mu.Lock.
+// first crosses Config.DriftAlertRatio (the edge latch lives on the alert
+// bus, so the crossing also reaches bus subscribers and re-arms on
+// recovery). Callers hold ix.mu.Lock.
 func (ix *Index) foldDriftLocked(batchSqErr []float64, batch int) {
 	alpha := float64(batch) / (float64(batch) + driftEWMAWindow)
 	for s := range ix.driftEWMA {
 		ix.driftEWMA[s] = (1-alpha)*ix.driftEWMA[s] + alpha*batchSqErr[s]/float64(batch)
 	}
 	ratio := driftRatio(ix.driftEWMA, ix.baselineMSE)
-	alert := ix.cfg.DriftAlertRatio > 0 && ratio > ix.cfg.DriftAlertRatio
+	alerting := ix.cfg.DriftAlertRatio > 0 && ratio > ix.cfg.DriftAlertRatio
 	dead := countDeadCodewords(ix.cb, ix.codes)
 	ix.metrics.SetSubspaceMSE(ix.driftEWMA)
-	ix.metrics.SetDrift(ratio, alert)
+	ix.metrics.SetDrift(ratio, alerting)
 	ix.metrics.SetDeadCodewords(uint64(dead))
-	if alert && !ix.driftAlerted && ix.cfg.Logger != nil {
+	if ix.driftSourceLocked().Set(alerting) && ix.cfg.Logger != nil {
 		ix.cfg.Logger.Warn("vaq.drift",
 			slog.Float64("ratio", ratio),
 			slog.Float64("alert_ratio", ix.cfg.DriftAlertRatio),
 			slog.Int("n", ix.n),
 			slog.Int("dead_codewords", dead))
 	}
-	ix.driftAlerted = alert
 }
 
 // sloBreach is the metrics.BreachFunc Build installs for Config.SLO: one

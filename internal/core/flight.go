@@ -1,0 +1,75 @@
+package core
+
+import (
+	"errors"
+
+	"vaq/internal/bundle"
+	"vaq/internal/diag"
+	"vaq/internal/trace"
+	"vaq/internal/workload"
+)
+
+// EnableFlightRecorder arms an incident flight recorder on the index: a
+// background goroutine that keeps a windowed ring of metric snapshots and,
+// on any alert breach edge (vaq.drift, vaq.slo.*) or a manual Trigger,
+// freezes the recent context — metrics, alert history, query traces,
+// sampled workload, the IndexReport, runtime stats — into a replayable
+// incident bundle under cfg.Dir. name is the identity stamped into each
+// bundle's provenance (use the name the index is published under).
+//
+// When no workload capture is attached yet, a flight-recorder-shaped one
+// is installed: a ring over the newest cfg.WorkloadRing sampled queries at
+// cfg.WorkloadSampleRate, so bundles always carry a replayable .vaqwl. An
+// existing capture (EnableCapture) is reused untouched.
+//
+// Errors if metrics are disabled (there is no alert bus to subscribe to)
+// or a recorder is already armed. The caller owns the returned recorder's
+// lifecycle only through DisableFlightRecorder; the query path never
+// blocks on it.
+func (ix *Index) EnableFlightRecorder(name string, cfg bundle.Config) (*bundle.Recorder, error) {
+	if ix.metrics == nil {
+		return nil, errors.New("vaq: flight recorder requires metrics (Config.DisableMetrics is set)")
+	}
+	if ix.flight.Load() != nil {
+		return nil, errors.New("vaq: flight recorder already armed")
+	}
+	if ix.capture.Load() == nil {
+		ix.EnableCapture(workload.Config{
+			SampleRate: cfg.WorkloadSampleRate,
+			MaxRecords: cfg.WorkloadRing,
+			Ring:       true,
+		})
+	}
+	rec, err := bundle.New(cfg, bundle.Info{
+		Name:        name,
+		Fingerprint: ix.ConfigFingerprint(),
+	}, bundle.Hooks{
+		Metrics: ix.metrics,
+		Alerts:  ix.metrics.Alerts(),
+		Tracer:  func() *trace.Tracer { return ix.tracer.Load() },
+		Workload: func() *workload.Log {
+			return ix.capture.Load().Snapshot()
+		},
+		Reports: func() []*diag.Report { return []*diag.Report{ix.Diagnose()} },
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ix.flight.CompareAndSwap(nil, rec) {
+		rec.Close() //nolint:errcheck // racing arm loses; nothing written yet
+		return nil, errors.New("vaq: flight recorder already armed")
+	}
+	return rec, nil
+}
+
+// DisableFlightRecorder disarms the flight recorder, flushing any pending
+// alert-triggered bundles first, and returns the last write error. No-op
+// when none is armed. The workload capture (whether pre-existing or
+// installed by EnableFlightRecorder) stays attached.
+func (ix *Index) DisableFlightRecorder() error {
+	rec := ix.flight.Swap(nil)
+	return rec.Close()
+}
+
+// FlightRecorder returns the armed recorder, or nil.
+func (ix *Index) FlightRecorder() *bundle.Recorder { return ix.flight.Load() }

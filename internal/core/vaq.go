@@ -9,6 +9,8 @@ import (
 
 	"sync"
 
+	"vaq/internal/alert"
+	"vaq/internal/bundle"
 	"vaq/internal/diag"
 	"vaq/internal/metrics"
 	"vaq/internal/pca"
@@ -171,6 +173,10 @@ type Index struct {
 	// options, results, latency) for workload replay; atomic for the same
 	// reason as tracer. Off = one pointer load per query.
 	capture atomic.Pointer[workload.Capture]
+	// flight is the armed incident recorder (EnableFlightRecorder); atomic
+	// for the same reason as tracer. The query path never touches it — it
+	// subscribes to the metrics alert bus instead.
+	flight atomic.Pointer[bundle.Recorder]
 	// retained holds the projected dataset rows for the shadow-exact
 	// recall estimator (nil unless RecallSampleRate > 0); recallEvery is
 	// the sampling stride and recallCtr the query counter driving it.
@@ -184,12 +190,13 @@ type Index struct {
 	// baseline is the Build-time IndexReport (nil on loaded indexes — the
 	// diagnostics baseline is runtime-only, never serialized); baselineMSE
 	// its per-subspace MSE, driftEWMA the EWMA of incoming-vector MSE that
-	// Add folds against it, and driftAlerted the edge detector for the
-	// vaq.drift log event.
-	baseline     *diag.Report
-	baselineMSE  []float64
-	driftEWMA    []float64
-	driftAlerted bool
+	// Add folds against it, and driftSrc the vaq.drift edge latch (on the
+	// metrics alert bus when metrics are on, standalone otherwise; created
+	// lazily under the write lock by driftSourceLocked).
+	baseline    *diag.Report
+	baselineMSE []float64
+	driftEWMA   []float64
+	driftSrc    *alert.Source
 	// profCtx holds precomputed pprof label sets (nil unless
 	// Config.ProfileLabels; see SetProfileLabel).
 	profCtx atomic.Pointer[profileCtxs]

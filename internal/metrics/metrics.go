@@ -11,6 +11,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"vaq/internal/alert"
 )
 
 // ClusterRankBuckets is the number of visit-rank buckets the TI-skip
@@ -77,6 +79,29 @@ type IndexMetrics struct {
 	// straggler/skew telemetry a merged sharded registry feeds through
 	// RecordScatter. Off = one pointer load per call.
 	sharded atomic.Pointer[shardedState]
+	// alerts is the per-index alert bus every edge-triggered detector
+	// (vaq.drift, vaq.skew, vaq.slo.*) registers its latch on, created
+	// lazily by Alerts so zero-value registries stay cheap.
+	alerts atomic.Pointer[alert.Bus]
+}
+
+// Alerts returns the registry's alert bus, creating it on first use. The
+// bus is where the index's edge-triggered detectors register their named
+// latches (alert.Source) and where consumers — the flight recorder, a
+// rebuild loop, tests — subscribe to breach/recovery edges. nil on a nil
+// registry.
+func (m *IndexMetrics) Alerts() *alert.Bus {
+	if m == nil {
+		return nil
+	}
+	if b := m.alerts.Load(); b != nil {
+		return b
+	}
+	b := alert.NewBus()
+	if m.alerts.CompareAndSwap(nil, b) {
+		return b
+	}
+	return m.alerts.Load()
 }
 
 // New returns an empty registry without attribution histograms (their
@@ -227,6 +252,11 @@ func (m *IndexMetrics) Reset() {
 	m.driftAlert.Store(0)
 	m.slo.Load().reset()
 	m.sharded.Load().reset()
+	// Re-arm every alert latch on the bus (the SLO and sharded resets above
+	// already re-armed theirs; this additionally covers detectors owned by
+	// other layers, e.g. core's vaq.drift): the windows were zeroed, so a
+	// persisting condition should fire — and trigger — again.
+	m.alerts.Load().ResetAll()
 	m.latency.Reset()
 }
 

@@ -136,7 +136,22 @@ func WritePrometheus(w io.Writer, names ...string) error {
 		snaps[name] = v.(*IndexMetrics).Snapshot()
 		kept = append(kept, name)
 	}
-	names = kept
+	return writePrometheusSnaps(w, kept, snaps)
+}
+
+// WritePrometheusFor emits one registry in Prometheus text format under the
+// given index label, published or not — the incident-bundle writer uses it
+// so a bundle's scrape reflects exactly the index that triggered it.
+func WritePrometheusFor(w io.Writer, name string, m *IndexMetrics) error {
+	if m == nil {
+		return nil
+	}
+	return writePrometheusSnaps(w, []string{name}, map[string]Snapshot{name: m.Snapshot()})
+}
+
+// writePrometheusSnaps is the shared exposition body behind WritePrometheus
+// and WritePrometheusFor.
+func writePrometheusSnaps(w io.Writer, names []string, snaps map[string]Snapshot) error {
 	for _, fam := range promCounters {
 		if err := writeFamilyHeader(w, fam.name, fam.help); err != nil {
 			return err

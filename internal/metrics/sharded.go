@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"vaq/internal/alert"
 )
 
 // ShardedConfig shapes the scatter-gather telemetry extension of a merged
@@ -79,7 +81,9 @@ type shardedState struct {
 	latSlots []atomic.Int64
 	latSums  []atomic.Int64
 
-	alerted atomic.Bool
+	// src is the skew-alert latch, registered on the registry's alert bus
+	// as vaq.skew.
+	src *alert.Source
 }
 
 // skewScale fixes the precision of the windowed skew-ratio mean: ratios
@@ -102,7 +106,10 @@ func (m *IndexMetrics) ConfigureSharded(cfg ShardedConfig, onAlert SkewBreachFun
 		skewSlots:    make([]atomic.Uint64, cfg.Window),
 		latSlots:     make([]atomic.Int64, cfg.Window*cfg.Shards),
 		latSums:      make([]atomic.Int64, cfg.Shards),
+		src:          m.Alerts().Source("vaq.skew"),
 	}
+	// Reconfiguring restarts the window, so the latch re-arms too.
+	s.src.Reset()
 	m.sharded.Store(s)
 }
 
@@ -162,16 +169,13 @@ func (m *IndexMetrics) RecordScatter(r ScatterRecord) {
 			s.latSums[i].Add(ns - old)
 		}
 	}
-	// Edge-triggered skew alert over the windowed mean, mirroring the
-	// SLO budget latch: fire once on crossing, re-arm on recovery.
+	// Edge-triggered skew alert over the windowed mean, on the shared
+	// alert.Source latch: fire once on crossing, re-arm on recovery, both
+	// edges published to the registry's alert bus.
 	if s.cfg.SkewAlertRatio > 0 {
 		skew, imbalance := s.windowed()
-		if skew >= s.cfg.SkewAlertRatio {
-			if s.alerted.CompareAndSwap(false, true) && s.onAlert != nil {
-				s.onAlert(skew, imbalance, slowest)
-			}
-		} else {
-			s.alerted.Store(false)
+		if s.src.Set(skew >= s.cfg.SkewAlertRatio) && s.onAlert != nil {
+			s.onAlert(skew, imbalance, slowest)
 		}
 	}
 }
@@ -224,7 +228,7 @@ func (s *shardedState) reset() {
 	for i := range s.latSums {
 		s.latSums[i].Store(0)
 	}
-	s.alerted.Store(false)
+	s.src.Reset()
 }
 
 // ShardedSnapshot is a point-in-time view of the scatter-gather
@@ -272,7 +276,7 @@ func (m *IndexMetrics) ShardedSnapshot() *ShardedSnapshot {
 		Shards:         s.cfg.Shards,
 		Window:         s.cfg.Window,
 		SkewAlertRatio: s.cfg.SkewAlertRatio,
-		SkewAlert:      s.alerted.Load(),
+		SkewAlert:      s.src.Firing(),
 		CriticalPath:   make([]uint64, s.cfg.Shards),
 		Hits:           make([]uint64, s.cfg.Shards),
 		StragglerDelta: s.stragglerDelta.Snapshot(),

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"vaq/internal/alert"
 )
 
 // SLO declares service-level objectives for one index, evaluated online
@@ -71,8 +73,10 @@ type sloState struct {
 	recExp   atomic.Int64    // expected currently in the window
 	recSlots []atomic.Uint64 // hits<<32 | expected
 
-	latExhausted atomic.Bool
-	recExhausted atomic.Bool
+	// latSrc / recSrc are the budget-exhaustion latches, registered on the
+	// registry's alert bus as vaq.slo.latency / vaq.slo.recall.
+	latSrc *alert.Source
+	recSrc *alert.Source
 }
 
 // ConfigureSLO installs (or replaces) the objectives evaluated by this
@@ -88,7 +92,13 @@ func (m *IndexMetrics) ConfigureSLO(cfg SLO, onBreach BreachFunc) {
 		targetNs: cfg.LatencyTarget.Nanoseconds(),
 		latSlots: make([]atomic.Uint32, cfg.Window),
 		recSlots: make([]atomic.Uint64, cfg.RecallWindow),
+		latSrc:   m.Alerts().Source("vaq.slo.latency"),
+		recSrc:   m.Alerts().Source("vaq.slo.recall"),
 	}
+	// Reconfiguring restarts the windows, so the latches re-arm too (the
+	// sources themselves persist on the bus, keeping their firing history).
+	s.latSrc.Reset()
+	s.recSrc.Reset()
 	m.slo.Store(s)
 }
 
@@ -122,7 +132,7 @@ func (s *sloState) observeLatency(d time.Duration) {
 		s.latBad.Add(delta)
 	}
 	rem, burn := s.latencyBudget()
-	s.edge(&s.latExhausted, "latency", rem, burn)
+	s.edge(s.latSrc, "latency", rem, burn)
 }
 
 // observeRecall folds one shadow-exact sample into the sliding window and
@@ -137,20 +147,17 @@ func (s *sloState) observeRecall(hits, expected int) {
 	s.recHits.Add(int64(hits) - int64(old>>32))
 	s.recExp.Add(int64(expected) - int64(old&0xffffffff))
 	rem, _ := s.recallBudget()
-	s.edge(&s.recExhausted, "recall", rem, 0)
+	s.edge(s.recSrc, "recall", rem, 0)
 }
 
-// edge latches budget exhaustion: the callback fires once when remaining
-// crosses below zero (0 = budget exactly spent, still inside the
-// objective) and re-arms when the budget recovers.
-func (s *sloState) edge(latch *atomic.Bool, kind string, remaining, burn float64) {
-	if remaining < 0 {
-		if latch.CompareAndSwap(false, true) && s.onBreach != nil {
-			s.onBreach(kind, remaining, burn)
-		}
-		return
+// edge latches budget exhaustion on the shared alert.Source: the callback
+// fires once when remaining crosses below zero (0 = budget exactly spent,
+// still inside the objective), the latch re-arms when the budget recovers,
+// and both edges publish to the registry's alert bus.
+func (s *sloState) edge(src *alert.Source, kind string, remaining, burn float64) {
+	if src.Set(remaining < 0) && s.onBreach != nil {
+		s.onBreach(kind, remaining, burn)
 	}
-	latch.Store(false)
 }
 
 // latencyBudget computes the remaining latency error budget and the burn
@@ -233,8 +240,8 @@ func (s *sloState) reset() {
 	for i := range s.recSlots {
 		s.recSlots[i].Store(0)
 	}
-	s.latExhausted.Store(false)
-	s.recExhausted.Store(false)
+	s.latSrc.Reset()
+	s.recSrc.Reset()
 }
 
 // SLOSnapshot is a point-in-time view of the SLO evaluation: the declared
@@ -298,7 +305,7 @@ func (m *IndexMetrics) SLOSnapshot() *SLOSnapshot {
 	}
 	out.WindowRecallSamples = recWin
 	out.RecallBudgetRemaining, out.WindowRecall = s.recallBudget()
-	out.LatencyExhausted = s.latExhausted.Load()
-	out.RecallExhausted = s.recExhausted.Load()
+	out.LatencyExhausted = s.latSrc.Firing()
+	out.RecallExhausted = s.recSrc.Firing()
 	return out
 }

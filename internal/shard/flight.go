@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"errors"
+
+	"vaq/internal/bundle"
+	"vaq/internal/diag"
+	"vaq/internal/trace"
+	"vaq/internal/workload"
+)
+
+// EnableFlightRecorder arms an incident flight recorder on the sharded
+// index — the scatter-gather analog of core's: it subscribes to the
+// merged registry's alert bus (vaq.skew, vaq.slo.*), keeps a windowed
+// metric-snapshot ring, and on any breach edge or manual Trigger freezes
+// the recent context into an incident bundle whose .vaqwl carries the
+// merged (global) result lists and the shard count in its provenance, so
+// the embedded workload replays through the same scatter shape. name is
+// the identity stamped into each bundle (use the published index name).
+//
+// When no workload capture is attached, a ring-shaped one is installed
+// (newest cfg.WorkloadRing sampled queries at cfg.WorkloadSampleRate); an
+// existing EnableCapture buffer is reused untouched. Errors under
+// DisableMetrics or when a recorder is already armed.
+func (x *Index) EnableFlightRecorder(name string, cfg bundle.Config) (*bundle.Recorder, error) {
+	if x.reg == nil {
+		return nil, errors.New("vaq: flight recorder requires metrics (Options.DisableMetrics is set)")
+	}
+	if x.flight.Load() != nil {
+		return nil, errors.New("vaq: flight recorder already armed")
+	}
+	if x.capture.Load() == nil {
+		x.EnableCapture(workload.Config{
+			SampleRate: cfg.WorkloadSampleRate,
+			MaxRecords: cfg.WorkloadRing,
+			Ring:       true,
+		})
+	}
+	rec, err := bundle.New(cfg, bundle.Info{
+		Name:        name,
+		Fingerprint: x.ConfigFingerprint(),
+		Shards:      len(x.states),
+	}, bundle.Hooks{
+		Metrics: x.reg,
+		Alerts:  x.reg.Alerts(),
+		Tracer:  func() *trace.Tracer { return x.tracer.Load() },
+		Workload: func() *workload.Log {
+			return x.capture.Load().Snapshot()
+		},
+		Reports: func() []*diag.Report { return x.Diagnose() },
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !x.flight.CompareAndSwap(nil, rec) {
+		rec.Close() //nolint:errcheck // racing arm loses; nothing written yet
+		return nil, errors.New("vaq: flight recorder already armed")
+	}
+	return rec, nil
+}
+
+// DisableFlightRecorder disarms the flight recorder, flushing pending
+// alert-triggered bundles first, and returns the last write error. No-op
+// when none is armed; the workload capture stays attached.
+func (x *Index) DisableFlightRecorder() error {
+	rec := x.flight.Swap(nil)
+	return rec.Close()
+}
+
+// FlightRecorder returns the armed recorder, or nil.
+func (x *Index) FlightRecorder() *bundle.Recorder { return x.flight.Load() }

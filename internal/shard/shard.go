@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vaq/internal/bundle"
 	"vaq/internal/core"
 	"vaq/internal/diag"
 	"vaq/internal/metrics"
@@ -127,6 +128,9 @@ type Index struct {
 	// each costs the hot path one pointer load.
 	tracer  atomic.Pointer[trace.Tracer]
 	capture atomic.Pointer[workload.Capture]
+	// flight is the armed incident recorder (EnableFlightRecorder); the
+	// scatter path never touches it — it subscribes to reg's alert bus.
+	flight atomic.Pointer[bundle.Recorder]
 }
 
 // Build trains once on train (falling back to data) and encodes S

@@ -11,6 +11,7 @@
 package workload
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -55,6 +56,12 @@ type Config struct {
 	// further sampled queries are counted in Dropped and discarded — the
 	// hot path never blocks and never reallocates.
 	MaxRecords int
+	// Ring turns the bounded buffer into a ring over the newest MaxRecords
+	// sampled queries: instead of discarding once full, Add overwrites the
+	// oldest record (each overwrite still counts in Dropped). This is the
+	// flight-recorder shape — "the last N queries before the incident" —
+	// where the default fill-once shape is the capture-a-session shape.
+	Ring bool
 	// Fingerprint tags the log with the capturing index's config
 	// fingerprint (core fills this in EnableCapture).
 	Fingerprint string
@@ -124,7 +131,8 @@ func (c *Capture) ShouldSample() bool {
 }
 
 // Add files one record, stamping its offset on the capture clock. Past
-// MaxRecords the record is dropped and counted; the buffer never grows.
+// MaxRecords the record is dropped and counted (fill-once mode) or
+// overwrites the oldest record (Ring mode); the buffer never grows.
 func (c *Capture) Add(r *Record) {
 	if c == nil || r == nil {
 		return
@@ -133,7 +141,10 @@ func (c *Capture) Add(r *Record) {
 	slot := c.next.Add(1) - 1
 	if slot >= uint64(len(c.slots)) {
 		c.dropped.Add(1)
-		return
+		if !c.cfg.Ring {
+			return
+		}
+		slot %= uint64(len(c.slots))
 	}
 	c.slots[slot].Store(r)
 }
@@ -185,7 +196,8 @@ func (c *Capture) Stride() uint64 {
 	return c.stride
 }
 
-// Snapshot assembles the captured records, in capture order, into a Log
+// Snapshot assembles the captured records, in capture order (oldest first,
+// which in Ring mode means starting past the newest overwrite), into a Log
 // ready for serialization. Concurrent Adds during the snapshot may or may
 // not be included (slots still mid-Store are skipped); the returned Log
 // aliases the stored records, which are never mutated after Add.
@@ -193,15 +205,28 @@ func (c *Capture) Snapshot() *Log {
 	if c == nil {
 		return nil
 	}
-	n := c.next.Load()
+	total := c.next.Load()
+	n := total
 	if n > uint64(len(c.slots)) {
 		n = uint64(len(c.slots))
 	}
+	var first uint64
+	if c.cfg.Ring && total > n {
+		// The ring wrapped: the oldest retained record sits at the slot the
+		// next Add would claim. Records racing the snapshot can make slot
+		// order disagree with offset order near the seam, so re-sort below.
+		first = total % n
+	}
 	recs := make([]Record, 0, n)
 	for i := uint64(0); i < n; i++ {
-		if r := c.slots[i].Load(); r != nil {
+		if r := c.slots[(first+i)%uint64(len(c.slots))].Load(); r != nil {
 			recs = append(recs, *r)
 		}
+	}
+	if first != 0 {
+		sort.SliceStable(recs, func(a, b int) bool {
+			return recs[a].OffsetNs < recs[b].OffsetNs
+		})
 	}
 	return &Log{
 		Version:     FormatVersion,

@@ -283,3 +283,72 @@ func TestNilCaptureSafe(t *testing.T) {
 		t.Fatal("nil capture not inert")
 	}
 }
+
+func TestCaptureRingKeepsNewest(t *testing.T) {
+	c := NewCapture(Config{MaxRecords: 4, Ring: true})
+	for i := 0; i < 10; i++ {
+		r := testRecord(i)
+		c.Add(&r)
+	}
+	if got := c.Len(); got != 4 {
+		t.Fatalf("ring Len = %d, want 4", got)
+	}
+	if got := c.Dropped(); got != 6 {
+		t.Fatalf("ring Dropped = %d, want 6 overwrites", got)
+	}
+	log := c.Snapshot()
+	if len(log.Records) != 4 {
+		t.Fatalf("ring snapshot has %d records, want 4", len(log.Records))
+	}
+	// The newest 4 records are 6..9, oldest first.
+	for i, r := range log.Records {
+		if want := uint64(6 + i); r.TraceSeq != want {
+			t.Fatalf("ring record %d has seq %d, want %d", i, r.TraceSeq, want)
+		}
+	}
+	for i := 1; i < len(log.Records); i++ {
+		if log.Records[i].OffsetNs < log.Records[i-1].OffsetNs {
+			t.Fatalf("ring snapshot out of offset order at %d", i)
+		}
+	}
+}
+
+func TestCaptureRingUnwrappedMatchesBounded(t *testing.T) {
+	c := NewCapture(Config{MaxRecords: 8, Ring: true})
+	for i := 0; i < 5; i++ {
+		r := testRecord(i)
+		c.Add(&r)
+	}
+	log := c.Snapshot()
+	if len(log.Records) != 5 || c.Dropped() != 0 {
+		t.Fatalf("unwrapped ring: %d records, %d dropped", len(log.Records), c.Dropped())
+	}
+	for i, r := range log.Records {
+		if r.TraceSeq != uint64(i) {
+			t.Fatalf("unwrapped ring record %d has seq %d", i, r.TraceSeq)
+		}
+	}
+}
+
+func TestCaptureRingConcurrent(t *testing.T) {
+	c := NewCapture(Config{MaxRecords: 16, Ring: true})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r := testRecord(g*500 + i)
+				c.Add(&r)
+			}
+		}(g)
+	}
+	wg.Wait()
+	log := c.Snapshot()
+	if len(log.Records) != 16 {
+		t.Fatalf("concurrent ring snapshot has %d records, want 16", len(log.Records))
+	}
+	if got := c.Sampled(); got != 2000 {
+		t.Fatalf("Sampled = %d, want 2000", got)
+	}
+}
