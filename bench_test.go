@@ -18,10 +18,12 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"vaq/internal/core"
 	"vaq/internal/dataset"
 	"vaq/internal/experiments"
+	"vaq/internal/history"
 	"vaq/internal/workload"
 )
 
@@ -272,6 +274,45 @@ func BenchmarkSearchCaptureOn(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSearchHistoryOn/Off isolate the query-path cost of an armed
+// metrics history collector. The sampler runs on its own goroutine and
+// reads the same atomics the Prometheus scraper does, so the query path
+// itself gains nothing — the On arm must stay within noise of Off; the
+// acceptance bar is the same <5% used for the flight recorder.
+func benchHistoryToggle(b *testing.B, armed bool) {
+	ds, err := dataset.Large("SALD", 8000, 64, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := core.Build(ds.Train, ds.Base, core.Config{
+		NumSubspaces: 16, Budget: 128, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if armed {
+		// An aggressive 10ms cadence (100x the production default) so the
+		// measured overhead bounds any real deployment.
+		if _, err := ix.EnableHistory("bench_index", history.Config{Interval: 10 * time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+		defer ix.DisableHistory()
+	}
+	s := ix.NewSearcher()
+	queries := ds.Queries
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries.Row(i % queries.Rows)
+		if _, err := s.Search(q, 100, core.SearchOptions{Mode: core.ModeTIEA, VisitFrac: 0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchHistoryOn(b *testing.B)  { benchHistoryToggle(b, true) }
+func BenchmarkSearchHistoryOff(b *testing.B) { benchHistoryToggle(b, false) }
 
 // BenchmarkEncodeLargeDict exercises the hierarchical k-means path for
 // dictionaries above 2^10 entries (DESIGN.md §5).

@@ -15,6 +15,7 @@ import (
 	"vaq/internal/dataset"
 	"vaq/internal/diag"
 	"vaq/internal/eval"
+	"vaq/internal/history"
 	"vaq/internal/metrics"
 	"vaq/internal/shard"
 	"vaq/internal/vec"
@@ -120,6 +121,11 @@ type benchProvenance struct {
 	// params, so the config fingerprint stays comparable with unarmed runs;
 	// the point of the flag is showing armed-idle is within noise.
 	FlightRecorder bool `json:"flight_recorder,omitempty"`
+	// History marks an arm measured with an armed metrics history collector
+	// (-history). Runtime-only for the same reason: the sampler reads
+	// telemetry off the query path, so summaries with and without it share
+	// a config fingerprint and stay -compare-able.
+	History bool `json:"history,omitempty"`
 }
 
 // benchSchemaVersion tracks the benchSummary document shape.
@@ -144,6 +150,7 @@ func provenanceFor(p benchParams) benchProvenance {
 		Layout:            p.Layout,
 		Accuracy:          p.Accuracy,
 		FlightRecorder:    armFlightRecorder,
+		History:           armHistory,
 	}
 }
 
@@ -174,6 +181,28 @@ func armFlight(ix interface {
 		ix.DisableFlightRecorder() //nolint:errcheck // idle recorder: nothing pending
 		os.RemoveAll(dir)          //nolint:errcheck // best-effort temp cleanup
 	}, nil
+}
+
+// armHistory is the -history flag: arm a metrics history collector on
+// every benchmark arm. Like armFlightRecorder it is deliberately not part
+// of benchParams — the collector samples telemetry off the query path and
+// cannot change what a query returns — so summaries with and without it
+// share a config fingerprint and stay -compare-able.
+var armHistory bool
+
+// armHist arms a history collector at the default production cadence on
+// one benchmark arm's index; the returned cleanup disarms it. Bench arms
+// configure no SLO, so no burn rules arm — the measurement is pure
+// collector-armed overhead (the background sampler reading counters and
+// quantiles while the query workload runs).
+func armHist(ix interface {
+	EnableHistory(string, history.Config) (*history.Collector, error)
+	DisableHistory()
+}, name string) (func(), error) {
+	if _, err := ix.EnableHistory(name, history.Config{}); err != nil {
+		return nil, err
+	}
+	return ix.DisableHistory, nil
 }
 
 // benchSummary is the JSON document vaqbench -json emits: everything a
@@ -378,6 +407,13 @@ func runBenchOnce(ds *dataset.Dataset, p benchParams, withReport bool, gt [][]in
 		}
 		defer cleanup()
 	}
+	if armHistory {
+		cleanup, err := armHist(ix, "vaqbench_index")
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+	}
 
 	// Resolve the pool width without writing it back into p: params keep
 	// the flag as given (0 = auto) so the config fingerprint stays
@@ -468,6 +504,13 @@ func runShardedOnce(ds *dataset.Dataset, p benchParams, withReport bool, gt [][]
 	buildWall := time.Since(buildStart)
 	if armFlightRecorder {
 		cleanup, err := armFlight(x, "vaqbench_index")
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+	}
+	if armHistory {
+		cleanup, err := armHist(x, "vaqbench_index")
 		if err != nil {
 			return nil, err
 		}

@@ -91,6 +91,7 @@ func main() {
 		force       = flag.Bool("force", false, "let -compare proceed despite mismatched config fingerprints")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
 		flightRec   = flag.Bool("flight-recorder", false, "arm an (idle) flight recorder on every -json arm, measuring the armed-but-quiet overhead; runtime-only, so the config fingerprint is unchanged")
+		historyOn   = flag.Bool("history", false, "arm a metrics history collector on every -json arm, measuring the collector-armed overhead; runtime-only, so the config fingerprint is unchanged")
 	)
 	flag.Parse()
 
@@ -138,6 +139,7 @@ func main() {
 			os.Exit(2)
 		}
 		armFlightRecorder = *flightRec
+		armHistory = *historyOn
 		if err := runJSONBench(*jsonOut, p, *report, shardCounts); err != nil {
 			fmt.Fprintf(os.Stderr, "vaqbench: %v\n", err)
 			os.Exit(1)

@@ -17,9 +17,12 @@
 // either one bundle directory (holding a manifest.json) or a directory of
 // bundles (as written by the flight recorder under -bundle-dir), and every
 // selected bundle is integrity-checked end to end — manifest version,
-// per-file sizes and sha256s, JSON well-formedness, workload-log decode
-// and record count. Exit 1 when any bundle fails; -json emits the
-// validated manifests.
+// per-file sizes and sha256s, JSON well-formedness, the history.json
+// metrics-history dump (schema version, monotonic timestamps, well-formed
+// downsampled buckets), workload-log decode and record count. Valid
+// bundles print a per-series trend summary from their history dump in
+// text mode. Exit 1 when any bundle fails; -json emits the validated
+// manifests.
 //
 // An index loaded with -index reports utilization and balance only: the
 // distortion baseline is runtime-only state, so its report is Partial.
@@ -36,11 +39,13 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 
 	"vaq/internal/bundle"
 	"vaq/internal/core"
 	"vaq/internal/dataset"
 	"vaq/internal/diag"
+	"vaq/internal/history"
 )
 
 func main() {
@@ -153,6 +158,10 @@ func runBundle(path string, jsonOut bool) int {
 		valid = append(valid, man)
 		if !jsonOut {
 			man.Fprint(os.Stdout)
+			if err := printHistoryTrends(dir); err != nil {
+				fmt.Fprintf(os.Stderr, "vaqdiag: INVALID: %s: %v\n", dir, err)
+				bad++
+			}
 		}
 	}
 	if jsonOut {
@@ -169,6 +178,31 @@ func runBundle(path string, jsonOut bool) int {
 	}
 	fmt.Fprintf(os.Stderr, "vaqdiag: %d bundle(s) valid\n", len(valid))
 	return 0
+}
+
+// printHistoryTrends prints the per-series trend summary of a bundle's
+// history.json member, when present. Validate has already checked the
+// member's hash and internal invariants (schema version, monotonic
+// timestamps, well-formed buckets); any error here is real corruption.
+func printHistoryTrends(dir string) error {
+	b, err := os.ReadFile(filepath.Join(dir, "history.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // pre-v2 bundle, or no metrics at capture time
+		}
+		return err
+	}
+	var d history.Dump
+	if err := json.Unmarshal(b, &d); err != nil {
+		return fmt.Errorf("history.json: %w", err)
+	}
+	if err := history.ValidateDump(&d); err != nil {
+		return fmt.Errorf("history.json: %w", err)
+	}
+	fmt.Printf("  history: %d sample(s) at %s intervals\n",
+		d.Samples, time.Duration(d.IntervalMs)*time.Millisecond)
+	history.WriteTrends(os.Stdout, &d)
+	return nil
 }
 
 // validateReport cross-checks the invariants every well-formed IndexReport

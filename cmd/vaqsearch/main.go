@@ -20,12 +20,22 @@
 // query with a wait/scan span pair per shard.
 //
 // With -bundle-dir the flight recorder is armed: every alert breach edge
-// (vaq.drift, vaq.skew, vaq.slo.*) freezes the recent context — metrics,
-// alert history, traces, a replayable .vaqwl of recent queries, the
-// IndexReport — into an incident bundle under that directory (inspect with
-// vaqdiag -bundle; /debug/vaq/bundle lists bundles and ?trigger=1 writes a
-// manual one). Bundles pending at SIGINT/SIGTERM are flushed before exit,
-// like the capture log.
+// (vaq.drift, vaq.skew, vaq.slo.*, vaq.burn.*) freezes the recent context
+// — metrics, windowed history, alert history, traces, a replayable .vaqwl
+// of recent queries, the IndexReport — into an incident bundle under that
+// directory (inspect with vaqdiag -bundle; /debug/vaq/bundle lists bundles
+// and ?trigger=1 writes a manual one). Bundles pending at SIGINT/SIGTERM
+// are flushed before exit, like the capture log.
+//
+// With -history the metrics history collector is armed: per-series tiered
+// trend retention served at /debug/vaq/history (JSON and ?format=text
+// sparklines, per-shard targets under -shards), and — when an SLO is
+// configured — multi-window burn-rate alerting (vaq.burn.latency.fast/slow
+// on -burn-fast/-burn-slow windows) in place of the instantaneous
+// exhaustion edge. -top with -hold live-renders the trend view in the
+// terminal (see also cmd/vaqtop for polling a remote vaqsearch), and
+// -churn keeps round-robin queries flowing during the hold so the trends
+// and burn windows have live traffic to show.
 package main
 
 import (
@@ -43,6 +53,7 @@ import (
 	"vaq/internal/dataset"
 	"vaq/internal/diag"
 	"vaq/internal/eval"
+	"vaq/internal/history"
 	"vaq/internal/metrics"
 	"vaq/internal/shard"
 	"vaq/internal/trace"
@@ -74,6 +85,12 @@ func main() {
 		sloP99      = flag.Duration("slo-p99", 0, "latency SLO: 99% of windowed queries must finish within this duration (0 disables)")
 		sloRecall   = flag.Float64("slo-recall", 0, "recall SLO: minimum windowed observed recall (needs -recall-sample; 0 disables)")
 		skewAlert   = flag.Float64("skew-alert", 0, "shard-skew alert threshold: fire vaq.skew when the windowed mean skew ratio reaches this (needs -shards > 1; 0 disables)")
+		historyOn   = flag.Bool("history", false, "arm the metrics history collector: tiered trend retention served at /debug/vaq/history; with an SLO, multi-window burn-rate alerts (vaq.burn.*) replace the instantaneous exhaustion edge")
+		historyInt  = flag.Duration("history-interval", time.Second, "history sampling cadence (needs -history)")
+		burnFast    = flag.Duration("burn-fast", 5*time.Minute, "fast burn-rate window (threshold 14.4x the allowed error rate; needs -history and an SLO)")
+		burnSlow    = flag.Duration("burn-slow", time.Hour, "slow burn-rate window (threshold 6x the allowed error rate; needs -history and an SLO)")
+		topMode     = flag.Bool("top", false, "with -hold: live-render per-index (and per-shard) history trend lines to stdout (implies -history)")
+		churn       = flag.Duration("churn", 0, "with -hold: keep issuing round-robin dataset queries at this interval during the hold, so trend series and burn-rate windows see live traffic (0 disables)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -139,6 +156,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vaqsearch: -shards must be >= 1, got %d\n", *shards)
 		os.Exit(2)
 	}
+	if *topMode {
+		*historyOn = true
+	}
 	if *shards > 1 {
 		runSharded(ds, cfg, shardedRun{
 			shards:      *shards,
@@ -151,6 +171,12 @@ func main() {
 			captureRate: *captureRate,
 			skewAlert:   *skewAlert,
 			bundleDir:   *bundleDir,
+			history:     *historyOn,
+			historyInt:  *historyInt,
+			burnFast:    *burnFast,
+			burnSlow:    *burnSlow,
+			top:         *topMode,
+			churn:       *churn,
 		})
 		return
 	}
@@ -247,6 +273,17 @@ func main() {
 		bundle.Publish("vaqsearch_index", rec)
 		fmt.Fprintf(os.Stderr, "vaqsearch: flight recorder armed — incident bundles under %s\n", *bundleDir)
 	}
+	var col *history.Collector
+	if *historyOn {
+		var err error
+		col, err = ix.EnableHistory("vaqsearch_index", historyConfig(*historyInt, *burnFast, *burnSlow))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqsearch: history: %v\n", err)
+			os.Exit(1)
+		}
+		history.Publish("vaqsearch_index", col)
+		fmt.Fprintf(os.Stderr, "vaqsearch: history collector armed (interval %s) — trends at /debug/vaq/history\n", col.Interval())
+	}
 
 	gt, err := eval.GroundTruth(ds.Base, ds.Queries, *k)
 	if err != nil {
@@ -301,17 +338,90 @@ func main() {
 		}
 	}
 	flushCapture()
-	if *hold > 0 {
-		fmt.Fprintf(os.Stderr, "vaqsearch: holding for %s (ctrl-c to exit)\n", *hold)
+	churnSearcher := ix.NewSearcher()
+	stopChurn := startChurn(*churn, *hold, ds, func(q []float32) {
+		_, _ = churnSearcher.Search(q, *k, core.SearchOptions{
+			Mode: core.ModeTIEA, VisitFrac: *visit,
+		})
+	})
+	holdLoop(*hold, *topMode, col, sigCh)
+	stopChurn()
+	flushBundle()
+}
+
+// startChurn keeps background queries flowing during -hold so windowed
+// gauges, trend series and burn-rate confirmation windows see live traffic
+// instead of flat counters. The returned stop function joins the traffic
+// goroutine; it is a no-op when churn is disabled.
+func startChurn(every, hold time.Duration, ds *dataset.Dataset, search func(q []float32)) func() {
+	if every <= 0 || hold <= 0 || ds.Queries.Rows == 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for qi := 0; ; qi++ {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				search(ds.Queries.Row(qi % ds.Queries.Rows))
+			}
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "vaqsearch: churn armed — one query per %s during hold\n", every)
+	return func() { close(stop); <-done }
+}
+
+// historyConfig shapes the vaqsearch collector: the fast/slow burn windows
+// keep the default SRE thresholds (14.4x / 6x), only the window lengths
+// are tunable from the command line.
+func historyConfig(interval, fast, slow time.Duration) history.Config {
+	return history.Config{
+		Interval: interval,
+		Burn: []history.BurnRule{
+			{Name: "fast", Window: fast, Threshold: 14.4},
+			{Name: "slow", Window: slow, Threshold: 6},
+		},
+	}
+}
+
+// holdLoop keeps the process alive for hold; with -top it additionally
+// live-renders the history sparkline view every 2s (the same text the
+// /debug/vaq/history?format=text endpoint serves).
+func holdLoop(hold time.Duration, top bool, col *history.Collector, sigCh chan os.Signal) {
+	if hold <= 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "vaqsearch: holding for %s (ctrl-c to exit)\n", hold)
+	deadline := time.After(hold)
+	if !top || col == nil {
 		select {
-		case <-time.After(*hold):
+		case <-deadline:
 		case sig := <-sigCh:
 			// The handler goroutine may win the race for the signal; either
 			// path flushes once and exits.
 			fmt.Fprintf(os.Stderr, "vaqsearch: %s — exiting hold\n", sig)
 		}
+		return
 	}
-	flushBundle()
+	tick := time.NewTicker(2 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-deadline:
+			return
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "vaqsearch: %s — exiting hold\n", sig)
+			return
+		case <-tick.C:
+			fmt.Print("\033[2J\033[H") // clear screen, home cursor
+			history.RenderText(os.Stdout, col.Dump())
+		}
+	}
 }
 
 // shardedRun bundles the -shards >1 run parameters.
@@ -326,6 +436,12 @@ type shardedRun struct {
 	captureRate float64
 	skewAlert   float64
 	bundleDir   string
+	history     bool
+	historyInt  time.Duration
+	burnFast    time.Duration
+	burnSlow    time.Duration
+	top         bool
+	churn       time.Duration
 }
 
 // runSharded is the -shards >1 path: build a scatter-gather index sharing
@@ -425,6 +541,18 @@ func runSharded(ds *dataset.Dataset, cfg core.Config, run shardedRun) {
 		bundle.Publish("vaqsearch_index", rec)
 		fmt.Fprintf(os.Stderr, "vaqsearch: flight recorder armed — incident bundles under %s\n", run.bundleDir)
 	}
+	var col *history.Collector
+	if run.history {
+		var err error
+		col, err = x.EnableHistory("vaqsearch_index", historyConfig(run.historyInt, run.burnFast, run.burnSlow))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqsearch: history: %v\n", err)
+			os.Exit(1)
+		}
+		history.Publish("vaqsearch_index", col)
+		fmt.Fprintf(os.Stderr, "vaqsearch: history collector armed (interval %s, %d targets) — trends at /debug/vaq/history\n",
+			col.Interval(), len(col.Targets()))
+	}
 
 	gt, err := eval.GroundTruth(ds.Base, ds.Queries, run.k)
 	if err != nil {
@@ -494,13 +622,12 @@ func runSharded(ds *dataset.Dataset, cfg core.Config, run shardedRun) {
 		}
 	}
 	flushCapture()
-	if run.hold > 0 {
-		fmt.Fprintf(os.Stderr, "vaqsearch: holding for %s (ctrl-c to exit)\n", run.hold)
-		select {
-		case <-time.After(run.hold):
-		case sig := <-sigCh:
-			fmt.Fprintf(os.Stderr, "vaqsearch: %s — exiting hold\n", sig)
-		}
-	}
+	stopChurn := startChurn(run.churn, run.hold, ds, func(q []float32) {
+		_, _ = x.Search(q, run.k, core.SearchOptions{
+			Mode: core.ModeTIEA, VisitFrac: run.visit,
+		})
+	})
+	holdLoop(run.hold, run.top, col, sigCh)
+	stopChurn()
 	flushBundle()
 }

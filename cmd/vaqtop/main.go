@@ -1,0 +1,98 @@
+// Command vaqtop is a live terminal trend viewer for a running VAQ
+// process: it polls the /debug/vaq/history endpoint served by -metrics-addr
+// (vaqsearch, or anything embedding the index with a published history
+// collector) and renders the per-index and per-shard ASCII-sparkline trend
+// lines in place, top(1)-style.
+//
+// Usage:
+//
+//	vaqsearch -data sald.vaqd -shards 4 -metrics-addr :6060 -history -hold 10m &
+//	vaqtop -addr localhost:6060
+//	vaqtop -addr localhost:6060 -index vaqsearch_index -interval 1s
+//	vaqtop -addr localhost:6060 -once          # one frame, no screen control
+//
+// vaqtop renders whatever the endpoint serves, so it needs no index
+// configuration of its own; it exits with an error if the endpoint is
+// unreachable or serves no collectors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:6060", "host:port of the process's -metrics-addr debug mux")
+		index    = flag.String("index", "", "only this published collector (default: all)")
+		interval = flag.Duration("interval", 2*time.Second, "poll/refresh cadence")
+		once     = flag.Bool("once", false, "print one frame and exit (no screen clearing)")
+	)
+	flag.Parse()
+
+	u := url.URL{Scheme: "http", Host: *addr, Path: "/debug/vaq/history"}
+	q := url.Values{"format": {"text"}}
+	if *index != "" {
+		q.Set("index", *index)
+	}
+	u.RawQuery = q.Encode()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	fetch := func() (string, error) {
+		resp, err := client.Get(u.String())
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close() //nolint:errcheck // read-only body
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("%s: %s", u.String(), string(body))
+		}
+		return string(body), nil
+	}
+
+	frame, err := fetch()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vaqtop: %v\n", err)
+		os.Exit(1)
+	}
+	if frame == "" {
+		fmt.Fprintf(os.Stderr, "vaqtop: %s serves no history collectors (run the index with -history)\n", *addr)
+		os.Exit(1)
+	}
+	if *once {
+		fmt.Print(frame)
+		return
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		fmt.Print("\033[2J\033[H") // clear screen, home cursor
+		fmt.Print(frame)
+		fmt.Printf("\n[vaqtop %s every %s — ctrl-c to exit]\n", u.Host, *interval)
+		select {
+		case <-sigCh:
+			return
+		case <-tick.C:
+		}
+		next, err := fetch()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vaqtop: %v\n", err)
+			os.Exit(1)
+		}
+		frame = next
+	}
+}

@@ -1,6 +1,7 @@
 // Package bundle is the flight recorder behind the alert bus: while armed
-// it continuously keeps a low-overhead ring of recent context (windowed
-// metric snapshots here; query traces and sampled queries live in the
+// it continuously keeps low-overhead recent context (a metrics history
+// collector — the index's own when one is armed, a private fallback
+// sampler otherwise; query traces and sampled queries live in the
 // tracer and workload rings the index already maintains), and on any alert
 // breach edge — or a manual trigger — freezes that context into a
 // versioned incident bundle on disk. A bundle is one directory holding the
@@ -35,6 +36,7 @@ import (
 
 	"vaq/internal/alert"
 	"vaq/internal/diag"
+	"vaq/internal/history"
 	"vaq/internal/metrics"
 	"vaq/internal/trace"
 	"vaq/internal/workload"
@@ -42,7 +44,9 @@ import (
 
 // FormatVersion identifies the incident-bundle layout (manifest fields,
 // canonical file set). Readers reject bundles from a future version.
-const FormatVersion = 1
+// Version 2 replaced the metrics_window.json snapshot ring with the
+// history.json frozen time-series dump.
+const FormatVersion = 2
 
 // ManifestName is the bundle's completion marker and integrity record; it
 // is always written last.
@@ -54,11 +58,13 @@ type Config struct {
 	// subdirectory per bundle). Created on first use. A Recorder assumes
 	// it owns Dir's bundle-* entries.
 	Dir string
-	// SnapshotInterval is the cadence of the windowed metric-snapshot ring
-	// (default 2s).
+	// SnapshotInterval is the sampling cadence of the fallback history
+	// collector the Recorder runs when no index-level collector is wired in
+	// through Hooks.History (default 2s).
 	SnapshotInterval time.Duration
-	// SnapshotWindow is how many windowed snapshots the ring keeps
-	// (default 32 — about a minute of context at the default interval).
+	// SnapshotWindow is the fallback collector's raw ring capacity in
+	// samples (default 32 — about a minute of context at the default
+	// interval; the 10s/1m downsampled tiers extend further back).
 	SnapshotWindow int
 	// TriggerDelay is how long the recorder waits after an alert edge
 	// before freezing the bundle, so the queries around the incident reach
@@ -129,12 +135,10 @@ type Hooks struct {
 	// Reports returns the index-quality reports (one per shard; nil = no
 	// report context).
 	Reports func() []*diag.Report
-}
-
-// windowSnap is one entry of the windowed metric-snapshot ring.
-type windowSnap struct {
-	At       time.Time        `json:"at"`
-	Snapshot metrics.Snapshot `json:"snapshot"`
+	// History returns a frozen dump of the index's history collector (nil =
+	// no collector armed; the Recorder then runs its own burn-disabled
+	// fallback sampler so history.json is always present).
+	History func() *history.Dump
 }
 
 // Recorder is an armed flight recorder: a background goroutine keeping the
@@ -153,11 +157,13 @@ type Recorder struct {
 	done       chan struct{}
 	stopOnce   sync.Once
 
-	// writeMu serializes bundle writes (background vs manual trigger);
-	// snapMu guards the snapshot ring.
+	// writeMu serializes bundle writes (background vs manual trigger).
 	writeMu sync.Mutex
-	snapMu  sync.Mutex
-	snaps   []windowSnap
+	// fallback is the Recorder-owned history sampler, used whenever
+	// Hooks.History is nil or reports no dump. It never registers burn
+	// alerts or touches the SLO edge delegation — it is pure context
+	// capture.
+	fallback *history.Collector
 
 	seq     atomic.Uint64
 	written atomic.Uint64
@@ -168,8 +174,9 @@ type Recorder struct {
 }
 
 // New arms a flight recorder: registers the edge trigger on hooks.Alerts,
-// seeds the snapshot ring, and starts the background goroutine. The caller
-// must Close it to flush pending triggers and release the goroutine.
+// arms the fallback history sampler, and starts
+// the background goroutine. The caller must Close it to flush pending
+// triggers and release the goroutines.
 func New(cfg Config, info Info, hooks Hooks) (*Recorder, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("bundle: Config.Dir is required")
@@ -189,7 +196,22 @@ func New(cfg Config, info Info, hooks Hooks) (*Recorder, error) {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	r.snapshotNow()
+	// The fallback sampler always arms, even when a History hook is set:
+	// the hook may report nil whenever the index has no live collector (it
+	// can be disabled at any time), and history.json must stay present in
+	// every bundle regardless. historyDump prefers the hook's dump.
+	{
+		name := info.Name
+		if name == "" {
+			name = "index"
+		}
+		r.fallback = history.New(name, history.Config{
+			Interval:    r.cfg.SnapshotInterval,
+			RawCapacity: r.cfg.SnapshotWindow,
+			DisableBurn: true,
+		})
+		r.fallback.Watch(name, hooks.Metrics)
+	}
 	if hooks.Alerts != nil {
 		// Breach edges only; recovery edges re-arm the latch but record no
 		// incident. The send must never block: it runs on the query path.
@@ -208,12 +230,11 @@ func New(cfg Config, info Info, hooks Hooks) (*Recorder, error) {
 	return r, nil
 }
 
-// run is the recorder goroutine: windowed snapshots on the ticker, bundle
-// writes on alert triggers, drain-and-exit on stop.
+// run is the recorder goroutine: bundle writes on alert triggers,
+// drain-and-exit on stop. (Windowed context lives in the history
+// collector, which samples on its own goroutine.)
 func (r *Recorder) run() {
 	defer close(r.done)
-	ticker := time.NewTicker(r.cfg.SnapshotInterval)
-	defer ticker.Stop()
 	for {
 		select {
 		case <-r.stop:
@@ -229,8 +250,6 @@ func (r *Recorder) run() {
 			}
 		case ev := <-r.trig:
 			r.handleEdge(ev, true)
-		case <-ticker.C:
-			r.snapshotNow()
 		}
 	}
 }
@@ -260,23 +279,18 @@ func (r *Recorder) handleEdge(ev alert.Event, delay bool) {
 	}
 }
 
-// snapshotNow appends one windowed metric snapshot, dropping the oldest
-// past SnapshotWindow.
-func (r *Recorder) snapshotNow() {
-	s := windowSnap{At: time.Now(), Snapshot: r.hooks.Metrics.Snapshot()}
-	r.snapMu.Lock()
-	r.snaps = append(r.snaps, s)
-	if len(r.snaps) > r.cfg.SnapshotWindow {
-		r.snaps = r.snaps[len(r.snaps)-r.cfg.SnapshotWindow:]
+// historyDump freezes the windowed context: the index's own collector via
+// Hooks.History when armed, else the Recorder's fallback sampler.
+func (r *Recorder) historyDump() *history.Dump {
+	if r.hooks.History != nil {
+		if d := r.hooks.History(); d != nil {
+			return d
+		}
 	}
-	r.snapMu.Unlock()
-}
-
-// windowSnaps copies the current snapshot ring, oldest first.
-func (r *Recorder) windowSnaps() []windowSnap {
-	r.snapMu.Lock()
-	defer r.snapMu.Unlock()
-	return append([]windowSnap(nil), r.snaps...)
+	if r.fallback != nil {
+		return r.fallback.Dump()
+	}
+	return nil
 }
 
 // Trigger synchronously writes one manual bundle (reason defaults to
@@ -307,6 +321,9 @@ func (r *Recorder) Close() error {
 		close(r.stop)
 	})
 	<-r.done
+	if r.fallback != nil {
+		r.fallback.Close()
+	}
 	r.errMu.Lock()
 	defer r.errMu.Unlock()
 	return r.lastErr
@@ -488,7 +505,7 @@ func (r *Recorder) writeBundle(trig Trigger) (*Manifest, error) {
 	}
 
 	// Canonical member order (documented in DESIGN.md): metrics.json,
-	// metrics_window.json, metrics.prom, alerts.json, traces.json,
+	// history.json, metrics.prom, alerts.json, traces.json,
 	// workload.vaqwl, report.json, runtime.json — optional members are
 	// skipped, never written empty.
 	if err := add("metrics.json", func(w io.Writer) error {
@@ -496,10 +513,12 @@ func (r *Recorder) writeBundle(trig Trigger) (*Manifest, error) {
 	}); err != nil {
 		return nil, err
 	}
-	if err := add("metrics_window.json", func(w io.Writer) error {
-		return writeJSON(w, r.windowSnaps())
-	}); err != nil {
-		return nil, err
+	if dump := r.historyDump(); dump != nil {
+		if err := add("history.json", func(w io.Writer) error {
+			return writeJSON(w, dump)
+		}); err != nil {
+			return nil, err
+		}
 	}
 	if err := add("metrics.prom", func(w io.Writer) error {
 		if err := metrics.WritePrometheusFor(w, r.info.Name, r.hooks.Metrics); err != nil {

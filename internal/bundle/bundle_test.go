@@ -65,7 +65,7 @@ func TestManualTriggerWritesValidBundle(t *testing.T) {
 	}
 	// The canonical member set for a recorder with workload + report hooks
 	// but no tracer.
-	want := []string{"metrics.json", "metrics_window.json", "metrics.prom",
+	want := []string{"metrics.json", "history.json", "metrics.prom",
 		"alerts.json", "workload.vaqwl", "report.json", "runtime.json"}
 	if len(man.Files) != len(want) {
 		t.Fatalf("members = %v", man.Files)

@@ -11,15 +11,18 @@ import (
 	"sort"
 	"strings"
 
+	"vaq/internal/history"
 	"vaq/internal/workload"
 )
 
 // Validate checks one bundle directory end to end: the manifest parses and
 // its format version is known, every listed member exists with the
 // recorded byte count and sha256, every .json member is well-formed JSON,
-// and the workload log (when present) decodes and carries exactly the
-// record count the manifest claims. Returns the manifest (Dir filled) on
-// success; the first failure is returned as an error naming the member.
+// the history dump (when present) parses against its schema with monotonic
+// per-series timestamps, and the workload log (when present) decodes and
+// carries exactly the record count the manifest claims. Returns the
+// manifest (Dir filled) on success; the first failure is returned as an
+// error naming the member.
 func Validate(dir string) (*Manifest, error) {
 	man, err := readManifest(dir)
 	if err != nil {
@@ -52,6 +55,15 @@ func Validate(dir string) (*Manifest, error) {
 		}
 		if strings.HasSuffix(f.Name, ".json") && !json.Valid(data) {
 			return nil, fmt.Errorf("bundle %s: %s: invalid JSON", dir, f.Name)
+		}
+		if f.Name == "history.json" {
+			var dump history.Dump
+			if err := json.Unmarshal(data, &dump); err != nil {
+				return nil, fmt.Errorf("bundle %s: %s: %w", dir, f.Name, err)
+			}
+			if err := history.ValidateDump(&dump); err != nil {
+				return nil, fmt.Errorf("bundle %s: %s: %w", dir, f.Name, err)
+			}
 		}
 		if f.Name == "workload.vaqwl" {
 			log, err := workload.LoadLog(path)

@@ -5,6 +5,7 @@ import (
 
 	"vaq/internal/bundle"
 	"vaq/internal/diag"
+	"vaq/internal/history"
 	"vaq/internal/trace"
 	"vaq/internal/workload"
 )
@@ -51,6 +52,12 @@ func (ix *Index) EnableFlightRecorder(name string, cfg bundle.Config) (*bundle.R
 			return ix.capture.Load().Snapshot()
 		},
 		Reports: func() []*diag.Report { return []*diag.Report{ix.Diagnose()} },
+		History: func() *history.Dump {
+			if c := ix.hist.Load(); c != nil {
+				return c.Dump()
+			}
+			return nil // recorder falls back to its own sampler
+		},
 	})
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"vaq/internal/alert"
 	"vaq/internal/bundle"
 	"vaq/internal/diag"
+	"vaq/internal/history"
 	"vaq/internal/metrics"
 	"vaq/internal/pca"
 	"vaq/internal/quantizer"
@@ -177,6 +178,10 @@ type Index struct {
 	// for the same reason as tracer. The query path never touches it — it
 	// subscribes to the metrics alert bus instead.
 	flight atomic.Pointer[bundle.Recorder]
+	// hist is the armed metrics history collector (EnableHistory); atomic
+	// for the same reason as tracer. Samples on its own goroutine — the
+	// query path never touches it.
+	hist atomic.Pointer[history.Collector]
 	// retained holds the projected dataset rows for the shadow-exact
 	// recall estimator (nil unless RecallSampleRate > 0); recallEvery is
 	// the sampling stride and recallCtr the query counter driving it.

@@ -1,0 +1,171 @@
+package history
+
+import (
+	"fmt"
+	"time"
+
+	"vaq/internal/alert"
+	"vaq/internal/metrics"
+)
+
+// BurnRule is one window of the canonical multi-window multi-burn-rate SLO
+// alert (the Google SRE shape): the alert for this rule fires while the
+// error-budget burn rate over Window AND over the short Confirm window both
+// sit at or above Threshold. The long window makes the alert significant
+// (a real fraction of the budget is gone), the short window makes it
+// current (the burn is still happening, so recovery resets it quickly) —
+// together they replace the instantaneous exhaustion latch, which was
+// noisy on spikes and blind to slow burns.
+type BurnRule struct {
+	// Name labels the rule ("fast", "slow") in source names
+	// (vaq.burn.latency.<name>) and exported gauges.
+	Name string
+	// Window is the long evaluation window.
+	Window time.Duration
+	// Confirm is the short confirmation window (default Window/12, the
+	// SRE-canonical pairing: 5m confirms 1h, 30m confirms 6h).
+	Confirm time.Duration
+	// Threshold is the burn rate (observed violation rate over the allowed
+	// rate; 1.0 spends the budget exactly on schedule) at or above which
+	// the rule fires.
+	Threshold float64
+}
+
+func (r BurnRule) withDefaults() BurnRule {
+	if r.Confirm <= 0 {
+		r.Confirm = r.Window / 12
+	}
+	if r.Confirm < time.Second {
+		r.Confirm = time.Second
+	}
+	if r.Threshold <= 0 {
+		r.Threshold = 1
+	}
+	return r
+}
+
+// DefaultBurnRules is the two-window ladder armed when Config.Burn is nil:
+// a fast burn (14.4x over 5m — a 2%-of-monthly-budget-per-hour page) and a
+// slow burn (6x over 1h — a significant sustained burn a spike cannot
+// trip).
+func DefaultBurnRules() []BurnRule {
+	return []BurnRule{
+		{Name: "fast", Window: 5 * time.Minute, Threshold: 14.4},
+		{Name: "slow", Window: time.Hour, Threshold: 6},
+	}
+}
+
+// burnObjective is one objective's (latency or recall) evaluation state:
+// the violation/base series it reads and one alert source per rule.
+type burnObjective struct {
+	objective   string // "latency" or "recall"
+	allowedRate float64
+	srcs        []*alert.Source // parallel to the rule set
+}
+
+// burnTarget is the burn evaluation armed on one watched registry with a
+// configured SLO. Owned by the collector goroutine.
+type burnTarget struct {
+	rules      []BurnRule
+	objectives []*burnObjective
+}
+
+// armBurn registers the per-rule alert sources on the target's bus for
+// every configured objective and flips the registry's instantaneous SLO
+// edge into delegated mode. Called by the collector goroutine once the
+// watched registry has a configured SLO.
+func (c *Collector) armBurn(t *target, cfg *metrics.SLO) {
+	bt := &burnTarget{rules: make([]BurnRule, len(c.cfg.Burn))}
+	for i, r := range c.cfg.Burn {
+		bt.rules[i] = r.withDefaults()
+	}
+	bus := t.m.Alerts()
+	arm := func(objective string, allowedRate float64) {
+		o := &burnObjective{objective: objective, allowedRate: allowedRate}
+		for _, r := range bt.rules {
+			o.srcs = append(o.srcs, bus.Source(fmt.Sprintf("vaq.burn.%s.%s", objective, r.Name)))
+		}
+		bt.objectives = append(bt.objectives, o)
+	}
+	if cfg.LatencyTarget > 0 {
+		arm("latency", 1-cfg.LatencyObjective)
+	}
+	if cfg.MinRecall > 0 {
+		arm("recall", 1-cfg.MinRecall)
+	}
+	t.burn = bt
+	t.m.DelegateSLOEdges(true)
+}
+
+// violationDelta returns one objective's violation and base-event deltas
+// over the trailing window, plus the covered span.
+func (t *target) violationDelta(objective string, now time.Time, window time.Duration) (vio, base float64, covered time.Duration) {
+	switch objective {
+	case "latency":
+		v := t.lookup("slo_latency_violations")
+		b := t.lookup("queries")
+		if v == nil || b == nil {
+			return 0, 0, 0
+		}
+		vio, covered = v.DeltaOverWindow(now, window)
+		base, _ = b.DeltaOverWindow(now, window)
+	case "recall":
+		h := t.lookup("recall_hits")
+		e := t.lookup("recall_expected")
+		if h == nil || e == nil {
+			return 0, 0, 0
+		}
+		hits, cov := h.DeltaOverWindow(now, window)
+		exp, _ := e.DeltaOverWindow(now, window)
+		vio, base, covered = exp-hits, exp, cov
+	}
+	return vio, base, covered
+}
+
+// burnOver computes one objective's burn rate over a window: the observed
+// violation rate divided by the allowed rate (1.0 = spending the budget
+// exactly on schedule).
+func (t *target) burnOver(o *burnObjective, now time.Time, window time.Duration) (burn float64, covered time.Duration) {
+	vio, base, covered := t.violationDelta(o.objective, now, window)
+	if base <= 0 || o.allowedRate <= 0 {
+		return 0, covered
+	}
+	return (vio / base) / o.allowedRate, covered
+}
+
+// evaluateBurn runs the multi-window evaluation for one target: each
+// (objective, rule) pair computes its long- and short-window burn, gates on
+// coverage (a rule is eligible only once retained history spans at least
+// half its window — a cold store must not page), drives the edge latch,
+// and publishes the combined status back into the registry for Prometheus
+// export. Collector-goroutine only.
+func (c *Collector) evaluateBurn(t *target, now time.Time) {
+	bt := t.burn
+	status := make([]metrics.BurnRuleStatus, 0, len(bt.objectives)*len(bt.rules))
+	for _, o := range bt.objectives {
+		for i, r := range bt.rules {
+			long, covered := t.burnOver(o, now, r.Window)
+			short, _ := t.burnOver(o, now, r.Confirm)
+			eligible := covered >= r.Window/2
+			firing := eligible && long >= r.Threshold && short >= r.Threshold
+			st := metrics.BurnRuleStatus{
+				Objective: o.objective,
+				Rule:      r.Name,
+				Window:    r.Window,
+				Confirm:   r.Confirm,
+				Threshold: r.Threshold,
+				Burn:      long,
+				ShortBurn: short,
+				Covered:   covered,
+				Eligible:  eligible,
+				Firing:    firing,
+			}
+			if o.srcs[i].Set(firing) && c.cfg.OnBurn != nil {
+				c.cfg.OnBurn(t.name, st)
+			}
+			st.Firing = o.srcs[i].Firing()
+			status = append(status, st)
+		}
+	}
+	t.m.SetBurn(&metrics.BurnSnapshot{UpdatedAt: now, Rules: status})
+}

@@ -1,0 +1,284 @@
+package history
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vaq/internal/metrics"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestCollectorSamplesWatchedRegistries(t *testing.T) {
+	m1 := metrics.New()
+	m2 := metrics.New()
+	c := New("test", Config{Interval: 10 * time.Millisecond, DisableBurn: true})
+	defer c.Close()
+	c.Watch("a", m1)
+	c.Watch("a", m1) // duplicate: no-op
+	c.Watch("b", m2)
+
+	for i := 0; i < 25; i++ {
+		m1.RecordSearch(metrics.SearchRecord{CodesConsidered: 100, CodesSkippedTI: 60}, time.Millisecond)
+	}
+	waitFor(t, 2*time.Second, "queries series on both targets", func() bool {
+		qa, qb := c.Series("a", "queries"), c.Series("b", "queries")
+		if qa == nil || qb == nil {
+			return false
+		}
+		p, ok := qa.Last()
+		return ok && p.Val == 25
+	})
+
+	if got := c.Targets(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("targets %v, want [a b]", got)
+	}
+	if c.Series("a", "nope") != nil || c.Series("nope", "queries") != nil {
+		t.Fatal("unknown series/target should be nil")
+	}
+	// Derived gauges appear once a sweep sees a counter delta against its
+	// previous snapshot, so keep traffic flowing (same 60% skip ratio)
+	// while waiting.
+	waitFor(t, 2*time.Second, "derived prune-rate series", func() bool {
+		for i := 0; i < 5; i++ {
+			m1.RecordSearch(metrics.SearchRecord{CodesConsidered: 100, CodesSkippedTI: 60}, time.Millisecond)
+		}
+		s := c.Series("a", "ti_prune_rate")
+		if s == nil {
+			return false
+		}
+		p, ok := s.Last()
+		return ok && p.Val > 0.59 && p.Val < 0.61
+	})
+	if c.Samples() == 0 {
+		t.Fatal("no sampling sweeps counted")
+	}
+}
+
+// TestCollectorScrapeIndependentGauges verifies the collector refreshes
+// windowed SLO gauges on its own cadence: the budget series moves without
+// anyone calling a Prometheus scrape or external Snapshot.
+func TestCollectorScrapeIndependentGauges(t *testing.T) {
+	m := metrics.New()
+	m.ConfigureSLO(metrics.SLO{LatencyTarget: time.Nanosecond, Window: 64}, nil)
+	c := New("test", Config{Interval: 10 * time.Millisecond, DisableBurn: true})
+	defer c.Close()
+	c.Watch("ix", m)
+	for i := 0; i < 64; i++ {
+		m.RecordSearch(metrics.SearchRecord{}, time.Millisecond) // always violates
+	}
+	waitFor(t, 2*time.Second, "slo budget gauge to go negative", func() bool {
+		s := c.Series("ix", "slo_latency_budget")
+		if s == nil {
+			return false
+		}
+		p, ok := s.Last()
+		return ok && p.Val < 0
+	})
+}
+
+func TestCollectorCloseIdempotentAndFinalSweep(t *testing.T) {
+	m := metrics.New()
+	c := New("test", Config{Interval: time.Hour, DisableBurn: true}) // only the arming sweep
+	c.Watch("ix", m)
+	waitFor(t, 2*time.Second, "first sweep", func() bool { return c.Samples() >= 1 })
+	before := c.Samples()
+	m.RecordSearch(metrics.SearchRecord{}, time.Millisecond)
+	c.Close()
+	c.Close() // idempotent
+	if c.Samples() <= before {
+		t.Fatal("Close did not run a final sweep")
+	}
+	p, ok := c.Series("ix", "queries").Last()
+	if !ok || p.Val != 1 {
+		t.Fatalf("final sweep missed the last query: %+v ok=%v", p, ok)
+	}
+}
+
+// TestBurnRuleLifecycle drives a registry whose every query violates its
+// latency SLO through a collector with a sub-second burn window and
+// verifies the canonical ladder end to end: delegation replaces the
+// instantaneous edge, the fast rule fires once eligible, the status lands
+// in the registry snapshot, and Close hands the edge back.
+func TestBurnRuleLifecycle(t *testing.T) {
+	m := metrics.New()
+	m.ConfigureSLO(metrics.SLO{LatencyTarget: time.Nanosecond, Window: 64}, nil)
+	var edges atomic.Int32
+	var lastStatus atomic.Pointer[metrics.BurnRuleStatus]
+	c := New("test", Config{
+		Interval: 10 * time.Millisecond,
+		Burn:     []BurnRule{{Name: "fast", Window: 300 * time.Millisecond, Confirm: 50 * time.Millisecond, Threshold: 2}},
+		OnBurn: func(target string, st metrics.BurnRuleStatus) {
+			if target != "ix" {
+				t.Errorf("burn edge for target %q, want ix", target)
+			}
+			edges.Add(1)
+			lastStatus.Store(&st)
+		},
+	})
+	c.Watch("ix", m)
+
+	waitFor(t, 2*time.Second, "SLO edge delegation", m.SLODelegated)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.RecordSearch(metrics.SearchRecord{}, time.Millisecond) // always violates
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	waitFor(t, 5*time.Second, "vaq.burn.latency.fast to fire", func() bool {
+		return m.Alerts().Lookup("vaq.burn.latency.fast").Firing()
+	})
+	if got := edges.Load(); got != 1 {
+		t.Fatalf("burn edge fired %d times, want exactly 1", got)
+	}
+	st := lastStatus.Load()
+	if st == nil || st.Objective != "latency" || st.Rule != "fast" || !st.Eligible || !st.Firing {
+		t.Fatalf("edge status %+v", st)
+	}
+	if st.Burn < st.Threshold || st.ShortBurn < st.Threshold {
+		t.Fatalf("firing status below threshold: %+v", st)
+	}
+	// Delegation suppressed the legacy instantaneous latch.
+	if m.Alerts().Lookup("vaq.slo.latency").Firing() {
+		t.Fatal("instantaneous SLO edge fired while delegated to burn rules")
+	}
+	// The combined status is exported through the registry snapshot.
+	snap := m.Snapshot()
+	if snap.Burn == nil || len(snap.Burn.Rules) != 1 || !snap.Burn.Rules[0].Firing {
+		t.Fatalf("snapshot burn block %+v", snap.Burn)
+	}
+
+	c.Close()
+	if m.SLODelegated() {
+		t.Fatal("Close did not hand the SLO edge back")
+	}
+}
+
+// TestBurnColdStoreIneligible: a rule whose window dwarfs retained history
+// must not page, no matter how hot the burn.
+func TestBurnColdStoreIneligible(t *testing.T) {
+	m := metrics.New()
+	m.ConfigureSLO(metrics.SLO{LatencyTarget: time.Nanosecond, Window: 64}, nil)
+	c := New("test", Config{
+		Interval: 10 * time.Millisecond,
+		Burn:     []BurnRule{{Name: "slow", Window: time.Hour, Threshold: 2}},
+	})
+	defer c.Close()
+	c.Watch("ix", m)
+	for i := 0; i < 50; i++ {
+		m.RecordSearch(metrics.SearchRecord{}, time.Millisecond)
+	}
+	waitFor(t, 2*time.Second, "burn status export", func() bool {
+		b := m.Burn()
+		return b != nil && len(b.Rules) == 1
+	})
+	time.Sleep(100 * time.Millisecond)
+	st := m.Burn().Rules[0]
+	if st.Eligible || st.Firing {
+		t.Fatalf("hour-window rule eligible after 100ms of history: %+v", st)
+	}
+	if m.Alerts().Lookup("vaq.burn.latency.slow").Firing() {
+		t.Fatal("ineligible rule fired")
+	}
+}
+
+func TestBurnRuleDefaults(t *testing.T) {
+	r := BurnRule{Name: "x", Window: time.Hour}.withDefaults()
+	if r.Confirm != 5*time.Minute {
+		t.Fatalf("confirm %s, want window/12 = 5m", r.Confirm)
+	}
+	if r.Threshold != 1 {
+		t.Fatalf("threshold %g, want 1", r.Threshold)
+	}
+	if r = (BurnRule{Name: "y", Window: 6 * time.Second}).withDefaults(); r.Confirm != time.Second {
+		t.Fatalf("confirm %s, want 1s floor", r.Confirm)
+	}
+	rules := DefaultBurnRules()
+	if len(rules) != 2 || rules[0].Name != "fast" || rules[1].Name != "slow" {
+		t.Fatalf("default ladder %+v", rules)
+	}
+}
+
+func TestDumpAndValidate(t *testing.T) {
+	m := metrics.New()
+	c := New("dumpme", Config{Interval: 10 * time.Millisecond, DisableBurn: true})
+	defer c.Close()
+	c.Watch("ix", m)
+	m.RecordSearch(metrics.SearchRecord{CodesConsidered: 10}, time.Millisecond)
+	waitFor(t, 2*time.Second, "a few sweeps", func() bool { return c.Samples() >= 3 })
+
+	d := c.Dump()
+	if d.Collector != "dumpme" || d.SchemaVersion != DumpSchemaVersion {
+		t.Fatalf("dump header %+v", d)
+	}
+	if len(d.Targets) != 1 || d.Targets[0].Name != "ix" || len(d.Targets[0].Series) == 0 {
+		t.Fatalf("dump targets %+v", d.Targets)
+	}
+	if err := ValidateDump(d); err != nil {
+		t.Fatalf("live dump failed validation: %v", err)
+	}
+
+	corrupt := []struct {
+		name string
+		mut  func(d *Dump)
+		want string
+	}{
+		{"schema", func(d *Dump) { d.SchemaVersion = 99 }, "unsupported schema version"},
+		{"raw-regress", func(d *Dump) {
+			s := &d.Targets[0].Series[0]
+			s.Raw = []Point{{TS: 100, Val: 1}, {TS: 50, Val: 2}}
+		}, "timestamps regress"},
+		{"empty-bucket", func(d *Dump) {
+			d.Targets[0].Series[0].Mid = []Bucket{{Start: 0, End: 10}}
+		}, "is empty"},
+		{"inverted-bucket", func(d *Dump) {
+			d.Targets[0].Series[0].Long = []Bucket{{Start: 10, End: 10, Count: 1}}
+		}, "start 10 >= end 10"},
+		{"envelope", func(d *Dump) {
+			d.Targets[0].Series[0].Mid = []Bucket{{Start: 0, End: 10, Count: 1, Min: 5, Max: 1}}
+		}, "min 5 > max 1"},
+		{"bucket-order", func(d *Dump) {
+			d.Targets[0].Series[0].Mid = []Bucket{
+				{Start: 100, End: 110, Count: 1},
+				{Start: 0, End: 10, Count: 1},
+			}
+		}, "starts before"},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := c.Dump()
+			tc.mut(bad)
+			err := ValidateDump(bad)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("validation err %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+	if err := ValidateDump(nil); err == nil {
+		t.Fatal("nil dump validated")
+	}
+}

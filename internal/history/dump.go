@@ -1,0 +1,118 @@
+package history
+
+import (
+	"fmt"
+	"time"
+)
+
+// DumpSchemaVersion versions the history.json frozen-dump schema.
+const DumpSchemaVersion = 1
+
+// Dump is a frozen, self-describing capture of everything a collector
+// retains: the incident bundle's history.json member and the JSON body of
+// /debug/vaq/history. Timestamps are unix milliseconds throughout.
+type Dump struct {
+	SchemaVersion int          `json:"schema_version"`
+	Collector     string       `json:"collector"`
+	CapturedAtMs  int64        `json:"captured_at_ms"`
+	IntervalMs    int64        `json:"interval_ms"`
+	Samples       uint64       `json:"samples"`
+	Targets       []TargetDump `json:"targets"`
+}
+
+// TargetDump is one watched registry's retained series (the merged index,
+// or one shard).
+type TargetDump struct {
+	Name   string       `json:"name"`
+	Series []SeriesDump `json:"series"`
+}
+
+// SeriesDump is one series across all three retention tiers, each oldest
+// first.
+type SeriesDump struct {
+	Name string   `json:"name"`
+	Kind string   `json:"kind"`
+	Raw  []Point  `json:"raw"`
+	Mid  []Bucket `json:"mid,omitempty"`
+	Long []Bucket `json:"long,omitempty"`
+}
+
+// Dump freezes the collector's current state. Safe to call concurrently
+// with sampling; each series is captured with the same torn-read
+// validation the query API uses.
+func (c *Collector) Dump() *Dump {
+	c.mu.RLock()
+	targets := append([]*target(nil), c.targets...)
+	c.mu.RUnlock()
+	d := &Dump{
+		SchemaVersion: DumpSchemaVersion,
+		Collector:     c.name,
+		CapturedAtMs:  time.Now().UnixMilli(),
+		IntervalMs:    c.cfg.Interval.Milliseconds(),
+		Samples:       c.samples.Load(),
+	}
+	for _, t := range targets {
+		td := TargetDump{Name: t.name}
+		t.each(func(s *Series) {
+			td.Series = append(td.Series, SeriesDump{
+				Name: s.name,
+				Kind: s.kind.String(),
+				Raw:  s.rawPoints(),
+				Mid:  s.mid.snapshot(),
+				Long: s.long.snapshot(),
+			})
+		})
+		d.Targets = append(d.Targets, td)
+	}
+	return d
+}
+
+// ValidateDump checks a dump's internal consistency: schema version, and
+// per series that raw timestamps are non-decreasing and every downsampled
+// bucket is well-formed (Start < End, non-empty, non-decreasing, within
+// tier order). vaqdiag runs this against a bundle's history.json after the
+// manifest hash check.
+func ValidateDump(d *Dump) error {
+	if d == nil {
+		return fmt.Errorf("history: nil dump")
+	}
+	if d.SchemaVersion != DumpSchemaVersion {
+		return fmt.Errorf("history: unsupported schema version %d (want %d)", d.SchemaVersion, DumpSchemaVersion)
+	}
+	for _, t := range d.Targets {
+		for _, s := range t.Series {
+			where := fmt.Sprintf("target %q series %q", t.Name, s.Name)
+			for i := 1; i < len(s.Raw); i++ {
+				if s.Raw[i].TS < s.Raw[i-1].TS {
+					return fmt.Errorf("history: %s: raw timestamps regress at index %d (%d < %d)",
+						where, i, s.Raw[i].TS, s.Raw[i-1].TS)
+				}
+			}
+			if err := validateBuckets(where+" mid", s.Mid); err != nil {
+				return err
+			}
+			if err := validateBuckets(where+" long", s.Long); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validateBuckets(where string, bs []Bucket) error {
+	for i, b := range bs {
+		if b.Start >= b.End {
+			return fmt.Errorf("history: %s: bucket %d has start %d >= end %d", where, i, b.Start, b.End)
+		}
+		if b.Count == 0 {
+			return fmt.Errorf("history: %s: bucket %d is empty", where, i)
+		}
+		if b.Min > b.Max {
+			return fmt.Errorf("history: %s: bucket %d has min %g > max %g", where, i, b.Min, b.Max)
+		}
+		if i > 0 && b.Start < bs[i-1].Start {
+			return fmt.Errorf("history: %s: bucket %d starts before bucket %d", where, i, i-1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The process-wide collector registry behind /debug/vaq/history, mirroring
+// the report registry in internal/diag: Publish rebinds an existing name
+// instead of erroring, so index reloads and tests stay simple.
+var collectors sync.Map // name -> *Collector
+
+// Publish registers c under name for the /debug/vaq/history handler
+// (installed on http.DefaultServeMux at package init — metrics.ServeDebug
+// serves that mux). Publishing nil removes the name.
+func Publish(name string, c *Collector) {
+	if c == nil {
+		collectors.Delete(name)
+		return
+	}
+	collectors.Store(name, c)
+}
+
+func init() {
+	http.HandleFunc("/debug/vaq/history", handleHistory)
+}
+
+// handleHistory serves the registered collectors. Query parameters:
+//
+//	?index=X       only the collector published as X (default: all)
+//	?format=text   per-series ASCII-sparkline view (vaqtop polls this);
+//	               default is JSON, one frozen Dump per collector keyed
+//	               by name
+//	?series=S      JSON only: instead of full dumps, serve merged Range
+//	               points for series S per target
+//	?window=D      with ?series: restrict the range to the trailing D
+//	               (Go duration, e.g. 5m); default all retained
+func handleHistory(w http.ResponseWriter, r *http.Request) {
+	wantName := r.URL.Query().Get("index")
+	var names []string
+	collectors.Range(func(k, _ any) bool {
+		if wantName == "" || k.(string) == wantName {
+			names = append(names, k.(string))
+		}
+		return true
+	})
+	sort.Strings(names)
+	if wantName != "" && len(names) == 0 {
+		http.Error(w, fmt.Sprintf("no history collector published as %q", wantName), http.StatusNotFound)
+		return
+	}
+	load := func(name string) *Collector {
+		v, ok := collectors.Load(name)
+		if !ok {
+			return nil
+		}
+		return v.(*Collector)
+	}
+
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, name := range names {
+			if c := load(name); c != nil {
+				RenderText(w, c.Dump())
+				fmt.Fprintln(w)
+			}
+		}
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+
+	if series := r.URL.Query().Get("series"); series != "" {
+		var fromMs int64
+		if ws := r.URL.Query().Get("window"); ws != "" {
+			window, err := time.ParseDuration(ws)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad window %q: %v", ws, err), http.StatusBadRequest)
+				return
+			}
+			fromMs = time.Now().Add(-window).UnixMilli()
+		}
+		// collector -> target -> points
+		ranges := make(map[string]map[string][]Point, len(names))
+		for _, name := range names {
+			c := load(name)
+			if c == nil {
+				continue
+			}
+			perTarget := make(map[string][]Point)
+			for _, tn := range c.Targets() {
+				if s := c.Series(tn, series); s != nil {
+					perTarget[tn] = s.Range(fromMs, 0)
+				}
+			}
+			ranges[name] = perTarget
+		}
+		enc.Encode(ranges) //nolint:errcheck // best-effort HTTP body
+		return
+	}
+
+	dumps := make(map[string]*Dump, len(names))
+	for _, name := range names {
+		if c := load(name); c != nil {
+			dumps[name] = c.Dump()
+		}
+	}
+	enc.Encode(dumps) //nolint:errcheck // best-effort HTTP body
+}

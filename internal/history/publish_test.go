@@ -1,0 +1,152 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vaq/internal/metrics"
+)
+
+func getHistory(t *testing.T, query string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/debug/vaq/history"+query, nil)
+	rr := httptest.NewRecorder()
+	handleHistory(rr, req)
+	return rr
+}
+
+func TestHistoryEndpoint(t *testing.T) {
+	m := metrics.New()
+	c := New("pub_test", Config{Interval: 10 * time.Millisecond, DisableBurn: true})
+	defer c.Close()
+	c.Watch("ix", m)
+	Publish("pub_test", c)
+	defer Publish("pub_test", nil)
+	m.RecordSearch(metrics.SearchRecord{CodesConsidered: 10}, time.Millisecond)
+	waitFor(t, 2*time.Second, "sweeps", func() bool { return c.Samples() >= 2 })
+
+	t.Run("json-dump", func(t *testing.T) {
+		rr := getHistory(t, "")
+		if rr.Code != http.StatusOK {
+			t.Fatalf("status %d", rr.Code)
+		}
+		var dumps map[string]*Dump
+		if err := json.Unmarshal(rr.Body.Bytes(), &dumps); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		d := dumps["pub_test"]
+		if d == nil {
+			t.Fatalf("no pub_test dump in %v", dumps)
+		}
+		if err := ValidateDump(d); err != nil {
+			t.Fatalf("served dump invalid: %v", err)
+		}
+	})
+
+	t.Run("index-filter", func(t *testing.T) {
+		rr := getHistory(t, "?index=pub_test")
+		var dumps map[string]*Dump
+		if err := json.Unmarshal(rr.Body.Bytes(), &dumps); err != nil || len(dumps) != 1 {
+			t.Fatalf("filtered dump: err=%v n=%d", err, len(dumps))
+		}
+	})
+
+	t.Run("unknown-index-404", func(t *testing.T) {
+		if rr := getHistory(t, "?index=nope"); rr.Code != http.StatusNotFound {
+			t.Fatalf("status %d, want 404", rr.Code)
+		}
+	})
+
+	t.Run("text-sparklines", func(t *testing.T) {
+		rr := getHistory(t, "?format=text")
+		body := rr.Body.String()
+		if !strings.Contains(body, "== pub_test ==") || !strings.Contains(body, "-- ix --") {
+			t.Fatalf("text view missing headers:\n%s", body)
+		}
+		if !strings.Contains(body, "queries") {
+			t.Fatalf("text view missing series rows:\n%s", body)
+		}
+	})
+
+	t.Run("series-range", func(t *testing.T) {
+		rr := getHistory(t, "?series=queries&window=1h")
+		var ranges map[string]map[string][]Point
+		if err := json.Unmarshal(rr.Body.Bytes(), &ranges); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		pts := ranges["pub_test"]["ix"]
+		if len(pts) == 0 {
+			t.Fatalf("no points in range response %v", ranges)
+		}
+		if last := pts[len(pts)-1]; last.Val != 1 {
+			t.Fatalf("last queries point %+v, want 1", last)
+		}
+	})
+
+	t.Run("bad-window-400", func(t *testing.T) {
+		if rr := getHistory(t, "?series=queries&window=bogus"); rr.Code != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", rr.Code)
+		}
+	})
+}
+
+func TestPublishRebindAndRemove(t *testing.T) {
+	c1 := New("rebind", Config{Interval: time.Hour, DisableBurn: true})
+	defer c1.Close()
+	c2 := New("rebind", Config{Interval: time.Hour, DisableBurn: true})
+	defer c2.Close()
+	Publish("rebind", c1)
+	Publish("rebind", c2) // rebinding replaces, no error
+	defer Publish("rebind", nil)
+	if v, _ := collectors.Load("rebind"); v != c2 {
+		t.Fatal("rebind did not replace the collector")
+	}
+	Publish("rebind", nil)
+	if _, ok := collectors.Load("rebind"); ok {
+		t.Fatal("nil publish did not remove the name")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := Sparkline(nil, 10); s != "" {
+		t.Fatalf("empty points rendered %q", s)
+	}
+	pts := []Point{{TS: 0, Val: 0}, {TS: 1, Val: 1}, {TS: 2, Val: 2}, {TS: 3, Val: 3}}
+	s := Sparkline(pts, 4)
+	if len([]rune(s)) != 4 {
+		t.Fatalf("width %d, want 4", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != sparkRunes[0] || runes[3] != sparkRunes[len(sparkRunes)-1] {
+		t.Fatalf("ramp %q should start low and end high", s)
+	}
+	// A gap in time leaves blank columns.
+	gap := Sparkline([]Point{{TS: 0, Val: 1}, {TS: 100, Val: 2}}, 10)
+	if !strings.Contains(gap, " ") {
+		t.Fatalf("gapped series %q has no blank columns", gap)
+	}
+	// Flat series renders without dividing by a zero range.
+	flat := Sparkline([]Point{{TS: 0, Val: 5}, {TS: 1, Val: 5}}, 2)
+	if len([]rune(flat)) != 2 {
+		t.Fatalf("flat series %q", flat)
+	}
+}
+
+func TestWriteTrends(t *testing.T) {
+	m := metrics.New()
+	c := New("trend", Config{Interval: 10 * time.Millisecond, DisableBurn: true})
+	defer c.Close()
+	c.Watch("ix", m)
+	m.RecordSearch(metrics.SearchRecord{}, time.Millisecond)
+	waitFor(t, 2*time.Second, "sweeps", func() bool { return c.Samples() >= 3 })
+	var sb strings.Builder
+	WriteTrends(&sb, c.Dump())
+	out := sb.String()
+	if !strings.Contains(out, "ix/queries:") || !strings.Contains(out, "n=") {
+		t.Fatalf("trend summary missing series lines:\n%s", out)
+	}
+}

@@ -1,0 +1,156 @@
+package history
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders points as a fixed-width ASCII-art trend line, scaling
+// to the series' own min/max (a flat series renders as a low bar). Points
+// are bucketed left-to-right across the covered time span, so gaps keep
+// their width.
+func Sparkline(pts []Point, width int) string {
+	if len(pts) == 0 || width <= 0 {
+		return ""
+	}
+	lo, hi := pts[0].Val, pts[0].Val
+	for _, p := range pts {
+		if p.Val < lo {
+			lo = p.Val
+		}
+		if p.Val > hi {
+			hi = p.Val
+		}
+	}
+	t0, t1 := pts[0].TS, pts[len(pts)-1].TS
+	span := t1 - t0
+	// Column means over the covered span.
+	sums := make([]float64, width)
+	counts := make([]int, width)
+	for _, p := range pts {
+		col := 0
+		if span > 0 {
+			col = int(int64(width-1) * (p.TS - t0) / span)
+		}
+		sums[col] += p.Val
+		counts[col]++
+	}
+	out := make([]rune, 0, width)
+	for i := 0; i < width; i++ {
+		if counts[i] == 0 {
+			out = append(out, ' ')
+			continue
+		}
+		v := sums[i] / float64(counts[i])
+		level := 0
+		if hi > lo {
+			level = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if level < 0 {
+			level = 0
+		}
+		if level >= len(sparkRunes) {
+			level = len(sparkRunes) - 1
+		}
+		out = append(out, sparkRunes[level])
+	}
+	return string(out)
+}
+
+// seriesLine formats one series as a fixed-layout text row: name, newest
+// value, sparkline over the merged range, envelope, and point count.
+func seriesLine(name, kind string, pts []Point, width int) string {
+	if len(pts) == 0 {
+		return fmt.Sprintf("  %-24s %12s  (no data)", name, "-")
+	}
+	lo, hi := pts[0].Val, pts[0].Val
+	for _, p := range pts {
+		if p.Val < lo {
+			lo = p.Val
+		}
+		if p.Val > hi {
+			hi = p.Val
+		}
+	}
+	last := pts[len(pts)-1].Val
+	return fmt.Sprintf("  %-24s %12.4g  %s  [%.4g .. %.4g] n=%d %s",
+		name, last, Sparkline(pts, width), lo, hi, len(pts), kind)
+}
+
+// dumpPoints flattens one dumped series back into its merged Range view:
+// long buckets where mid doesn't reach, mid buckets where raw doesn't,
+// then the raw points.
+func dumpPoints(s *SeriesDump) []Point {
+	kind := Gauge
+	if s.Kind == "counter" {
+		kind = Counter
+	}
+	oldestRaw := int64(1<<63 - 1)
+	if len(s.Raw) > 0 {
+		oldestRaw = s.Raw[0].TS
+	}
+	oldestMid := int64(1<<63 - 1)
+	if len(s.Mid) > 0 {
+		oldestMid = s.Mid[0].Start
+	}
+	out := make([]Point, 0, len(s.Raw)+len(s.Mid))
+	for _, b := range s.Long {
+		if b.End > oldestMid || b.End > oldestRaw {
+			continue
+		}
+		out = append(out, b.point(kind))
+	}
+	for _, b := range s.Mid {
+		if b.End > oldestRaw {
+			continue
+		}
+		out = append(out, b.point(kind))
+	}
+	return append(out, s.Raw...)
+}
+
+// RenderText writes the dump as the /debug/vaq/history?format=text view:
+// one block per target, one sparkline row per series.
+func RenderText(w io.Writer, d *Dump) {
+	fmt.Fprintf(w, "== %s == interval %s, %d samples, captured %s\n",
+		d.Collector, time.Duration(d.IntervalMs)*time.Millisecond, d.Samples,
+		time.UnixMilli(d.CapturedAtMs).UTC().Format(time.RFC3339))
+	for _, t := range d.Targets {
+		fmt.Fprintf(w, "-- %s --\n", t.Name)
+		for i := range t.Series {
+			s := &t.Series[i]
+			fmt.Fprintln(w, seriesLine(s.Name, s.Kind, dumpPoints(s), 40))
+		}
+	}
+}
+
+// WriteTrends writes the compact per-series trend summary vaqdiag prints
+// for a bundle's history.json: first → last with the envelope, no
+// sparklines (diag output is grep-oriented).
+func WriteTrends(w io.Writer, d *Dump) {
+	for _, t := range d.Targets {
+		for i := range t.Series {
+			s := &t.Series[i]
+			pts := dumpPoints(s)
+			if len(pts) == 0 {
+				continue
+			}
+			lo, hi := pts[0].Val, pts[0].Val
+			for _, p := range pts {
+				if p.Val < lo {
+					lo = p.Val
+				}
+				if p.Val > hi {
+					hi = p.Val
+				}
+			}
+			span := time.Duration(pts[len(pts)-1].TS-pts[0].TS) * time.Millisecond
+			fmt.Fprintf(w, "    %s/%s: %.4g -> %.4g over %s (min %.4g, max %.4g, n=%d)\n",
+				t.Name, s.Name, pts[0].Val, pts[len(pts)-1].Val, span.Round(time.Millisecond),
+				lo, hi, len(pts))
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package history is the in-process time-series store behind trend-driven
+// operations: a background collector goroutine (Collector) samples one or
+// more IndexMetrics registries on a configurable cadence into per-series
+// lock-free ring buffers with tiered retention — the raw cadence tier plus
+// 10s and 1m downsampled aggregates (min/max/sum/count/first/last), so
+// rates and windowed summaries stay queryable long after the raw points
+// have been overwritten. On top of the store sit a small query API (Range,
+// RateOverWindow, DeltaOverWindow), derived series (QPS, prune rate, drift
+// slope, recall trend), canonical multi-window multi-burn-rate SLO alert
+// evaluation feeding the shared alert.Bus (vaq.burn.*), a frozen JSON dump
+// (the incident bundle's history.json member), and the /debug/vaq/history
+// endpoint serving JSON ranges and an ASCII-sparkline text view.
+//
+// Concurrency model: each Series has exactly one writer — the collector
+// goroutine — and any number of readers (HTTP handlers, the bundle writer,
+// burn evaluation). The raw tier is a pair of parallel atomic slot arrays
+// plus a points-ever write cursor; the writer fills the slot before bumping
+// the cursor, and a reader validates the cursor after copying, discarding
+// any slot the writer could have been overwriting mid-copy. The
+// downsampled tiers are rings of atomic.Pointer[Bucket] with the same
+// cursor validation (pointer loads cannot tear, but a slot can be lapped).
+// No locks are held on either side, and sampling allocates nothing on the
+// steady path beyond the closed buckets it publishes.
+package history
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a series for downsampling and query semantics: a counter
+// is cumulative and monotone except across resets (deltas and rates are
+// meaningful; a downsampled bucket represents it by its Last value), a
+// gauge is a level (a bucket represents it by its mean).
+type Kind int
+
+const (
+	Counter Kind = iota
+	Gauge
+)
+
+func (k Kind) String() string {
+	if k == Counter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// Point is one raw sample: a unix-millisecond timestamp and a value.
+type Point struct {
+	TS  int64   `json:"ts_ms"`
+	Val float64 `json:"v"`
+}
+
+// Bucket is one downsampled aggregate over a fixed time bucket
+// [Start, End): enough moments to reconstruct rates (First/Last for
+// counters), levels (Sum/Count means for gauges) and envelopes (Min/Max)
+// after the raw points are gone.
+type Bucket struct {
+	Start int64   `json:"start_ms"`
+	End   int64   `json:"end_ms"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Sum   float64 `json:"sum"`
+	Count uint64  `json:"count"`
+	First float64 `json:"first"`
+	Last  float64 `json:"last"`
+}
+
+// fold merges one sample into the bucket.
+func (b *Bucket) fold(v float64) {
+	if b.Count == 0 {
+		b.Min, b.Max, b.First = v, v, v
+	} else {
+		if v < b.Min {
+			b.Min = v
+		}
+		if v > b.Max {
+			b.Max = v
+		}
+	}
+	b.Sum += v
+	b.Count++
+	b.Last = v
+}
+
+// point is the bucket's single-point representation in a merged Range:
+// counters keep their Last value (preserving monotonicity for delta math),
+// gauges their mean, both stamped at the end of the bucket.
+func (b *Bucket) point(kind Kind) Point {
+	v := b.Last
+	if kind == Gauge && b.Count > 0 {
+		v = b.Sum / float64(b.Count)
+	}
+	return Point{TS: b.End, Val: v}
+}
+
+// tierRing is a single-writer ring of closed buckets.
+type tierRing struct {
+	slots []atomic.Pointer[Bucket]
+	w     atomic.Uint64 // buckets ever pushed
+}
+
+func (t *tierRing) push(b *Bucket) {
+	idx := t.w.Load()
+	t.slots[idx%uint64(len(t.slots))].Store(b)
+	t.w.Store(idx + 1)
+}
+
+// snapshot copies the retained buckets, oldest first, discarding any slot
+// the writer could have lapped during the copy.
+func (t *tierRing) snapshot() []Bucket {
+	n := uint64(len(t.slots))
+	if n == 0 {
+		return nil
+	}
+	w1 := t.w.Load()
+	lo := uint64(0)
+	if w1 > n {
+		lo = w1 - n
+	}
+	type indexed struct {
+		idx uint64
+		b   Bucket
+	}
+	tmp := make([]indexed, 0, w1-lo)
+	for i := lo; i < w1; i++ {
+		if p := t.slots[i%n].Load(); p != nil {
+			tmp = append(tmp, indexed{i, *p})
+		}
+	}
+	w2 := t.w.Load()
+	// A slot holding index i is only rewritten by the push of index i+n,
+	// which stores the pointer before bumping the cursor past i+n: once the
+	// reader observes w2, any index <= w2-n may already hold newer data.
+	out := make([]Bucket, 0, len(tmp))
+	for _, e := range tmp {
+		if w2 >= n && e.idx <= w2-n {
+			continue
+		}
+		out = append(out, e.b)
+	}
+	return out
+}
+
+// Series is one named metric's retained history across the three tiers.
+// Append is single-writer (the collector goroutine); every other method is
+// safe to call concurrently with it.
+type Series struct {
+	name string
+	kind Kind
+
+	// Raw tier: parallel slot arrays + points-ever cursor. The writer
+	// stores both slots before bumping the cursor; readers validate the
+	// cursor after copying (see rawPoints).
+	rawTS  []atomic.Int64
+	rawVal []atomic.Uint64 // math.Float64bits
+	rawW   atomic.Uint64
+
+	mid  tierRing // midBucket-wide aggregates
+	long tierRing // longBucket-wide aggregates
+
+	midBucket  int64 // bucket widths in milliseconds
+	longBucket int64
+
+	// Open (in-progress) buckets, owned exclusively by the writer; they
+	// become visible to readers only when closed into the rings.
+	openMid  Bucket
+	openLong Bucket
+}
+
+// newSeries shapes a series: rawCap raw samples, midCap buckets of
+// midBucket width, longCap buckets of longBucket width.
+func newSeries(name string, kind Kind, rawCap, midCap, longCap int, midBucket, longBucket time.Duration) *Series {
+	return &Series{
+		name:       name,
+		kind:       kind,
+		rawTS:      make([]atomic.Int64, rawCap),
+		rawVal:     make([]atomic.Uint64, rawCap),
+		mid:        tierRing{slots: make([]atomic.Pointer[Bucket], midCap)},
+		long:       tierRing{slots: make([]atomic.Pointer[Bucket], longCap)},
+		midBucket:  midBucket.Milliseconds(),
+		longBucket: longBucket.Milliseconds(),
+	}
+}
+
+// Name reports the series name; Kind its class.
+func (s *Series) Name() string { return s.name }
+
+// Kind reports whether the series is a counter or a gauge.
+func (s *Series) Kind() Kind { return s.kind }
+
+// append records one sample and runs the tier compaction: when the sample
+// crosses a bucket boundary, the open bucket is closed into its ring and a
+// fresh one starts. Writer-only.
+func (s *Series) append(tsMs int64, v float64) {
+	idx := s.rawW.Load()
+	slot := idx % uint64(len(s.rawTS))
+	s.rawTS[slot].Store(tsMs)
+	s.rawVal[slot].Store(math.Float64bits(v))
+	s.rawW.Store(idx + 1)
+
+	s.foldTier(&s.openMid, &s.mid, s.midBucket, tsMs, v)
+	s.foldTier(&s.openLong, &s.long, s.longBucket, tsMs, v)
+}
+
+// foldTier folds one sample into an open bucket, closing it on boundary
+// cross. Writer-only.
+func (s *Series) foldTier(open *Bucket, ring *tierRing, width, tsMs int64, v float64) {
+	start := tsMs - mod(tsMs, width)
+	if open.Count > 0 && open.Start != start {
+		closed := *open
+		ring.push(&closed)
+		*open = Bucket{}
+	}
+	if open.Count == 0 {
+		open.Start = start
+		open.End = start + width
+	}
+	open.fold(v)
+}
+
+// mod is a floored modulo so pre-epoch timestamps still bucket correctly.
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// rawPoints copies the retained raw samples, oldest first. The cursor is
+// re-read after the copy and any slot the writer could have been rewriting
+// mid-copy (its index lapped by the second cursor read) is discarded, so a
+// torn ts/val pair can never escape.
+func (s *Series) rawPoints() []Point {
+	n := uint64(len(s.rawTS))
+	if n == 0 {
+		return nil
+	}
+	w1 := s.rawW.Load()
+	lo := uint64(0)
+	if w1 > n {
+		lo = w1 - n
+	}
+	type indexed struct {
+		idx uint64
+		p   Point
+	}
+	tmp := make([]indexed, 0, w1-lo)
+	for i := lo; i < w1; i++ {
+		slot := i % n
+		tmp = append(tmp, indexed{i, Point{
+			TS:  s.rawTS[slot].Load(),
+			Val: math.Float64frombits(s.rawVal[slot].Load()),
+		}})
+	}
+	w2 := s.rawW.Load()
+	out := make([]Point, 0, len(tmp))
+	for _, e := range tmp {
+		// The write of index i+n rewrites slot i%n and may be in progress
+		// once the cursor reads i+n (the bump lands after the slot stores):
+		// discard i <= w2-n.
+		if w2 >= n && e.idx <= w2-n {
+			continue
+		}
+		out = append(out, e.p)
+	}
+	return out
+}
+
+// Range returns the series' points within [from, to], oldest first,
+// merging the three tiers: raw points where retained, mid buckets for the
+// span raw no longer covers, long buckets beyond that. Downsampled buckets
+// contribute one point each (Last for counters, mean for gauges, stamped
+// at bucket end). Zero from/to bounds are open.
+func (s *Series) Range(fromMs, toMs int64) []Point {
+	raw := s.rawPoints()
+	oldestRaw := int64(math.MaxInt64)
+	if len(raw) > 0 {
+		oldestRaw = raw[0].TS
+	}
+	mid := s.mid.snapshot()
+	oldestMid := int64(math.MaxInt64)
+	if len(mid) > 0 {
+		oldestMid = mid[0].Start
+	}
+	out := make([]Point, 0, len(raw)+len(mid))
+	for _, b := range s.long.snapshot() {
+		if b.End > oldestMid || b.End > oldestRaw {
+			continue
+		}
+		out = append(out, b.point(s.kind))
+	}
+	for _, b := range mid {
+		if b.End > oldestRaw {
+			continue
+		}
+		out = append(out, b.point(s.kind))
+	}
+	out = append(out, raw...)
+	// Bound filter (tiers are each time-ordered and spliced in order, so
+	// the merged slice is already sorted).
+	filtered := out[:0]
+	for _, p := range out {
+		if fromMs != 0 && p.TS < fromMs {
+			continue
+		}
+		if toMs != 0 && p.TS > toMs {
+			continue
+		}
+		filtered = append(filtered, p)
+	}
+	return filtered
+}
+
+// DeltaOverWindow returns a counter's increase over the trailing window
+// ending at now, summing consecutive positive deltas; a negative step is a
+// counter reset (metrics.Reset), and the post-reset value counts from
+// zero. The second return is the time actually covered by retained points
+// inside the window — callers gate burn-rate eligibility on it.
+func (s *Series) DeltaOverWindow(now time.Time, window time.Duration) (delta float64, covered time.Duration) {
+	nowMs := now.UnixMilli()
+	pts := s.Range(nowMs-window.Milliseconds(), nowMs)
+	if len(pts) == 0 {
+		return 0, 0
+	}
+	for i := 1; i < len(pts); i++ {
+		d := pts[i].Val - pts[i-1].Val
+		if d >= 0 {
+			delta += d
+		} else {
+			delta += pts[i].Val // reset: the new epoch starts at zero
+		}
+	}
+	return delta, time.Duration(pts[len(pts)-1].TS-pts[0].TS) * time.Millisecond
+}
+
+// RateOverWindow returns a counter's per-second rate over the trailing
+// window (delta over covered time; 0 when fewer than two points are
+// retained).
+func (s *Series) RateOverWindow(now time.Time, window time.Duration) float64 {
+	delta, covered := s.DeltaOverWindow(now, window)
+	if covered <= 0 {
+		return 0
+	}
+	return delta / covered.Seconds()
+}
+
+// Last returns the newest retained point (ok=false when empty).
+func (s *Series) Last() (Point, bool) {
+	pts := s.rawPoints()
+	if len(pts) == 0 {
+		// Raw tier empty only before the first append; buckets would be
+		// empty too.
+		return Point{}, false
+	}
+	return pts[len(pts)-1], true
+}

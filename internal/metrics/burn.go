@@ -1,0 +1,67 @@
+package metrics
+
+import "time"
+
+// BurnRuleStatus is the latest evaluation of one (objective, rule) pair of
+// the multi-window multi-burn-rate SLO alerting the history collector runs
+// on this registry. Burn is the error-budget burn rate over the long
+// Window, ShortBurn over the Confirm window; the rule fires while both sit
+// at or above Threshold. Eligible reports whether retained history covers
+// enough of the window to evaluate at all (a cold store must not page).
+type BurnRuleStatus struct {
+	Objective string        `json:"objective"` // "latency" or "recall"
+	Rule      string        `json:"rule"`      // "fast", "slow", ...
+	Window    time.Duration `json:"window_ns"`
+	Confirm   time.Duration `json:"confirm_ns"`
+	Threshold float64       `json:"threshold"`
+	Burn      float64       `json:"burn"`
+	ShortBurn float64       `json:"short_burn"`
+	Covered   time.Duration `json:"covered_ns"`
+	Eligible  bool          `json:"eligible"`
+	Firing    bool          `json:"firing"`
+}
+
+// BurnSnapshot is the full burn-rate evaluation written back by the
+// history collector each sampling sweep, exported as the vaq_burn_*
+// Prometheus families and carried in Snapshot.Burn.
+type BurnSnapshot struct {
+	UpdatedAt time.Time        `json:"updated_at"`
+	Rules     []BurnRuleStatus `json:"rules"`
+}
+
+// SetBurn stores the latest burn-rate evaluation (the history collector is
+// the only writer). nil clears it.
+func (m *IndexMetrics) SetBurn(b *BurnSnapshot) {
+	if m == nil {
+		return
+	}
+	m.burn.Store(b)
+}
+
+// Burn returns the latest burn-rate evaluation, or nil when no history
+// collector is armed on this registry.
+func (m *IndexMetrics) Burn() *BurnSnapshot {
+	if m == nil {
+		return nil
+	}
+	return m.burn.Load()
+}
+
+// DelegateSLOEdges hands SLO objective alerting over to (or back from) a
+// history collector's multi-window burn-rate evaluation. While delegated,
+// observeLatency/observeRecall keep maintaining the sliding windows — the
+// budget gauges stay live — but the instantaneous exhaustion edge
+// (vaq.slo.latency / vaq.slo.recall) no longer latches; the collector's
+// vaq.burn.* sources carry the alerts instead.
+func (m *IndexMetrics) DelegateSLOEdges(delegated bool) {
+	if m == nil {
+		return
+	}
+	m.sloDelegated.Store(delegated)
+}
+
+// SLODelegated reports whether SLO alerting is currently delegated to a
+// history collector.
+func (m *IndexMetrics) SLODelegated() bool {
+	return m != nil && m.sloDelegated.Load()
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusBurnFamilies pins the vaq_burn_* exposition block: a
+// registry with a published BurnSnapshot emits one row per (objective,
+// rule) pair across all four families, in order, and a registry without
+// one scrapes byte-identical to the pre-burn format (the families are
+// gated, so the full-body golden above stays valid).
+func TestWritePrometheusBurnFamilies(t *testing.T) {
+	m := NewSized(3, 2)
+	promTestRecord(m)
+	Publish("burn_golden", m)
+
+	var before strings.Builder
+	if err := WritePrometheus(&before, "burn_golden"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(before.String(), "vaq_burn") {
+		t.Fatal("burn families emitted without a burn snapshot")
+	}
+
+	m.SetBurn(&BurnSnapshot{
+		UpdatedAt: time.Now(),
+		Rules: []BurnRuleStatus{
+			{Objective: "latency", Rule: "fast", Window: 5 * time.Minute, Confirm: 25 * time.Second,
+				Threshold: 14.4, Burn: 100, ShortBurn: 50, Covered: 4 * time.Minute, Eligible: true, Firing: true},
+			{Objective: "latency", Rule: "slow", Window: time.Hour, Confirm: 5 * time.Minute,
+				Threshold: 6, Burn: 2.5, ShortBurn: 50, Covered: 4 * time.Minute},
+		},
+	})
+	var b strings.Builder
+	if err := WritePrometheus(&b, "burn_golden"); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	want := `# HELP vaq_burn_rate Error-budget burn rate over the rule's long window (1 = spending exactly the budget).
+# TYPE vaq_burn_rate gauge
+vaq_burn_rate{index="burn_golden",objective="latency",rule="fast"} 100
+vaq_burn_rate{index="burn_golden",objective="latency",rule="slow"} 2.5
+# HELP vaq_burn_short_rate Error-budget burn rate over the rule's short confirmation window.
+# TYPE vaq_burn_short_rate gauge
+vaq_burn_short_rate{index="burn_golden",objective="latency",rule="fast"} 50
+vaq_burn_short_rate{index="burn_golden",objective="latency",rule="slow"} 50
+# HELP vaq_burn_threshold Burn rate at or above which the rule fires (both windows must agree).
+# TYPE vaq_burn_threshold gauge
+vaq_burn_threshold{index="burn_golden",objective="latency",rule="fast"} 14.4
+vaq_burn_threshold{index="burn_golden",objective="latency",rule="slow"} 6
+# HELP vaq_burn_alert 1 while the multi-window burn-rate rule is firing (the vaq.burn.* edge latch).
+# TYPE vaq_burn_alert gauge
+vaq_burn_alert{index="burn_golden",objective="latency",rule="fast"} 1
+vaq_burn_alert{index="burn_golden",objective="latency",rule="slow"} 0
+`
+	if !strings.Contains(got, want) {
+		t.Errorf("burn block missing or malformed\n--- got scrape ---\n%s\n--- want block ---\n%s", got, want)
+	}
+	// The block is additive: the pre-burn families survive unchanged.
+	for _, fam := range []string{"vaq_queries_total", "vaq_query_latency_seconds_count"} {
+		if !strings.Contains(got, fam) {
+			t.Errorf("burn emission dropped family %s", fam)
+		}
+	}
+}
+
+// TestBurnSnapshotLifecycle covers the registry-side state: SetBurn
+// publishes, Snapshot embeds, Reset clears, and the delegation flag
+// round-trips.
+func TestBurnSnapshotLifecycle(t *testing.T) {
+	m := New()
+	if m.Burn() != nil {
+		t.Fatal("fresh registry has a burn snapshot")
+	}
+	bs := &BurnSnapshot{UpdatedAt: time.Now(), Rules: []BurnRuleStatus{{Objective: "latency", Rule: "fast"}}}
+	m.SetBurn(bs)
+	if got := m.Burn(); got != bs {
+		t.Fatal("SetBurn did not publish")
+	}
+	if snap := m.Snapshot(); snap.Burn == nil || len(snap.Burn.Rules) != 1 {
+		t.Fatalf("snapshot burn block %+v", snap.Burn)
+	}
+	if m.SLODelegated() {
+		t.Fatal("fresh registry delegated")
+	}
+	m.DelegateSLOEdges(true)
+	if !m.SLODelegated() {
+		t.Fatal("delegation did not stick")
+	}
+	m.DelegateSLOEdges(false)
+	if m.SLODelegated() {
+		t.Fatal("delegation did not clear")
+	}
+	m.SetBurn(bs)
+	m.Reset()
+	if m.Burn() != nil {
+		t.Fatal("Reset kept the burn snapshot")
+	}
+	// Nil-registry safety, matching the rest of the metrics API.
+	var nilM *IndexMetrics
+	nilM.SetBurn(bs)
+	nilM.DelegateSLOEdges(true)
+	if nilM.Burn() != nil || nilM.SLODelegated() {
+		t.Fatal("nil registry not inert")
+	}
+}
+
+// TestDelegatedSLOSkipsInstantaneousEdge proves the handoff: with
+// delegation armed, violating traffic still counts violations (the burn
+// input) but never trips the legacy vaq.slo.latency latch; with it off,
+// the latch pages as before.
+func TestDelegatedSLOSkipsInstantaneousEdge(t *testing.T) {
+	mkViolating := func() *IndexMetrics {
+		m := New()
+		m.ConfigureSLO(SLO{LatencyTarget: time.Nanosecond, Window: 8}, nil)
+		return m
+	}
+
+	m := mkViolating()
+	m.DelegateSLOEdges(true)
+	for i := 0; i < 32; i++ {
+		m.RecordSearch(SearchRecord{}, time.Millisecond)
+	}
+	if m.Alerts().Lookup("vaq.slo.latency").Firing() {
+		t.Fatal("instantaneous edge fired while delegated")
+	}
+	if snap := m.SLOSnapshot(); snap.LatencyViolationsTotal != 32 {
+		t.Fatalf("violations total %d, want 32 (burn input must keep counting)", snap.LatencyViolationsTotal)
+	}
+
+	m = mkViolating()
+	for i := 0; i < 32; i++ {
+		m.RecordSearch(SearchRecord{}, time.Millisecond)
+	}
+	if !m.Alerts().Lookup("vaq.slo.latency").Firing() {
+		t.Fatal("undelegated instantaneous edge did not fire")
+	}
+}

@@ -73,8 +73,16 @@ type IndexMetrics struct {
 	driftAlert    atomic.Uint32
 	// slo, when set (ConfigureSLO), evaluates declarative latency/recall
 	// objectives over sliding windows of the recorded traffic. Off = one
-	// pointer load per RecordSearch.
-	slo atomic.Pointer[sloState]
+	// pointer load per RecordSearch. sloDelegated, when true, hands
+	// objective alerting to a history collector's multi-window burn-rate
+	// evaluation: the windows keep updating but the instantaneous
+	// exhaustion edge stays quiet.
+	slo          atomic.Pointer[sloState]
+	sloDelegated atomic.Bool
+	// burn, when set (SetBurn), is the latest multi-window burn-rate
+	// evaluation written back by the history collector, exported as the
+	// vaq_burn_* Prometheus families.
+	burn atomic.Pointer[BurnSnapshot]
 	// sharded, when set (ConfigureSharded), holds the scatter-gather
 	// straggler/skew telemetry a merged sharded registry feeds through
 	// RecordScatter. Off = one pointer load per call.
@@ -195,7 +203,7 @@ func (m *IndexMetrics) RecordSearch(r SearchRecord, d time.Duration) {
 	}
 	m.latency.Observe(d)
 	if s := m.slo.Load(); s != nil {
-		s.observeLatency(d)
+		s.observeLatency(d, m.sloDelegated.Load())
 	}
 }
 
@@ -210,7 +218,7 @@ func (m *IndexMetrics) RecordRecallSample(hits, expected int) {
 	m.recallHits.Add(uint64(hits))
 	m.recallExpected.Add(uint64(expected))
 	if s := m.slo.Load(); s != nil {
-		s.observeRecall(hits, expected)
+		s.observeRecall(hits, expected, m.sloDelegated.Load())
 	}
 }
 
@@ -252,6 +260,7 @@ func (m *IndexMetrics) Reset() {
 	m.driftAlert.Store(0)
 	m.slo.Load().reset()
 	m.sharded.Load().reset()
+	m.burn.Store(nil)
 	// Re-arm every alert latch on the bus (the SLO and sharded resets above
 	// already re-armed theirs; this additionally covers detectors owned by
 	// other layers, e.g. core's vaq.drift): the windows were zeroed, so a
@@ -300,6 +309,7 @@ func (m *IndexMetrics) Snapshot() Snapshot {
 	s.DriftAlert = m.driftAlert.Load() == 1
 	s.SLO = m.SLOSnapshot()
 	s.Sharded = m.ShardedSnapshot()
+	s.Burn = m.Burn()
 	s.Latency = m.latency.Snapshot()
 	return s
 }
@@ -344,7 +354,11 @@ type Snapshot struct {
 	// Sharded is the scatter-gather straggler/skew telemetry (nil unless
 	// ConfigureSharded was called — i.e. for all single-index registries).
 	// Sub keeps the newer value.
-	Sharded *ShardedSnapshot  `json:"sharded,omitempty"`
+	Sharded *ShardedSnapshot `json:"sharded,omitempty"`
+	// Burn is the latest multi-window burn-rate evaluation (nil unless a
+	// history collector is armed on this registry). Sub keeps the newer
+	// value.
+	Burn    *BurnSnapshot     `json:"burn,omitempty"`
 	Latency HistogramSnapshot `json:"latency"`
 }
 

@@ -206,6 +206,57 @@ func writePrometheusSnaps(w io.Writer, names []string, snaps map[string]Snapshot
 			}
 		}
 	}
+	// Multi-window burn-rate evaluation: only registries with an armed
+	// history collector (SetBurn) emit rows, one per (objective, rule)
+	// pair, and the families appear only when at least one does, so
+	// history-free deployments scrape unchanged output.
+	var burnNames []string
+	for _, name := range names {
+		if b := snaps[name].Burn; b != nil && len(b.Rules) > 0 {
+			burnNames = append(burnNames, name)
+		}
+	}
+	if len(burnNames) > 0 {
+		writeBurn := func(family, help string, val func(r BurnRuleStatus) float64) error {
+			if err := writeTypedHeader(w, family, help, "gauge"); err != nil {
+				return err
+			}
+			for _, name := range burnNames {
+				for _, r := range snaps[name].Burn.Rules {
+					if _, err := fmt.Fprintf(w, "%s{index=%q,objective=%q,rule=%q} %g\n",
+						family, name, r.Objective, r.Rule, val(r)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		if err := writeBurn("vaq_burn_rate",
+			"Error-budget burn rate over the rule's long window (1 = spending exactly the budget).",
+			func(r BurnRuleStatus) float64 { return r.Burn }); err != nil {
+			return err
+		}
+		if err := writeBurn("vaq_burn_short_rate",
+			"Error-budget burn rate over the rule's short confirmation window.",
+			func(r BurnRuleStatus) float64 { return r.ShortBurn }); err != nil {
+			return err
+		}
+		if err := writeBurn("vaq_burn_threshold",
+			"Burn rate at or above which the rule fires (both windows must agree).",
+			func(r BurnRuleStatus) float64 { return r.Threshold }); err != nil {
+			return err
+		}
+		if err := writeBurn("vaq_burn_alert",
+			"1 while the multi-window burn-rate rule is firing (the vaq.burn.* edge latch).",
+			func(r BurnRuleStatus) float64 {
+				if r.Firing {
+					return 1
+				}
+				return 0
+			}); err != nil {
+			return err
+		}
+	}
 	// Scatter-gather straggler/skew telemetry: only merged sharded
 	// registries (ConfigureSharded) emit rows, and the families appear only
 	// when at least one does, so unsharded deployments scrape unchanged

@@ -64,9 +64,10 @@ type sloState struct {
 	onBreach BreachFunc
 	targetNs int64
 
-	seen     atomic.Uint64 // latency observations ever
-	latBad   atomic.Int64  // violations currently in the window
-	latSlots []atomic.Uint32
+	seen       atomic.Uint64 // latency observations ever
+	latBad     atomic.Int64  // violations currently in the window
+	violations atomic.Uint64 // latency violations ever (history burn-rate input)
+	latSlots   []atomic.Uint32
 
 	recSeen  atomic.Uint64   // recall samples ever
 	recHits  atomic.Int64    // hits currently in the window
@@ -116,9 +117,10 @@ func (m *IndexMetrics) SLOConfig() *SLO {
 	return &cfg
 }
 
-// observeLatency folds one query latency into the sliding window and
-// evaluates the latency budget edge.
-func (s *sloState) observeLatency(d time.Duration) {
+// observeLatency folds one query latency into the sliding window and, unless
+// a history collector has delegated SLO alerting to its multi-window
+// burn-rate evaluation, evaluates the instantaneous budget edge.
+func (s *sloState) observeLatency(d time.Duration, delegated bool) {
 	if s.targetNs <= 0 {
 		return
 	}
@@ -126,18 +128,23 @@ func (s *sloState) observeLatency(d time.Duration) {
 	var v uint32
 	if d.Nanoseconds() > s.targetNs {
 		v = 1
+		s.violations.Add(1)
 	}
 	old := s.latSlots[idx].Swap(v)
 	if delta := int64(v) - int64(old); delta != 0 {
 		s.latBad.Add(delta)
 	}
+	if delegated {
+		return
+	}
 	rem, burn := s.latencyBudget()
 	s.edge(s.latSrc, "latency", rem, burn)
 }
 
-// observeRecall folds one shadow-exact sample into the sliding window and
-// evaluates the recall budget edge.
-func (s *sloState) observeRecall(hits, expected int) {
+// observeRecall folds one shadow-exact sample into the sliding window and,
+// unless delegated to burn-rate evaluation, evaluates the recall budget
+// edge.
+func (s *sloState) observeRecall(hits, expected int, delegated bool) {
 	if s.cfg.MinRecall <= 0 || expected <= 0 {
 		return
 	}
@@ -146,6 +153,9 @@ func (s *sloState) observeRecall(hits, expected int) {
 	old := s.recSlots[idx].Swap(packed)
 	s.recHits.Add(int64(hits) - int64(old>>32))
 	s.recExp.Add(int64(expected) - int64(old&0xffffffff))
+	if delegated {
+		return
+	}
 	rem, _ := s.recallBudget()
 	s.edge(s.recSrc, "recall", rem, 0)
 }
@@ -231,6 +241,7 @@ func (s *sloState) reset() {
 	}
 	s.seen.Store(0)
 	s.latBad.Store(0)
+	s.violations.Store(0)
 	for i := range s.latSlots {
 		s.latSlots[i].Store(0)
 	}
@@ -254,8 +265,11 @@ type SLOSnapshot struct {
 	RecallWindow     int           `json:"recall_window,omitempty"`
 	// WindowQueries / LatencyViolations describe the current latency
 	// window: observations in it and how many broke the target.
-	WindowQueries     uint64 `json:"window_queries"`
-	LatencyViolations uint64 `json:"latency_violations"`
+	// LatencyViolationsTotal is cumulative since configuration (reset-aware
+	// counter; the history collector's burn-rate input).
+	WindowQueries          uint64 `json:"window_queries"`
+	LatencyViolations      uint64 `json:"latency_violations"`
+	LatencyViolationsTotal uint64 `json:"latency_violations_total"`
 	// LatencyBudgetRemaining is the unspent fraction of the allowed
 	// violations (1 = untouched, <= 0 = objective broken); BurnRate the
 	// violation rate over the allowed rate (> 1 burns the budget down).
@@ -298,6 +312,7 @@ func (m *IndexMetrics) SLOSnapshot() *SLOSnapshot {
 	if bad := s.latBad.Load(); bad > 0 {
 		out.LatencyViolations = uint64(bad)
 	}
+	out.LatencyViolationsTotal = s.violations.Load()
 	out.LatencyBudgetRemaining, out.BurnRate = s.latencyBudget()
 	recWin := s.recSeen.Load()
 	if recWin > uint64(len(s.recSlots)) {

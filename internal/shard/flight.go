@@ -5,6 +5,7 @@ import (
 
 	"vaq/internal/bundle"
 	"vaq/internal/diag"
+	"vaq/internal/history"
 	"vaq/internal/trace"
 	"vaq/internal/workload"
 )
@@ -48,6 +49,12 @@ func (x *Index) EnableFlightRecorder(name string, cfg bundle.Config) (*bundle.Re
 			return x.capture.Load().Snapshot()
 		},
 		Reports: func() []*diag.Report { return x.Diagnose() },
+		History: func() *history.Dump {
+			if c := x.hist.Load(); c != nil {
+				return c.Dump()
+			}
+			return nil // recorder falls back to its own sampler
+		},
 	})
 	if err != nil {
 		return nil, err

@@ -35,6 +35,7 @@ import (
 	"vaq/internal/bundle"
 	"vaq/internal/core"
 	"vaq/internal/diag"
+	"vaq/internal/history"
 	"vaq/internal/metrics"
 	"vaq/internal/trace"
 	"vaq/internal/vec"
@@ -131,6 +132,9 @@ type Index struct {
 	// flight is the armed incident recorder (EnableFlightRecorder); the
 	// scatter path never touches it — it subscribes to reg's alert bus.
 	flight atomic.Pointer[bundle.Recorder]
+	// hist is the armed metrics history collector (EnableHistory),
+	// sampling the merged and per-shard registries on its own goroutine.
+	hist atomic.Pointer[history.Collector]
 }
 
 // Build trains once on train (falling back to data) and encodes S
